@@ -1,0 +1,131 @@
+//! The entropy anonymity metric (Eq. 5, after [25, 11]):
+//! `Anonymity = H(x) / log N`.
+
+/// A group of identically-likely candidates: `count` nodes each carrying
+/// probability `p` (before normalization).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProbabilityGroup {
+    /// Number of nodes in the group.
+    pub count: u64,
+    /// Per-node probability mass (need not be normalized across groups).
+    pub p: f64,
+}
+
+/// Compute `H(x)/log N` from probability groups.
+///
+/// The groups are normalized first (the Appendix-A assignment for the
+/// source, Eq. 8, does not sum to exactly 1 when the source stage holds
+/// more than one pseudo-source; normalizing keeps the entropy
+/// well-defined while preserving the paper's shape).
+///
+/// Returns a value in `[0, 1]`; `N` is the total network size used for
+/// `H_max = log N`.
+pub fn anonymity_from_groups(groups: &[ProbabilityGroup], n: u64) -> f64 {
+    assert!(n >= 2, "need at least two nodes for a meaningful metric");
+    let total: f64 = groups
+        .iter()
+        .map(|g| g.count as f64 * g.p.max(0.0))
+        .sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for g in groups {
+        if g.count == 0 || g.p <= 0.0 {
+            continue;
+        }
+        let p = g.p / total;
+        h -= g.count as f64 * p * p.ln();
+    }
+    let hmax = (n as f64).ln();
+    (h / hmax).clamp(0.0, 1.0)
+}
+
+/// Convenience: anonymity of a uniform distribution over `m` of `n`
+/// nodes (`log m / log n`).
+pub fn uniform_anonymity(m: u64, n: u64) -> f64 {
+    if m <= 1 {
+        return 0.0;
+    }
+    ((m as f64).ln() / (n as f64).ln()).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_anonymity_is_one() {
+        // Uniform over all N nodes.
+        let groups = [ProbabilityGroup {
+            count: 10_000,
+            p: 1.0 / 10_000.0,
+        }];
+        let a = anonymity_from_groups(&groups, 10_000);
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certainty_is_zero() {
+        let groups = [ProbabilityGroup { count: 1, p: 1.0 }];
+        assert_eq!(anonymity_from_groups(&groups, 10_000), 0.0);
+    }
+
+    #[test]
+    fn normalization_applied() {
+        // Unnormalized masses must give the same result as normalized.
+        let a = anonymity_from_groups(
+            &[
+                ProbabilityGroup { count: 10, p: 0.5 },
+                ProbabilityGroup { count: 90, p: 0.1 },
+            ],
+            1000,
+        );
+        let b = anonymity_from_groups(
+            &[
+                ProbabilityGroup { count: 10, p: 5.0 },
+                ProbabilityGroup { count: 90, p: 1.0 },
+            ],
+            1000,
+        );
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrating_mass_reduces_anonymity() {
+        let spread = anonymity_from_groups(
+            &[ProbabilityGroup {
+                count: 1000,
+                p: 1e-3,
+            }],
+            10_000,
+        );
+        let peaked = anonymity_from_groups(
+            &[
+                ProbabilityGroup { count: 1, p: 0.9 },
+                ProbabilityGroup {
+                    count: 999,
+                    p: 0.1 / 999.0,
+                },
+            ],
+            10_000,
+        );
+        assert!(peaked < spread);
+    }
+
+    #[test]
+    fn uniform_anonymity_values() {
+        assert_eq!(uniform_anonymity(1, 100), 0.0);
+        assert!((uniform_anonymity(100, 100) - 1.0).abs() < 1e-12);
+        let half = uniform_anonymity(10, 100);
+        assert!((half - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anonymity_half_means_half_the_bits() {
+        // Eq. 5 commentary: anonymity 0.5 = attacker still missing half
+        // the information. Uniform over sqrt(N) gives exactly 0.5.
+        let a = uniform_anonymity(100, 10_000);
+        assert!((a - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Trial averaging — "the simulation procedure is repeated 1000 times
+//! and the average anonymity is plotted" (§6.2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::chaum::{chaum_trial, ChaumParams};
+use crate::scenario::{slicing_trial, ScenarioParams};
+
+/// Averaged anonymity estimates over many trials.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnonymityEstimate {
+    /// Mean source anonymity.
+    pub source: f64,
+    /// Mean destination anonymity.
+    pub dest: f64,
+    /// Fraction of trials where source Case 1 fired.
+    pub source_case1_rate: f64,
+    /// Fraction of trials where destination Case 1 fired.
+    pub dest_case1_rate: f64,
+    /// Trials run.
+    pub trials: usize,
+}
+
+/// Run `trials` slicing scenarios and average.
+pub fn average_anonymity(params: &ScenarioParams, trials: usize, seed: u64) -> AnonymityEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = 0.0;
+    let mut dst = 0.0;
+    let mut c1s = 0usize;
+    let mut c1d = 0usize;
+    for _ in 0..trials {
+        let t = slicing_trial(params, &mut rng);
+        src += t.source;
+        dst += t.dest;
+        c1s += usize::from(t.source_case1);
+        c1d += usize::from(t.dest_case1);
+    }
+    AnonymityEstimate {
+        source: src / trials as f64,
+        dest: dst / trials as f64,
+        source_case1_rate: c1s as f64 / trials as f64,
+        dest_case1_rate: c1d as f64 / trials as f64,
+        trials,
+    }
+}
+
+/// Run `trials` Chaum-mix scenarios and average.
+pub fn average_chaum(params: &ChaumParams, trials: usize, seed: u64) -> AnonymityEstimate {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = 0.0;
+    let mut dst = 0.0;
+    let mut c1s = 0usize;
+    let mut c1d = 0usize;
+    for _ in 0..trials {
+        let t = chaum_trial(params, &mut rng);
+        src += t.source;
+        dst += t.dest;
+        c1s += usize::from(t.source_case1);
+        c1d += usize::from(t.dest_case1);
+    }
+    AnonymityEstimate {
+        source: src / trials as f64,
+        dest: dst / trials as f64,
+        source_case1_rate: c1s as f64 / trials as f64,
+        dest_case1_rate: c1d as f64 / trials as f64,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formulas;
+
+    /// The simulated Case-1 rates must track the closed forms of
+    /// Appendix A (Eq. 10 for the destination).
+    #[test]
+    fn case1_rates_match_formulas() {
+        let p = ScenarioParams::new(10_000, 8, 3, 0.4);
+        let est = average_anonymity(&p, 20_000, 7);
+        let analytic_src = formulas::source_case1(3, 3, 0.4);
+        assert!(
+            (est.source_case1_rate - analytic_src).abs() < 0.02,
+            "source case1: sim {} vs analytic {}",
+            est.source_case1_rate,
+            analytic_src
+        );
+        let analytic_dst = formulas::dest_case1(8, 3, 3, 0.4);
+        assert!(
+            (est.dest_case1_rate - analytic_dst).abs() < 0.03,
+            "dest case1: sim {} vs analytic {}",
+            est.dest_case1_rate,
+            analytic_dst
+        );
+    }
+
+    /// Fig. 7 shape: slicing anonymity is high at f ≤ 0.2 and decays.
+    #[test]
+    fn fig7_shape() {
+        let anon = |f: f64| average_anonymity(&ScenarioParams::new(10_000, 8, 3, f), 1000, 9);
+        let a01 = anon(0.01);
+        let a02 = anon(0.2);
+        let a05 = anon(0.5);
+        assert!(a01.source > 0.9, "f=0.01 source {}", a01.source);
+        assert!(a02.source > 0.6);
+        assert!(a05.source > 0.3 && a05.source < a02.source);
+        assert!(a05.dest < a02.dest);
+        // Destination drops faster than source (§6.3.1).
+        assert!(a05.dest <= a05.source + 0.02);
+    }
+
+    /// Fig. 9 shape: anonymity increases with path length.
+    #[test]
+    fn fig9_shape() {
+        let anon = |l: usize| {
+            average_anonymity(&ScenarioParams::new(10_000, l, 3, 0.1), 1500, 11).source
+        };
+        let short = anon(2);
+        let long = anon(16);
+        assert!(long > short, "L=16 {long} must beat L=2 {short}");
+    }
+
+    /// Chaum and slicing are comparable at low f (Fig. 7's headline).
+    #[test]
+    fn slicing_comparable_to_chaum_at_low_f() {
+        let s = average_anonymity(&ScenarioParams::new(10_000, 8, 3, 0.1), 2000, 13);
+        let c = average_chaum(
+            &ChaumParams {
+                n: 10_000,
+                length: 8,
+                fraction_malicious: 0.1,
+            },
+            2000,
+            13,
+        );
+        assert!(
+            (s.source - c.source).abs() < 0.15,
+            "slicing {} vs chaum {}",
+            s.source,
+            c.source
+        );
+    }
+}

@@ -1,0 +1,308 @@
+//! One attack-scenario trial: sample the malicious set, derive the
+//! attacker's knowledge, apply the Appendix-A probability assignments.
+
+use rand::Rng;
+
+use crate::metric::{anonymity_from_groups, uniform_anonymity, ProbabilityGroup};
+
+/// Parameters of an anonymity scenario (§6.2 / Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioParams {
+    /// Total overlay size `N` (excluding the source stage).
+    pub n: u64,
+    /// Path length `L` (relay stages).
+    pub length: usize,
+    /// Split factor `d` (slices needed to decode).
+    pub split: usize,
+    /// Stage width `d′` (= `d` without redundancy; > `d` for Fig. 10).
+    pub width: usize,
+    /// Fraction of malicious overlay nodes `f`.
+    pub fraction_malicious: f64,
+}
+
+impl ScenarioParams {
+    /// Common no-redundancy constructor.
+    pub fn new(n: u64, length: usize, split: usize, f: f64) -> Self {
+        ScenarioParams {
+            n,
+            length,
+            split,
+            width: split,
+            fraction_malicious: f,
+        }
+    }
+
+    /// With explicit redundancy (`width = d′`).
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Added redundancy `R = (d′ − d)/d`.
+    pub fn redundancy(&self) -> f64 {
+        (self.width - self.split) as f64 / self.split as f64
+    }
+}
+
+/// Result of one sampled trial.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrialOutcome {
+    /// Source anonymity (Eq. 8 → Eq. 5).
+    pub source: f64,
+    /// Destination anonymity (Eq. 11 → Eq. 5).
+    pub dest: f64,
+    /// Whether source Case 1 fired (stage 1 decodable by the attacker).
+    pub source_case1: bool,
+    /// Whether destination Case 1 fired (some stage upstream of the
+    /// destination decodable).
+    pub dest_case1: bool,
+}
+
+/// Sampled per-stage malicious counts for relay stages `1..=L`.
+#[derive(Clone, Debug)]
+pub struct MaliciousLayout {
+    /// `bad[i]` = number of malicious nodes in stage `i+1`.
+    pub bad: Vec<usize>,
+    /// Destination stage (1-based).
+    pub dest_stage: usize,
+}
+
+/// Sample a layout: each of the `L × d′` relay positions is malicious
+/// independently with probability `f` (§6.2 picks `f·N` of `N` and draws
+/// the graph from them; for `N ≫ L·d′` the Bernoulli approximation is
+/// exact in the limit and conservative otherwise). The destination is a
+/// uniformly random relay position and is never counted malicious.
+pub fn sample_layout<R: Rng + ?Sized>(p: &ScenarioParams, rng: &mut R) -> MaliciousLayout {
+    let dest_stage = rng.gen_range(1..=p.length);
+    let dest_index = rng.gen_range(0..p.width);
+    let mut bad = Vec::with_capacity(p.length);
+    for stage in 1..=p.length {
+        let mut count = 0;
+        for idx in 0..p.width {
+            if stage == dest_stage && idx == dest_index {
+                continue; // the destination itself is honest
+            }
+            if rng.gen::<f64>() < p.fraction_malicious {
+                count += 1;
+            }
+        }
+        bad.push(count);
+    }
+    MaliciousLayout { bad, dest_stage }
+}
+
+/// Longest run of consecutive relay stages that each contain at least one
+/// malicious node. Attackers in successive stages can confirm they are on
+/// the same graph (flow-ids change per hop, §4.3.1/Appendix A); a run of
+/// malicious stages `t1..=t2` reveals full membership of stages `t1−1`
+/// through `t2+1` (every relay knows all its parents and children in the
+/// complete bipartite stage graph).
+pub fn longest_known_span(layout: &MaliciousLayout, length: usize) -> usize {
+    let mut best = 0usize;
+    let mut run = 0usize;
+    for stage in 0..length {
+        if layout.bad[stage] > 0 {
+            run += 1;
+        } else {
+            run = 0;
+        }
+        if run > 0 {
+            // Known span: parents of first malicious stage through
+            // children of the last, clamped to real stages 0..=L.
+            let t1 = stage + 1 - run + 1; // first malicious stage (1-based)
+            let t2 = stage + 1;
+            let lo = t1.saturating_sub(1);
+            let hi = (t2 + 1).min(length);
+            best = best.max(hi - lo + 1);
+        }
+    }
+    best
+}
+
+/// Evaluate one trial for information slicing.
+pub fn slicing_trial<R: Rng + ?Sized>(p: &ScenarioParams, rng: &mut R) -> TrialOutcome {
+    let layout = sample_layout(p, rng);
+    let n = p.n;
+    let f = p.fraction_malicious;
+    let honest = ((n as f64) * (1.0 - f)).max(2.0) as u64;
+    let l = p.length;
+    let w = p.width as u64;
+
+    // --- Source anonymity (Appendix A.1) --------------------------------
+    // Case 1: the attacker holds ≥ d slices of everything leaving stage 1,
+    // so it can decode the downstream graph, count its depth, and conclude
+    // the previous stage is the source stage.
+    let source_case1 = layout.bad[0] >= p.split;
+    let s_span = longest_known_span(&layout, l);
+    let source = if source_case1 {
+        0.0
+    } else if s_span == 0 {
+        uniform_anonymity(honest, n)
+    } else {
+        // Eq. 8: the first stage of the known window is the source stage
+        // with probability 1/(L − s); Γ = its members.
+        let denom = (l as f64 - s_span as f64).max(1.0);
+        let q = (1.0 / denom).min(1.0);
+        let gamma = w; // the window's first stage has d′ members
+        let outside = honest.saturating_sub(gamma).max(1);
+        anonymity_from_groups(
+            &[
+                ProbabilityGroup {
+                    count: gamma,
+                    p: q / gamma as f64,
+                },
+                ProbabilityGroup {
+                    count: outside,
+                    p: (1.0 - q) / outside as f64,
+                },
+            ],
+            n,
+        )
+    };
+
+    // --- Destination anonymity (Appendix A.2) ---------------------------
+    // Case 1: some stage strictly upstream of the destination has ≥ d
+    // malicious nodes; the attacker decodes everything downstream of it,
+    // including the receiver flag.
+    let dest_case1 = (1..layout.dest_stage).any(|stage| layout.bad[stage - 1] >= p.split);
+    let dest = if dest_case1 {
+        0.0
+    } else if s_span == 0 {
+        uniform_anonymity(honest, n)
+    } else {
+        // Eq. 11: the destination is in the known span with probability
+        // s/L; the span's honest nodes share that mass.
+        let s = (s_span as f64).min(l as f64);
+        let span_nodes = (s_span as u64 * w).min(l as u64 * w);
+        let span_honest =
+            ((span_nodes as f64) * (1.0 - f)).round().max(1.0) as u64;
+        let outside = honest.saturating_sub(span_honest).max(1);
+        let p_in = (s / l as f64).min(1.0);
+        anonymity_from_groups(
+            &[
+                ProbabilityGroup {
+                    count: span_honest,
+                    p: p_in / span_honest as f64,
+                },
+                ProbabilityGroup {
+                    count: outside,
+                    p: (1.0 - p_in) / outside as f64,
+                },
+            ],
+            n,
+        )
+    };
+
+    TrialOutcome {
+        source,
+        dest,
+        source_case1,
+        dest_case1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn params(f: f64) -> ScenarioParams {
+        ScenarioParams::new(10_000, 8, 3, f)
+    }
+
+    #[test]
+    fn no_attackers_full_anonymity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = slicing_trial(&params(0.0), &mut rng);
+        assert!(t.source > 0.99);
+        assert!(t.dest > 0.99);
+        assert!(!t.source_case1 && !t.dest_case1);
+    }
+
+    #[test]
+    fn all_attackers_zero_anonymity() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // f = 1: stage 1 fully malicious -> both Case 1s fire for any
+        // destination past stage 1; source always.
+        let t = slicing_trial(&params(1.0), &mut rng);
+        assert_eq!(t.source, 0.0);
+        assert!(t.source_case1);
+    }
+
+    #[test]
+    fn anonymity_decreases_with_f() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let avg = |f: f64, rng: &mut StdRng| {
+            let mut sum = 0.0;
+            for _ in 0..400 {
+                sum += slicing_trial(&params(f), rng).source;
+            }
+            sum / 400.0
+        };
+        let low = avg(0.05, &mut rng);
+        let high = avg(0.5, &mut rng);
+        assert!(
+            low > high,
+            "anonymity must fall with f: low={low} high={high}"
+        );
+    }
+
+    #[test]
+    fn span_detection() {
+        let layout = MaliciousLayout {
+            bad: vec![0, 1, 1, 0, 0, 1, 0, 0],
+            dest_stage: 4,
+        };
+        // Run at stages 2-3 -> known 1..4 -> span 4; run at 6 -> known
+        // 5..7 -> span 3.
+        assert_eq!(longest_known_span(&layout, 8), 4);
+        let empty = MaliciousLayout {
+            bad: vec![0; 8],
+            dest_stage: 1,
+        };
+        assert_eq!(longest_known_span(&empty, 8), 0);
+        // Full graph malicious: clamped to all stages 0..=L.
+        let full = MaliciousLayout {
+            bad: vec![1; 8],
+            dest_stage: 1,
+        };
+        assert_eq!(longest_known_span(&full, 8), 9);
+    }
+
+    #[test]
+    fn dest_case1_requires_upstream_decodable_stage() {
+        // Destination at stage 1: nothing upstream, Case 1 impossible.
+        let p = params(0.9);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..200 {
+            let layout = sample_layout(&p, &mut rng);
+            if layout.dest_stage == 1 {
+                let case1 =
+                    (1..layout.dest_stage).any(|st| layout.bad[st - 1] >= p.split);
+                assert!(!case1);
+            }
+        }
+    }
+
+    #[test]
+    fn redundancy_weakens_dest_anonymity() {
+        // Fig. 10: more width at fixed d makes full-stage compromise more
+        // likely -> lower destination anonymity.
+        let mut rng = StdRng::seed_from_u64(5);
+        let avg_dest = |width: usize, rng: &mut StdRng| {
+            let p = ScenarioParams::new(10_000, 8, 3, 0.1).with_width(width);
+            let mut sum = 0.0;
+            for _ in 0..600 {
+                sum += slicing_trial(&p, rng).dest;
+            }
+            sum / 600.0
+        };
+        let no_red = avg_dest(3, &mut rng);
+        let high_red = avg_dest(9, &mut rng);
+        assert!(
+            no_red > high_red,
+            "redundancy should cost dest anonymity: {no_red} vs {high_red}"
+        );
+    }
+}

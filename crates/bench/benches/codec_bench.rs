@@ -1,0 +1,46 @@
+//! Criterion benches for the slicing codec: the §7.1 coding-cost table
+//! (encode/decode/recombine per 1500 B packet, per split factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slicing_codec::{decode, encode, recombine};
+
+fn codec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let packet = vec![0xABu8; 1500];
+
+    let mut group = c.benchmark_group("codec_1500B");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for d in [2usize, 3, 5, 8] {
+        group.throughput(Throughput::Bytes(1500));
+        group.bench_with_input(BenchmarkId::new("encode", d), &d, |b, &d| {
+            b.iter(|| encode(&packet, d, d, &mut rng));
+        });
+        let coded = encode(&packet, d, d, &mut rng);
+        group.bench_with_input(BenchmarkId::new("decode", d), &d, |b, &d| {
+            b.iter(|| decode(&coded.slices, d).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("recombine", d), &d, |b, _| {
+            b.iter(|| recombine(&coded.slices, &mut rng));
+        });
+    }
+    group.finish();
+
+    // Redundant encode (d' > d): the churn-resilience extra cost.
+    let mut group = c.benchmark_group("codec_redundant");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for dp in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("encode_d2", dp), &dp, |b, &dp| {
+            b.iter(|| encode(&packet, 2, dp, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, codec);
+criterion_main!(benches);

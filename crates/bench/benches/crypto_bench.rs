@@ -1,0 +1,53 @@
+//! Criterion benches for the crypto substrate — quantifying the paper's
+//! setup-cost asymmetry: slicing's matrix decode vs onion routing's RSA
+//! decryption per hop.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slicing_crypto::chacha20::ChaCha20;
+use slicing_crypto::sha256::Sha256;
+use slicing_crypto::{BigUint, RsaKeyPair};
+
+fn crypto(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut group = c.benchmark_group("crypto");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    let data = vec![0x5Au8; 1500];
+    group.throughput(Throughput::Bytes(1500));
+    group.bench_function("sha256_1500B", |b| {
+        b.iter(|| Sha256::digest(&data));
+    });
+    group.bench_function("chacha20_1500B", |b| {
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let mut buf = data.clone();
+        b.iter(|| {
+            ChaCha20::xor(&key, &nonce, 0, &mut buf);
+        });
+    });
+
+    // RSA: the onion baseline's per-hop setup cost.
+    let kp = RsaKeyPair::generate(512, &mut rng);
+    let m = BigUint::from_u64(0xDEADBEEF);
+    let ct = kp.public.encrypt(&m).unwrap();
+    group.bench_function("rsa512_encrypt", |b| {
+        b.iter(|| kp.public.encrypt(&m).unwrap());
+    });
+    group.bench_function("rsa512_decrypt", |b| {
+        b.iter(|| kp.decrypt(&ct).unwrap());
+    });
+
+    // The slicing equivalent: decode a per-node info blob (no PKC).
+    group.bench_function("slicing_info_decode_d3", |b| {
+        let coded = slicing_codec::encode(&data[..256], 3, 3, &mut rng);
+        b.iter(|| slicing_codec::decode(&coded.slices, 3).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, crypto);
+criterion_main!(benches);

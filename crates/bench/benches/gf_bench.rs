@@ -1,0 +1,57 @@
+//! Criterion benches for the finite-field substrate: the per-byte
+//! multiplication kernel (the §7.1 cost driver) and matrix inversion
+//! (the per-relay decode step).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slicing_gf::{Field, Gf256, Gf65536, Matrix};
+
+fn gf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut group = c.benchmark_group("gf_mul");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    let a256: Vec<Gf256> = (0..4096).map(|_| Gf256::random(&mut rng)).collect();
+    let b256: Vec<Gf256> = (0..4096).map(|_| Gf256::random(&mut rng)).collect();
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("gf256_4096", |bench| {
+        bench.iter(|| {
+            let mut acc = Gf256::zero();
+            for (&x, &y) in a256.iter().zip(b256.iter()) {
+                acc = acc.add(x.mul(y));
+            }
+            acc
+        });
+    });
+    let a64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
+    let b64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("gf65536_2048", |bench| {
+        bench.iter(|| {
+            let mut acc = Gf65536::zero();
+            for (&x, &y) in a64k.iter().zip(b64k.iter()) {
+                acc = acc.add(x.mul(y));
+            }
+            acc
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("matrix_inverse");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for n in [2usize, 4, 8] {
+        let m = Matrix::<Gf256>::random_invertible(n, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| m.inverse().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gf);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the onion baseline: circuit construction
+//! (layered RSA) and per-hop data processing — the costs Figs. 14–15
+//! trace back to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use slicing_graph::OverlayAddr;
+use slicing_onion::{Directory, OnionSource};
+
+fn onion(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(19);
+    let mut group = c.benchmark_group("onion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for hops in [3usize, 5] {
+        let mut dir = Directory::new();
+        let path: Vec<OverlayAddr> = (0..hops as u64).map(|i| OverlayAddr(100 + i)).collect();
+        for &a in &path {
+            dir.register(a, 512, &mut rng);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("build_circuit", hops),
+            &hops,
+            |b, _| {
+                b.iter(|| {
+                    OnionSource::build_circuit(OverlayAddr(1), &path, &dir, &mut rng).unwrap()
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("send_data_1400B", hops), &hops, |b, _| {
+            let (mut handle, _) =
+                OnionSource::build_circuit(OverlayAddr(1), &path, &dir, &mut rng).unwrap();
+            let payload = vec![0u8; 1400];
+            b.iter(|| handle.send_data(&payload, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, onion);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Fig. 9: anonymity vs path length L (N = 10000, d = 3, f = 0.1).
+
+use slicing_anonymity::montecarlo::average_anonymity;
+use slicing_anonymity::ScenarioParams;
+use slicing_bench::{banner, RunOpts, Table};
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let trials = opts.trials(1000);
+    banner(
+        "Figure 9 — anonymity vs number of stages L",
+        "N=10000, d=3, f=0.1",
+        "both source and destination anonymity increase with L",
+    );
+    let mut table = Table::new(&["L", "src_anonymity", "dst_anonymity"]);
+    for l in (2..=20usize).step_by(2) {
+        let e = average_anonymity(
+            &ScenarioParams::new(10_000, l, 3, 0.1),
+            trials,
+            opts.seed,
+        );
+        table.row(&[l as f64, e.source, e.dest]);
+    }
+    table.print();
+}

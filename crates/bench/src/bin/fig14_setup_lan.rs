@@ -1,0 +1,65 @@
+//! Fig. 14: average route-setup time vs path length and split factor,
+//! LAN — onion routing vs information slicing (d = 2, 3, 4).
+
+use std::time::Duration;
+
+use slicing_bench::{banner, RunOpts, Table};
+use slicing_core::{DestPlacement, GraphParams};
+use slicing_overlay::experiment::{
+    run_onion_transfer, run_slicing_transfer, Transport,
+};
+use slicing_overlay::TransferConfig;
+use slicing_sim::NetProfile;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let repeats = if opts.quick { 2 } else { 5 };
+    banner(
+        "Figure 14 — route-setup time vs path length, LAN",
+        "onion vs slicing d in {2,3,4}; receiver in the last stage (§7.4)",
+        "setup grows with L and d (relays wait for the slowest parent); \
+         sub-second on a LAN",
+    );
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let mut table = Table::new(&["L", "onion_s", "slicing_d2_s", "slicing_d3_s", "slicing_d4_s"]);
+    for l in 1..=6usize {
+        let mut row = vec![l as f64];
+        // Onion baseline.
+        let mut acc = 0.0;
+        for r in 0..repeats {
+            let cfg = TransferConfig {
+                params: GraphParams::new(l, 2),
+                transport: Transport::Emulated(NetProfile::lan()),
+                messages: 0,
+                payload_len: 0,
+                seed: opts.seed + (l * 31 + r) as u64,
+                timeout: Duration::from_secs(30),
+            };
+            acc += rt.block_on(run_onion_transfer(&cfg)).setup_ms as f64 / 1000.0;
+        }
+        row.push(acc / repeats as f64);
+        // Slicing at d = 2, 3, 4.
+        for d in 2..=4usize {
+            let mut acc = 0.0;
+            for r in 0..repeats {
+                let cfg = TransferConfig {
+                    params: GraphParams::new(l, d)
+                        .with_dest_placement(DestPlacement::LastStage),
+                    transport: Transport::Emulated(NetProfile::lan()),
+                    messages: 0,
+                    payload_len: 0,
+                    seed: opts.seed + (l * 131 + d * 17 + r) as u64,
+                    timeout: Duration::from_secs(30),
+                };
+                acc += rt.block_on(run_slicing_transfer(&cfg)).setup_ms as f64 / 1000.0;
+            }
+            row.push(acc / repeats as f64);
+        }
+        table.row(&row);
+    }
+    table.print();
+}

@@ -1,0 +1,63 @@
+//! Fig. 15: average route-setup time vs path length and split factor on
+//! the wide-area (PlanetLab substitute) network.
+
+use std::time::Duration;
+
+use slicing_bench::{banner, RunOpts, Table};
+use slicing_core::{DestPlacement, GraphParams};
+use slicing_overlay::experiment::{
+    run_onion_transfer, run_slicing_transfer, Transport,
+};
+use slicing_overlay::TransferConfig;
+use slicing_sim::NetProfile;
+
+fn main() {
+    let opts = RunOpts::from_args();
+    let repeats = if opts.quick { 1 } else { 3 };
+    banner(
+        "Figure 15 — route-setup time vs path length, WAN (PlanetLab profile)",
+        "onion vs slicing d in {2,3,4}; world RTTs + loaded hosts",
+        "seconds-scale setup, growing with L and d; still a few seconds \
+         at the largest graphs",
+    );
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+    let mut table = Table::new(&["L", "onion_s", "slicing_d2_s", "slicing_d3_s", "slicing_d4_s"]);
+    for l in 1..=6usize {
+        let mut row = vec![l as f64];
+        let mut acc = 0.0;
+        for r in 0..repeats {
+            let cfg = TransferConfig {
+                params: GraphParams::new(l, 2),
+                transport: Transport::Emulated(NetProfile::planetlab()),
+                messages: 0,
+                payload_len: 0,
+                seed: opts.seed + (l * 31 + r) as u64,
+                timeout: Duration::from_secs(60),
+            };
+            acc += rt.block_on(run_onion_transfer(&cfg)).setup_ms as f64 / 1000.0;
+        }
+        row.push(acc / repeats as f64);
+        for d in 2..=4usize {
+            let mut acc = 0.0;
+            for r in 0..repeats {
+                let cfg = TransferConfig {
+                    params: GraphParams::new(l, d)
+                        .with_dest_placement(DestPlacement::LastStage),
+                    transport: Transport::Emulated(NetProfile::planetlab()),
+                    messages: 0,
+                    payload_len: 0,
+                    seed: opts.seed + (l * 131 + d * 17 + r) as u64,
+                    timeout: Duration::from_secs(60),
+                };
+                acc += rt.block_on(run_slicing_transfer(&cfg)).setup_ms as f64 / 1000.0;
+            }
+            row.push(acc / repeats as f64);
+        }
+        table.row(&row);
+    }
+    table.print();
+}

@@ -1,0 +1,116 @@
+//! Shared helpers for the figure-regeneration binaries.
+//!
+//! Every binary prints the series of one paper figure as an aligned text
+//! table (x value + one column per curve), with a header noting the paper
+//! parameters and the qualitative expectation. Pass `--quick` to cut
+//! trial counts ~10× for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Runtime options common to all figure binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOpts {
+    /// Reduced trial counts for smoke testing.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args` (`--quick`, `--seed N`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        RunOpts { quick, seed }
+    }
+
+    /// `full` trials normally, `full / 10` (min 10) under `--quick`.
+    pub fn trials(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 10).max(10)
+        } else {
+            full
+        }
+    }
+}
+
+/// A printed table: header + rows of floats.
+pub struct Table {
+    columns: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Table {
+    /// Start a table with the given column names (first is the x-axis).
+    pub fn new(columns: &[&str]) -> Self {
+        Table {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.columns.len(), "row width");
+        self.rows.push(values.to_vec());
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let width = 14usize;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| format!("{c:>width$}"))
+            .collect();
+        println!("{}", header.join(" "));
+        println!("{}", "-".repeat((width + 1) * self.columns.len()));
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| format!("{v:>width$.4}")).collect();
+            println!("{}", cells.join(" "));
+        }
+    }
+
+    /// Access rows (for assertions in integration tests).
+    pub fn rows(&self) -> &[Vec<f64>] {
+        &self.rows
+    }
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, params: &str, expectation: &str) {
+    println!("==========================================================");
+    println!("{figure}");
+    println!("  parameters : {params}");
+    println!("  expectation: {expectation}");
+    println!("==========================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rows_tracked() {
+        let mut t = Table::new(&["x", "y"]);
+        t.row(&[1.0, 2.0]);
+        t.row(&[2.0, 3.0]);
+        assert_eq!(t.rows().len(), 2);
+    }
+
+    #[test]
+    fn quick_cuts_trials() {
+        let opts = RunOpts { quick: true, seed: 1 };
+        assert_eq!(opts.trials(1000), 100);
+        assert_eq!(opts.trials(50), 10);
+        let full = RunOpts { quick: false, seed: 1 };
+        assert_eq!(full.trials(1000), 1000);
+    }
+}

@@ -1,0 +1,125 @@
+//! Information-theoretic mode (§5): additive `d`-of-`d` secret sharing.
+//!
+//! "Instead of chopping the data into d parts and then coding them, we can
+//! combine each of the d parts with d − 1 random parts. This will increase
+//! the space required d-fold, but provides extremely strong
+//! information-theoretic security."
+//!
+//! Each block is expanded into `d` shares: `d − 1` uniformly random pads
+//! plus the XOR of the block with all pads. Any `d − 1` shares are jointly
+//! uniform (perfect secrecy); all `d` reconstruct exactly.
+
+use rand::Rng;
+
+/// Shares of one block under `d`-of-`d` additive sharing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Shares {
+    /// The `d` shares; all are required for reconstruction.
+    pub shares: Vec<Vec<u8>>,
+}
+
+/// Split `block` into `d` shares with perfect secrecy.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn share<R: Rng + ?Sized>(block: &[u8], d: usize, rng: &mut R) -> Shares {
+    assert!(d >= 1, "need at least one share");
+    let mut shares: Vec<Vec<u8>> = Vec::with_capacity(d);
+    let mut acc = block.to_vec();
+    for _ in 0..d - 1 {
+        let mut pad = vec![0u8; block.len()];
+        rng.fill_bytes(&mut pad);
+        for (a, p) in acc.iter_mut().zip(pad.iter()) {
+            *a ^= p;
+        }
+        shares.push(pad);
+    }
+    shares.push(acc);
+    Shares { shares }
+}
+
+/// Reconstruct the block from all `d` shares.
+///
+/// # Panics
+/// Panics if shares are ragged or empty.
+pub fn reconstruct(shares: &Shares) -> Vec<u8> {
+    let first = shares.shares.first().expect("no shares");
+    let len = first.len();
+    assert!(
+        shares.shares.iter().all(|s| s.len() == len),
+        "ragged shares"
+    );
+    let mut out = vec![0u8; len];
+    for s in &shares.shares {
+        for (o, b) in out.iter_mut().zip(s.iter()) {
+            *o ^= b;
+        }
+    }
+    out
+}
+
+/// Space expansion of this mode relative to plain slicing (the paper's
+/// "d-fold" cost): `d` shares each as large as the original block.
+pub fn expansion_factor(d: usize) -> usize {
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in 1..=6 {
+            let block = b"information theoretic";
+            let s = share(block, d, &mut rng);
+            assert_eq!(s.shares.len(), d);
+            assert_eq!(reconstruct(&s), block);
+        }
+    }
+
+    #[test]
+    fn missing_share_gives_garbage() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let block = vec![7u8; 32];
+        let mut s = share(&block, 3, &mut rng);
+        s.shares.pop();
+        let partial = reconstruct(&s);
+        assert_ne!(partial, block);
+    }
+
+    /// Perfect secrecy shape: with one share withheld, the remaining
+    /// shares are an XOR-pad away from *any* candidate block, so two
+    /// different plaintexts are indistinguishable from d−1 shares.
+    #[test]
+    fn partial_shares_consistent_with_any_plaintext() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = 3;
+        let observed_shares = |block: &[u8], rng: &mut StdRng| {
+            let s = share(block, d, rng);
+            s.shares[..d - 1].to_vec()
+        };
+        let a = observed_shares(&[0x00; 16], &mut rng);
+        // For any candidate plaintext there exists a final share making the
+        // observation valid: final = candidate XOR (xor of observed).
+        for candidate in [[0xFFu8; 16], [0x42; 16], [0x00; 16]] {
+            let mut final_share = candidate.to_vec();
+            for s in &a {
+                for (f, b) in final_share.iter_mut().zip(s.iter()) {
+                    *f ^= b;
+                }
+            }
+            let mut full = a.clone();
+            full.push(final_share);
+            assert_eq!(reconstruct(&Shares { shares: full }), candidate.to_vec());
+        }
+    }
+
+    #[test]
+    fn expansion_matches_paper() {
+        assert_eq!(expansion_factor(4), 4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Relay-side redundancy regeneration via network coding (§4.4.1).
+//!
+//! When a relay has received `k ≥ d` slices but an upstream failure cost
+//! the flow one of its `d′` redundant slices, the relay fabricates a
+//! replacement: `m′_new = Σ pᵢ·m′ᵢ` with the *same* random `pᵢ` applied to
+//! the coefficient rows, `A′_new = Σ pᵢ·A′ᵢ`. The new slice is a valid
+//! codeword of the original generator, so downstream decoding is
+//! unaffected — "with a small amount of redundancy, we can survive many
+//! node failures because at each stage the nodes can re-generate the lost
+//! redundancy."
+
+use rand::Rng;
+
+
+use crate::coder::axpy_bytes;
+use crate::slice::InfoSlice;
+
+/// Produce a fresh slice as a random linear combination of `slices`.
+///
+/// Every combination coefficient is nonzero, so the output mixes *all*
+/// inputs. (For `d = 2` this provably preserves pairwise independence
+/// across regeneration rounds; for larger `d` dependence is possible only
+/// with probability ~`d/255` per round, matching the randomized network
+/// coding guarantee the paper cites (its reference 18).)
+///
+/// # Panics
+/// Panics if `slices` is empty or shapes are inconsistent.
+pub fn recombine<R: Rng + ?Sized>(slices: &[InfoSlice], rng: &mut R) -> InfoSlice {
+    assert!(!slices.is_empty(), "cannot recombine zero slices");
+    let d = slices[0].coeffs.len();
+    let block_len = slices[0].payload.len();
+    assert!(
+        slices
+            .iter()
+            .all(|s| s.coeffs.len() == d && s.payload.len() == block_len),
+        "inconsistent slice shapes"
+    );
+    let mut coeffs = vec![0u8; d];
+    let mut payload = vec![0u8; block_len];
+    for s in slices {
+        let p: u8 = rng.gen_range(1..=255);
+        axpy_bytes(&mut coeffs, p, &s.coeffs);
+        axpy_bytes(&mut payload, p, &s.payload);
+    }
+    InfoSlice::new(coeffs, payload)
+}
+
+/// Regenerate up to `want` slices from the `have` received ones,
+/// returning `have.len() + missing` slices where
+/// `missing = want.saturating_sub(have.len())`.
+///
+/// This is what a relay runs when its parents delivered fewer slices than
+/// the flow's `d′` (§4.4.1): the received slices are forwarded as-is and
+/// the shortfall is made up with recombinations.
+pub fn restore_redundancy<R: Rng + ?Sized>(
+    have: &[InfoSlice],
+    want: usize,
+    rng: &mut R,
+) -> Vec<InfoSlice> {
+    let mut out: Vec<InfoSlice> = have.to_vec();
+    while out.len() < want {
+        out.push(recombine(have, rng));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coder::{decode, encode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use slicing_gf::{Field, Gf256};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn recombined_slice_decodes_with_originals() {
+        let mut rng = rng();
+        let msg = b"regenerate me";
+        let coded = encode(msg, 2, 3, &mut rng);
+        let fresh = recombine(&coded.slices, &mut rng);
+        // fresh + one original must decode (2-of-* decodability).
+        let set = vec![fresh.clone(), coded.slices[0].clone()];
+        assert_eq!(decode(&set, 2).unwrap(), msg);
+    }
+
+    #[test]
+    fn lost_slice_fully_replaced() {
+        let mut rng = rng();
+        let msg = b"one parent failed";
+        let (d, dp) = (2, 3);
+        let coded = encode(msg, d, dp, &mut rng);
+        // A stage lost slice 2; the relay restores d' from the surviving 2.
+        let survivors = &coded.slices[..2];
+        let restored = restore_redundancy(survivors, dp, &mut rng);
+        assert_eq!(restored.len(), dp);
+        // Any 2 of the restored 3 decode — including the regenerated one.
+        for i in 0..dp {
+            for j in i + 1..dp {
+                let set = vec![restored[i].clone(), restored[j].clone()];
+                assert_eq!(decode(&set, d).unwrap(), msg, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn chained_regeneration_over_stages() {
+        // Simulate L=5 stages, each losing one slice then regenerating —
+        // the scenario Fig. 17 relies on.
+        let mut rng = rng();
+        let msg = b"multi-stage survival";
+        let (d, dp) = (2, 3);
+        let coded = encode(msg, d, dp, &mut rng);
+        let mut current = coded.slices.clone();
+        for _stage in 0..5 {
+            current.remove(0); // a parent fails
+            current = restore_redundancy(&current, dp, &mut rng);
+            assert_eq!(current.len(), dp);
+        }
+        assert_eq!(decode(&current, d).unwrap(), msg);
+    }
+
+    #[test]
+    fn recombine_single_slice_is_scaled_copy() {
+        let mut rng = rng();
+        let coded = encode(b"solo", 2, 2, &mut rng);
+        let fresh = recombine(&coded.slices[..1], &mut rng);
+        // A combination of one slice spans the same line; it cannot decode
+        // with the original alone (rank 1).
+        let set = vec![fresh, coded.slices[0].clone()];
+        assert!(decode(&set, 2).is_err());
+    }
+
+    #[test]
+    fn gf_scaling_sanity() {
+        // recombine of [s] with p must equal p·s elementwise.
+        let s = InfoSlice::new(vec![1, 0], vec![2, 4, 8]);
+        let mut rng = rng();
+        let out = recombine(std::slice::from_ref(&s), &mut rng);
+        // The ratio payload[i]/coeffs[0] must be constant = p.
+        let p = Gf256::new(out.coeffs[0]);
+        assert!(!p.is_zero());
+        for (o, orig) in out.payload.iter().zip(s.payload.iter()) {
+            assert_eq!(Gf256::new(*o), p.mul(Gf256::new(*orig)));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! The [`InfoSlice`] type: one coded block together with the generator
+//! row that produced it (the "transformation vector" of Fig. 3).
+
+/// One information slice.
+///
+/// `payload[j] = Σ_k coeffs[k] · block_k[j]` over GF(2⁸): the coefficient
+/// row is carried *in the clear* next to the coded block, exactly as in
+/// the paper's packet format (Fig. 3) — confidentiality comes from the
+/// attacker missing slices, not from hiding the row.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct InfoSlice {
+    /// Row of the generator matrix (length `d`), as raw GF(2⁸) values.
+    pub coeffs: Vec<u8>,
+    /// The coded block.
+    pub payload: Vec<u8>,
+}
+
+impl std::fmt::Debug for InfoSlice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "InfoSlice(d={}, block={}B)",
+            self.coeffs.len(),
+            self.payload.len()
+        )
+    }
+}
+
+impl InfoSlice {
+    /// Construct from parts.
+    pub fn new(coeffs: Vec<u8>, payload: Vec<u8>) -> Self {
+        InfoSlice { coeffs, payload }
+    }
+
+    /// The split factor `d` this slice was coded for.
+    pub fn d(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Serialized length for a given `(d, block_len)`.
+    pub fn wire_len(d: usize, block_len: usize) -> usize {
+        d + block_len
+    }
+
+    /// Serialize as `coeffs ‖ payload`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.coeffs.len() + self.payload.len());
+        out.extend_from_slice(&self.coeffs);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserialize from the layout produced by [`InfoSlice::to_bytes`].
+    ///
+    /// Returns `None` if `bytes.len() != d + block_len`.
+    pub fn from_bytes(d: usize, block_len: usize, bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != d + block_len {
+            return None;
+        }
+        Some(InfoSlice {
+            coeffs: bytes[..d].to_vec(),
+            payload: bytes[d..].to_vec(),
+        })
+    }
+}
+
+/// A complete sliced message: the `d′` slices emitted by the encoder.
+#[derive(Clone, Debug)]
+pub struct SlicedMessage {
+    /// The emitted slices (`d′` of them; `d′ == d` when no redundancy).
+    pub slices: Vec<InfoSlice>,
+    /// Split factor: number of slices required to decode.
+    pub d: usize,
+    /// Length of each coded block in bytes.
+    pub block_len: usize,
+}
+
+impl SlicedMessage {
+    /// Redundancy factor `R = (d′ − d) / d` (§4.4, §8.1).
+    pub fn redundancy(&self) -> f64 {
+        (self.slices.len() as f64 - self.d as f64) / self.d as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_round_trip() {
+        let s = InfoSlice::new(vec![1, 2, 3], vec![9, 8, 7, 6]);
+        let bytes = s.to_bytes();
+        assert_eq!(bytes.len(), InfoSlice::wire_len(3, 4));
+        assert_eq!(InfoSlice::from_bytes(3, 4, &bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn from_bytes_rejects_wrong_len() {
+        assert!(InfoSlice::from_bytes(3, 4, &[0u8; 6]).is_none());
+        assert!(InfoSlice::from_bytes(3, 4, &[0u8; 8]).is_none());
+    }
+
+    #[test]
+    fn redundancy_factor() {
+        let m = SlicedMessage {
+            slices: vec![InfoSlice::new(vec![0, 0], vec![]); 3],
+            d: 2,
+            block_len: 0,
+        };
+        assert!((m.redundancy() - 0.5).abs() < 1e-9);
+    }
+}

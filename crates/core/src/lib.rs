@@ -1,0 +1,41 @@
+//! The information-slicing protocol engine (§4.3), **sans-IO**.
+//!
+//! This crate implements the complete two-phase protocol —
+//! graph establishment and data transmission, forward and reverse — as
+//! pure state machines: packets in, `(next-hop, packet)` instructions
+//! out, time passed explicitly as [`Tick`]s. No sockets, no threads, no
+//! runtime. The tokio overlay (`slicing-overlay`) and the deterministic
+//! simulator (`slicing-sim`) both drive exactly this code, so everything
+//! the benchmarks measure is the same logic the unit tests verify.
+//!
+//! * [`SourceSession`] — builds the forwarding graph, emits setup
+//!   packets, slices/encrypts outgoing data, decodes reverse-path data.
+//! * [`RelayNode`] — the per-overlay-node daemon state: a flow table
+//!   keyed on cleartext flow-ids (§7.1), slice gathering and decoding of
+//!   the node's own `I_x`, slice-map/data-map forwarding, per-hop
+//!   transform stripping, network-coded regeneration, destination
+//!   decode+decrypt, and stale-flow garbage collection.
+//! * [`testnet`] — a deterministic in-memory network for driving whole
+//!   graphs in tests and simulations, with failure injection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod relay;
+pub mod source;
+pub mod testnet;
+pub mod time;
+
+pub use relay::{ReceivedData, RelayConfig, RelayNode, RelayOutput, RelayStats};
+pub use source::{SourceConfig, SourceSession};
+pub use time::Tick;
+
+// Re-export the vocabulary types users need alongside the engine.
+pub use slicing_graph::{DataMode, DestPlacement, GraphParams, NodeInfo, OverlayAddr};
+pub use slicing_wire::{FlowId, Packet, PacketKind};
+
+/// A packet to put on the network: send `packet` from `from` to `to`.
+///
+/// Re-exported from the graph layer (setup emission) and produced by
+/// [`RelayNode`] and [`SourceSession`] alike.
+pub use slicing_graph::packets::SendInstr;

@@ -1,0 +1,815 @@
+//! The relay state machine: the sans-IO equivalent of the paper's
+//! "overlay daemon" (§7.1).
+//!
+//! A relay maintains a hash table keyed on cleartext flow-ids. For each
+//! flow it gathers its own setup slices, decodes its per-node information
+//! `I_x`, forwards the remaining slices per the slice-map (stripping one
+//! per-hop transform layer, replacing consumed slices with padding), and
+//! then relays data slices per the data-map or by network re-coding.
+//! If the receiver flag is set, it additionally decodes and decrypts data
+//! messages — while still forwarding downstream so that its neighbours
+//! cannot tell it is the destination.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slicing_codec::{coder, recombine, InfoSlice};
+use slicing_crypto::aead;
+use slicing_graph::info::NodeInfo;
+use slicing_graph::packets::SendInstr;
+use slicing_graph::OverlayAddr;
+use slicing_wire::{crc, FlowId, Packet, PacketHeader, PacketKind};
+
+use crate::time::Tick;
+
+/// Tunable relay behaviour.
+#[derive(Clone, Copy, Debug)]
+pub struct RelayConfig {
+    /// Flush a setup gather after this long even if parents are missing.
+    pub setup_flush_ms: u64,
+    /// Flush a data gather after this long even if parents are missing.
+    pub data_flush_ms: u64,
+    /// Evict idle flows after this long (the daemon's GC, §7.1).
+    pub flow_ttl_ms: u64,
+    /// Maximum data packets buffered for a not-yet-established flow.
+    pub max_pending_data: usize,
+    /// Maximum concurrently tracked flows (resource-exhaustion guard).
+    pub max_flows: usize,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            setup_flush_ms: 2_000,
+            data_flush_ms: 1_000,
+            flow_ttl_ms: 120_000,
+            max_pending_data: 64,
+            max_flows: 4_096,
+        }
+    }
+}
+
+/// A data message decoded and decrypted by the destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReceivedData {
+    /// The flow it arrived on.
+    pub flow: FlowId,
+    /// Message sequence number.
+    pub seq: u32,
+    /// Decrypted application payload.
+    pub plaintext: Vec<u8>,
+}
+
+/// Counters exposed for tests and measurements.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RelayStats {
+    /// Packets accepted.
+    pub packets_in: u64,
+    /// Packets emitted.
+    pub packets_out: u64,
+    /// Flows successfully established (own info decoded).
+    pub flows_established: u64,
+    /// Setup gathers that failed to decode.
+    pub setup_failures: u64,
+    /// Data messages decoded as the destination.
+    pub messages_received: u64,
+    /// Packets dropped (unknown flow, malformed, over limits).
+    pub drops: u64,
+    /// Flows evicted by GC.
+    pub flows_evicted: u64,
+}
+
+/// Everything a single `handle_packet`/`poll` call wants to tell the
+/// driver.
+#[derive(Clone, Debug, Default)]
+pub struct RelayOutput {
+    /// Packets to transmit.
+    pub sends: Vec<SendInstr>,
+    /// Messages decoded by this node as the destination.
+    pub received: Vec<ReceivedData>,
+    /// Set when this call completed a flow establishment; carries the
+    /// receiver flag (true = this node is the flow's destination).
+    pub established: Option<bool>,
+}
+
+impl RelayOutput {
+    fn merge(&mut self, other: RelayOutput) {
+        self.sends.extend(other.sends);
+        self.received.extend(other.received);
+        self.established = self.established.or(other.established);
+    }
+}
+
+/// Per-(direction, seq) data-slice gathering.
+#[derive(Clone, Debug)]
+struct DataGather {
+    first_seen: Tick,
+    /// Parents (or children, for reverse flows) heard from.
+    heard: HashSet<OverlayAddr>,
+    /// CRC-valid slices received, tagged with the neighbour that sent
+    /// them (Map-mode forwarding selects by origin).
+    slices: Vec<(OverlayAddr, InfoSlice)>,
+    /// Already flushed downstream (late packets are ignored).
+    flushed: bool,
+    /// Already delivered to the application (destination only).
+    delivered: bool,
+}
+
+impl DataGather {
+    fn new(now: Tick) -> Self {
+        DataGather {
+            first_seen: now,
+            heard: HashSet::new(),
+            slices: Vec::new(),
+            flushed: false,
+            delivered: false,
+        }
+    }
+}
+
+/// Setup-phase gathering: the packets received so far, by parent.
+#[derive(Clone, Debug)]
+struct SetupGather {
+    first_seen: Tick,
+    packets: HashMap<OverlayAddr, Packet>,
+    flushed: bool,
+}
+
+/// An established flow.
+#[derive(Clone, Debug)]
+struct ActiveFlow {
+    info: NodeInfo,
+    last_activity: Tick,
+    /// Forward data gathers by seq.
+    data: HashMap<u32, DataGather>,
+    /// Reverse data gathers by seq.
+    reverse: HashMap<u32, DataGather>,
+}
+
+#[derive(Clone, Debug)]
+enum FlowState {
+    Gathering(SetupGather, Vec<(OverlayAddr, Packet)>),
+    Active(ActiveFlow),
+    /// Establishment failed; swallow traffic until GC.
+    Dead(Tick),
+}
+
+/// The relay node state machine. One instance per overlay node; handles
+/// any number of concurrent flows.
+pub struct RelayNode {
+    addr: OverlayAddr,
+    flows: HashMap<FlowId, FlowState>,
+    /// Reverse flow-id → forward flow-id.
+    reverse_index: HashMap<FlowId, FlowId>,
+    config: RelayConfig,
+    stats: RelayStats,
+    rng: StdRng,
+}
+
+impl RelayNode {
+    /// Create a relay for `addr` with a deterministic RNG seed.
+    pub fn new(addr: OverlayAddr, seed: u64) -> Self {
+        Self::with_config(addr, seed, RelayConfig::default())
+    }
+
+    /// Create with explicit configuration.
+    pub fn with_config(addr: OverlayAddr, seed: u64, config: RelayConfig) -> Self {
+        RelayNode {
+            addr,
+            flows: HashMap::new(),
+            reverse_index: HashMap::new(),
+            config,
+            stats: RelayStats::default(),
+            rng: StdRng::seed_from_u64(seed ^ addr.0),
+        }
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> OverlayAddr {
+        self.addr
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RelayStats {
+        self.stats
+    }
+
+    /// Number of live flows in the table.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The decoded info of an established flow, if any (used by drivers
+    /// to e.g. discover that this node is a destination).
+    pub fn flow_info(&self, flow: FlowId) -> Option<&NodeInfo> {
+        match self.flows.get(&flow) {
+            Some(FlowState::Active(a)) => Some(&a.info),
+            _ => None,
+        }
+    }
+
+    /// Feed one packet into the state machine.
+    pub fn handle_packet(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        self.stats.packets_in += 1;
+        match packet.header.kind {
+            PacketKind::Setup => self.handle_setup(now, from, packet),
+            PacketKind::Data => self.handle_data(now, from, packet),
+        }
+    }
+
+    /// Drive timeouts: flush overdue gathers, evict stale flows.
+    pub fn poll(&mut self, now: Tick) -> RelayOutput {
+        let mut out = RelayOutput::default();
+        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
+        for flow in flow_ids {
+            // Overdue setup gathers.
+            let flush_setup = matches!(
+                self.flows.get(&flow),
+                Some(FlowState::Gathering(g, _))
+                    if !g.flushed && now.since(g.first_seen) >= self.config.setup_flush_ms
+            );
+            if flush_setup {
+                out.merge(self.try_establish(now, flow, true));
+            }
+            // Overdue data gathers.
+            if let Some(FlowState::Active(_)) = self.flows.get(&flow) {
+                out.merge(self.flush_overdue_data(now, flow));
+            }
+        }
+        self.gc(now);
+        out
+    }
+
+    /// Garbage-collect stale flows (the daemon's periodic GC, §7.1).
+    fn gc(&mut self, now: Tick) {
+        let ttl = self.config.flow_ttl_ms;
+        let mut evict = Vec::new();
+        for (&flow, state) in &self.flows {
+            let stale = match state {
+                FlowState::Gathering(g, _) => now.since(g.first_seen) >= ttl,
+                FlowState::Active(a) => now.since(a.last_activity) >= ttl,
+                FlowState::Dead(t) => now.since(*t) >= ttl,
+            };
+            if stale {
+                evict.push(flow);
+            }
+        }
+        for flow in evict {
+            if let Some(FlowState::Active(a)) = self.flows.remove(&flow) {
+                self.reverse_index.remove(&a.info.reverse_flow_id);
+            }
+            self.stats.flows_evicted += 1;
+        }
+    }
+
+    // ---- setup phase -----------------------------------------------------
+
+    fn handle_setup(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        let flow = packet.header.flow_id;
+        let at_capacity = self.flows.len() >= self.config.max_flows;
+        match self.flows.entry(flow) {
+            Entry::Occupied(mut e) => match e.get_mut() {
+                FlowState::Gathering(g, _) => {
+                    if g.flushed {
+                        self.stats.drops += 1;
+                        return RelayOutput::default();
+                    }
+                    g.packets.insert(from, packet.clone());
+                }
+                _ => {
+                    // Duplicate setup for an established flow: ignore.
+                    self.stats.drops += 1;
+                    return RelayOutput::default();
+                }
+            },
+            Entry::Vacant(v) => {
+                if at_capacity {
+                    self.stats.drops += 1;
+                    return RelayOutput::default();
+                }
+                let mut g = SetupGather {
+                    first_seen: now,
+                    packets: HashMap::new(),
+                    flushed: false,
+                };
+                g.packets.insert(from, packet.clone());
+                v.insert(FlowState::Gathering(g, Vec::new()));
+            }
+        }
+        // Try to establish once we *could* have enough: we don't know d'
+        // until decode succeeds, so we try whenever ≥ d distinct parents
+        // have delivered; `try_establish` without `force` only forwards
+        // when the full parent set has arrived.
+        let d = packet.header.d as usize;
+        let have = match self.flows.get(&flow) {
+            Some(FlowState::Gathering(g, _)) => g.packets.len(),
+            _ => 0,
+        };
+        if have >= d {
+            self.try_establish(now, flow, false)
+        } else {
+            RelayOutput::default()
+        }
+    }
+
+    /// Attempt to decode our info and (once the parent set is complete, or
+    /// on `force`) forward downstream.
+    fn try_establish(&mut self, now: Tick, flow: FlowId, force: bool) -> RelayOutput {
+        let Some(FlowState::Gathering(gather, _)) = self.flows.get(&flow) else {
+            return RelayOutput::default();
+        };
+        let first_seen = gather.first_seen;
+        let packets = gather.packets.clone();
+        let Some(first) = packets.values().next() else {
+            return RelayOutput::default();
+        };
+        let d = first.header.d as usize;
+        let slot_len = first.header.slot_len as usize;
+        let block_len = slot_len - d - 4;
+
+        // Decode our own info from the slot-0 slices.
+        let own: Vec<InfoSlice> = packets
+            .values()
+            .filter_map(|p| parse_clean_slot(d, block_len, &p.slots[0]))
+            .collect();
+        let Ok(bytes) = coder::decode(&own, d) else {
+            if force {
+                self.stats.setup_failures += 1;
+                self.flows.insert(flow, FlowState::Dead(first_seen));
+            }
+            return RelayOutput::default();
+        };
+        let Ok(info) = NodeInfo::decode(&bytes) else {
+            self.stats.setup_failures += 1;
+            self.flows.insert(flow, FlowState::Dead(first_seen));
+            return RelayOutput::default();
+        };
+
+        let dp = info.d_prime as usize;
+        if !force && packets.len() < dp {
+            // Parent set incomplete; wait for the rest (or the timeout).
+            return RelayOutput::default();
+        }
+
+        let mut out = RelayOutput {
+            established: Some(info.receiver),
+            ..RelayOutput::default()
+        };
+        out.sends = self.forward_setup(&info, &packets);
+        self.stats.packets_out += out.sends.len() as u64;
+        self.stats.flows_established += 1;
+
+        // Transition to Active and replay any buffered early data.
+        let pending = match self.flows.remove(&flow) {
+            Some(FlowState::Gathering(_, pending)) => pending,
+            _ => Vec::new(),
+        };
+        self.reverse_index.insert(info.reverse_flow_id, flow);
+        self.flows.insert(
+            flow,
+            FlowState::Active(ActiveFlow {
+                info,
+                last_activity: now,
+                data: HashMap::new(),
+                reverse: HashMap::new(),
+            }),
+        );
+        for (from, p) in pending {
+            out.merge(self.handle_data(now, from, &p));
+        }
+        out
+    }
+
+    /// Build the downstream setup packets per the slice-map (§4.3.6).
+    fn forward_setup(
+        &mut self,
+        info: &NodeInfo,
+        packets: &HashMap<OverlayAddr, Packet>,
+    ) -> Vec<SendInstr> {
+        if info.children.is_empty() {
+            return Vec::new();
+        }
+        let slots_n = info.slots as usize;
+        let slot_len = packets
+            .values()
+            .next()
+            .map(|p| p.header.slot_len as usize)
+            .unwrap_or(0);
+        let mut sends = Vec::with_capacity(info.children.len());
+        for (j, &(child_addr, child_flow)) in info.children.iter().enumerate() {
+            let mut slots: Vec<Vec<u8>> = Vec::with_capacity(slots_n);
+            for s in 0..slots_n {
+                let entry = info.slice_map[j][s];
+                let slot = match entry {
+                    Some(parent_idx) => {
+                        let parent_addr = info.parents[parent_idx as usize].0;
+                        match packets.get(&parent_addr) {
+                            Some(p) => {
+                                // Forward incoming slot s+1, stripping our
+                                // transform layer (§9.4(a)).
+                                let mut bytes = p.slots[s + 1].clone();
+                                info.transform.unapply(&mut bytes);
+                                bytes
+                            }
+                            None => random_slot(&mut self.rng, slot_len),
+                        }
+                    }
+                    None => random_slot(&mut self.rng, slot_len),
+                };
+                slots.push(slot);
+            }
+            let packet = Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: child_flow,
+                    seq: 0,
+                    d: info.d,
+                    slot_count: slots_n as u8,
+                    slot_len: slot_len as u16,
+                },
+                slots,
+            );
+            sends.push(SendInstr {
+                from: self.addr,
+                to: child_addr,
+                packet,
+            });
+        }
+        sends
+    }
+
+    // ---- data phase ------------------------------------------------------
+
+    fn handle_data(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        let flow = packet.header.flow_id;
+        // Reverse traffic? Map to the forward flow.
+        if let Some(&fwd) = self.reverse_index.get(&flow) {
+            return self.accumulate_data(now, fwd, from, packet, true);
+        }
+        match self.flows.get_mut(&flow) {
+            Some(FlowState::Active(_)) => self.accumulate_data(now, flow, from, packet, false),
+            Some(FlowState::Gathering(_, pending)) => {
+                // Data raced ahead of setup; buffer a bounded amount.
+                if pending.len() < self.config.max_pending_data {
+                    pending.push((from, packet.clone()));
+                } else {
+                    self.stats.drops += 1;
+                }
+                RelayOutput::default()
+            }
+            Some(FlowState::Dead(_)) | None => {
+                self.stats.drops += 1;
+                RelayOutput::default()
+            }
+        }
+    }
+
+    fn accumulate_data(
+        &mut self,
+        now: Tick,
+        flow: FlowId,
+        from: OverlayAddr,
+        packet: &Packet,
+        is_reverse: bool,
+    ) -> RelayOutput {
+        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+            self.stats.drops += 1;
+            return RelayOutput::default();
+        };
+        active.last_activity = now;
+        let info = active.info.clone();
+        let d = info.d as usize;
+        let seq = packet.header.seq;
+        let gathers = if is_reverse {
+            &mut active.reverse
+        } else {
+            &mut active.data
+        };
+        let gather = gathers.entry(seq).or_insert_with(|| DataGather::new(now));
+        if gather.flushed && gather.delivered {
+            self.stats.drops += 1;
+            return RelayOutput::default();
+        }
+        if !gather.heard.insert(from) {
+            // Duplicate from the same neighbour.
+            self.stats.drops += 1;
+            return RelayOutput::default();
+        }
+        for slot in &packet.slots {
+            let slot_len = slot.len();
+            if slot_len < d + 4 {
+                continue;
+            }
+            if let Some(slice) = parse_clean_slot(d, slot_len - d - 4, slot) {
+                gather.slices.push((from, slice));
+            }
+        }
+        // Expected senders: parents for forward flows, children for
+        // reverse flows.
+        let expected = if is_reverse {
+            info.children.len()
+        } else {
+            info.parents.len()
+        };
+        let complete = gather.heard.len() >= expected;
+        if complete {
+            self.flush_data(now, flow, seq, is_reverse)
+        } else {
+            RelayOutput::default()
+        }
+    }
+
+    /// Forward (and, at the destination, deliver) a gathered data message.
+    fn flush_data(&mut self, _now: Tick, flow: FlowId, seq: u32, is_reverse: bool) -> RelayOutput {
+        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+            return RelayOutput::default();
+        };
+        let info = active.info.clone();
+        let d = info.d as usize;
+        let gathers = if is_reverse {
+            &mut active.reverse
+        } else {
+            &mut active.data
+        };
+        let Some(gather) = gathers.get_mut(&seq) else {
+            return RelayOutput::default();
+        };
+        let mut out = RelayOutput::default();
+
+        // Destination delivery (forward direction only).
+        let bare: Vec<InfoSlice> = gather.slices.iter().map(|(_, s)| s.clone()).collect();
+        if info.receiver && !is_reverse && !gather.delivered && bare.len() >= d {
+            if let Ok(sealed) = coder::decode(&bare, d) {
+                if let Ok(plaintext) = aead::open(&info.secret_key, &sealed) {
+                    gather.delivered = true;
+                    self.stats.messages_received += 1;
+                    out.received.push(ReceivedData {
+                        flow,
+                        seq,
+                        plaintext,
+                    });
+                }
+            }
+        }
+
+        if gather.flushed {
+            return out;
+        }
+        let tagged = std::mem::take(&mut gather.slices);
+        gather.flushed = true;
+
+        if tagged.is_empty() {
+            return out;
+        }
+        let slices: Vec<InfoSlice> = tagged.iter().map(|(_, s)| s.clone()).collect();
+
+        // Next hops: children forward, parents reverse.
+        let next_hops: Vec<(OverlayAddr, FlowId)> = if is_reverse {
+            info.parents.clone()
+        } else {
+            info.children.clone()
+        };
+        if next_hops.is_empty() {
+            return out;
+        }
+
+        let slot_len = info.d as usize + slices[0].payload.len() + 4;
+        for (j, &(addr, next_flow)) in next_hops.iter().enumerate() {
+            let slice = if info.recode || is_reverse {
+                // Fresh random combination per neighbour (§4.4.1 applied
+                // continuously; also defeats pattern tracking, §9.4(a)).
+                recombine::recombine(&slices, &mut self.rng)
+            } else {
+                // Static data-map: pipe the designated parent's slice;
+                // regenerate it by recombination if it was lost (§4.4.1).
+                let want = info
+                    .data_map
+                    .get(j)
+                    .and_then(|&p| info.parents.get(p as usize))
+                    .map(|&(addr, _)| addr);
+                match want.and_then(|w| {
+                    tagged.iter().find(|(o, _)| *o == w).map(|(_, s)| s.clone())
+                }) {
+                    Some(s) => s,
+                    None => recombine::recombine(&slices, &mut self.rng),
+                }
+            };
+            let mut slot = slice.to_bytes();
+            crc::append_crc(&mut slot);
+            debug_assert_eq!(slot.len(), slot_len);
+            let packet = Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Data,
+                    flow_id: next_flow,
+                    seq,
+                    d: info.d,
+                    slot_count: 1,
+                    slot_len: slot_len as u16,
+                },
+                vec![slot],
+            );
+            out.sends.push(SendInstr {
+                from: self.addr,
+                to: addr,
+                packet,
+            });
+        }
+        self.stats.packets_out += out.sends.len() as u64;
+        out
+    }
+
+    /// Flush data gathers that have waited past the deadline.
+    fn flush_overdue_data(&mut self, now: Tick, flow: FlowId) -> RelayOutput {
+        let Some(FlowState::Active(active)) = self.flows.get(&flow) else {
+            return RelayOutput::default();
+        };
+        let deadline = self.config.data_flush_ms;
+        let overdue_fwd: Vec<u32> = active
+            .data
+            .iter()
+            .filter(|(_, g)| !g.flushed && now.since(g.first_seen) >= deadline)
+            .map(|(&s, _)| s)
+            .collect();
+        let overdue_rev: Vec<u32> = active
+            .reverse
+            .iter()
+            .filter(|(_, g)| !g.flushed && now.since(g.first_seen) >= deadline)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut out = RelayOutput::default();
+        for seq in overdue_fwd {
+            out.merge(self.flush_data(now, flow, seq, false));
+        }
+        for seq in overdue_rev {
+            out.merge(self.flush_data(now, flow, seq, true));
+        }
+        out
+    }
+
+    /// Send application data back toward the source on the reverse path
+    /// (§4.3.7). Only meaningful on a flow where this node is the
+    /// receiver.
+    ///
+    /// Returns `None` if the flow is unknown, not established, or this
+    /// node is not its destination.
+    pub fn send_reverse(
+        &mut self,
+        now: Tick,
+        flow: FlowId,
+        seq: u32,
+        plaintext: &[u8],
+    ) -> Option<Vec<SendInstr>> {
+        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+            return None;
+        };
+        if !active.info.receiver {
+            return None;
+        }
+        active.last_activity = now;
+        let info = active.info.clone();
+        let d = info.d as usize;
+        let dp = info.d_prime as usize;
+        let sealed = aead::seal(&info.secret_key, plaintext, &mut self.rng);
+        let coded = coder::encode(&sealed, d, dp, &mut self.rng);
+        let slot_len = d + coded.block_len + 4;
+        let mut sends = Vec::with_capacity(info.parents.len());
+        for (k, &(parent_addr, parent_rev_flow)) in info.parents.iter().enumerate() {
+            let mut slot = coded.slices[k % coded.slices.len()].to_bytes();
+            crc::append_crc(&mut slot);
+            let packet = Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Data,
+                    flow_id: parent_rev_flow,
+                    seq,
+                    d: info.d,
+                    slot_count: 1,
+                    slot_len: slot_len as u16,
+                },
+                vec![slot],
+            );
+            sends.push(SendInstr {
+                from: self.addr,
+                to: parent_addr,
+                packet,
+            });
+        }
+        self.stats.packets_out += sends.len() as u64;
+        Some(sends)
+    }
+}
+
+/// Parse a clean (CRC-terminated) slot into a slice; `None` for padding
+/// or corruption.
+fn parse_clean_slot(d: usize, block_len: usize, slot: &[u8]) -> Option<InfoSlice> {
+    let payload = crc::check_crc(slot)?;
+    InfoSlice::from_bytes(d, block_len, payload)
+}
+
+fn random_slot<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_data_flow_dropped() {
+        let mut relay = RelayNode::new(OverlayAddr(1), 7);
+        let packet = Packet::new(
+            PacketHeader {
+                kind: PacketKind::Data,
+                flow_id: FlowId(99),
+                seq: 0,
+                d: 2,
+                slot_count: 1,
+                slot_len: 10,
+            },
+            vec![vec![0u8; 10]],
+        );
+        let out = relay.handle_packet(Tick(0), OverlayAddr(2), &packet);
+        assert!(out.sends.is_empty());
+        assert_eq!(relay.stats().drops, 1);
+    }
+
+    #[test]
+    fn flow_limit_enforced() {
+        let config = RelayConfig {
+            max_flows: 2,
+            ..RelayConfig::default()
+        };
+        let mut relay = RelayNode::with_config(OverlayAddr(1), 7, config);
+        for i in 0..5u64 {
+            let packet = Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: FlowId(100 + i),
+                    seq: 0,
+                    d: 2,
+                    slot_count: 2,
+                    slot_len: 16,
+                },
+                vec![vec![0u8; 16], vec![0u8; 16]],
+            );
+            relay.handle_packet(Tick(0), OverlayAddr(2), &packet);
+        }
+        assert_eq!(relay.flow_count(), 2);
+        assert_eq!(relay.stats().drops, 3);
+    }
+
+    #[test]
+    fn garbage_setup_flow_dies_on_timeout() {
+        let mut relay = RelayNode::new(OverlayAddr(1), 7);
+        // Two garbage packets from two "parents": enough to try decoding,
+        // which fails (slots are noise, CRC rejects them all).
+        for p in 0..2u64 {
+            let packet = Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: FlowId(5),
+                    seq: 0,
+                    d: 2,
+                    slot_count: 2,
+                    slot_len: 20,
+                },
+                vec![vec![p as u8; 20], vec![p as u8; 20]],
+            );
+            relay.handle_packet(Tick(0), OverlayAddr(10 + p), &packet);
+        }
+        // Nothing yet (decode failed quietly, waiting for more slices).
+        assert_eq!(relay.stats().setup_failures, 0);
+        // Timeout forces the decision.
+        relay.poll(Tick(10_000));
+        assert_eq!(relay.stats().setup_failures, 1);
+    }
+
+    #[test]
+    fn gc_evicts_stale_flows() {
+        let config = RelayConfig {
+            flow_ttl_ms: 1_000,
+            ..RelayConfig::default()
+        };
+        let mut relay = RelayNode::with_config(OverlayAddr(1), 7, config);
+        let packet = Packet::new(
+            PacketHeader {
+                kind: PacketKind::Setup,
+                flow_id: FlowId(5),
+                seq: 0,
+                d: 2,
+                slot_count: 2,
+                slot_len: 20,
+            },
+            vec![vec![1u8; 20], vec![2u8; 20]],
+        );
+        relay.handle_packet(Tick(0), OverlayAddr(2), &packet);
+        assert_eq!(relay.flow_count(), 1);
+        relay.poll(Tick(5_000));
+        assert_eq!(relay.flow_count(), 0);
+        assert_eq!(relay.stats().flows_evicted, 1);
+    }
+}

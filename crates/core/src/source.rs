@@ -1,0 +1,310 @@
+//! The source session: the sans-IO equivalent of the paper's "source
+//! utility" (§7.1).
+//!
+//! A session owns a forwarding graph. Creating it yields the setup
+//! packets to transmit from the pseudo-sources; afterwards the source can
+//! slice-and-send encrypted data messages (§4.3.7), and decode
+//! reverse-path data arriving at the pseudo-sources.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slicing_codec::{coder, recombine, InfoSlice};
+use slicing_crypto::aead;
+use slicing_graph::packets::SendInstr;
+use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, OverlayAddr};
+use slicing_wire::{crc, FlowId, Packet, PacketHeader, PacketKind};
+
+use crate::time::Tick;
+
+/// Source-side tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct SourceConfig {
+    /// Target wire size for data packets; the message chunk size is
+    /// derived from it (paper uses 1500-byte packets, §7.2).
+    pub data_packet_budget: usize,
+}
+
+impl Default for SourceConfig {
+    fn default() -> Self {
+        SourceConfig {
+            data_packet_budget: 1500,
+        }
+    }
+}
+
+/// An anonymous connection from the source's point of view.
+pub struct SourceSession {
+    graph: BuiltGraph,
+    config: SourceConfig,
+    next_seq: u32,
+    /// Reverse-path gathering: seq → (senders heard, slices).
+    reverse: HashMap<u32, (HashSet<OverlayAddr>, Vec<InfoSlice>)>,
+    /// Reverse messages already decoded.
+    reverse_done: HashSet<u32>,
+    rng: StdRng,
+}
+
+impl SourceSession {
+    /// Build a forwarding graph and the setup packets that establish it.
+    ///
+    /// Arguments mirror [`slicing_graph::build::build`]; see there for the
+    /// requirements on `pseudo_sources` and `candidates`.
+    pub fn establish(
+        params: GraphParams,
+        pseudo_sources: &[OverlayAddr],
+        candidates: &[OverlayAddr],
+        dest: OverlayAddr,
+        seed: u64,
+    ) -> Result<(SourceSession, Vec<SendInstr>), GraphError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graph = build::build(params, pseudo_sources, candidates, dest, &mut rng)?;
+        let setup = graph.setup_packets(&mut rng);
+        Ok((
+            SourceSession {
+                graph,
+                config: SourceConfig::default(),
+                next_seq: 0,
+                reverse: HashMap::new(),
+                reverse_done: HashSet::new(),
+                rng,
+            },
+            setup,
+        ))
+    }
+
+    /// Override the configuration.
+    pub fn set_config(&mut self, config: SourceConfig) {
+        self.config = config;
+    }
+
+    /// The underlying graph (stages, destination position, keys).
+    pub fn graph(&self) -> &BuiltGraph {
+        &self.graph
+    }
+
+    /// Largest plaintext chunk that fits the data-packet budget.
+    ///
+    /// A data slot is `d` coefficients + block + CRC; the sealed message
+    /// (nonce + ciphertext + tag = plaintext + 44 bytes) is split into `d`
+    /// blocks.
+    pub fn max_chunk_len(&self) -> usize {
+        let d = self.graph.params.split;
+        let header = slicing_wire::HEADER_LEN;
+        let block_budget = self
+            .config
+            .data_packet_budget
+            .saturating_sub(header + d + 4);
+        // block_len = ceil((sealed + 4) / d)  =>  sealed ≈ block_budget·d − 4
+        (block_budget * d).saturating_sub(4 + 44).max(1)
+    }
+
+    /// Slice, encrypt and address one data message; returns its sequence
+    /// number and the packets to transmit (d′² of them, one per
+    /// pseudo-source → stage-1 relay edge, §7.2).
+    ///
+    /// # Panics
+    /// Panics if `plaintext` exceeds [`Self::max_chunk_len`].
+    pub fn send_message(&mut self, plaintext: &[u8]) -> (u32, Vec<SendInstr>) {
+        assert!(
+            plaintext.len() <= self.max_chunk_len(),
+            "message exceeds per-packet budget; chunk it"
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let params = self.graph.params;
+        let (d, dp) = (params.split, params.paths);
+        let sealed = aead::seal(&self.graph.dest_key, plaintext, &mut self.rng);
+        let coded = coder::encode(&sealed, d, dp, &mut self.rng);
+        let slot_len = d + coded.block_len + 4;
+        let recode = matches!(params.data_mode, slicing_graph::DataMode::Recode);
+        let mut sends = Vec::with_capacity(dp * dp);
+        for i in 0..dp {
+            for v in 0..dp {
+                let slice = if recode {
+                    recombine::recombine(&coded.slices, &mut self.rng)
+                } else {
+                    // Static assignment: slice (i + v + h₀) mod d′ crosses
+                    // edge (pseudo-source i → stage-1 relay v).
+                    coded.slices[(i + v + self.graph.data_offsets[0]) % dp].clone()
+                };
+                let mut slot = slice.to_bytes();
+                crc::append_crc(&mut slot);
+                let packet = Packet::new(
+                    PacketHeader {
+                        kind: PacketKind::Data,
+                        flow_id: self.graph.flow_ids[1][v],
+                        seq,
+                        d: d as u8,
+                        slot_count: 1,
+                        slot_len: slot_len as u16,
+                    },
+                    vec![slot],
+                );
+                sends.push(SendInstr {
+                    from: self.graph.stages[0][i],
+                    to: self.graph.stages[1][v],
+                    packet,
+                });
+            }
+        }
+        (seq, sends)
+    }
+
+    /// Feed a packet received at one of the pseudo-sources; returns a
+    /// decoded reverse-path message when one completes (§4.3.7).
+    pub fn handle_packet(
+        &mut self,
+        _now: Tick,
+        pseudo_source: OverlayAddr,
+        from: OverlayAddr,
+        packet: &Packet,
+    ) -> Option<(u32, Vec<u8>)> {
+        if packet.header.kind != PacketKind::Data {
+            return None;
+        }
+        // Reverse packets arrive on the pseudo-sources' reverse flow ids.
+        let expected: Vec<FlowId> = self.graph.reverse_flow_ids[0].clone();
+        if !expected.contains(&packet.header.flow_id) {
+            return None;
+        }
+        let _ = pseudo_source;
+        let seq = packet.header.seq;
+        if self.reverse_done.contains(&seq) {
+            return None;
+        }
+        let d = self.graph.params.split;
+        let entry = self
+            .reverse
+            .entry(seq)
+            .or_insert_with(|| (HashSet::new(), Vec::new()));
+        if !entry.0.insert(from) {
+            return None;
+        }
+        for slot in &packet.slots {
+            if slot.len() < d + 4 {
+                continue;
+            }
+            if let Some(payload) = crc::check_crc(slot) {
+                if let Some(slice) = InfoSlice::from_bytes(d, slot.len() - d - 4, payload) {
+                    entry.1.push(slice);
+                }
+            }
+        }
+        if entry.1.len() >= d {
+            if let Ok(sealed) = coder::decode(&entry.1, d) {
+                if let Ok(plaintext) = aead::open(&self.graph.dest_key, &sealed) {
+                    self.reverse_done.insert(seq);
+                    self.reverse.remove(&seq);
+                    return Some((seq, plaintext));
+                }
+            }
+        }
+        None
+    }
+
+    /// All addresses this session's pseudo-sources use.
+    pub fn pseudo_sources(&self) -> &[OverlayAddr] {
+        &self.graph.stages[0]
+    }
+
+    /// Random convenience access for drivers that need additional
+    /// source-side randomness (e.g. jitter).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_graph::DestPlacement;
+
+    fn addrs(base: u64, n: usize) -> Vec<OverlayAddr> {
+        (0..n as u64).map(|i| OverlayAddr(base + i)).collect()
+    }
+
+    fn session(l: usize, d: usize, dp: usize) -> (SourceSession, Vec<SendInstr>) {
+        let params = GraphParams::new(l, d)
+            .with_paths(dp)
+            .with_dest_placement(DestPlacement::LastStage);
+        SourceSession::establish(
+            params,
+            &addrs(10_000, dp),
+            &addrs(20_000, l * dp + 8),
+            OverlayAddr(1),
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn establish_emits_setup_packets() {
+        let (s, setup) = session(4, 2, 3);
+        assert_eq!(setup.len(), 9); // d'^2
+        assert_eq!(s.graph().params.length, 4);
+    }
+
+    #[test]
+    fn send_message_emits_dp_squared_packets() {
+        let (mut s, _) = session(4, 2, 3);
+        let (seq, sends) = s.send_message(b"hello");
+        assert_eq!(seq, 0);
+        assert_eq!(sends.len(), 9);
+        let (seq2, _) = s.send_message(b"world");
+        assert_eq!(seq2, 1);
+    }
+
+    #[test]
+    fn data_packets_fit_budget() {
+        let (mut s, _) = session(5, 3, 3);
+        let chunk = vec![0xAB; s.max_chunk_len()];
+        let (_, sends) = s.send_message(&chunk);
+        for send in sends {
+            assert!(
+                send.packet.encode().len() <= 1500,
+                "packet {} exceeds budget",
+                send.packet.encode().len()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds per-packet budget")]
+    fn oversize_message_panics() {
+        let (mut s, _) = session(5, 2, 2);
+        let too_big = vec![0u8; s.max_chunk_len() + 1];
+        let _ = s.send_message(&too_big);
+    }
+
+    #[test]
+    fn map_mode_sends_each_slice_once_per_stage1_node() {
+        let params = GraphParams::new(3, 2)
+            .with_paths(3)
+            .with_data_mode(slicing_graph::DataMode::Map);
+        let (mut s, _) = SourceSession::establish(
+            params,
+            &addrs(10_000, 3),
+            &addrs(20_000, 30),
+            OverlayAddr(1),
+            9,
+        )
+        .unwrap();
+        let (_, sends) = s.send_message(b"map mode");
+        // Every stage-1 relay receives 3 distinct coefficient rows.
+        for v in 0..3usize {
+            let to = s.graph().stages[1][v];
+            let rows: HashSet<Vec<u8>> = sends
+                .iter()
+                .filter(|x| x.to == to)
+                .map(|x| {
+                    let slot = &x.packet.slots[0];
+                    slot[..2].to_vec()
+                })
+                .collect();
+            assert_eq!(rows.len(), 3, "stage-1 node {v} got duplicate slices");
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! A deterministic in-memory overlay for driving whole graphs through the
+//! sans-IO engine — used by the integration tests, the churn simulator
+//! (Fig. 17) and the property tests.
+//!
+//! Supports failure injection: nodes can be killed (they silently eat
+//! packets, like a departed overlay peer) and links can drop packets with
+//! a configured probability.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slicing_graph::packets::SendInstr;
+use slicing_graph::OverlayAddr;
+
+use crate::relay::{ReceivedData, RelayConfig, RelayNode};
+use crate::source::SourceSession;
+use crate::time::Tick;
+
+/// The in-memory network.
+pub struct TestNet {
+    /// Relay state machines by address.
+    pub relays: HashMap<OverlayAddr, RelayNode>,
+    /// Addresses that have failed (packets to them vanish).
+    pub failed: HashSet<OverlayAddr>,
+    /// Per-packet drop probability on every link.
+    pub drop_prob: f64,
+    /// In-flight packets (FIFO).
+    queue: VecDeque<SendInstr>,
+    /// Virtual clock.
+    pub now: Tick,
+    /// Messages delivered to destinations.
+    pub delivered: Vec<(OverlayAddr, ReceivedData)>,
+    /// Total packets transported.
+    pub packets_transported: u64,
+    /// Total payload bytes transported.
+    pub bytes_transported: u64,
+    rng: StdRng,
+}
+
+impl TestNet {
+    /// Create a network hosting relays at the given addresses.
+    pub fn new(relay_addrs: &[OverlayAddr], seed: u64) -> Self {
+        Self::with_config(relay_addrs, seed, RelayConfig::default())
+    }
+
+    /// Create with a custom relay configuration.
+    pub fn with_config(relay_addrs: &[OverlayAddr], seed: u64, config: RelayConfig) -> Self {
+        let relays = relay_addrs
+            .iter()
+            .map(|&a| (a, RelayNode::with_config(a, seed, config)))
+            .collect();
+        TestNet {
+            relays,
+            failed: HashSet::new(),
+            drop_prob: 0.0,
+            queue: VecDeque::new(),
+            now: Tick::ZERO,
+            delivered: Vec::new(),
+            packets_transported: 0,
+            bytes_transported: 0,
+            rng: StdRng::seed_from_u64(seed ^ 0xD15EA5E),
+        }
+    }
+
+    /// Mark a node as failed (silent blackhole, like a churned-out peer).
+    pub fn fail(&mut self, addr: OverlayAddr) {
+        self.failed.insert(addr);
+    }
+
+    /// Revive a failed node (it keeps its old state, like a returning
+    /// peer whose flow table survived).
+    pub fn revive(&mut self, addr: OverlayAddr) {
+        self.failed.remove(&addr);
+    }
+
+    /// Enqueue packets for delivery.
+    pub fn submit(&mut self, sends: Vec<SendInstr>) {
+        self.queue.extend(sends);
+    }
+
+    /// Deliver all queued packets (and the packets they generate) until
+    /// the network is quiet. `source` receives reverse-path packets
+    /// addressed to its pseudo-sources; decoded reverse messages are
+    /// returned.
+    pub fn run_to_quiescence(
+        &mut self,
+        source: Option<&mut SourceSession>,
+    ) -> Vec<(u32, Vec<u8>)> {
+        let mut reverse_messages = Vec::new();
+        let mut source = source;
+        let mut iterations = 0usize;
+        while let Some(instr) = self.queue.pop_front() {
+            iterations += 1;
+            assert!(
+                iterations < 10_000_000,
+                "testnet did not quiesce; routing loop?"
+            );
+            if self.failed.contains(&instr.to) || self.failed.contains(&instr.from) {
+                continue;
+            }
+            if self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob {
+                continue;
+            }
+            self.packets_transported += 1;
+            self.bytes_transported += instr.packet.encode().len() as u64;
+
+            // Pseudo-source delivery (reverse path).
+            if let Some(src) = source.as_deref_mut() {
+                if src.pseudo_sources().contains(&instr.to) {
+                    if let Some(msg) =
+                        src.handle_packet(self.now, instr.to, instr.from, &instr.packet)
+                    {
+                        reverse_messages.push(msg);
+                    }
+                    continue;
+                }
+            }
+            let Some(relay) = self.relays.get_mut(&instr.to) else {
+                continue;
+            };
+            let out = relay.handle_packet(self.now, instr.from, &instr.packet);
+            for r in out.received {
+                self.delivered.push((instr.to, r));
+            }
+            self.queue.extend(out.sends);
+        }
+        reverse_messages
+    }
+
+    /// Advance virtual time and poll every live relay (fires timeouts).
+    pub fn advance(&mut self, ms: u64) {
+        self.now = self.now.plus(ms);
+        let addrs: Vec<OverlayAddr> = self.relays.keys().copied().collect();
+        for addr in addrs {
+            if self.failed.contains(&addr) {
+                continue;
+            }
+            let out = self.relays.get_mut(&addr).unwrap().poll(self.now);
+            for r in out.received {
+                self.delivered.push((addr, r));
+            }
+            self.queue.extend(out.sends);
+        }
+    }
+
+    /// Advance + run repeatedly until both the queue and the timers are
+    /// exhausted (used after failures, when timeouts must fire). Returns
+    /// any reverse-path messages decoded by the source along the way.
+    pub fn settle(
+        &mut self,
+        mut source: Option<&mut SourceSession>,
+        step_ms: u64,
+        steps: usize,
+    ) -> Vec<(u32, Vec<u8>)> {
+        let mut reverse = Vec::new();
+        for _ in 0..steps {
+            reverse.extend(self.run_to_quiescence(source.as_deref_mut()));
+            self.advance(step_ms);
+        }
+        reverse.extend(self.run_to_quiescence(source));
+        reverse
+    }
+
+    /// Plaintexts delivered to a given destination address, in seq order.
+    pub fn messages_for(&self, addr: OverlayAddr) -> Vec<(u32, Vec<u8>)> {
+        let mut v: Vec<(u32, Vec<u8>)> = self
+            .delivered
+            .iter()
+            .filter(|(a, _)| *a == addr)
+            .map(|(_, r)| (r.seq, r.plaintext.clone()))
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slicing_graph::{DataMode, DestPlacement, GraphParams};
+
+    fn addrs(base: u64, n: usize) -> Vec<OverlayAddr> {
+        (0..n as u64).map(|i| OverlayAddr(base + i)).collect()
+    }
+
+    /// Full end-to-end: establish a graph, send a message, verify only
+    /// the destination decodes it.
+    fn end_to_end(l: usize, d: usize, dp: usize, mode: DataMode, seed: u64) {
+        let pseudo = addrs(10_000, dp);
+        let candidates = addrs(20_000, l * dp + 10);
+        let dest = OverlayAddr(1);
+        let mut all_nodes = candidates.clone();
+        all_nodes.push(dest);
+        let params = GraphParams::new(l, d)
+            .with_paths(dp)
+            .with_data_mode(mode);
+        let (mut source, setup) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, seed).unwrap();
+        let mut net = TestNet::new(&all_nodes, seed);
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+
+        let (_, sends) = source.send_message(b"Let's meet at 5pm");
+        net.submit(sends);
+        net.run_to_quiescence(Some(&mut source));
+
+        let got = net.messages_for(dest);
+        assert_eq!(got.len(), 1, "destination must decode exactly one message");
+        assert_eq!(got[0].1, b"Let's meet at 5pm");
+        // No other relay decoded anything.
+        assert!(net.delivered.iter().all(|(a, _)| *a == dest));
+    }
+
+    #[test]
+    fn end_to_end_recode_small() {
+        end_to_end(3, 2, 2, DataMode::Recode, 1);
+    }
+
+    #[test]
+    fn end_to_end_recode_redundant() {
+        end_to_end(5, 2, 3, DataMode::Recode, 2);
+    }
+
+    #[test]
+    fn end_to_end_map_mode() {
+        end_to_end(4, 2, 3, DataMode::Map, 3);
+    }
+
+    #[test]
+    fn end_to_end_bigger_graph() {
+        end_to_end(8, 3, 3, DataMode::Recode, 4);
+    }
+
+    #[test]
+    fn survives_single_relay_failure_with_redundancy() {
+        let (l, d, dp) = (5usize, 2usize, 3usize);
+        let pseudo = addrs(10_000, dp);
+        let candidates = addrs(20_000, l * dp + 10);
+        let dest = OverlayAddr(1);
+        let mut all_nodes = candidates.clone();
+        all_nodes.push(dest);
+        let params = GraphParams::new(l, d)
+            .with_paths(dp)
+            .with_dest_placement(DestPlacement::LastStage);
+        let (mut source, setup) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, 5).unwrap();
+        let mut net = TestNet::new(&all_nodes, 5);
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+
+        // Kill one non-destination relay in stage 2.
+        let victim = source.graph().stages[2][0];
+        assert_ne!(victim, dest);
+        net.fail(victim);
+
+        let (_, sends) = source.send_message(b"resilient");
+        net.submit(sends);
+        // Failures leave gathers waiting on the dead parent; let the data
+        // flush timeout fire.
+        net.settle(Some(&mut source), 1_500, 8);
+
+        let got = net.messages_for(dest);
+        assert_eq!(got.len(), 1, "message must survive one relay failure");
+        assert_eq!(got[0].1, b"resilient");
+    }
+
+    #[test]
+    fn reverse_path_delivers_to_source() {
+        let (l, d, dp) = (4usize, 2usize, 2usize);
+        let pseudo = addrs(10_000, dp);
+        let candidates = addrs(20_000, l * dp + 10);
+        let dest = OverlayAddr(1);
+        let mut all_nodes = candidates.clone();
+        all_nodes.push(dest);
+        let params = GraphParams::new(l, d).with_paths(dp);
+        let (mut source, setup) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, 6).unwrap();
+        let mut net = TestNet::new(&all_nodes, 6);
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+
+        // Destination responds over the reverse path.
+        let dest_flow = source.graph().flow_ids[source.graph().dest.stage]
+            [source.graph().dest.index];
+        let relay = net.relays.get_mut(&dest).unwrap();
+        let sends = relay
+            .send_reverse(Tick(0), dest_flow, 0, b"pong")
+            .expect("destination can send reverse");
+        net.submit(sends);
+        // First-hop reverse relays wait for their full child set, which
+        // only the timeout resolves (the destination is one child).
+        let reverse = net.settle(Some(&mut source), 1_500, 6);
+        assert_eq!(reverse, vec![(0, b"pong".to_vec())]);
+    }
+
+    #[test]
+    fn lossy_network_fails_gracefully() {
+        // With 100% loss nothing is delivered and nothing panics.
+        let (l, d, dp) = (3usize, 2usize, 2usize);
+        let pseudo = addrs(10_000, dp);
+        let candidates = addrs(20_000, 20);
+        let dest = OverlayAddr(1);
+        let mut all = candidates.clone();
+        all.push(dest);
+        let (mut source, setup) = SourceSession::establish(
+            GraphParams::new(l, d),
+            &pseudo,
+            &candidates,
+            dest,
+            8,
+        )
+        .unwrap();
+        let mut net = TestNet::new(&all, 8);
+        net.drop_prob = 1.0;
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+        assert!(net.delivered.is_empty());
+        assert_eq!(net.packets_transported, 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Explicit time for the sans-IO engine.
+
+/// A point in time, in milliseconds from an arbitrary epoch.
+///
+/// The engine never reads a clock; drivers pass `Tick`s in. The tokio
+/// overlay derives them from `Instant`, the simulator from virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Zero.
+    pub const ZERO: Tick = Tick(0);
+
+    /// `self + ms`.
+    pub fn plus(self, ms: u64) -> Tick {
+        Tick(self.0 + ms)
+    }
+
+    /// Milliseconds elapsed since `earlier` (saturating).
+    pub fn since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Tick(100);
+        assert_eq!(t.plus(50), Tick(150));
+        assert_eq!(t.plus(50).since(t), 50);
+        assert_eq!(t.since(t.plus(50)), 0); // saturating
+    }
+}

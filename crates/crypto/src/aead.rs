@@ -1,0 +1,131 @@
+//! Authenticated encryption: ChaCha20 + HMAC-SHA256, encrypt-then-MAC.
+//!
+//! This is the construction the source uses to protect data messages with
+//! the destination's secret key (§4.3.7): only the destination can decrypt
+//! the data even though every relay carries `d` slices of it.
+
+use crate::chacha20::ChaCha20;
+use crate::hmac::{hmac_sha256, verify};
+use crate::SymmetricKey;
+
+/// MAC truncation length in bytes (full SHA-256 HMAC).
+pub const TAG_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Failure modes of [`open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealError {
+    /// Ciphertext shorter than nonce + tag.
+    Truncated,
+    /// MAC verification failed (corrupted or forged).
+    BadTag,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::Truncated => write!(f, "sealed message too short"),
+            SealError::BadTag => write!(f, "authentication tag mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+/// Encrypt and authenticate `plaintext`; output layout is
+/// `nonce ‖ ciphertext ‖ tag`.
+pub fn seal<R: rand::Rng + ?Sized>(
+    key: &SymmetricKey,
+    plaintext: &[u8],
+    rng: &mut R,
+) -> Vec<u8> {
+    let enc_key = key.derive(b"slicing-aead-enc");
+    let mac_key = key.derive(b"slicing-aead-mac");
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    let mut out = Vec::with_capacity(NONCE_LEN + plaintext.len() + TAG_LEN);
+    out.extend_from_slice(&nonce);
+    out.extend_from_slice(plaintext);
+    ChaCha20::xor(&enc_key.0, &nonce, 0, &mut out[NONCE_LEN..]);
+    let tag = hmac_sha256(&mac_key.0, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Verify and decrypt a message produced by [`seal`].
+pub fn open(key: &SymmetricKey, sealed: &[u8]) -> Result<Vec<u8>, SealError> {
+    if sealed.len() < NONCE_LEN + TAG_LEN {
+        return Err(SealError::Truncated);
+    }
+    let enc_key = key.derive(b"slicing-aead-enc");
+    let mac_key = key.derive(b"slicing-aead-mac");
+    let (body, tag_bytes) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expected = hmac_sha256(&mac_key.0, body);
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(tag_bytes);
+    if !verify(&expected, &tag) {
+        return Err(SealError::BadTag);
+    }
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce.copy_from_slice(&body[..NONCE_LEN]);
+    let mut plaintext = body[NONCE_LEN..].to_vec();
+    ChaCha20::xor(&enc_key.0, &nonce, 0, &mut plaintext);
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> SymmetricKey {
+        SymmetricKey([0x42; 32])
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let msg = b"let's meet at 5pm";
+        let sealed = seal(&key(), msg, &mut rng);
+        assert_eq!(open(&key(), &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn empty_message_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sealed = seal(&key(), b"", &mut rng);
+        assert_eq!(open(&key(), &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sealed = seal(&key(), b"secret", &mut rng);
+        let mid = sealed.len() / 2;
+        sealed[mid] ^= 0x01;
+        assert_eq!(open(&key(), &sealed), Err(SealError::BadTag));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let sealed = seal(&key(), b"secret", &mut rng);
+        let other = SymmetricKey([0x43; 32]);
+        assert_eq!(open(&other, &sealed), Err(SealError::BadTag));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(open(&key(), &[0u8; 10]), Err(SealError::Truncated));
+    }
+
+    #[test]
+    fn nonces_make_ciphertexts_differ() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = seal(&key(), b"same message", &mut rng);
+        let b = seal(&key(), b"same message", &mut rng);
+        assert_ne!(a, b);
+    }
+}

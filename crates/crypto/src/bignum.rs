@@ -1,0 +1,661 @@
+//! Multi-precision unsigned integers (base 2⁶⁴ limbs), sized for the RSA
+//! baseline: addition, subtraction, schoolbook multiplication, Knuth
+//! Algorithm-D division, modular exponentiation and modular inverse.
+
+use std::cmp::Ordering;
+
+use rand::Rng;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Representation: little-endian `u64` limbs with no trailing zero limbs
+/// (`0` is the empty vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    limbs: Vec<u64>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x")?;
+        if self.limbs.is_empty() {
+            return write!(f, "0");
+        }
+        for (i, l) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{l:x}")?;
+            } else {
+                write!(f, "{l:016x}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: vec![] }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a machine word.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a 128-bit value (useful in tests).
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut n = BigUint {
+            limbs: vec![lo, hi],
+        };
+        n.normalize();
+        n
+    }
+
+    /// To u128, if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Parse big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serialize to big-endian bytes (no leading zeros; `0` → empty).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            let bytes = limb.to_be_bytes();
+            if i == 0 {
+                // Skip leading zero bytes of the most significant limb.
+                let first = bytes.iter().position(|&b| b != 0).unwrap_or(8);
+                out.extend_from_slice(&bytes[first..]);
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Random integer with exactly `bits` bits (top bit set).
+    pub fn random_bits<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits > 0);
+        let nlimbs = bits.div_ceil(64);
+        let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.gen()).collect();
+        let top_bit = (bits - 1) % 64;
+        // Clear bits above `bits`, set the top bit.
+        limbs[nlimbs - 1] &= (!0u64) >> (63 - top_bit);
+        limbs[nlimbs - 1] |= 1 << top_bit;
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Uniform random integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    pub fn random_below<R: Rng + ?Sized>(bound: &BigUint, rng: &mut R) -> Self {
+        assert!(!bound.is_zero(), "bound must be positive");
+        let bits = bound.bits();
+        loop {
+            let nlimbs = bits.div_ceil(64);
+            let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.gen()).collect();
+            let excess = nlimbs * 64 - bits;
+            if excess > 0 {
+                limbs[nlimbs - 1] &= (!0u64) >> excess;
+            }
+            let mut n = BigUint { limbs };
+            n.normalize();
+            if n.cmp(bound) == Ordering::Less {
+                return n;
+            }
+        }
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if odd.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Bit length (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// Value of bit `i`.
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| l >> off & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Addition.
+    pub fn add(&self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for (i, &l) in long.iter().enumerate() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = l.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Subtraction; `None` if the result would be negative.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self.cmp(rhs) == Ordering::Less {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d1, c1) = self.limbs[i].overflowing_sub(b);
+            let (d2, c2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (c1 as u64) + (c2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        Some(n)
+    }
+
+    /// Subtraction.
+    ///
+    /// # Panics
+    /// Panics on underflow.
+    pub fn sub(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + a as u128 * b as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + rhs.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= if bit_shift == 0 { l } else { l << bit_shift };
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 && i + 1 < self.limbs.len() {
+                l |= self.limbs[i + 1] << (64 - bit_shift);
+            }
+            out.push(l);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Comparison.
+    #[allow(clippy::should_implement_trait)] // by-reference cmp, deliberate
+    pub fn cmp(&self, rhs: &BigUint) -> Ordering {
+        if self.limbs.len() != rhs.limbs.len() {
+            return self.limbs.len().cmp(&rhs.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&rhs.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Division with remainder (Knuth TAOCP vol. 2, Algorithm D).
+    ///
+    /// # Panics
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        // Single-limb divisor fast path.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0] as u128;
+            let mut rem = 0u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            let mut quot = BigUint { limbs: q };
+            quot.normalize();
+            return (quot, BigUint::from_u64(rem as u64));
+        }
+
+        // Normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor.shl(shift);
+        let u_big = self.shl(shift);
+        let n = v.limbs.len();
+        let m = u_big.limbs.len() - n;
+        let mut u = u_big.limbs.clone();
+        u.push(0); // u has m + n + 1 limbs.
+        let v = &v.limbs;
+
+        let mut q = vec![0u64; m + 1];
+        for j in (0..=m).rev() {
+            // Estimate q̂ from the top two limbs of the current remainder.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v[n - 1] as u128;
+            let mut rhat = top % v[n - 1] as u128;
+            while qhat >= 1u128 << 64
+                || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >= 1u128 << 64 {
+                    break;
+                }
+            }
+            // Multiply-and-subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) - borrow;
+                if sub < 0 {
+                    u[j + i] = (sub + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    u[j + i] = sub as u64;
+                    borrow = 0;
+                }
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) - borrow;
+            if sub < 0 {
+                // q̂ was one too large: add back.
+                u[j + n] = (sub + (1i128 << 64)) as u64;
+                qhat -= 1;
+                let mut carry2 = 0u128;
+                for i in 0..n {
+                    let t = u[j + i] as u128 + v[i] as u128 + carry2;
+                    u[j + i] = t as u64;
+                    carry2 = t >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry2 as u64);
+            } else {
+                u[j + n] = sub as u64;
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quot = BigUint { limbs: q };
+        quot.normalize();
+        let mut rem = BigUint {
+            limbs: u[..n].to_vec(),
+        };
+        rem.normalize();
+        (quot, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.div_rem(m).1
+    }
+
+    /// Modular multiplication.
+    pub fn mul_mod(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul(rhs).rem(m)
+    }
+
+    /// Modular exponentiation `self^e mod m` (square-and-multiply).
+    ///
+    /// # Panics
+    /// Panics if `m` is zero.
+    pub fn mod_pow(&self, e: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be positive");
+        if m.limbs == [1] {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(m);
+        let mut acc = BigUint::one();
+        for i in 0..e.bits() {
+            if e.bit(i) {
+                acc = acc.mul_mod(&base, m);
+            }
+            base = base.mul_mod(&base, m);
+        }
+        acc
+    }
+
+    /// Greatest common divisor (Euclid).
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Modular inverse of `self` modulo `m`, if `gcd(self, m) == 1`.
+    ///
+    /// Extended Euclid with sign bookkeeping on the Bézout coefficient.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() {
+            return None;
+        }
+        // Invariants: r_new = old coefficients; t tracked as (negative?, magnitude).
+        let mut r_old = m.clone();
+        let mut r_new = self.rem(m);
+        let mut t_old = (false, BigUint::zero());
+        let mut t_new = (false, BigUint::one());
+        while !r_new.is_zero() {
+            let (q, r) = r_old.div_rem(&r_new);
+            // t_next = t_old - q * t_new  (signed).
+            let q_t = q.mul(&t_new.1);
+            let t_next = signed_sub(t_old.clone(), (t_new.0, q_t));
+            r_old = r_new;
+            r_new = r;
+            t_old = t_new;
+            t_new = t_next;
+        }
+        if r_old.cmp(&BigUint::one()) != Ordering::Equal {
+            return None; // Not coprime.
+        }
+        let (neg, mag) = t_old;
+        let inv = if neg { m.sub(&mag.rem(m)).rem(m) } else { mag.rem(m) };
+        Some(inv)
+    }
+}
+
+/// `a - b` on sign-magnitude pairs `(negative?, magnitude)`.
+fn signed_sub(a: (bool, BigUint), b: (bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both non-negative.
+        (false, false) => match a.1.cmp(&b.1) {
+            Ordering::Less => (true, b.1.sub(&a.1)),
+            _ => (false, a.1.sub(&b.1)),
+        },
+        // a - (-b) = a + b.
+        (false, true) => (false, a.1.add(&b.1)),
+        // (-a) - b = -(a + b).
+        (true, false) => (true, a.1.add(&b.1)),
+        // (-a) - (-b) = b - a.
+        (true, true) => match b.1.cmp(&a.1) {
+            Ordering::Less => (true, a.1.sub(&b.1)),
+            _ => (false, b.1.sub(&a.1)),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn u128_round_trip() {
+        for v in [0u128, 1, u64::MAX as u128, u128::MAX, 1 << 64, 12345678901234567890] {
+            assert_eq!(big(v).to_u128(), Some(v));
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let n = big(0x0102030405060708090a0b0c0d0e0f10);
+        let b = n.to_bytes_be();
+        assert_eq!(b[0], 0x01);
+        assert_eq!(BigUint::from_bytes_be(&b), n);
+        assert!(BigUint::from_bytes_be(&[]).is_zero());
+    }
+
+    #[test]
+    fn add_sub_against_u128() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let a: u128 = rng.gen::<u128>() >> 1;
+            let b: u128 = rng.gen::<u128>() >> 1;
+            assert_eq!(big(a).add(&big(b)).to_u128(), Some(a + b));
+            let (hi, lo) = if a > b { (a, b) } else { (b, a) };
+            assert_eq!(big(hi).sub(&big(lo)).to_u128(), Some(hi - lo));
+            assert_eq!(big(lo).checked_sub(&big(hi)).is_none(), lo < hi);
+        }
+    }
+
+    #[test]
+    fn mul_against_u128() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..500 {
+            let a: u64 = rng.gen();
+            let b: u64 = rng.gen();
+            assert_eq!(
+                big(a as u128).mul(&big(b as u128)).to_u128(),
+                Some(a as u128 * b as u128)
+            );
+        }
+    }
+
+    #[test]
+    fn div_rem_against_u128() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let a: u128 = rng.gen();
+            let b: u128 = (rng.gen::<u128>() >> rng.gen_range(0..100)).max(1);
+            let (q, r) = big(a).div_rem(&big(b));
+            assert_eq!(q.to_u128(), Some(a / b), "a={a} b={b}");
+            assert_eq!(r.to_u128(), Some(a % b), "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn div_rem_reconstructs_large() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let a = BigUint::random_bits(512, &mut rng);
+            let b = BigUint::random_bits(rng.gen_range(1..300), &mut rng);
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(q.mul(&b).add(&r), a);
+            assert_eq!(r.cmp(&b), Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn shifts() {
+        let n = big(0xDEADBEEF);
+        assert_eq!(n.shl(4).to_u128(), Some(0xDEADBEEF0));
+        assert_eq!(n.shl(64).shr(64), n);
+        assert_eq!(n.shr(200), BigUint::zero());
+        assert_eq!(n.shl(67).shr(3).shr(64), n);
+    }
+
+    #[test]
+    fn mod_pow_against_u128() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let b: u64 = rng.gen_range(0..1 << 32);
+            let e: u64 = rng.gen_range(0..64);
+            let m: u64 = rng.gen_range(2..1 << 32);
+            // Reference via u128 repeated multiplication.
+            let mut reference: u128 = 1;
+            for _ in 0..e {
+                reference = reference * (b as u128 % m as u128) % m as u128;
+            }
+            assert_eq!(
+                big(b as u128)
+                    .mod_pow(&big(e as u128), &big(m as u128))
+                    .to_u128(),
+                Some(reference)
+            );
+        }
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // 2^(p-1) = 1 mod p for prime p.
+        let p = big(1_000_000_007);
+        let one = BigUint::one();
+        assert_eq!(big(2).mod_pow(&p.sub(&one), &p), one);
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        for (a, m) in [(3u128, 7u128), (10, 17), (7, 31), (65537, 1_000_003)] {
+            let inv = big(a).mod_inverse(&big(m)).unwrap();
+            assert_eq!(big(a).mul_mod(&inv, &big(m)), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn mod_inverse_not_coprime() {
+        assert!(big(6).mod_inverse(&big(9)).is_none());
+        assert!(big(0).mod_inverse(&big(9)).is_none());
+    }
+
+    #[test]
+    fn mod_inverse_large() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = BigUint::random_bits(256, &mut rng);
+        for _ in 0..20 {
+            let a = BigUint::random_below(&m, &mut rng);
+            if a.is_zero() || a.gcd(&m).cmp(&BigUint::one()) != Ordering::Equal {
+                continue;
+            }
+            let inv = a.mod_inverse(&m).unwrap();
+            assert_eq!(a.mul_mod(&inv, &m), BigUint::one());
+        }
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(big(48).gcd(&big(36)).to_u128(), Some(12));
+        assert_eq!(big(17).gcd(&big(13)).to_u128(), Some(1));
+        assert_eq!(big(0).gcd(&big(5)).to_u128(), Some(5));
+    }
+
+    #[test]
+    fn random_bits_has_exact_bit_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1usize, 7, 64, 65, 127, 256, 511] {
+            let n = BigUint::random_bits(bits, &mut rng);
+            assert_eq!(n.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let bound = big(1000);
+        for _ in 0..200 {
+            let n = BigUint::random_below(&bound, &mut rng);
+            assert_eq!(n.cmp(&bound), Ordering::Less);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// "expand 32-byte k" constants.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// Compute one 64-byte keystream block for (key, nonce, counter).
+pub fn block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[i * 4],
+            key[i * 4 + 1],
+            key[i * 4 + 2],
+            key[i * 4 + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[i * 4],
+            nonce[i * 4 + 1],
+            nonce[i * 4 + 2],
+            nonce[i * 4 + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let v = working[i].wrapping_add(state[i]);
+        out[i * 4..(i + 1) * 4].copy_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// A ChaCha20 keystream positioned at an arbitrary block counter.
+///
+/// `apply` XORs the keystream into a buffer; applying twice with the same
+/// (key, nonce, counter) decrypts.
+pub struct ChaCha20 {
+    key: [u8; 32],
+    nonce: [u8; 12],
+    counter: u32,
+    buf: [u8; 64],
+    /// Bytes of `buf` already consumed.
+    used: usize,
+}
+
+impl ChaCha20 {
+    /// Create a cipher starting at block `counter` (RFC examples use 1 for
+    /// payload encryption; 0 is fine for our protocol use).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        ChaCha20 {
+            key: *key,
+            nonce: *nonce,
+            counter,
+            buf: [0; 64],
+            used: 64,
+        }
+    }
+
+    /// XOR the keystream into `data` in place.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.used == 64 {
+                self.buf = block(&self.key, &self.nonce, self.counter);
+                self.counter = self.counter.wrapping_add(1);
+                self.used = 0;
+            }
+            *byte ^= self.buf[self.used];
+            self.used += 1;
+        }
+    }
+
+    /// Convenience: encrypt/decrypt a buffer with a one-shot cipher.
+    pub fn xor(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+        ChaCha20::new(key, nonce, counter).apply(data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let out = block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test (first 32 bytes of ciphertext).
+    #[test]
+    fn rfc8439_encryption_prefix() {
+        let mut key = [0u8; 32];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = i as u8;
+        }
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        ChaCha20::xor(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let original: Vec<u8> = (0..300u32).map(|i| (i * 7 % 256) as u8).collect();
+        let mut data = original.clone();
+        ChaCha20::xor(&key, &nonce, 0, &mut data);
+        assert_ne!(data, original);
+        ChaCha20::xor(&key, &nonce, 0, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = [9u8; 32];
+        let nonce = [1u8; 12];
+        let mut oneshot = vec![0u8; 500];
+        ChaCha20::xor(&key, &nonce, 0, &mut oneshot);
+        let mut incremental = vec![0u8; 500];
+        let mut c = ChaCha20::new(&key, &nonce, 0);
+        for chunk in incremental.chunks_mut(13) {
+            c.apply(chunk);
+        }
+        assert_eq!(oneshot, incremental);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [1u8; 32];
+        let mut a = vec![0u8; 64];
+        let mut b = vec![0u8; 64];
+        ChaCha20::xor(&key, &[0u8; 12], 0, &mut a);
+        ChaCha20::xor(&key, &[1u8; 12], 0, &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! HKDF with SHA-256 (RFC 5869).
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derive a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: fill `okm` with output keying material derived from `prk`
+/// and the context `info`.
+///
+/// # Panics
+/// Panics if `okm.len() > 255 * 32` (the RFC limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], okm: &mut [u8]) {
+    assert!(okm.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut written = 0;
+    let mut counter = 1u8;
+    while written < okm.len() {
+        let mut input = Vec::with_capacity(t.len() + info.len() + 1);
+        input.extend_from_slice(&t);
+        input.extend_from_slice(info);
+        input.push(counter);
+        let block = hmac_sha256(prk, &input);
+        let take = (okm.len() - written).min(32);
+        okm[written..written + take].copy_from_slice(&block[..take]);
+        t = block.to_vec();
+        written += take;
+        counter += 1;
+    }
+}
+
+/// One-call extract-then-expand.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], okm: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, okm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf\
+             34007208d5b887185865"
+        );
+    }
+
+    /// RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        derive(&[], &ikm, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d\
+             9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn different_info_different_keys() {
+        let prk = extract(b"salt", b"secret");
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        expand(&prk, b"context-a", &mut a);
+        expand(&prk, b"context-b", &mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Probable-prime generation with Miller–Rabin, for RSA keygen.
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 30] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113,
+];
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    if n.cmp(&two) == std::cmp::Ordering::Less {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from_u64(p);
+        match n.cmp(&p_big) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {
+                if n.rem(&p_big).is_zero() {
+                    return false;
+                }
+            }
+        }
+    }
+    // Write n - 1 = d · 2^s with d odd.
+    let n_minus_1 = n.sub(&one);
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while !d.is_odd() {
+        d = d.shr(1);
+        s += 1;
+    }
+    'witness: for _ in 0..rounds {
+        // Base in [2, n-2].
+        let a = loop {
+            let a = BigUint::random_below(n, rng);
+            if a.cmp(&two) != std::cmp::Ordering::Less && a.cmp(&n_minus_1) == std::cmp::Ordering::Less
+            {
+                break a;
+            }
+        };
+        let mut x = a.mod_pow(&d, n);
+        if x.cmp(&one) == std::cmp::Ordering::Equal
+            || x.cmp(&n_minus_1) == std::cmp::Ordering::Equal
+        {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x.cmp(&n_minus_1) == std::cmp::Ordering::Equal {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+///
+/// # Panics
+/// Panics if `bits < 8`.
+pub fn gen_prime<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> BigUint {
+    assert!(bits >= 8, "prime too small to be useful");
+    loop {
+        let mut candidate = BigUint::random_bits(bits, rng);
+        if !candidate.is_odd() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probable_prime(&candidate, 20, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 11, 13, 127, 8191, 131071, 1_000_000_007] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u64, 1, 4, 6, 9, 15, 341, 561, 1105, 1729, 1_000_000_005] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Classic Fermat pseudoprimes that Miller-Rabin must catch.
+        let mut rng = StdRng::seed_from_u64(3);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generated_primes_have_right_size_and_pass() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [32usize, 64, 128] {
+            let p = gen_prime(bits, &mut rng);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, 20, &mut rng));
+            assert!(p.is_odd());
+        }
+    }
+
+    #[test]
+    fn fermat_holds_for_generated_prime() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = gen_prime(96, &mut rng);
+        let a = BigUint::from_u64(2);
+        assert_eq!(
+            a.mod_pow(&p.sub(&BigUint::one()), &p),
+            BigUint::one()
+        );
+    }
+}

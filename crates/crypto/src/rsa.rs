@@ -1,0 +1,194 @@
+//! Raw RSA for the onion-routing baseline.
+//!
+//! Onion routing (§2) wraps the route-setup message in layers of
+//! public-key encryption; the data phase uses symmetric session keys
+//! (§7.2). This module provides the asymmetric half with the correct
+//! *cost structure* (modular exponentiation per layer). Moduli are
+//! deliberately small-by-modern-standards (default 512 bits) so benches
+//! and tests run quickly; this is a simulator component, not a secure
+//! cryptosystem (raw RSA, no padding).
+
+use rand::Rng;
+
+use crate::bignum::BigUint;
+use crate::prime::gen_prime;
+
+/// Default modulus size in bits for benchmark runs.
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent (65537).
+    pub e: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Clone)]
+pub struct RsaKeyPair {
+    /// The public half.
+    pub public: RsaPublicKey,
+    /// Private exponent.
+    d: BigUint,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RsaKeyPair(n={:?}, d=..)", self.public.n)
+    }
+}
+
+impl RsaKeyPair {
+    /// Generate a key pair with an `bits`-bit modulus.
+    ///
+    /// # Panics
+    /// Panics if `bits < 64`.
+    pub fn generate<R: Rng + ?Sized>(bits: usize, rng: &mut R) -> Self {
+        assert!(bits >= 64, "modulus too small");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = gen_prime(bits / 2, rng);
+            let q = gen_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let one = BigUint::one();
+            let phi = p.sub(&one).mul(&q.sub(&one));
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue; // e not coprime with phi; rare, retry.
+            };
+            return RsaKeyPair {
+                public: RsaPublicKey { n, e },
+                d,
+            };
+        }
+    }
+
+    /// Decrypt (private-key exponentiation).
+    ///
+    /// Returns `None` if the ciphertext is out of range.
+    pub fn decrypt(&self, ciphertext: &BigUint) -> Option<BigUint> {
+        if ciphertext.cmp(&self.public.n) != std::cmp::Ordering::Less {
+            return None;
+        }
+        Some(ciphertext.mod_pow(&self.d, &self.public.n))
+    }
+
+    /// Decrypt a byte message encrypted with [`RsaPublicKey::encrypt_bytes`].
+    pub fn decrypt_bytes(&self, ciphertext: &[u8]) -> Option<Vec<u8>> {
+        let c = BigUint::from_bytes_be(ciphertext);
+        let m = self.decrypt(&c)?;
+        let mut bytes = m.to_bytes_be();
+        // Strip the 0x01 marker byte prepended at encryption.
+        if bytes.first() != Some(&0x01) {
+            return None;
+        }
+        bytes.remove(0);
+        Some(bytes)
+    }
+
+    /// Maximum plaintext bytes for this modulus.
+    pub fn max_plaintext_len(&self) -> usize {
+        self.public.max_plaintext_len()
+    }
+}
+
+impl RsaPublicKey {
+    /// Encrypt (public-key exponentiation).
+    ///
+    /// Returns `None` if the plaintext is out of range.
+    pub fn encrypt(&self, plaintext: &BigUint) -> Option<BigUint> {
+        if plaintext.cmp(&self.n) != std::cmp::Ordering::Less {
+            return None;
+        }
+        Some(plaintext.mod_pow(&self.e, &self.n))
+    }
+
+    /// Encrypt a short byte message. A 0x01 marker byte is prepended so
+    /// leading zero bytes survive the integer round trip.
+    ///
+    /// Returns `None` if the message exceeds [`Self::max_plaintext_len`].
+    pub fn encrypt_bytes(&self, plaintext: &[u8]) -> Option<Vec<u8>> {
+        if plaintext.len() > self.max_plaintext_len() {
+            return None;
+        }
+        let mut marked = Vec::with_capacity(plaintext.len() + 1);
+        marked.push(0x01);
+        marked.extend_from_slice(plaintext);
+        let m = BigUint::from_bytes_be(&marked);
+        let c = self.encrypt(&m)?;
+        Some(c.to_bytes_be())
+    }
+
+    /// Maximum plaintext bytes encryptable under this modulus
+    /// (one byte reserved for the marker).
+    pub fn max_plaintext_len(&self) -> usize {
+        (self.n.bits() - 1) / 8 - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair() -> RsaKeyPair {
+        let mut rng = StdRng::seed_from_u64(11);
+        RsaKeyPair::generate(256, &mut rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let kp = keypair();
+        let m = BigUint::from_u64(123456789);
+        let c = kp.public.encrypt(&m).unwrap();
+        assert_ne!(c, m);
+        assert_eq!(kp.decrypt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let kp = keypair();
+        let msg = b"session-key-material-0123456";
+        assert!(msg.len() <= kp.max_plaintext_len());
+        let c = kp.public.encrypt_bytes(msg).unwrap();
+        assert_eq!(kp.decrypt_bytes(&c).unwrap(), msg);
+    }
+
+    #[test]
+    fn leading_zero_plaintext_survives() {
+        let kp = keypair();
+        let msg = [0u8, 0, 0, 42, 7];
+        let c = kp.public.encrypt_bytes(&msg).unwrap();
+        assert_eq!(kp.decrypt_bytes(&c).unwrap(), msg);
+    }
+
+    #[test]
+    fn oversized_plaintext_rejected() {
+        let kp = keypair();
+        let too_big = vec![0xFF; kp.max_plaintext_len() + 1];
+        assert!(kp.public.encrypt_bytes(&too_big).is_none());
+    }
+
+    #[test]
+    fn out_of_range_integer_rejected() {
+        let kp = keypair();
+        assert!(kp.public.encrypt(&kp.public.n).is_none());
+        assert!(kp.decrypt(&kp.public.n).is_none());
+    }
+
+    #[test]
+    fn distinct_keys_incompatible() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let kp1 = RsaKeyPair::generate(256, &mut rng);
+        let kp2 = RsaKeyPair::generate(256, &mut rng);
+        let msg = b"hello";
+        let c = kp1.public.encrypt_bytes(msg).unwrap();
+        // Decrypting with the wrong key must not produce the message.
+        assert_ne!(kp2.decrypt_bytes(&c), Some(msg.to_vec()));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the crypto substrate (bignum laws, cipher and
+//! AEAD round trips).
+
+use proptest::prelude::*;
+use slicing_crypto::{aead, BigUint, ChaCha20, SymmetricKey};
+
+proptest! {
+    #[test]
+    fn bignum_add_commutes(a in any::<u128>(), b in any::<u128>()) {
+        let (x, y) = (BigUint::from_u128(a), BigUint::from_u128(b));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn bignum_mul_distributes(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (x, y, z) = (
+            BigUint::from_u64(a),
+            BigUint::from_u64(b),
+            BigUint::from_u64(c),
+        );
+        prop_assert_eq!(
+            x.mul(&y.add(&z)),
+            x.mul(&y).add(&x.mul(&z))
+        );
+    }
+
+    #[test]
+    fn bignum_div_rem_invariant(a in any::<u128>(), b in 1u128..) {
+        let (x, y) = (BigUint::from_u128(a), BigUint::from_u128(b));
+        let (q, r) = x.div_rem(&y);
+        prop_assert_eq!(q.mul(&y).add(&r), x);
+        prop_assert!(r.cmp(&y) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn bignum_bytes_round_trip(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = BigUint::from_bytes_be(&bytes);
+        let round = BigUint::from_bytes_be(&n.to_bytes_be());
+        prop_assert_eq!(n, round);
+    }
+
+    #[test]
+    fn bignum_shift_round_trip(a in any::<u128>(), s in 0usize..128) {
+        let n = BigUint::from_u128(a);
+        prop_assert_eq!(n.shl(s).shr(s), n);
+    }
+
+    #[test]
+    fn bignum_mod_pow_multiplicative(
+        a in 1u64..1000, b in 1u64..1000, e in 0u64..32, m in 2u64..100_000
+    ) {
+        // (a*b)^e = a^e * b^e mod m
+        let (abig, bbig, ebig, mbig) = (
+            BigUint::from_u64(a),
+            BigUint::from_u64(b),
+            BigUint::from_u64(e),
+            BigUint::from_u64(m),
+        );
+        let lhs = abig.mul(&bbig).mod_pow(&ebig, &mbig);
+        let rhs = abig.mod_pow(&ebig, &mbig).mul_mod(&bbig.mod_pow(&ebig, &mbig), &mbig);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn chacha_round_trip(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                         mut data in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let original = data.clone();
+        ChaCha20::xor(&key, &nonce, 0, &mut data);
+        ChaCha20::xor(&key, &nonce, 0, &mut data);
+        prop_assert_eq!(data, original);
+    }
+
+    #[test]
+    fn aead_round_trip(key in any::<[u8; 32]>(), seed in any::<u64>(),
+                       msg in proptest::collection::vec(any::<u8>(), 0..400)) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = SymmetricKey(key);
+        let sealed = aead::seal(&k, &msg, &mut rng);
+        prop_assert_eq!(aead::open(&k, &sealed).unwrap(), msg);
+    }
+
+    #[test]
+    fn aead_bitflip_detected(key in any::<[u8; 32]>(), seed in any::<u64>(),
+                             msg in proptest::collection::vec(any::<u8>(), 1..200),
+                             flip_bit in any::<u16>()) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = SymmetricKey(key);
+        let mut sealed = aead::seal(&k, &msg, &mut rng);
+        let pos = (flip_bit as usize / 8) % sealed.len();
+        sealed[pos] ^= 1 << (flip_bit % 8);
+        prop_assert!(aead::open(&k, &sealed).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The [`Field`] trait: the arithmetic interface all coding is generic over.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::Rng;
+
+/// A finite field element.
+///
+/// Implementations are small `Copy` wrappers over an unsigned integer.
+/// Both provided fields ([`crate::Gf256`], [`crate::Gf65536`]) have
+/// characteristic 2, so addition and subtraction coincide (XOR); the trait
+/// still exposes `sub` separately so generic code reads like the algebra in
+/// the paper.
+pub trait Field:
+    Copy + Clone + Eq + PartialEq + Debug + Hash + Send + Sync + 'static
+{
+    /// Number of bytes in the canonical little-endian encoding of an element.
+    const BYTES: usize;
+    /// The field order (number of elements), as u64.
+    const ORDER: u64;
+
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Field addition.
+    fn add(self, rhs: Self) -> Self;
+    /// Field subtraction.
+    fn sub(self, rhs: Self) -> Self;
+    /// Field multiplication.
+    fn mul(self, rhs: Self) -> Self;
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    fn inv(self) -> Self;
+
+    /// Field division (`self * rhs.inv()`).
+    ///
+    /// # Panics
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Self) -> Self {
+        self.mul(rhs.inv())
+    }
+
+    /// Exponentiation by squaring.
+    fn pow(self, mut e: u64) -> Self {
+        let mut base = self;
+        let mut acc = Self::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = acc.mul(base);
+            }
+            base = base.mul(base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Construct an element from an integer, reduced modulo the field order.
+    fn from_u64(v: u64) -> Self;
+    /// The canonical integer representation of this element.
+    fn to_u64(self) -> u64;
+
+    /// Sample a uniformly random element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::from_u64(rng.gen::<u64>() % Self::ORDER)
+    }
+
+    /// Sample a uniformly random *nonzero* element.
+    fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let v = Self::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+
+    /// Write the canonical little-endian encoding into `out`
+    /// (`out.len() == Self::BYTES`).
+    fn write_bytes(self, out: &mut [u8]);
+    /// Read an element from its canonical little-endian encoding.
+    fn read_bytes(bytes: &[u8]) -> Self;
+}
+
+/// Dot product of two equal-length slices of field elements.
+///
+/// This is the inner loop of all slicing encode/decode/recombine
+/// operations, kept free-standing so benches can measure it directly.
+#[inline]
+pub fn dot<F: Field>(a: &[F], b: &[F]) -> F {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = F::zero();
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc = acc.add(x.mul(y));
+    }
+    acc
+}
+
+/// `acc[i] += c * src[i]` for all `i` — the axpy kernel used by matrix
+/// multiplication and network-coding recombination.
+#[inline]
+pub fn axpy<F: Field>(acc: &mut [F], c: F, src: &[F]) {
+    debug_assert_eq!(acc.len(), src.len());
+    if c.is_zero() {
+        return;
+    }
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a = a.add(c.mul(s));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gf256, Gf65536};
+
+    fn axioms_hold<F: Field>() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..200 {
+            let a = F::random(&mut rng);
+            let b = F::random(&mut rng);
+            let c = F::random(&mut rng);
+            // Commutativity.
+            assert_eq!(a.add(b), b.add(a));
+            assert_eq!(a.mul(b), b.mul(a));
+            // Associativity.
+            assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+            assert_eq!(a.mul(b).mul(c), a.mul(b.mul(c)));
+            // Distributivity.
+            assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+            // Identities.
+            assert_eq!(a.add(F::zero()), a);
+            assert_eq!(a.mul(F::one()), a);
+            // Inverses.
+            assert_eq!(a.sub(a), F::zero());
+            if !a.is_zero() {
+                assert_eq!(a.mul(a.inv()), F::one());
+                assert_eq!(a.div(a), F::one());
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_axioms() {
+        axioms_hold::<Gf256>();
+    }
+
+    #[test]
+    fn gf65536_axioms() {
+        axioms_hold::<Gf65536>();
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let mut rng = rand::thread_rng();
+        let a = Gf256::random_nonzero(&mut rng);
+        let mut acc = Gf256::one();
+        for e in 0..20u64 {
+            assert_eq!(a.pow(e), acc);
+            acc = acc.mul(a);
+        }
+    }
+
+    #[test]
+    fn dot_and_axpy_agree() {
+        let mut rng = rand::thread_rng();
+        let a: Vec<Gf256> = (0..16).map(|_| Gf256::random(&mut rng)).collect();
+        let b: Vec<Gf256> = (0..16).map(|_| Gf256::random(&mut rng)).collect();
+        let d = dot(&a, &b);
+        // Compute the same dot product via axpy into a 1-element accumulator
+        // per term.
+        let mut acc = Gf256::zero();
+        for i in 0..16 {
+            let mut cell = [acc];
+            axpy(&mut cell, a[i], &[b[i]]);
+            acc = cell[0];
+        }
+        assert_eq!(acc, d);
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let mut rng = rand::thread_rng();
+        for _ in 0..64 {
+            let a = Gf65536::random(&mut rng);
+            let mut buf = [0u8; 2];
+            a.write_bytes(&mut buf);
+            assert_eq!(Gf65536::read_bytes(&buf), a);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! GF(2⁸) with log/exp table arithmetic.
+//!
+//! Modulus polynomial: `x⁸ + x⁴ + x³ + x² + 1` (0x11D), generator `α = 2`
+//! — the classic Reed–Solomon field. Tables are built at compile time, so
+//! multiplication is two loads, an add and a load.
+
+use crate::field::Field;
+
+const POLY: u16 = 0x11D;
+
+/// `EXP[i] = α^i` for `i ∈ [0, 510)`; doubled so `mul` avoids a mod 255.
+static EXP: [u8; 510] = build_exp();
+/// `LOG[x] = log_α x` for `x ∈ [1, 256)`; `LOG[0]` is a sentinel (unused).
+static LOG: [u8; 256] = build_log();
+
+const fn build_exp() -> [u8; 510] {
+    let mut t = [0u8; 510];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        t[i] = x as u8;
+        t[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLY;
+        }
+        i += 1;
+    }
+    t
+}
+
+const fn build_log() -> [u8; 256] {
+    let exp = build_exp();
+    let mut t = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        t[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    t
+}
+
+/// An element of GF(2⁸).
+///
+/// The canonical payload field: a byte of message data is exactly one
+/// element, so slicing a buffer requires no re-packing.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Gf256(pub u8);
+
+impl std::fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gf256:{:02x}", self.0)
+    }
+}
+
+impl Gf256 {
+    /// Wrap a raw byte as a field element.
+    #[inline]
+    pub const fn new(v: u8) -> Self {
+        Gf256(v)
+    }
+
+    /// The raw byte value.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Multiply two raw bytes in GF(2⁸) (free function form used by the
+    /// hot byte-slice kernels in `slicing-codec`).
+    #[inline]
+    pub fn mul_bytes(a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        EXP[LOG[a as usize] as usize + LOG[b as usize] as usize]
+    }
+}
+
+impl Field for Gf256 {
+    const BYTES: usize = 1;
+    const ORDER: u64 = 256;
+
+    #[inline]
+    fn zero() -> Self {
+        Gf256(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Gf256(1)
+    }
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Gf256(self.0 ^ rhs.0)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Gf256(Self::mul_bytes(self.0, rhs.0))
+    }
+
+    #[inline]
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in GF(2^8)");
+        Gf256(EXP[255 - LOG[self.0 as usize] as usize])
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Gf256((v & 0xFF) as u8)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    #[inline]
+    fn write_bytes(self, out: &mut [u8]) {
+        out[0] = self.0;
+    }
+
+    #[inline]
+    fn read_bytes(bytes: &[u8]) -> Self {
+        Gf256(bytes[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook carry-less multiply + reduce, for cross-checking tables.
+    fn slow_mul(a: u8, b: u8) -> u8 {
+        let (a, b) = (a as u16, b as u16);
+        let mut acc: u16 = 0;
+        for i in 0..8 {
+            if b & (1 << i) != 0 {
+                acc ^= a << i;
+            }
+        }
+        // Reduce modulo POLY.
+        for bit in (8..16).rev() {
+            if acc & (1 << bit) != 0 {
+                acc ^= POLY << (bit - 8);
+            }
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    Gf256::mul_bytes(a, b),
+                    slow_mul(a, b),
+                    "mismatch at {a} * {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            let inv = Gf256(a).inv();
+            assert_eq!(Gf256(a).mul(inv), Gf256::one());
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // α = 2 must generate all 255 nonzero elements.
+        let mut seen = [false; 256];
+        let mut x = Gf256::one();
+        for _ in 0..255 {
+            assert!(!seen[x.0 as usize], "generator order < 255");
+            seen[x.0 as usize] = true;
+            x = x.mul(Gf256(2));
+        }
+        assert_eq!(x, Gf256::one());
+    }
+
+    #[test]
+    fn mul_by_zero_and_one() {
+        for a in 0..=255u8 {
+            assert_eq!(Gf256(a).mul(Gf256(0)), Gf256(0));
+            assert_eq!(Gf256(a).mul(Gf256(1)), Gf256(a));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! GF(2¹⁶) with lazily-built log/exp tables.
+//!
+//! Modulus polynomial: `x¹⁶ + x¹² + x³ + x + 1` (0x1100B), generator
+//! `α = 2`. This is the word-sized field of the paper's IP-splitting
+//! example (Eq. 1): the low and high 16-bit words of an IPv4 address are
+//! two elements of this field.
+//!
+//! Tables are 384 KiB, built on first use behind a `OnceLock` to keep
+//! compile times and binary size down.
+
+use std::sync::OnceLock;
+
+use crate::field::Field;
+
+const POLY: u32 = 0x1100B;
+const ORDER_MINUS_1: usize = 65535;
+
+struct Tables {
+    /// `exp[i] = α^i` for `i ∈ [0, 2·65535)`, doubled to skip a modulo.
+    exp: Vec<u16>,
+    /// `log[x] = log_α x` for nonzero `x`.
+    log: Vec<u16>,
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut exp = vec![0u16; 2 * ORDER_MINUS_1];
+        let mut log = vec![0u16; 65536];
+        let mut x: u32 = 1;
+        for i in 0..ORDER_MINUS_1 {
+            exp[i] = x as u16;
+            exp[i + ORDER_MINUS_1] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x1_0000 != 0 {
+                x ^= POLY;
+            }
+        }
+        debug_assert_eq!(x, 1, "0x1100B must be primitive with generator 2");
+        Tables { exp, log }
+    })
+}
+
+/// An element of GF(2¹⁶).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Gf65536(pub u16);
+
+impl std::fmt::Debug for Gf65536 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gf64k:{:04x}", self.0)
+    }
+}
+
+impl Gf65536 {
+    /// Wrap a raw 16-bit word as a field element.
+    #[inline]
+    pub const fn new(v: u16) -> Self {
+        Gf65536(v)
+    }
+
+    /// The raw word value.
+    #[inline]
+    pub const fn value(self) -> u16 {
+        self.0
+    }
+}
+
+impl Field for Gf65536 {
+    const BYTES: usize = 2;
+    const ORDER: u64 = 65536;
+
+    #[inline]
+    fn zero() -> Self {
+        Gf65536(0)
+    }
+
+    #[inline]
+    fn one() -> Self {
+        Gf65536(1)
+    }
+
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Gf65536(self.0 ^ rhs.0)
+    }
+
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Gf65536(self.0 ^ rhs.0)
+    }
+
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        if self.0 == 0 || rhs.0 == 0 {
+            return Gf65536(0);
+        }
+        let t = tables();
+        Gf65536(t.exp[t.log[self.0 as usize] as usize + t.log[rhs.0 as usize] as usize])
+    }
+
+    #[inline]
+    fn inv(self) -> Self {
+        assert!(self.0 != 0, "inverse of zero in GF(2^16)");
+        let t = tables();
+        Gf65536(t.exp[ORDER_MINUS_1 - t.log[self.0 as usize] as usize])
+    }
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        Gf65536((v & 0xFFFF) as u16)
+    }
+
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self.0 as u64
+    }
+
+    #[inline]
+    fn write_bytes(self, out: &mut [u8]) {
+        out[..2].copy_from_slice(&self.0.to_le_bytes());
+    }
+
+    #[inline]
+    fn read_bytes(bytes: &[u8]) -> Self {
+        Gf65536(u16::from_le_bytes([bytes[0], bytes[1]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Schoolbook carry-less multiply + reduce, for cross-checking tables.
+    fn slow_mul(a: u16, b: u16) -> u16 {
+        let (a, b) = (a as u32, b as u32);
+        let mut acc: u32 = 0;
+        for i in 0..16 {
+            if b & (1 << i) != 0 {
+                acc ^= a << i;
+            }
+        }
+        for bit in (16..32).rev() {
+            if acc & (1 << bit) != 0 {
+                acc ^= POLY << (bit - 16);
+            }
+        }
+        acc as u16
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook_sampled() {
+        // Exhaustive is 4G pairs; sample a deterministic grid plus edges.
+        let samples: Vec<u16> = (0..=16u32)
+            .map(|i| ((i * 4099) % 65536) as u16)
+            .chain([0, 1, 2, 0xFFFF, 0x8000, 0x1234])
+            .collect();
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(
+                    Gf65536(a).mul(Gf65536(b)).0,
+                    slow_mul(a, b),
+                    "mismatch at {a:#x} * {b:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverses_sampled() {
+        for step in 1..=4096u32 {
+            let a = ((step * 17) % 65535 + 1) as u16;
+            let x = Gf65536(a);
+            assert_eq!(x.mul(x.inv()), Gf65536::one());
+        }
+    }
+
+    #[test]
+    fn ip_word_split_round_trip() {
+        // The paper's Eq. 1: an IPv4 address split into low/high words
+        // must survive a transform/inverse-transform round trip.
+        use crate::matrix::Matrix;
+        let mut rng = rand::thread_rng();
+        let ip: u32 = 0xC0A80102; // 192.168.1.2
+        let lo = Gf65536((ip & 0xFFFF) as u16);
+        let hi = Gf65536((ip >> 16) as u16);
+        let a = Matrix::<Gf65536>::random_invertible(2, &mut rng);
+        let coded = a.mul_vec(&[lo, hi]);
+        let back = a.inverse().unwrap().mul_vec(&coded);
+        assert_eq!(back, vec![lo, hi]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Finite-field arithmetic and linear algebra for information slicing.
+//!
+//! Everything the paper's coding layer needs lives here:
+//!
+//! * [`Field`] — the trait all coded arithmetic is generic over. The paper
+//!   (note 1, §4.3.2) works in `F_{p^q}`; we provide the two binary
+//!   extension fields it effectively uses:
+//!   [`Gf256`] (byte-oriented payload coding) and [`Gf65536`]
+//!   (word-oriented, matching the paper's example of splitting an IP
+//!   address into 16-bit low/high words, Eq. 1).
+//! * [`Matrix`] — dense row-major matrices with Gauss–Jordan inversion,
+//!   rank, multiplication and linear solving. Used for the random
+//!   transform `A`, its inverse at the receiving node (`I = A⁻¹ I*`,
+//!   §4.3.5), and the redundant `d′ × d` transform of §4.4.
+//! * [`mds`] — constructions of `d′ × d` matrices in which *any* `d` rows
+//!   are linearly independent ("any d of d′ slices decode", §4.4(b)):
+//!   verified-random generation and provably-MDS randomized Cauchy
+//!   matrices.
+//!
+//! All randomness is taken through `rand::Rng` so protocol code and tests
+//! can seed deterministically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod field;
+pub mod gf256;
+pub mod gf65536;
+pub mod matrix;
+pub mod mds;
+
+pub use field::Field;
+pub use gf256::Gf256;
+pub use gf65536::Gf65536;
+pub use matrix::Matrix;

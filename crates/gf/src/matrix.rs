@@ -1,0 +1,417 @@
+//! Dense matrices over a [`Field`], with the operations the slicing
+//! protocol needs: multiplication, Gauss–Jordan inversion, rank, solving,
+//! and random-invertible generation.
+
+use rand::Rng;
+
+use crate::field::{axpy, dot, Field};
+
+/// A dense row-major matrix over field `F`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Matrix<F: Field> {
+    rows: usize,
+    cols: usize,
+    data: Vec<F>,
+}
+
+impl<F: Field> std::fmt::Debug for Matrix<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<F: Field> Matrix<F> {
+    /// All-zero matrix of the given shape.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![F::zero(); rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, F::one());
+        }
+        m
+    }
+
+    /// Build from a flat row-major element vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<F>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<F>]) -> Self {
+        assert!(!rows.is_empty(), "no rows");
+        let cols = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
+    }
+
+    /// Uniformly random matrix.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let data = (0..rows * cols).map(|_| F::random(rng)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Random *invertible* `n × n` matrix, by rejection sampling.
+    ///
+    /// Over GF(2⁸) a uniform random square matrix is invertible with
+    /// probability ≈ ∏(1 − 2⁻⁸ᵏ) ≈ 0.996, so the expected number of
+    /// samples is ~1.004; the loop terminates almost immediately.
+    pub fn random_invertible<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Self {
+        loop {
+            let m = Self::random(n, n, rng);
+            if m.is_invertible() {
+                return m;
+            }
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> F {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: F) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[F] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [F] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The flat row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[F] {
+        &self.data
+    }
+
+    /// Matrix × matrix.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn mul_mat(&self, rhs: &Matrix<F>) -> Matrix<F> {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a.is_zero() {
+                    continue;
+                }
+                let (dst, src) = (i * rhs.cols, k * rhs.cols);
+                let rhs_row = &rhs.data[src..src + rhs.cols];
+                axpy(&mut out.data[dst..dst + rhs.cols], a, rhs_row);
+            }
+        }
+        out
+    }
+
+    /// Matrix × column-vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != ncols()`.
+    pub fn mul_vec(&self, v: &[F]) -> Vec<F> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows).map(|r| dot(self.row(r), v)).collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix<F> {
+        let mut out = Matrix::zero(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Row rank via Gaussian elimination (non-destructive).
+    pub fn rank(&self) -> usize {
+        let mut m = self.clone();
+        let mut rank = 0;
+        for col in 0..m.cols {
+            if rank == m.rows {
+                break;
+            }
+            // Find pivot.
+            let pivot = (rank..m.rows).find(|&r| !m.get(r, col).is_zero());
+            let Some(p) = pivot else { continue };
+            m.swap_rows(rank, p);
+            let inv = m.get(rank, col).inv();
+            for c in col..m.cols {
+                let v = m.get(rank, c).mul(inv);
+                m.set(rank, c, v);
+            }
+            for r in 0..m.rows {
+                if r != rank && !m.get(r, col).is_zero() {
+                    let factor = m.get(r, col);
+                    for c in col..m.cols {
+                        let v = m.get(r, c).sub(factor.mul(m.get(rank, c)));
+                        m.set(r, c, v);
+                    }
+                }
+            }
+            rank += 1;
+        }
+        rank
+    }
+
+    /// Whether this matrix is square and full rank.
+    pub fn is_invertible(&self) -> bool {
+        self.rows == self.cols && self.rank() == self.rows
+    }
+
+    /// Gauss–Jordan inverse; `None` if singular or non-square.
+    pub fn inverse(&self) -> Option<Matrix<F>> {
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv: Matrix<F> = Matrix::identity(n);
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
+            a.swap_rows(col, pivot);
+            inv.swap_rows(col, pivot);
+            let scale = a.get(col, col).inv();
+            for c in 0..n {
+                a.set(col, c, a.get(col, c).mul(scale));
+                inv.set(col, c, inv.get(col, c).mul(scale));
+            }
+            for r in 0..n {
+                if r != col && !a.get(r, col).is_zero() {
+                    let factor = a.get(r, col);
+                    for c in 0..n {
+                        let va = a.get(r, c).sub(factor.mul(a.get(col, c)));
+                        a.set(r, c, va);
+                        let vi = inv.get(r, c).sub(factor.mul(inv.get(col, c)));
+                        inv.set(r, c, vi);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    /// Solve `self · x = b` for a square invertible system; `None` if the
+    /// system is singular.
+    ///
+    /// # Panics
+    /// Panics if `b.len() != nrows()`.
+    pub fn solve(&self, b: &[F]) -> Option<Vec<F>> {
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        if self.rows != self.cols {
+            return None;
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut x: Vec<F> = b.to_vec();
+        for col in 0..n {
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
+            a.swap_rows(col, pivot);
+            x.swap(col, pivot);
+            let scale = a.get(col, col).inv();
+            for c in 0..n {
+                a.set(col, c, a.get(col, c).mul(scale));
+            }
+            x[col] = x[col].mul(scale);
+            for r in 0..n {
+                if r != col && !a.get(r, col).is_zero() {
+                    let factor = a.get(r, col);
+                    for c in 0..n {
+                        let v = a.get(r, c).sub(factor.mul(a.get(col, c)));
+                        a.set(r, c, v);
+                    }
+                    x[r] = x[r].sub(factor.mul(x[col]));
+                }
+            }
+        }
+        Some(x)
+    }
+
+    /// New matrix formed from the given row indices (order preserved).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix<F> {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (i, &r) in indices.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.row(r));
+        }
+        out
+    }
+
+    /// Swap two rows in place.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    /// Serialize to bytes: each element in canonical encoding, row-major.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.rows * self.cols * F::BYTES];
+        for (i, e) in self.data.iter().enumerate() {
+            e.write_bytes(&mut out[i * F::BYTES..(i + 1) * F::BYTES]);
+        }
+        out
+    }
+
+    /// Deserialize from the encoding produced by [`Matrix::to_bytes`].
+    ///
+    /// # Panics
+    /// Panics if `bytes.len() != rows * cols * F::BYTES`.
+    pub fn from_bytes(rows: usize, cols: usize, bytes: &[u8]) -> Self {
+        assert_eq!(bytes.len(), rows * cols * F::BYTES, "length mismatch");
+        let data = bytes
+            .chunks_exact(F::BYTES)
+            .map(F::read_bytes)
+            .collect();
+        Matrix { rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let mut rng = rng();
+        let a = Matrix::<Gf256>::random(4, 4, &mut rng);
+        let i = Matrix::<Gf256>::identity(4);
+        assert_eq!(a.mul_mat(&i), a);
+        assert_eq!(i.mul_mat(&a), a);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let mut rng = rng();
+        for n in 1..=8 {
+            let a = Matrix::<Gf256>::random_invertible(n, &mut rng);
+            let inv = a.inverse().expect("invertible by construction");
+            assert_eq!(a.mul_mat(&inv), Matrix::identity(n));
+            assert_eq!(inv.mul_mat(&a), Matrix::identity(n));
+        }
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let mut m = Matrix::<Gf256>::zero(3, 3);
+        m.set(0, 0, Gf256(1));
+        m.set(1, 1, Gf256(1));
+        // Row 2 duplicates row 0.
+        m.set(2, 0, Gf256(1));
+        assert!(m.inverse().is_none());
+        assert_eq!(m.rank(), 2);
+        assert!(!m.is_invertible());
+    }
+
+    #[test]
+    fn solve_matches_inverse_multiplication() {
+        let mut rng = rng();
+        let a = Matrix::<Gf256>::random_invertible(5, &mut rng);
+        let b: Vec<Gf256> = (0..5).map(|_| Gf256::random(&mut rng)).collect();
+        let x = a.solve(&b).unwrap();
+        assert_eq!(a.mul_vec(&x), b);
+        let via_inverse = a.inverse().unwrap().mul_vec(&b);
+        assert_eq!(x, via_inverse);
+    }
+
+    #[test]
+    fn rank_of_random_tall_matrix() {
+        let mut rng = rng();
+        let m = Matrix::<Gf256>::random(8, 3, &mut rng);
+        assert!(m.rank() <= 3);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = rng();
+        let m = Matrix::<Gf256>::random(3, 7, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn select_rows_preserves_content() {
+        let mut rng = rng();
+        let m = Matrix::<Gf256>::random(6, 4, &mut rng);
+        let s = m.select_rows(&[4, 1]);
+        assert_eq!(s.row(0), m.row(4));
+        assert_eq!(s.row(1), m.row(1));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut rng = rng();
+        let m = Matrix::<Gf256>::random(3, 5, &mut rng);
+        let b = m.to_bytes();
+        assert_eq!(Matrix::<Gf256>::from_bytes(3, 5, &b), m);
+    }
+
+    #[test]
+    fn swap_rows_works() {
+        let mut m = Matrix::<Gf256>::from_rows(&[
+            vec![Gf256(1), Gf256(2)],
+            vec![Gf256(3), Gf256(4)],
+        ]);
+        m.swap_rows(0, 1);
+        assert_eq!(m.row(0), &[Gf256(3), Gf256(4)]);
+        assert_eq!(m.row(1), &[Gf256(1), Gf256(2)]);
+    }
+}

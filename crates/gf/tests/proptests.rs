@@ -1,0 +1,109 @@
+//! Property-based tests for field axioms and matrix identities.
+
+use proptest::prelude::*;
+use slicing_gf::{mds, Field, Gf256, Gf65536, Matrix};
+
+fn gf256() -> impl Strategy<Value = Gf256> {
+    any::<u8>().prop_map(Gf256::new)
+}
+
+fn gf64k() -> impl Strategy<Value = Gf65536> {
+    any::<u16>().prop_map(Gf65536::new)
+}
+
+proptest! {
+    #[test]
+    fn gf256_add_assoc(a in gf256(), b in gf256(), c in gf256()) {
+        prop_assert_eq!(a.add(b).add(c), a.add(b.add(c)));
+    }
+
+    #[test]
+    fn gf256_mul_distributes(a in gf256(), b in gf256(), c in gf256()) {
+        prop_assert_eq!(a.mul(b.add(c)), a.mul(b).add(a.mul(c)));
+    }
+
+    #[test]
+    fn gf256_inverse(a in gf256()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a.mul(a.inv()), Gf256::one());
+        }
+    }
+
+    #[test]
+    fn gf64k_mul_commutes(a in gf64k(), b in gf64k()) {
+        prop_assert_eq!(a.mul(b), b.mul(a));
+    }
+
+    #[test]
+    fn gf64k_inverse(a in gf64k()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a.mul(a.inv()), Gf65536::one());
+        }
+    }
+
+    #[test]
+    fn gf64k_pow_law(a in gf64k(), e1 in 0u64..64, e2 in 0u64..64) {
+        if !a.is_zero() {
+            prop_assert_eq!(a.pow(e1).mul(a.pow(e2)), a.pow(e1 + e2));
+        }
+    }
+
+    /// Random square matrices: inverse round-trips whenever it exists.
+    #[test]
+    fn matrix_inverse_round_trip(seed in any::<u64>(), n in 1usize..7) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Gf256>::random(n, n, &mut rng);
+        match m.inverse() {
+            Some(inv) => {
+                prop_assert_eq!(m.mul_mat(&inv), Matrix::identity(n));
+                prop_assert!(m.is_invertible());
+            }
+            None => prop_assert!(!m.is_invertible()),
+        }
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(seed in any::<u64>(), n in 1usize..6, m in 1usize..6, k in 1usize..6) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Gf256>::random(n, m, &mut rng);
+        let b = Matrix::<Gf256>::random(m, k, &mut rng);
+        prop_assert_eq!(
+            a.mul_mat(&b).transpose(),
+            b.transpose().mul_mat(&a.transpose())
+        );
+    }
+
+    /// solve(b) really solves A·x = b for invertible A.
+    #[test]
+    fn solve_is_correct(seed in any::<u64>(), n in 1usize..7) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::<Gf256>::random_invertible(n, &mut rng);
+        let b: Vec<Gf256> = (0..n).map(|_| Gf256::random(&mut rng)).collect();
+        let x = a.solve(&b).unwrap();
+        prop_assert_eq!(a.mul_vec(&x), b);
+    }
+
+    /// Every MDS generator produced by the auto-chooser has the
+    /// any-d-rows-invertible property (kept small so exhaustive check is fast).
+    #[test]
+    fn generator_property(seed in any::<u64>(), d in 1usize..5, extra in 0usize..4) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dp = d + extra;
+        let g = mds::generator::<Gf256, _>(dp, d, &mut rng);
+        prop_assert!(mds::all_row_subsets_invertible(&g));
+    }
+
+    /// Matrix serialization round-trips.
+    #[test]
+    fn matrix_bytes_round_trip(seed in any::<u64>(), r in 1usize..6, c in 1usize..6) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::<Gf65536>::random(r, c, &mut rng);
+        prop_assert_eq!(Matrix::<Gf65536>::from_bytes(r, c, &m.to_bytes()), m);
+    }
+}

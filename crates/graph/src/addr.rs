@@ -1,0 +1,70 @@
+//! Opaque overlay addresses.
+
+/// An overlay node address.
+///
+/// The protocol layers treat addresses as opaque 64-bit values; the
+//  overlay runtime maps them to real socket addresses.
+/// For IPv4 deployments the canonical packing is `ip:port` in the low 48
+/// bits (the paper's next-hop IPs, §4.3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OverlayAddr(pub u64);
+
+impl OverlayAddr {
+    /// Pack an IPv4 address and port.
+    pub fn from_ipv4(octets: [u8; 4], port: u16) -> Self {
+        let ip = u32::from_be_bytes(octets) as u64;
+        OverlayAddr(ip << 16 | port as u64)
+    }
+
+    /// Unpack to an IPv4 address and port (if packed with
+    /// [`OverlayAddr::from_ipv4`]).
+    pub fn to_ipv4(self) -> ([u8; 4], u16) {
+        let port = (self.0 & 0xFFFF) as u16;
+        let ip = ((self.0 >> 16) & 0xFFFF_FFFF) as u32;
+        (ip.to_be_bytes(), port)
+    }
+
+    /// Serialize little-endian.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+
+    /// Deserialize little-endian.
+    pub fn from_bytes(bytes: [u8; 8]) -> Self {
+        OverlayAddr(u64::from_le_bytes(bytes))
+    }
+
+    /// The all-zero sentinel used for absent children in fixed-size
+    /// serializations.
+    pub const NONE: OverlayAddr = OverlayAddr(0);
+}
+
+impl std::fmt::Debug for OverlayAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (ip, port) = self.to_ipv4();
+        write!(f, "{}.{}.{}.{}:{}", ip[0], ip[1], ip[2], ip[3], port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipv4_round_trip() {
+        let a = OverlayAddr::from_ipv4([192, 168, 1, 2], 9000);
+        assert_eq!(a.to_ipv4(), ([192, 168, 1, 2], 9000));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let a = OverlayAddr(0x1234_5678_9ABC_DEF0);
+        assert_eq!(OverlayAddr::from_bytes(a.to_bytes()), a);
+    }
+
+    #[test]
+    fn debug_format() {
+        let a = OverlayAddr::from_ipv4([10, 0, 0, 1], 80);
+        assert_eq!(format!("{a:?}"), "10.0.0.1:80");
+    }
+}

@@ -1,0 +1,86 @@
+//! Onion-routing baselines (§2, §7.2, §8.1).
+//!
+//! Two comparators the paper evaluates against:
+//!
+//! 1. **Standard onion routing** — the sender wraps the route-setup
+//!    message in layers of public-key encryption (hybrid RSA + ChaCha20
+//!    per layer); each relay strips one layer, learns its session key and
+//!    next hop, and forwards. Data then flows down the single circuit
+//!    under telescoped symmetric encryption, exactly the "computationally
+//!    efficient symmetric session keys for the data transfer; public key
+//!    cryptography only for the route setup" configuration of §7.2.
+//! 2. **Onion routing with erasure codes** (§8.1) — the strongest
+//!    churn-hardened variant the authors could construct for onion
+//!    routing: `d′` disjoint circuits carry an MDS-coded message that
+//!    survives any `d′ − d` circuit failures, but — unlike information
+//!    slicing — relays cannot regenerate lost redundancy inside the
+//!    network.
+//!
+//! The crate is sans-IO in the same style as `slicing-core`, so the same
+//! drivers (test net, tokio overlay, churn simulator) run both protocols
+//! and the figure harnesses compare like with like.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod erasure;
+pub mod relay;
+pub mod wire;
+
+pub use circuit::{CircuitHandle, OnionError, OnionSend, OnionSource};
+pub use erasure::ErasureOnionSource;
+pub use relay::{OnionRelay, OnionRelayOutput};
+pub use wire::{OnionPacket, OnionPacketKind};
+
+use std::collections::HashMap;
+
+use slicing_crypto::{RsaKeyPair, RsaPublicKey};
+use slicing_graph::OverlayAddr;
+
+/// The PKI onion routing assumes: every node's public key, as served by a
+/// directory (Tor's directory servers / Tarzan's gossip, §2).
+#[derive(Clone, Default)]
+pub struct Directory {
+    keys: HashMap<OverlayAddr, RsaPublicKey>,
+}
+
+impl Directory {
+    /// Empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a node's public key.
+    pub fn insert(&mut self, addr: OverlayAddr, key: RsaPublicKey) {
+        self.keys.insert(addr, key);
+    }
+
+    /// Look up a node's public key.
+    pub fn get(&self, addr: OverlayAddr) -> Option<&RsaPublicKey> {
+        self.keys.get(&addr)
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Generate a keypair for `addr`, register the public half, return
+    /// the private half (convenience for spinning up test networks).
+    pub fn register<R: rand::Rng + ?Sized>(
+        &mut self,
+        addr: OverlayAddr,
+        bits: usize,
+        rng: &mut R,
+    ) -> RsaKeyPair {
+        let kp = RsaKeyPair::generate(bits, rng);
+        self.insert(addr, kp.public.clone());
+        kp
+    }
+}

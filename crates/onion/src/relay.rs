@@ -1,0 +1,293 @@
+//! The onion relay: strips one layer per packet and forwards.
+
+use std::collections::HashMap;
+
+use slicing_crypto::chacha20::ChaCha20;
+use slicing_crypto::{aead, RsaKeyPair, SymmetricKey};
+use slicing_graph::OverlayAddr;
+
+use crate::circuit::{data_nonce, OnionSend};
+use crate::wire::{OnionPacket, OnionPacketKind};
+
+/// Per-circuit relay state.
+#[derive(Clone)]
+struct CircuitState {
+    session_key: SymmetricKey,
+    next: Option<(OverlayAddr, u64)>,
+    is_exit: bool,
+}
+
+/// Output of feeding one packet to an onion relay.
+#[derive(Clone, Debug, Default)]
+pub struct OnionRelayOutput {
+    /// Packets to forward.
+    pub sends: Vec<OnionSend>,
+    /// Set when a setup completed at this hop; true if this hop is the
+    /// exit (destination).
+    pub established: Option<bool>,
+    /// Plaintext delivered at the exit.
+    pub delivered: Vec<(u32, Vec<u8>)>,
+}
+
+/// An onion-routing relay node.
+pub struct OnionRelay {
+    addr: OverlayAddr,
+    keypair: RsaKeyPair,
+    circuits: HashMap<u64, CircuitState>,
+    /// Count of RSA decryptions performed (the setup-phase cost knob the
+    /// paper contrasts with slicing's key-free setup).
+    pub rsa_ops: u64,
+    /// Packets dropped (unknown circuit / malformed).
+    pub drops: u64,
+}
+
+impl OnionRelay {
+    /// Create a relay owning `keypair` (its directory-registered key).
+    pub fn new(addr: OverlayAddr, keypair: RsaKeyPair) -> Self {
+        OnionRelay {
+            addr,
+            keypair,
+            circuits: HashMap::new(),
+            rsa_ops: 0,
+            drops: 0,
+        }
+    }
+
+    /// This relay's address.
+    pub fn addr(&self) -> OverlayAddr {
+        self.addr
+    }
+
+    /// Live circuit count.
+    pub fn circuit_count(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// Process one packet.
+    pub fn handle_packet(&mut self, packet: &OnionPacket) -> OnionRelayOutput {
+        match packet.kind {
+            OnionPacketKind::Setup => self.handle_setup(packet),
+            OnionPacketKind::Data => self.handle_data(packet),
+        }
+    }
+
+    fn handle_setup(&mut self, packet: &OnionPacket) -> OnionRelayOutput {
+        let mut out = OnionRelayOutput::default();
+        let payload = &packet.payload;
+        if payload.len() < 2 {
+            self.drops += 1;
+            return out;
+        }
+        let rsa_len = u16::from_le_bytes([payload[0], payload[1]]) as usize;
+        if payload.len() < 2 + rsa_len {
+            self.drops += 1;
+            return out;
+        }
+        let rsa_ct = &payload[2..2 + rsa_len];
+        self.rsa_ops += 1;
+        let Some(seed_bytes) = self.keypair.decrypt_bytes(rsa_ct) else {
+            self.drops += 1;
+            return out;
+        };
+        let Ok(layer_seed): Result<[u8; 16], _> = seed_bytes.try_into() else {
+            self.drops += 1;
+            return out;
+        };
+        let layer_key = crate::circuit::layer_key_from_seed(&layer_seed);
+        let mut body = payload[2 + rsa_len..].to_vec();
+        ChaCha20::xor(&layer_key, &[0u8; 12], 0, &mut body);
+        // flags(1) next_addr(8) next_circuit(8) session_key(32) len(4) inner
+        if body.len() < 53 {
+            self.drops += 1;
+            return out;
+        }
+        let is_exit = body[0] == 1;
+        let next_addr = OverlayAddr::from_bytes(body[1..9].try_into().unwrap());
+        let next_circuit = u64::from_le_bytes(body[9..17].try_into().unwrap());
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&body[17..49]);
+        let inner_len = u32::from_le_bytes(body[49..53].try_into().unwrap()) as usize;
+        if body.len() < 53 + inner_len {
+            self.drops += 1;
+            return out;
+        }
+        let inner = body[53..53 + inner_len].to_vec();
+
+        self.circuits.insert(
+            packet.circuit,
+            CircuitState {
+                session_key: SymmetricKey(key),
+                next: if is_exit {
+                    None
+                } else {
+                    Some((next_addr, next_circuit))
+                },
+                is_exit,
+            },
+        );
+        out.established = Some(is_exit);
+        if !is_exit {
+            out.sends.push(OnionSend {
+                from: self.addr,
+                to: next_addr,
+                packet: OnionPacket {
+                    circuit: next_circuit,
+                    kind: OnionPacketKind::Setup,
+                    seq: 0,
+                    payload: inner,
+                },
+            });
+        }
+        out
+    }
+
+    fn handle_data(&mut self, packet: &OnionPacket) -> OnionRelayOutput {
+        let mut out = OnionRelayOutput::default();
+        let Some(state) = self.circuits.get(&packet.circuit) else {
+            self.drops += 1;
+            return out;
+        };
+        let state = state.clone();
+        let mut payload = packet.payload.clone();
+        if state.is_exit {
+            // Innermost layer is an AEAD seal under the exit session key.
+            match aead::open(&state.session_key, &payload) {
+                Ok(plaintext) => out.delivered.push((packet.seq, plaintext)),
+                Err(_) => self.drops += 1,
+            }
+            return out;
+        }
+        // Strip one stream layer and forward.
+        ChaCha20::xor(&state.session_key.0, &data_nonce(packet.seq), 0, &mut payload);
+        let (next_addr, next_circuit) = state.next.expect("non-exit has next hop");
+        out.sends.push(OnionSend {
+            from: self.addr,
+            to: next_addr,
+            packet: OnionPacket {
+                circuit: next_circuit,
+                kind: OnionPacketKind::Data,
+                seq: packet.seq,
+                payload,
+            },
+        });
+        out
+    }
+
+    /// Raw access to a circuit's session key (used by the erasure exit
+    /// helper and by tests).
+    pub fn session_key(&self, circuit: u64) -> Option<SymmetricKey> {
+        self.circuits.get(&circuit).map(|c| c.session_key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::OnionSource;
+    use crate::Directory;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Drive a circuit through an in-memory chain of relays.
+    fn run_chain(
+        hops: usize,
+        msg: &[u8],
+        seed: u64,
+    ) -> (Vec<(u32, Vec<u8>)>, Vec<OnionRelay>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dir = Directory::new();
+        let path: Vec<OverlayAddr> = (0..hops as u64).map(|i| OverlayAddr(100 + i)).collect();
+        let mut relays: HashMap<OverlayAddr, OnionRelay> = path
+            .iter()
+            .map(|&a| {
+                let kp = dir.register(a, 256, &mut rng);
+                (a, OnionRelay::new(a, kp))
+            })
+            .collect();
+        let (mut handle, setup) =
+            OnionSource::build_circuit(OverlayAddr(1), &path, &dir, &mut rng).unwrap();
+        // Deliver setup through the chain.
+        let mut queue = vec![setup];
+        let mut delivered = Vec::new();
+        while let Some(send) = queue.pop() {
+            let relay = relays.get_mut(&send.to).unwrap();
+            let out = relay.handle_packet(&send.packet);
+            queue.extend(out.sends);
+            delivered.extend(out.delivered);
+        }
+        // Send data.
+        let (_, data) = handle.send_data(msg, &mut rng);
+        let mut queue = vec![data];
+        while let Some(send) = queue.pop() {
+            let relay = relays.get_mut(&send.to).unwrap();
+            let out = relay.handle_packet(&send.packet);
+            queue.extend(out.sends);
+            delivered.extend(out.delivered);
+        }
+        let relays_vec = path.into_iter().map(|a| relays.remove(&a).unwrap()).collect();
+        (delivered, relays_vec)
+    }
+
+    #[test]
+    fn end_to_end_one_hop() {
+        let (delivered, _) = run_chain(1, b"hi", 1);
+        assert_eq!(delivered, vec![(0, b"hi".to_vec())]);
+    }
+
+    #[test]
+    fn end_to_end_five_hops() {
+        let (delivered, relays) = run_chain(5, b"onion message", 2);
+        assert_eq!(delivered, vec![(0, b"onion message".to_vec())]);
+        // Exactly one RSA decryption per relay during setup.
+        assert!(relays.iter().all(|r| r.rsa_ops == 1));
+        assert!(relays.iter().all(|r| r.circuit_count() == 1));
+    }
+
+    #[test]
+    fn unknown_circuit_data_dropped() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let kp = slicing_crypto::RsaKeyPair::generate(256, &mut rng);
+        let mut relay = OnionRelay::new(OverlayAddr(5), kp);
+        let out = relay.handle_packet(&OnionPacket {
+            circuit: 42,
+            kind: OnionPacketKind::Data,
+            seq: 0,
+            payload: vec![0u8; 64],
+        });
+        assert!(out.sends.is_empty());
+        assert_eq!(relay.drops, 1);
+    }
+
+    #[test]
+    fn malformed_setup_dropped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let kp = slicing_crypto::RsaKeyPair::generate(256, &mut rng);
+        let mut relay = OnionRelay::new(OverlayAddr(5), kp);
+        let out = relay.handle_packet(&OnionPacket {
+            circuit: 42,
+            kind: OnionPacketKind::Setup,
+            seq: 0,
+            payload: vec![0xFF; 10],
+        });
+        assert!(out.established.is_none());
+        assert!(relay.drops >= 1);
+    }
+
+    #[test]
+    fn tampered_data_rejected_at_exit() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut dir = Directory::new();
+        let addr = OverlayAddr(100);
+        let kp = dir.register(addr, 256, &mut rng);
+        let mut relay = OnionRelay::new(addr, kp);
+        let (mut handle, setup) =
+            OnionSource::build_circuit(OverlayAddr(1), &[addr], &dir, &mut rng).unwrap();
+        relay.handle_packet(&setup.packet);
+        let (_, mut data) = handle.send_data(b"secret", &mut rng);
+        let mid = data.packet.payload.len() / 2;
+        data.packet.payload[mid] ^= 1;
+        let out = relay.handle_packet(&data.packet);
+        assert!(out.delivered.is_empty());
+        assert_eq!(relay.drops, 1);
+    }
+}

@@ -1,0 +1,119 @@
+//! Minimal wire format for the onion baseline.
+
+/// Kind of onion packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OnionPacketKind {
+    /// Circuit establishment (carries the remaining onion).
+    Setup,
+    /// Data cell.
+    Data,
+}
+
+/// An onion packet: circuit id in the clear (like Tor's circID), kind,
+/// sequence number and opaque payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnionPacket {
+    /// Cleartext per-hop circuit id.
+    pub circuit: u64,
+    /// Setup or data.
+    pub kind: OnionPacketKind,
+    /// Data sequence number (0 for setup).
+    pub seq: u32,
+    /// Payload (onion remainder or layered ciphertext).
+    pub payload: Vec<u8>,
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OnionWireError {
+    /// Too short.
+    Truncated,
+    /// Unknown kind byte.
+    BadKind,
+}
+
+impl std::fmt::Display for OnionWireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnionWireError::Truncated => write!(f, "onion packet truncated"),
+            OnionWireError::BadKind => write!(f, "unknown onion packet kind"),
+        }
+    }
+}
+
+impl std::error::Error for OnionWireError {}
+
+impl OnionPacket {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13 + self.payload.len());
+        out.extend_from_slice(&self.circuit.to_le_bytes());
+        out.push(match self.kind {
+            OnionPacketKind::Setup => 0,
+            OnionPacketKind::Data => 1,
+        });
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<OnionPacket, OnionWireError> {
+        if bytes.len() < 13 {
+            return Err(OnionWireError::Truncated);
+        }
+        let circuit = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let kind = match bytes[8] {
+            0 => OnionPacketKind::Setup,
+            1 => OnionPacketKind::Data,
+            _ => return Err(OnionWireError::BadKind),
+        };
+        let seq = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+        Ok(OnionPacket {
+            circuit,
+            kind,
+            seq,
+            payload: bytes[13..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let p = OnionPacket {
+            circuit: 0xABCD,
+            kind: OnionPacketKind::Data,
+            seq: 9,
+            payload: vec![1, 2, 3],
+        };
+        assert_eq!(OnionPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            OnionPacket::decode(&[0u8; 5]).unwrap_err(),
+            OnionWireError::Truncated
+        );
+    }
+
+    #[test]
+    fn bad_kind() {
+        let mut bytes = OnionPacket {
+            circuit: 1,
+            kind: OnionPacketKind::Setup,
+            seq: 0,
+            payload: vec![],
+        }
+        .encode();
+        bytes[8] = 7;
+        assert_eq!(
+            OnionPacket::decode(&bytes).unwrap_err(),
+            OnionWireError::BadKind
+        );
+    }
+}

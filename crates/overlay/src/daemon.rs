@@ -1,0 +1,145 @@
+//! Daemon tasks: async drivers around the sans-IO engines.
+//!
+//! One tokio task per overlay node, mirroring the paper's per-node
+//! multi-threaded daemon (§7.1): receive packets, update the flow table,
+//! forward, and periodically fire timeouts / garbage-collect stale flows.
+
+use std::time::{Duration, Instant};
+
+use slicing_core::{OverlayAddr, Packet, RelayNode, Tick};
+use slicing_onion::{OnionPacket, OnionRelay};
+use tokio::sync::mpsc;
+
+use crate::NodePort;
+
+/// Events the daemons report to the experiment harness.
+#[derive(Clone, Debug)]
+pub enum OverlayEvent {
+    /// A relay completed flow establishment; `receiver` = destination?
+    Established {
+        /// The node that established.
+        addr: OverlayAddr,
+        /// Whether it is the flow's destination.
+        receiver: bool,
+        /// Milliseconds since the daemon started.
+        at_ms: u64,
+    },
+    /// The destination decoded and decrypted a data message.
+    MessageReceived {
+        /// Destination address.
+        addr: OverlayAddr,
+        /// Message sequence number.
+        seq: u32,
+        /// Plaintext length (payload itself omitted from events).
+        len: usize,
+        /// Milliseconds since the daemon started.
+        at_ms: u64,
+    },
+}
+
+/// Spawn a slicing relay daemon on `port`; runs until the port closes.
+///
+/// `epoch` anchors the Tick clock so all daemons share a timeline.
+pub fn spawn_relay(
+    mut relay: RelayNode,
+    mut port: NodePort,
+    events: mpsc::UnboundedSender<OverlayEvent>,
+    epoch: Instant,
+) -> tokio::task::JoinHandle<()> {
+    tokio::spawn(async move {
+        let addr = port.addr;
+        let mut ticker = tokio::time::interval(Duration::from_millis(50));
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        loop {
+            let outputs = tokio::select! {
+                maybe = port.rx.recv() => {
+                    let Some((from, bytes)) = maybe else { break };
+                    let Ok(packet) = Packet::decode(&bytes) else { continue };
+                    relay.handle_packet(now_tick(epoch), from, &packet)
+                }
+                _ = ticker.tick() => relay.poll(now_tick(epoch)),
+            };
+            let at_ms = epoch.elapsed().as_millis() as u64;
+            if let Some(receiver) = outputs.established {
+                let _ = events.send(OverlayEvent::Established {
+                    addr,
+                    receiver,
+                    at_ms,
+                });
+            }
+            for r in &outputs.received {
+                let _ = events.send(OverlayEvent::MessageReceived {
+                    addr,
+                    seq: r.seq,
+                    len: r.plaintext.len(),
+                    at_ms,
+                });
+            }
+            for send in outputs.sends {
+                port.tx.send(send.to, send.packet.encode()).await;
+            }
+        }
+    })
+}
+
+/// Spawn an onion relay daemon on `port`.
+pub fn spawn_onion_relay(
+    mut relay: OnionRelay,
+    mut port: NodePort,
+    events: mpsc::UnboundedSender<OverlayEvent>,
+    epoch: Instant,
+) -> tokio::task::JoinHandle<()> {
+    tokio::spawn(async move {
+        let addr = port.addr;
+        while let Some((_, bytes)) = port.rx.recv().await {
+            let Ok(packet) = OnionPacket::decode(&bytes) else {
+                continue;
+            };
+            let out = relay.handle_packet(&packet);
+            let at_ms = epoch.elapsed().as_millis() as u64;
+            if let Some(is_exit) = out.established {
+                let _ = events.send(OverlayEvent::Established {
+                    addr,
+                    receiver: is_exit,
+                    at_ms,
+                });
+            }
+            for (seq, plaintext) in &out.delivered {
+                let _ = events.send(OverlayEvent::MessageReceived {
+                    addr,
+                    seq: *seq,
+                    len: plaintext.len(),
+                    at_ms,
+                });
+            }
+            for send in out.sends {
+                port.tx.send(send.to, send.packet.encode()).await;
+            }
+        }
+    })
+}
+
+/// Milliseconds since the epoch as a protocol [`Tick`].
+pub fn now_tick(epoch: Instant) -> Tick {
+    Tick(epoch.elapsed().as_millis() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmulatedNet;
+    use slicing_sim::wan::NetProfile;
+
+    #[tokio::test]
+    async fn relay_daemon_drops_garbage() {
+        let net = EmulatedNet::new(NetProfile::lan(), 1);
+        let relay_port = net.attach(OverlayAddr(10));
+        let sender = net.attach(OverlayAddr(11));
+        let (events_tx, _events_rx) = mpsc::unbounded_channel();
+        let relay = RelayNode::new(OverlayAddr(10), 7);
+        let handle = spawn_relay(relay, relay_port, events_tx, Instant::now());
+        sender.tx.send(OverlayAddr(10), b"not a packet".to_vec()).await;
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        handle.abort();
+    }
+}

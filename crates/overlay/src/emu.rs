@@ -1,0 +1,278 @@
+//! The emulated network: per-link delay, per-node and per-link
+//! serialization, load delay, loss and node failure — all under real
+//! tokio time, so throughput/latency measurements behave like a network.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slicing_graph::OverlayAddr;
+use slicing_sim::wan::NetProfile;
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+use crate::{NodePort, PortSender, PortSenderInner};
+
+/// Shared state of the emulated network.
+pub struct Hub {
+    profile: NetProfile,
+    state: Mutex<HubState>,
+}
+
+struct HubState {
+    rng: StdRng,
+    /// Receiver inboxes.
+    inboxes: HashMap<OverlayAddr, mpsc::Sender<(OverlayAddr, Vec<u8>)>>,
+    /// Failed (churned-out) nodes.
+    failed: std::collections::HashSet<OverlayAddr>,
+    /// Stable per-link one-way propagation delay (ms).
+    link_delay: HashMap<(OverlayAddr, OverlayAddr), f64>,
+    /// Earliest next NIC availability per sender (node serialization).
+    node_free: HashMap<OverlayAddr, Instant>,
+    /// Earliest next availability per (sender, receiver) link.
+    link_free: HashMap<(OverlayAddr, OverlayAddr), Instant>,
+    /// Counters.
+    packets: u64,
+    bytes: u64,
+}
+
+/// An in-process emulated overlay network.
+#[derive(Clone)]
+pub struct EmulatedNet {
+    hub: Arc<Hub>,
+}
+
+impl EmulatedNet {
+    /// Create a network with the given condition profile.
+    pub fn new(profile: NetProfile, seed: u64) -> Self {
+        EmulatedNet {
+            hub: Arc::new(Hub {
+                profile,
+                state: Mutex::new(HubState {
+                    rng: StdRng::seed_from_u64(seed),
+                    inboxes: HashMap::new(),
+                    failed: std::collections::HashSet::new(),
+                    link_delay: HashMap::new(),
+                    node_free: HashMap::new(),
+                    link_free: HashMap::new(),
+                    packets: 0,
+                    bytes: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Attach a node; returns its port.
+    pub fn attach(&self, addr: OverlayAddr) -> NodePort {
+        let (tx, rx) = mpsc::channel(1024);
+        self.hub.state.lock().inboxes.insert(addr, tx);
+        NodePort {
+            addr,
+            rx,
+            tx: PortSender {
+                addr,
+                inner: PortSenderInner::Emu(self.hub.clone()),
+            },
+        }
+    }
+
+    /// Kill a node: it stops receiving (its daemon also sees its inbox
+    /// starve) and all its in-flight traffic is dropped at delivery.
+    pub fn fail(&self, addr: OverlayAddr) {
+        self.hub.state.lock().failed.insert(addr);
+    }
+
+    /// Whether a node is failed.
+    pub fn is_failed(&self, addr: OverlayAddr) -> bool {
+        self.hub.state.lock().failed.contains(&addr)
+    }
+
+    /// (packets, bytes) transported so far.
+    pub fn counters(&self) -> (u64, u64) {
+        let s = self.hub.state.lock();
+        (s.packets, s.bytes)
+    }
+}
+
+impl Hub {
+    /// Schedule delivery of one datagram with the profile's delays.
+    pub(crate) async fn send(self: &Arc<Self>, from: OverlayAddr, to: OverlayAddr, bytes: Vec<u8>) {
+        let now = Instant::now();
+        let (deliver_at, inbox) = {
+            let mut s = self.state.lock();
+            if s.failed.contains(&from) || s.failed.contains(&to) {
+                return;
+            }
+            if self.profile.loss > 0.0 && s.rng.gen::<f64>() < self.profile.loss {
+                return;
+            }
+            let Some(inbox) = s.inboxes.get(&to).cloned() else {
+                return;
+            };
+            s.packets += 1;
+            s.bytes += bytes.len() as u64;
+
+            // Sender NIC serialization.
+            let nic_tx_ms = self.profile.transmission_ms(bytes.len());
+            let nic_free = s.node_free.entry(from).or_insert(now);
+            let departure = (*nic_free).max(now) + dur_ms(nic_tx_ms);
+            *nic_free = departure;
+
+            // Per-link (single-connection) throughput cap.
+            let link_tx_ms = if self.profile.link_bytes_per_ms > 0.0 {
+                bytes.len() as f64 / self.profile.link_bytes_per_ms
+            } else {
+                0.0
+            };
+            let link_free = s.link_free.entry((from, to)).or_insert(departure);
+            let link_done = (*link_free).max(departure) + dur_ms(link_tx_ms);
+            *link_free = link_done;
+
+            // Propagation (stable per link) + receiver host load.
+            let prop = {
+                let profile = &self.profile;
+                let rng = &mut s.rng;
+                *{
+                    // Entry API needs the borrow split; compute first.
+                    let sampled = profile.sample_link_delay(rng);
+                    s.link_delay.entry((from, to)).or_insert(sampled)
+                }
+            };
+            let load = {
+                let profile = &self.profile;
+                profile.sample_load_delay(&mut s.rng)
+            };
+            (link_done + dur_ms(prop + load), inbox)
+        };
+        let hub = self.clone();
+        tokio::spawn(async move {
+            tokio::time::sleep_until(deliver_at).await;
+            if hub.state.lock().failed.contains(&to) {
+                return;
+            }
+            let _ = inbox.send((from, bytes)).await;
+        });
+    }
+}
+
+fn dur_ms(ms: f64) -> Duration {
+    Duration::from_secs_f64((ms / 1000.0).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lan() -> NetProfile {
+        NetProfile::lan()
+    }
+
+    #[tokio::test]
+    async fn delivers_between_ports() {
+        let net = EmulatedNet::new(lan(), 1);
+        let a = net.attach(OverlayAddr(1));
+        let mut b = net.attach(OverlayAddr(2));
+        a.tx.send(OverlayAddr(2), b"hello".to_vec()).await;
+        let (from, bytes) = b.rx.recv().await.unwrap();
+        assert_eq!(from, OverlayAddr(1));
+        assert_eq!(bytes, b"hello");
+        assert_eq!(net.counters().0, 1);
+    }
+
+    #[tokio::test]
+    async fn failed_node_blackholes() {
+        let net = EmulatedNet::new(lan(), 2);
+        let a = net.attach(OverlayAddr(1));
+        let mut b = net.attach(OverlayAddr(2));
+        net.fail(OverlayAddr(2));
+        a.tx.send(OverlayAddr(2), b"x".to_vec()).await;
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        assert!(b.rx.try_recv().is_err());
+    }
+
+    #[tokio::test]
+    async fn wan_latency_applied() {
+        let net = EmulatedNet::new(NetProfile::planetlab(), 3);
+        let a = net.attach(OverlayAddr(1));
+        let mut b = net.attach(OverlayAddr(2));
+        let start = std::time::Instant::now();
+        a.tx.send(OverlayAddr(2), vec![0u8; 100]).await;
+        let _ = b.rx.recv().await.unwrap();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(15),
+            "WAN delivery too fast: {elapsed:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn link_serialization_limits_throughput() {
+        // Pushing many packets down one link must take ~bytes/link_rate.
+        let mut profile = lan();
+        profile.link_bytes_per_ms = 100.0; // 100 B/ms
+        profile.min_delay_ms = 0.01;
+        profile.max_delay_ms = 0.02;
+        profile.load_delay_ms = 0.0;
+        let net = EmulatedNet::new(profile, 4);
+        let a = net.attach(OverlayAddr(1));
+        let mut b = net.attach(OverlayAddr(2));
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
+        }
+        for _ in 0..20 {
+            let _ = b.rx.recv().await.unwrap();
+        }
+        // 10_000 bytes at 100 B/ms = 100 ms minimum.
+        assert!(
+            start.elapsed() >= Duration::from_millis(90),
+            "link cap not enforced: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[tokio::test]
+    async fn parallel_links_faster_than_one() {
+        // The property Fig. 11 rests on: the same volume split over two
+        // links completes ~2x faster than over one.
+        let mut profile = lan();
+        profile.link_bytes_per_ms = 100.0;
+        profile.min_delay_ms = 0.01;
+        profile.max_delay_ms = 0.02;
+        profile.load_delay_ms = 0.0;
+        profile.bandwidth_bytes_per_ms = 1e9;
+        let net = EmulatedNet::new(profile, 5);
+        let a = net.attach(OverlayAddr(1));
+        let mut b = net.attach(OverlayAddr(2));
+        let mut c = net.attach(OverlayAddr(3));
+
+        // One link: 20 packets to b.
+        let start = std::time::Instant::now();
+        for _ in 0..20 {
+            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
+        }
+        for _ in 0..20 {
+            let _ = b.rx.recv().await.unwrap();
+        }
+        let one = start.elapsed();
+
+        // Two links: 10 packets each to b and c.
+        let start = std::time::Instant::now();
+        for _ in 0..10 {
+            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
+            a.tx.send(OverlayAddr(3), vec![0u8; 500]).await;
+        }
+        for _ in 0..10 {
+            let _ = b.rx.recv().await.unwrap();
+            let _ = c.rx.recv().await.unwrap();
+        }
+        let two = start.elapsed();
+        assert!(
+            two < one * 3 / 4,
+            "parallel links not faster: one={one:?} two={two:?}"
+        );
+    }
+}

@@ -1,0 +1,534 @@
+//! Measurement harnesses for the paper's performance experiments
+//! (Figs. 11–15): end-to-end transfers for information slicing and the
+//! onion baseline, over either transport, plus the multi-flow scaling
+//! driver.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slicing_core::{
+    DestPlacement, GraphParams, OverlayAddr, RelayNode, SourceSession,
+};
+use slicing_onion::{Directory, OnionRelay, OnionSource};
+use slicing_sim::wan::NetProfile;
+use tokio::sync::mpsc;
+
+use crate::daemon::{spawn_onion_relay, spawn_relay, OverlayEvent};
+use crate::{EmulatedNet, NodePort, TcpNet};
+
+/// Which transport to measure over.
+#[derive(Clone, Debug)]
+pub enum Transport {
+    /// In-process emulated network with the given condition profile.
+    Emulated(NetProfile),
+    /// Real TCP sockets on loopback.
+    Tcp,
+}
+
+/// Configuration of one transfer experiment.
+#[derive(Clone, Debug)]
+pub struct TransferConfig {
+    /// Graph shape.
+    pub params: GraphParams,
+    /// Transport to run over.
+    pub transport: Transport,
+    /// Number of data messages.
+    pub messages: usize,
+    /// Plaintext bytes per message (clamped to the protocol's budget).
+    pub payload_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard deadline for the whole run.
+    pub timeout: Duration,
+}
+
+impl Default for TransferConfig {
+    fn default() -> Self {
+        TransferConfig {
+            params: GraphParams::new(5, 2).with_dest_placement(DestPlacement::LastStage),
+            transport: Transport::Emulated(NetProfile::lan()),
+            messages: 20,
+            payload_len: 1200,
+            seed: 7,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Results of one transfer run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TransferReport {
+    /// Route-setup latency: first setup packet sent → destination
+    /// decoded its info (§7.4; the paper adds an explicit ack for
+    /// collection, we observe the destination directly).
+    pub setup_ms: u64,
+    /// Data-phase duration: first data send → last delivery.
+    pub transfer_ms: u64,
+    /// Application payload bytes delivered.
+    pub payload_bytes: u64,
+    /// Messages delivered (of the configured count).
+    pub messages_delivered: usize,
+    /// Application-level throughput in Mbit/s.
+    pub throughput_mbps: f64,
+    /// Wire packets transported (emulated transport only).
+    pub wire_packets: u64,
+    /// Wire bytes transported (emulated transport only).
+    pub wire_bytes: u64,
+}
+
+enum NetHandle {
+    Emu(EmulatedNet),
+    Tcp,
+}
+
+impl NetHandle {
+    async fn attach(&self, suggested: OverlayAddr) -> NodePort {
+        match self {
+            NetHandle::Emu(net) => net.attach(suggested),
+            NetHandle::Tcp => TcpNet::attach().await.expect("loopback bind"),
+        }
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        match self {
+            NetHandle::Emu(net) => net.counters(),
+            NetHandle::Tcp => (0, 0),
+        }
+    }
+}
+
+fn make_net(t: &Transport, seed: u64) -> NetHandle {
+    match t {
+        Transport::Emulated(profile) => NetHandle::Emu(EmulatedNet::new(*profile, seed)),
+        Transport::Tcp => NetHandle::Tcp,
+    }
+}
+
+/// Run one information-slicing transfer end to end; see
+/// [`TransferConfig`].
+pub async fn run_slicing_transfer(cfg: &TransferConfig) -> TransferReport {
+    let net = make_net(&cfg.transport, cfg.seed);
+    let params = cfg.params;
+    let dp = params.paths;
+    let relay_count = params.relay_count() + 4;
+
+    // Attach everything (transport assigns addresses for TCP).
+    let mut pseudo_ports = Vec::with_capacity(dp);
+    for i in 0..dp {
+        pseudo_ports.push(net.attach(OverlayAddr(1_000 + i as u64)).await);
+    }
+    let dest_port = net.attach(OverlayAddr(1)).await;
+    let dest_addr = dest_port.addr;
+    let mut relay_ports = Vec::with_capacity(relay_count);
+    for i in 0..relay_count {
+        relay_ports.push(net.attach(OverlayAddr(10_000 + i as u64)).await);
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let candidate_addrs: Vec<OverlayAddr> = relay_ports.iter().map(|p| p.addr).collect();
+
+    // Daemons.
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let epoch = Instant::now();
+    let mut handles = Vec::new();
+    for port in relay_ports {
+        let relay = RelayNode::new(port.addr, cfg.seed);
+        handles.push(spawn_relay(relay, port, events_tx.clone(), epoch));
+    }
+    handles.push(spawn_relay(
+        RelayNode::new(dest_addr, cfg.seed),
+        dest_port,
+        events_tx.clone(),
+        epoch,
+    ));
+
+    // Source: build graph, emit setup from the pseudo-source ports.
+    let (mut source, setup) = SourceSession::establish(
+        params,
+        &pseudo_addrs,
+        &candidate_addrs,
+        dest_addr,
+        cfg.seed,
+    )
+    .expect("graph parameters validated by caller");
+    let setup_start = Instant::now();
+    for instr in setup {
+        let port = pseudo_ports
+            .iter()
+            .find(|p| p.addr == instr.from)
+            .expect("pseudo-source port");
+        port.tx.send(instr.to, instr.packet.encode()).await;
+    }
+
+    // Wait for the destination to establish.
+    let mut report = TransferReport::default();
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    loop {
+        tokio::select! {
+            ev = events_rx.recv() => {
+                match ev {
+                    Some(OverlayEvent::Established { addr, receiver: true, .. })
+                        if addr == dest_addr =>
+                    {
+                        report.setup_ms = setup_start.elapsed().as_millis() as u64;
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => return report,
+                }
+            }
+            _ = &mut deadline => return report,
+        }
+    }
+
+    // Data phase.
+    let payload_len = cfg.payload_len.min(source.max_chunk_len());
+    let payload = vec![0xA5u8; payload_len];
+    let data_start = Instant::now();
+    for _ in 0..cfg.messages {
+        let (_, sends) = source.send_message(&payload);
+        for instr in sends {
+            let port = pseudo_ports
+                .iter()
+                .find(|p| p.addr == instr.from)
+                .expect("pseudo-source port");
+            port.tx.send(instr.to, instr.packet.encode()).await;
+        }
+    }
+    let mut delivered = 0usize;
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    while delivered < cfg.messages {
+        tokio::select! {
+            ev = events_rx.recv() => {
+                match ev {
+                    Some(OverlayEvent::MessageReceived { addr, len, .. }) if addr == dest_addr => {
+                        delivered += 1;
+                        report.payload_bytes += len as u64;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            _ = &mut deadline => break,
+        }
+    }
+    report.transfer_ms = data_start.elapsed().as_millis() as u64;
+    report.messages_delivered = delivered;
+    report.throughput_mbps =
+        throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
+    let (p, b) = net.counters();
+    report.wire_packets = p;
+    report.wire_bytes = b;
+    for h in handles {
+        h.abort();
+    }
+    report
+}
+
+/// Run one onion-routing transfer (standard, single circuit) with the
+/// same measurement points.
+pub async fn run_onion_transfer(cfg: &TransferConfig) -> TransferReport {
+    let net = make_net(&cfg.transport, cfg.seed ^ 0x0410);
+    let hops = cfg.params.length;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let source_port = net.attach(OverlayAddr(1_000)).await;
+    let mut relay_ports = Vec::with_capacity(hops);
+    for i in 0..hops {
+        relay_ports.push(net.attach(OverlayAddr(10_000 + i as u64)).await);
+    }
+    let path: Vec<OverlayAddr> = relay_ports.iter().map(|p| p.addr).collect();
+    let dest_addr = *path.last().expect("non-empty path");
+
+    // PKI: register all relays.
+    let mut dir = Directory::new();
+    let mut keypairs = Vec::new();
+    for &addr in &path {
+        keypairs.push((addr, dir.register(addr, 512, &mut rng)));
+    }
+
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let epoch = Instant::now();
+    let mut handles = Vec::new();
+    for port in relay_ports {
+        let (_, kp) = keypairs
+            .iter()
+            .find(|(a, _)| *a == port.addr)
+            .expect("registered");
+        let relay = OnionRelay::new(port.addr, kp.clone());
+        handles.push(spawn_onion_relay(relay, port, events_tx.clone(), epoch));
+    }
+
+    let mut report = TransferReport::default();
+    let setup_start = Instant::now();
+    let (mut handle, setup) =
+        OnionSource::build_circuit(source_port.addr, &path, &dir, &mut rng)
+            .expect("registered path");
+    source_port.tx.send(setup.to, setup.packet.encode()).await;
+
+    // Wait for the exit to establish.
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    loop {
+        tokio::select! {
+            ev = events_rx.recv() => {
+                match ev {
+                    Some(OverlayEvent::Established { addr, receiver: true, .. })
+                        if addr == dest_addr =>
+                    {
+                        report.setup_ms = setup_start.elapsed().as_millis() as u64;
+                        break;
+                    }
+                    Some(_) => continue,
+                    None => return report,
+                }
+            }
+            _ = &mut deadline => return report,
+        }
+    }
+
+    // Data phase: same payload volume as the slicing run.
+    let payload = vec![0xA5u8; cfg.payload_len];
+    let data_start = Instant::now();
+    for _ in 0..cfg.messages {
+        let (_, send) = handle.send_data(&payload, &mut rng);
+        source_port.tx.send(send.to, send.packet.encode()).await;
+    }
+    let mut delivered = 0usize;
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    while delivered < cfg.messages {
+        tokio::select! {
+            ev = events_rx.recv() => {
+                match ev {
+                    Some(OverlayEvent::MessageReceived { addr, len, .. }) if addr == dest_addr => {
+                        delivered += 1;
+                        report.payload_bytes += len as u64;
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            _ = &mut deadline => break,
+        }
+    }
+    report.transfer_ms = data_start.elapsed().as_millis() as u64;
+    report.messages_delivered = delivered;
+    report.throughput_mbps =
+        throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
+    let (p, b) = net.counters();
+    report.wire_packets = p;
+    report.wire_bytes = b;
+    for h in handles {
+        h.abort();
+    }
+    report
+}
+
+/// Results of a multi-flow scaling run (Fig. 13).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultiFlowReport {
+    /// Concurrent flows attempted.
+    pub flows: usize,
+    /// Flows whose destination established.
+    pub flows_established: usize,
+    /// Total application bytes delivered across flows.
+    pub payload_bytes: u64,
+    /// Wall-clock duration of the data phase, ms.
+    pub elapsed_ms: u64,
+    /// Aggregate network throughput, Mbit/s.
+    pub aggregate_mbps: f64,
+}
+
+/// Fig. 13: `flows` concurrent anonymous flows over a shared overlay of
+/// `overlay_size` relay nodes (the paper: 100 nodes, d = 3, L = 5).
+#[allow(clippy::too_many_arguments)] // experiment knobs, used by one harness
+pub async fn run_multi_flow(
+    overlay_size: usize,
+    flows: usize,
+    params: GraphParams,
+    profile: NetProfile,
+    messages: usize,
+    payload_len: usize,
+    seed: u64,
+    timeout: Duration,
+) -> MultiFlowReport {
+    let net = EmulatedNet::new(profile, seed);
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let epoch = Instant::now();
+
+    // Shared overlay nodes.
+    let mut node_addrs = Vec::with_capacity(overlay_size);
+    let mut handles = Vec::new();
+    for i in 0..overlay_size {
+        let port = net.attach(OverlayAddr(10_000 + i as u64));
+        node_addrs.push(port.addr);
+        handles.push(spawn_relay(
+            RelayNode::new(port.addr, seed),
+            port,
+            events_tx.clone(),
+            epoch,
+        ));
+    }
+
+    // Per-flow sources and destinations (destinations are overlay nodes).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sources = Vec::new();
+    let mut dest_of_flow = Vec::new();
+    for flow in 0..flows {
+        let mut pseudo_ports = Vec::new();
+        for i in 0..params.paths {
+            pseudo_ports.push(net.attach(OverlayAddr(1_000_000 + (flow * 16 + i) as u64)));
+        }
+        let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+        let dest = node_addrs[rng.gen_range(0..node_addrs.len())];
+        let candidates: Vec<OverlayAddr> = node_addrs
+            .iter()
+            .copied()
+            .filter(|&a| a != dest)
+            .collect();
+        match SourceSession::establish(params, &pseudo_addrs, &candidates, dest, rng.gen()) {
+            Ok((source, setup)) => {
+                for instr in &setup {
+                    let port = pseudo_ports
+                        .iter()
+                        .find(|p| p.addr == instr.from)
+                        .expect("pseudo port");
+                    port.tx.send(instr.to, instr.packet.encode()).await;
+                }
+                dest_of_flow.push(dest);
+                sources.push((source, pseudo_ports));
+            }
+            Err(_) => continue,
+        }
+    }
+
+    // Give setups a moment to land, then count established flows.
+    tokio::time::sleep(Duration::from_millis(500)).await;
+    let mut report = MultiFlowReport {
+        flows,
+        ..Default::default()
+    };
+
+    // Data phase: every flow sends `messages` chunks.
+    let data_start = Instant::now();
+    let mut expected_total = 0usize;
+    for (source, pseudo_ports) in sources.iter_mut() {
+        let len = payload_len.min(source.max_chunk_len());
+        let payload = vec![0x5Au8; len];
+        for _ in 0..messages {
+            let (_, sends) = source.send_message(&payload);
+            for instr in sends {
+                let port = pseudo_ports
+                    .iter()
+                    .find(|p| p.addr == instr.from)
+                    .expect("pseudo port");
+                port.tx.send(instr.to, instr.packet.encode()).await;
+            }
+            expected_total += 1;
+        }
+    }
+
+    let mut got = 0usize;
+    let mut established = std::collections::HashSet::new();
+    let deadline = tokio::time::sleep(timeout);
+    tokio::pin!(deadline);
+    while got < expected_total {
+        tokio::select! {
+            ev = events_rx.recv() => {
+                match ev {
+                    Some(OverlayEvent::MessageReceived { len, addr, .. }) => {
+                        got += 1;
+                        report.payload_bytes += len as u64;
+                        established.insert(addr);
+                    }
+                    Some(OverlayEvent::Established { addr, receiver: true, .. }) => {
+                        established.insert(addr);
+                    }
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            _ = &mut deadline => break,
+        }
+    }
+    report.elapsed_ms = data_start.elapsed().as_millis() as u64;
+    report.flows_established = established.len().min(flows);
+    report.aggregate_mbps =
+        throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
+    for h in handles {
+        h.abort();
+    }
+    report
+}
+
+/// Application throughput in Mbit/s from bytes over fractional seconds
+/// (millisecond counters quantize badly on loopback).
+fn throughput_mbps_f(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    (bytes as f64 * 8.0) / (secs * 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn slicing_transfer_over_emulated_lan() {
+        let cfg = TransferConfig {
+            messages: 5,
+            timeout: Duration::from_secs(30),
+            ..TransferConfig::default()
+        };
+        let report = run_slicing_transfer(&cfg).await;
+        assert_eq!(report.messages_delivered, 5, "report: {report:?}");
+        assert!(report.setup_ms < 10_000);
+        assert!(report.payload_bytes > 0);
+        assert!(report.wire_packets > 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn slicing_transfer_over_tcp() {
+        let cfg = TransferConfig {
+            transport: Transport::Tcp,
+            messages: 5,
+            timeout: Duration::from_secs(30),
+            ..TransferConfig::default()
+        };
+        let report = run_slicing_transfer(&cfg).await;
+        assert_eq!(report.messages_delivered, 5, "report: {report:?}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn onion_transfer_over_emulated_lan() {
+        let cfg = TransferConfig {
+            messages: 5,
+            timeout: Duration::from_secs(30),
+            ..TransferConfig::default()
+        };
+        let report = run_onion_transfer(&cfg).await;
+        assert_eq!(report.messages_delivered, 5, "report: {report:?}");
+        assert!(report.setup_ms < 10_000);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn multi_flow_smoke() {
+        let params = GraphParams::new(3, 2);
+        let report = run_multi_flow(
+            30,
+            3,
+            params,
+            NetProfile::lan(),
+            3,
+            600,
+            11,
+            Duration::from_secs(30),
+        )
+        .await;
+        assert!(report.payload_bytes > 0, "report: {report:?}");
+    }
+}

@@ -1,0 +1,70 @@
+//! The tokio overlay runtime: the Rust equivalent of the paper's
+//! PlanetLab prototype (§7.1) — relay daemons, a source utility, and two
+//! transports behind one interface:
+//!
+//! * [`emu::EmulatedNet`] — an in-process network that enforces per-link
+//!   propagation delay, per-node and per-link bandwidth, host load delay
+//!   and loss, parameterized by [`slicing_sim::wan::NetProfile`]
+//!   (LAN / PlanetLab substitutes; see DESIGN.md).
+//! * [`tcp::TcpNet`] — real TCP sockets on loopback, for hardware-honest
+//!   local-area numbers.
+//!
+//! The daemons drive the *sans-IO* engines from `slicing-core` and
+//! `slicing-onion`; nothing protocol-level lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod emu;
+pub mod experiment;
+pub mod tcp;
+
+pub use daemon::{spawn_onion_relay, spawn_relay, OverlayEvent};
+pub use emu::EmulatedNet;
+pub use experiment::{
+    run_multi_flow, run_onion_transfer, run_slicing_transfer, MultiFlowReport, TransferConfig,
+    TransferReport,
+};
+pub use tcp::TcpNet;
+
+use slicing_graph::OverlayAddr;
+use tokio::sync::mpsc;
+
+/// A bidirectional attachment point for one overlay node.
+pub struct NodePort {
+    /// The node's overlay address.
+    pub addr: OverlayAddr,
+    /// Incoming datagrams: `(sender, payload)`.
+    pub rx: mpsc::Receiver<(OverlayAddr, Vec<u8>)>,
+    /// Outgoing sender handle.
+    pub tx: PortSender,
+}
+
+/// Cloneable sender half of a [`NodePort`].
+#[derive(Clone)]
+pub struct PortSender {
+    pub(crate) addr: OverlayAddr,
+    pub(crate) inner: PortSenderInner,
+}
+
+#[derive(Clone)]
+pub(crate) enum PortSenderInner {
+    Emu(std::sync::Arc<emu::Hub>),
+    Tcp(tcp::TcpSender),
+}
+
+impl PortSender {
+    /// Send `bytes` to `to` (fire-and-forget datagram semantics).
+    pub async fn send(&self, to: OverlayAddr, bytes: Vec<u8>) {
+        match &self.inner {
+            PortSenderInner::Emu(hub) => hub.send(self.addr, to, bytes).await,
+            PortSenderInner::Tcp(t) => t.send(self.addr, to, bytes).await,
+        }
+    }
+
+    /// The sending node's address.
+    pub fn addr(&self) -> OverlayAddr {
+        self.addr
+    }
+}

@@ -1,0 +1,177 @@
+//! Real TCP transport on loopback: length-prefixed frames over cached
+//! connections, with a hello preamble carrying the sender's overlay
+//! address.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use slicing_graph::OverlayAddr;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+use crate::{NodePort, PortSender, PortSenderInner};
+
+/// Maximum accepted frame size (sanity bound).
+const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Sender half for the TCP transport.
+#[derive(Clone)]
+pub struct TcpSender {
+    conns: Arc<Mutex<HashMap<OverlayAddr, mpsc::Sender<Vec<u8>>>>>,
+}
+
+/// A TCP-backed overlay network on loopback.
+pub struct TcpNet;
+
+impl TcpNet {
+    /// Bind a listener on an ephemeral loopback port and return the
+    /// node's overlay address (which encodes `127.0.0.1:port`) plus its
+    /// port.
+    ///
+    /// The accept loop runs until the returned `NodePort` is dropped.
+    pub async fn attach() -> std::io::Result<NodePort> {
+        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        let port = listener.local_addr()?.port();
+        let addr = OverlayAddr::from_ipv4([127, 0, 0, 1], port);
+        let (tx, rx) = mpsc::channel::<(OverlayAddr, Vec<u8>)>(1024);
+
+        // Accept loop.
+        tokio::spawn(async move {
+            loop {
+                let Ok((stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let tx = tx.clone();
+                tokio::spawn(async move {
+                    let _ = read_peer(stream, tx).await;
+                });
+            }
+        });
+
+        Ok(NodePort {
+            addr,
+            rx,
+            tx: PortSender {
+                addr,
+                inner: PortSenderInner::Tcp(TcpSender {
+                    conns: Arc::new(Mutex::new(HashMap::new())),
+                }),
+            },
+        })
+    }
+}
+
+async fn read_peer(
+    mut stream: TcpStream,
+    tx: mpsc::Sender<(OverlayAddr, Vec<u8>)>,
+) -> std::io::Result<()> {
+    // Hello: 8-byte sender overlay address.
+    let mut hello = [0u8; 8];
+    stream.read_exact(&mut hello).await?;
+    let from = OverlayAddr::from_bytes(hello);
+    loop {
+        let mut len_buf = [0u8; 4];
+        if stream.read_exact(&mut len_buf).await.is_err() {
+            return Ok(()); // peer closed
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME {
+            return Ok(());
+        }
+        let mut frame = vec![0u8; len as usize];
+        stream.read_exact(&mut frame).await?;
+        if tx.send((from, frame)).await.is_err() {
+            return Ok(()); // node shut down
+        }
+    }
+}
+
+impl TcpSender {
+    /// Send one frame, establishing/caching the connection as needed.
+    pub(crate) async fn send(&self, from: OverlayAddr, to: OverlayAddr, bytes: Vec<u8>) {
+        // Fast path: existing writer.
+        let existing = self.conns.lock().get(&to).cloned();
+        let writer = match existing {
+            Some(w) => w,
+            None => {
+                let (ip, port) = to.to_ipv4();
+                let target = std::net::SocketAddr::from((ip, port));
+                let Ok(mut stream) = TcpStream::connect(target).await else {
+                    return; // dead peer: datagram semantics, drop
+                };
+                let _ = stream.set_nodelay(true);
+                let (wtx, mut wrx) = mpsc::channel::<Vec<u8>>(256);
+                tokio::spawn(async move {
+                    // Hello preamble.
+                    if stream.write_all(&from.to_bytes()).await.is_err() {
+                        return;
+                    }
+                    while let Some(frame) = wrx.recv().await {
+                        let len = (frame.len() as u32).to_le_bytes();
+                        if stream.write_all(&len).await.is_err()
+                            || stream.write_all(&frame).await.is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+                self.conns.lock().insert(to, wtx.clone());
+                wtx
+            }
+        };
+        if writer.send(bytes).await.is_err() {
+            // Writer died; forget the connection so the next send retries.
+            self.conns.lock().remove(&to);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn round_trip_over_loopback() {
+        let a = TcpNet::attach().await.unwrap();
+        let mut b = TcpNet::attach().await.unwrap();
+        a.tx.send(b.addr, b"over tcp".to_vec()).await;
+        let (from, bytes) = b.rx.recv().await.unwrap();
+        assert_eq!(from, a.addr);
+        assert_eq!(bytes, b"over tcp");
+    }
+
+    #[tokio::test]
+    async fn many_frames_in_order_per_connection() {
+        let a = TcpNet::attach().await.unwrap();
+        let mut b = TcpNet::attach().await.unwrap();
+        for i in 0..50u32 {
+            a.tx.send(b.addr, i.to_le_bytes().to_vec()).await;
+        }
+        for i in 0..50u32 {
+            let (_, bytes) = b.rx.recv().await.unwrap();
+            assert_eq!(bytes, i.to_le_bytes());
+        }
+    }
+
+    #[tokio::test]
+    async fn bidirectional() {
+        let mut a = TcpNet::attach().await.unwrap();
+        let mut b = TcpNet::attach().await.unwrap();
+        a.tx.send(b.addr, b"ping".to_vec()).await;
+        let (_, ping) = b.rx.recv().await.unwrap();
+        assert_eq!(ping, b"ping");
+        b.tx.send(a.addr, b"pong".to_vec()).await;
+        let (_, pong) = a.rx.recv().await.unwrap();
+        assert_eq!(pong, b"pong");
+    }
+
+    #[tokio::test]
+    async fn send_to_dead_peer_does_not_block() {
+        let a = TcpNet::attach().await.unwrap();
+        // Unbound address: connect fails, send becomes a no-op.
+        let ghost = OverlayAddr::from_ipv4([127, 0, 0, 1], 1);
+        a.tx.send(ghost, b"x".to_vec()).await;
+    }
+}

@@ -1,0 +1,148 @@
+//! Closed-form transfer-success probabilities (§8.1, Eqs. 6–7).
+
+/// Binomial coefficient as f64.
+fn choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Probability that a whole onion path of length `l` survives when each
+/// node independently fails with probability `p`: `(1−p)^L`.
+pub fn path_success(l: u64, p: f64) -> f64 {
+    (1.0 - p).powi(l as i32)
+}
+
+/// Standard onion routing (single path): succeeds iff no node fails.
+pub fn standard_onion_success(l: u64, p: f64) -> f64 {
+    path_success(l, p)
+}
+
+/// Eq. 6 — onion routing with erasure codes over `d′` disjoint paths,
+/// needing any `d` intact: `Σ_{i=d..d′} C(d′,i) q^i (1−q)^{d′−i}` with
+/// `q = (1−p)^L`.
+pub fn onion_ec_success(l: u64, d: u64, d_prime: u64, p: f64) -> f64 {
+    let q = path_success(l, p);
+    (d..=d_prime)
+        .map(|i| chooseterm(d_prime, i, q))
+        .sum()
+}
+
+/// Eq. 7 — information slicing with per-stage regeneration: every stage
+/// must keep at least `d` of its `d′` nodes, independently:
+/// `[Σ_{i=d..d′} C(d′,i)(1−p)^i p^{d′−i}]^L`.
+pub fn slicing_success(l: u64, d: u64, d_prime: u64, p: f64) -> f64 {
+    let stage: f64 = (d..=d_prime)
+        .map(|i| chooseterm(d_prime, i, 1.0 - p))
+        .sum();
+    stage.powi(l as i32)
+}
+
+fn chooseterm(n: u64, i: u64, q: f64) -> f64 {
+    choose(n, i) * q.powi(i as i32) * (1.0 - q).powi((n - i) as i32)
+}
+
+/// One row of the Fig. 16 comparison at redundancy `R = (d′−d)/d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuccessRow {
+    /// Added redundancy.
+    pub redundancy: f64,
+    /// Eq. 7.
+    pub slicing: f64,
+    /// Eq. 6.
+    pub onion_ec: f64,
+    /// Single path.
+    pub standard_onion: f64,
+}
+
+/// Sweep `d′` from `d` upward and tabulate Fig. 16.
+pub fn fig16_rows(l: u64, d: u64, p: f64, max_d_prime: u64) -> Vec<SuccessRow> {
+    (d..=max_d_prime)
+        .map(|dp| SuccessRow {
+            redundancy: (dp - d) as f64 / d as f64,
+            slicing: slicing_success(l, d, dp, p),
+            onion_ec: onion_ec_success(l, d, dp, p),
+            standard_onion: standard_onion_success(l, p),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_always_succeed() {
+        assert!((slicing_success(5, 2, 3, 0.0) - 1.0).abs() < 1e-12);
+        assert!((onion_ec_success(5, 2, 3, 0.0) - 1.0).abs() < 1e-12);
+        assert!((standard_onion_success(5, 0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_failure_never_succeeds() {
+        assert!(slicing_success(5, 2, 3, 1.0) < 1e-12);
+        assert!(onion_ec_success(5, 2, 3, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn no_redundancy_both_schemes_equal() {
+        // With d' = d both schemes need all d paths / all stage nodes:
+        // probability (1-p)^(L·d).
+        for p in [0.05, 0.1, 0.3] {
+            let s = slicing_success(5, 2, 2, p);
+            let o = onion_ec_success(5, 2, 2, p);
+            let expected = (1.0f64 - p).powi(10);
+            assert!((s - expected).abs() < 1e-12);
+            assert!((o - expected).abs() < 1e-12);
+        }
+    }
+
+    /// Fig. 16's headline: for the same redundancy, slicing beats onion
+    /// with erasure codes — and the gap grows with p.
+    #[test]
+    fn slicing_beats_onion_ec() {
+        for p in [0.1, 0.3] {
+            for dp in 3..=8u64 {
+                let s = slicing_success(5, 2, dp, p);
+                let o = onion_ec_success(5, 2, dp, p);
+                assert!(
+                    s >= o - 1e-12,
+                    "slicing {s} must beat onion-EC {o} at p={p}, d'={dp}"
+                );
+            }
+        }
+        // Strict separation at moderate redundancy.
+        assert!(slicing_success(5, 2, 4, 0.3) > onion_ec_success(5, 2, 4, 0.3) + 0.2);
+    }
+
+    /// Redundancy helps monotonically.
+    #[test]
+    fn monotone_in_redundancy() {
+        let mut last = 0.0;
+        for dp in 2..=8u64 {
+            let s = slicing_success(5, 2, dp, 0.1);
+            assert!(s >= last - 1e-12);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn fig16_rows_shape() {
+        let rows = fig16_rows(5, 2, 0.1, 12);
+        assert_eq!(rows.len(), 11);
+        assert_eq!(rows[0].redundancy, 0.0);
+        assert!((rows.last().unwrap().redundancy - 5.0).abs() < 1e-12);
+        // With p=0.1, slicing reaches near-certain success with little
+        // redundancy (the paper's "a little redundancy results in a very
+        // high success probability").
+        let r1 = &rows[2]; // R = 1.0
+        assert!(r1.slicing > 0.95, "slicing at R=1: {}", r1.slicing);
+        assert!(r1.slicing > r1.onion_ec);
+    }
+}

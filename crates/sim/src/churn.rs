@@ -1,0 +1,161 @@
+//! Node-lifetime / churn models (§8.2).
+//!
+//! The paper's PlanetLab experiments deliberately include "failure-prone"
+//! nodes with *perceived lifetimes under 20 minutes* and ask for the
+//! probability of finishing a 30-minute session. We model node lifetimes
+//! as exponential with configurable mean (the memoryless fit for
+//! perceived availability) plus an always-stable fraction.
+
+use rand::Rng;
+
+/// Lifetime model for one node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeLifetime {
+    /// Never fails during the horizon.
+    Stable,
+    /// Exponential lifetime with the given mean (minutes).
+    Exponential {
+        /// Mean lifetime in minutes.
+        mean_minutes: f64,
+    },
+}
+
+impl NodeLifetime {
+    /// Sample a failure time in minutes (`None` = survives the horizon).
+    pub fn sample_failure<R: Rng + ?Sized>(
+        &self,
+        horizon_minutes: f64,
+        rng: &mut R,
+    ) -> Option<f64> {
+        match self {
+            NodeLifetime::Stable => None,
+            NodeLifetime::Exponential { mean_minutes } => {
+                let u: f64 = rng.gen::<f64>().max(1e-12);
+                let t = -mean_minutes * u.ln();
+                (t < horizon_minutes).then_some(t)
+            }
+        }
+    }
+
+    /// Probability of failing within the horizon.
+    pub fn failure_probability(&self, horizon_minutes: f64) -> f64 {
+        match self {
+            NodeLifetime::Stable => 0.0,
+            NodeLifetime::Exponential { mean_minutes } => {
+                1.0 - (-horizon_minutes / mean_minutes).exp()
+            }
+        }
+    }
+}
+
+/// Population-level churn model: a mix of stable and failure-prone nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnModel {
+    /// Fraction of nodes that are failure-prone.
+    pub prone_fraction: f64,
+    /// Mean lifetime of failure-prone nodes, minutes (§8.2: < 20).
+    pub prone_mean_minutes: f64,
+    /// Session length in minutes (§8.2: 30).
+    pub session_minutes: f64,
+}
+
+impl ChurnModel {
+    /// The paper's §8.2 setting: every node failure-prone enough that the
+    /// per-session failure probability is `p`.
+    pub fn with_failure_probability(p: f64, session_minutes: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1)");
+        // Solve 1 - exp(-T/mean) = p for the mean.
+        let mean = if p <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            -session_minutes / (1.0 - p).ln()
+        };
+        ChurnModel {
+            prone_fraction: 1.0,
+            prone_mean_minutes: mean,
+            session_minutes,
+        }
+    }
+
+    /// Sample a node's lifetime model.
+    pub fn sample_node<R: Rng + ?Sized>(&self, rng: &mut R) -> NodeLifetime {
+        if rng.gen::<f64>() < self.prone_fraction {
+            NodeLifetime::Exponential {
+                mean_minutes: self.prone_mean_minutes,
+            }
+        } else {
+            NodeLifetime::Stable
+        }
+    }
+
+    /// Per-session failure probability of a prone node.
+    pub fn session_failure_probability(&self) -> f64 {
+        NodeLifetime::Exponential {
+            mean_minutes: self.prone_mean_minutes,
+        }
+        .failure_probability(self.session_minutes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stable_nodes_never_fail() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(NodeLifetime::Stable.sample_failure(30.0, &mut rng), None);
+        assert_eq!(NodeLifetime::Stable.failure_probability(30.0), 0.0);
+    }
+
+    #[test]
+    fn calibrated_failure_probability() {
+        for p in [0.1, 0.3, 0.5] {
+            let m = ChurnModel::with_failure_probability(p, 30.0);
+            assert!(
+                (m.session_failure_probability() - p).abs() < 1e-9,
+                "calibration off at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = ChurnModel::with_failure_probability(0.3, 30.0);
+        let trials = 20_000;
+        let mut failures = 0;
+        for _ in 0..trials {
+            let node = m.sample_node(&mut rng);
+            if node.sample_failure(30.0, &mut rng).is_some() {
+                failures += 1;
+            }
+        }
+        let rate = failures as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn short_lifetimes_fail_often() {
+        // §8.2's failure-prone nodes: 15-minute mean over a 30-minute
+        // session → ~86% failure.
+        let n = NodeLifetime::Exponential {
+            mean_minutes: 15.0,
+        };
+        let p = n.failure_probability(30.0);
+        assert!(p > 0.8 && p < 0.9, "p={p}");
+    }
+
+    #[test]
+    fn failure_times_within_horizon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = NodeLifetime::Exponential { mean_minutes: 10.0 };
+        for _ in 0..500 {
+            if let Some(t) = n.sample_failure(30.0, &mut rng) {
+                assert!((0.0..30.0).contains(&t));
+            }
+        }
+    }
+}

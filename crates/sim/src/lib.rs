@@ -1,0 +1,29 @@
+//! Overlay churn and WAN simulation (§4.4, §8, §9.1).
+//!
+//! * [`analysis`] — the closed-form success probabilities of §8.1
+//!   (Eqs. 6–7) for information slicing, onion routing with erasure
+//!   codes, and standard onion routing.
+//! * [`churn`] — node-lifetime models, including the "failure-prone,
+//!   perceived lifetime under 20 minutes" PlanetLab population of §8.2.
+//! * [`transfer`] — Fig.-17-style session experiments driven through the
+//!   *real* protocol engines (`slicing-core` test net and the onion
+//!   baseline), with failures injected mid-session.
+//! * [`asmap`] — the §9.1 defence: a synthetic AS/prefix address space
+//!   and AS-diverse relay selection, quantifying how much harder an
+//!   address-concentrated attacker finds it to infiltrate a graph.
+//! * [`wan`] — latency/loss profiles (LAN, PlanetLab-like WAN) consumed
+//!   by the tokio overlay's emulated network.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod asmap;
+pub mod churn;
+pub mod transfer;
+pub mod wan;
+
+pub use analysis::{onion_ec_success, slicing_success, standard_onion_success};
+pub use churn::{ChurnModel, NodeLifetime};
+pub use transfer::{ChurnExperiment, SessionOutcome};
+pub use wan::NetProfile;

@@ -1,0 +1,302 @@
+//! Session-level churn experiments (Fig. 17), driven through the real
+//! protocol engines.
+//!
+//! "Given PlanetLab churn rate and failures, what is the probability of
+//! successfully completing a session that takes 30 minutes?" (§8.2).
+//! Each trial builds a real forwarding graph (or onion circuits), assigns
+//! every relay a failure time from the churn model, sends a train of
+//! messages across the session, killing nodes as their time comes, and
+//! asks whether the whole transfer completed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use slicing_core::testnet::TestNet;
+use slicing_core::{DestPlacement, GraphParams, OverlayAddr, SourceSession};
+use slicing_onion::{Directory, ErasureOnionSource, OnionRelay};
+
+use crate::churn::ChurnModel;
+
+/// Outcome counters of a batch of session trials.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SessionOutcome {
+    /// Trials attempted.
+    pub trials: usize,
+    /// Trials in which every message of the session was delivered.
+    pub successes: usize,
+}
+
+impl SessionOutcome {
+    /// Success probability.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+/// Parameters of a Fig.-17 churn experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnExperiment {
+    /// Path length `L`.
+    pub length: usize,
+    /// Split factor `d`.
+    pub split: usize,
+    /// Paths `d′`.
+    pub paths: usize,
+    /// Churn model (per-session failure probability of each relay).
+    pub churn: ChurnModel,
+    /// Messages sent across the session (checkpoints at which failures
+    /// take effect).
+    pub messages: usize,
+}
+
+impl ChurnExperiment {
+    /// Added redundancy `R`.
+    pub fn redundancy(&self) -> f64 {
+        (self.paths - self.split) as f64 / self.split as f64
+    }
+
+    /// One slicing session through the real engine: graph + relays +
+    /// failures injected between messages.
+    pub fn slicing_session(&self, seed: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dp = self.paths;
+        let pseudo: Vec<OverlayAddr> = (0..dp as u64).map(|i| OverlayAddr(1_000 + i)).collect();
+        let candidates: Vec<OverlayAddr> = (0..(self.length * dp + 4) as u64)
+            .map(|i| OverlayAddr(10_000 + i))
+            .collect();
+        let dest = OverlayAddr(1);
+        let mut all = candidates.clone();
+        all.push(dest);
+        let params = GraphParams::new(self.length, self.split)
+            .with_paths(dp)
+            .with_dest_placement(DestPlacement::LastStage);
+        let Ok((mut source, setup)) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, rng.gen())
+        else {
+            return false;
+        };
+        let mut net = TestNet::new(&all, rng.gen());
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+
+        // Assign failure times (in message-index units) to every relay on
+        // the graph except the destination.
+        let session = self.churn.session_minutes;
+        let mut failures: Vec<(f64, OverlayAddr)> = Vec::new();
+        for addr in source.graph().relay_addrs() {
+            if addr == dest {
+                continue;
+            }
+            let node = self.churn.sample_node(&mut rng);
+            if let Some(t) = node.sample_failure(session, &mut rng) {
+                failures.push((t / session, addr));
+            }
+        }
+        failures.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let mut fail_idx = 0;
+        let mut delivered = 0usize;
+        for m in 0..self.messages {
+            let progress = m as f64 / self.messages as f64;
+            while fail_idx < failures.len() && failures[fail_idx].0 <= progress {
+                net.fail(failures[fail_idx].1);
+                fail_idx += 1;
+            }
+            let (_, sends) = source.send_message(format!("chunk {m}").as_bytes());
+            net.submit(sends);
+            // Failures in k consecutive stages need k timeout-flush
+            // rounds to drain (§4.4.1 regeneration is timeout-driven at
+            // each cut); give the cascade the full depth.
+            net.settle(Some(&mut source), 1_200, self.length + 1);
+            let got = net.messages_for(dest);
+            if got.len() > delivered {
+                delivered = got.len();
+            }
+        }
+        delivered == self.messages
+    }
+
+    /// One onion-with-erasure-codes session: `d′` disjoint circuits, no
+    /// in-network regeneration — once a circuit loses a node it is dead
+    /// for the rest of the session (§8.1).
+    pub fn onion_ec_session(&self, seed: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0111);
+        let mut dir = Directory::new();
+        let dest = OverlayAddr(999);
+        let mut relays = std::collections::HashMap::new();
+        let kp = dir.register(dest, 256, &mut rng);
+        relays.insert(dest, OnionRelay::new(dest, kp));
+        // d' disjoint paths of length L (sharing only the exit).
+        let mut paths = Vec::new();
+        for p in 0..self.paths as u64 {
+            let mut path: Vec<OverlayAddr> = (0..(self.length - 1) as u64)
+                .map(|h| OverlayAddr(2_000 + p * 100 + h))
+                .collect();
+            for &a in &path {
+                let kp = dir.register(a, 256, &mut rng);
+                relays.insert(a, OnionRelay::new(a, kp));
+            }
+            path.push(dest);
+            paths.push(path);
+        }
+        let Ok((mut src, setups)) =
+            ErasureOnionSource::build(OverlayAddr(1), &paths, self.split, &dir, &mut rng)
+        else {
+            return false;
+        };
+        // Deliver setups.
+        let mut dead: Vec<OverlayAddr> = Vec::new();
+        let drive = |relays: &mut std::collections::HashMap<OverlayAddr, OnionRelay>,
+                     dead: &[OverlayAddr],
+                     sends: Vec<slicing_onion::OnionSend>|
+         -> Vec<(u32, Vec<u8>)> {
+            let mut delivered = Vec::new();
+            let mut queue = sends;
+            while let Some(send) = queue.pop() {
+                if dead.contains(&send.to) {
+                    continue;
+                }
+                let Some(relay) = relays.get_mut(&send.to) else {
+                    continue;
+                };
+                let out = relay.handle_packet(&send.packet);
+                queue.extend(out.sends);
+                delivered.extend(out.delivered);
+            }
+            delivered
+        };
+        drive(&mut relays, &dead, setups);
+
+        // Failure schedule over the relays (not the exit/destination).
+        let session = self.churn.session_minutes;
+        let mut failures: Vec<(f64, OverlayAddr)> = Vec::new();
+        for &addr in relays.keys() {
+            if addr == dest {
+                continue;
+            }
+            let node = self.churn.sample_node(&mut rng);
+            if let Some(t) = node.sample_failure(session, &mut rng) {
+                failures.push((t / session, addr));
+            }
+        }
+        failures.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let mut exit = slicing_onion::erasure::ErasureExit::new(self.split);
+        let mut fail_idx = 0;
+        for m in 0..self.messages {
+            let progress = m as f64 / self.messages as f64;
+            while fail_idx < failures.len() && failures[fail_idx].0 <= progress {
+                dead.push(failures[fail_idx].1);
+                fail_idx += 1;
+            }
+            let (seq, sends) = src.send_message(format!("chunk {m}").as_bytes(), &mut rng);
+            let payloads = drive(&mut relays, &dead, sends);
+            let mut ok = false;
+            for (s, p) in payloads {
+                if s == seq && exit.feed(s, &p).is_some() {
+                    ok = true;
+                }
+            }
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Standard onion routing: a single path; the session completes iff
+    /// no relay on it fails.
+    pub fn standard_onion_session(&self, seed: u64) -> bool {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0222);
+        let session = self.churn.session_minutes;
+        for _hop in 0..self.length {
+            let node = self.churn.sample_node(&mut rng);
+            if node.sample_failure(session, &mut rng).is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Run `trials` sessions of each scheme.
+    pub fn run(&self, trials: usize, seed: u64) -> (SessionOutcome, SessionOutcome, SessionOutcome) {
+        let mut slicing = SessionOutcome::default();
+        let mut onion_ec = SessionOutcome::default();
+        let mut onion = SessionOutcome::default();
+        for t in 0..trials {
+            let s = seed.wrapping_add(t as u64).wrapping_mul(0x9E3779B97F4A7C15);
+            slicing.trials += 1;
+            slicing.successes += usize::from(self.slicing_session(s));
+            onion_ec.trials += 1;
+            onion_ec.successes += usize::from(self.onion_ec_session(s));
+            onion.trials += 1;
+            onion.successes += usize::from(self.standard_onion_session(s));
+        }
+        (slicing, onion_ec, onion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn experiment(d: usize, dp: usize, p: f64) -> ChurnExperiment {
+        ChurnExperiment {
+            length: 5,
+            split: d,
+            paths: dp,
+            churn: ChurnModel::with_failure_probability(p, 30.0),
+            messages: 5,
+        }
+    }
+
+    #[test]
+    fn no_churn_all_succeed() {
+        let e = experiment(2, 2, 0.0);
+        assert!(e.slicing_session(1));
+        assert!(e.onion_ec_session(1));
+        assert!(e.standard_onion_session(1));
+    }
+
+    #[test]
+    fn slicing_with_redundancy_beats_standard_onion() {
+        let e = experiment(2, 3, 0.15);
+        let (s, _ec, o) = e.run(30, 7);
+        assert!(
+            s.rate() > o.rate(),
+            "slicing {} must beat standard onion {}",
+            s.rate(),
+            o.rate()
+        );
+    }
+
+    #[test]
+    fn slicing_matches_analytic_roughly() {
+        // The packet-level simulation should land near Eq. 7 (it can be
+        // slightly better: recoding shares rank across stages).
+        let e = experiment(2, 3, 0.1);
+        let (s, ..) = e.run(60, 11);
+        let analytic = crate::analysis::slicing_success(5, 2, 3, 0.1);
+        assert!(
+            (s.rate() - analytic).abs() < 0.22,
+            "sim {} vs Eq.7 {}",
+            s.rate(),
+            analytic
+        );
+    }
+
+    #[test]
+    fn heavy_churn_sinks_standard_onion() {
+        let e = experiment(2, 4, 0.3);
+        let (s, ec, o) = e.run(30, 13);
+        assert!(o.rate() < 0.4, "standard onion should mostly fail");
+        // Slicing with R=1 should do clearly better than standard onion.
+        assert!(s.rate() > o.rate());
+        // And at least as well as onion+EC.
+        assert!(s.rate() >= ec.rate() - 0.1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Network condition profiles for the emulated transport.
+//!
+//! Substitutes for the paper's two testbeds (§7): the 1 Gbps switched LAN
+//! of Pentium boxes, and the PlanetLab slice whose nodes are spread
+//! world-wide and heavily loaded ("high CPU utilization leading up to the
+//! conference deadline").
+
+use rand::Rng;
+
+/// A network/host condition profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetProfile {
+    /// Minimum one-way propagation delay per link (ms).
+    pub min_delay_ms: f64,
+    /// Maximum one-way propagation delay per link (ms).
+    pub max_delay_ms: f64,
+    /// Mean extra per-packet processing delay from host load (ms).
+    pub load_delay_ms: f64,
+    /// Per-packet loss probability.
+    pub loss: f64,
+    /// Per-node bandwidth cap in bytes/ms (0 = uncapped).
+    pub bandwidth_bytes_per_ms: f64,
+    /// Per-link (sender, receiver pair) throughput cap in bytes/ms —
+    /// models single-connection limits (TCP window / RTT); this is what
+    /// makes `d` parallel paths outperform one path (§7.2).
+    pub link_bytes_per_ms: f64,
+}
+
+impl NetProfile {
+    /// 1 Gbps switched LAN: sub-millisecond RTT, unloaded hosts.
+    pub fn lan() -> Self {
+        NetProfile {
+            min_delay_ms: 0.05,
+            max_delay_ms: 0.3,
+            load_delay_ms: 0.02,
+            loss: 0.0,
+            bandwidth_bytes_per_ms: 125_000.0, // ~1 Gbps
+            link_bytes_per_ms: 4_000.0,        // ~32 Mbps single stream
+        }
+    }
+
+    /// PlanetLab-like WAN: world-spanning RTTs, loaded hosts.
+    ///
+    /// Loss is 0: the paper's prototype ran over TCP, i.e. reliable
+    /// links — the emulated transport models that delivery guarantee
+    /// while keeping delay/bandwidth realism. Use
+    /// [`NetProfile::planetlab_lossy`] to stress the protocol with raw
+    /// datagram loss instead.
+    pub fn planetlab() -> Self {
+        NetProfile {
+            min_delay_ms: 20.0,
+            max_delay_ms: 150.0,
+            load_delay_ms: 15.0,
+            loss: 0.0,
+            bandwidth_bytes_per_ms: 1_250.0, // ~10 Mbps per node
+            link_bytes_per_ms: 110.0,        // ~0.9 Mbps single stream
+        }
+    }
+
+    /// PlanetLab conditions with 1% raw packet loss (datagram
+    /// semantics) — exercises the redundancy/regeneration machinery.
+    pub fn planetlab_lossy() -> Self {
+        NetProfile {
+            loss: 0.01,
+            ..Self::planetlab()
+        }
+    }
+
+    /// Sample the one-way delay for a fresh link.
+    pub fn sample_link_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        rng.gen_range(self.min_delay_ms..=self.max_delay_ms)
+    }
+
+    /// Sample the per-packet processing delay of a loaded host
+    /// (exponential around the mean).
+    pub fn sample_load_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.load_delay_ms <= 0.0 {
+            return 0.0;
+        }
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        -self.load_delay_ms * u.ln()
+    }
+
+    /// Transmission time of `bytes` under the bandwidth cap (ms).
+    pub fn transmission_ms(&self, bytes: usize) -> f64 {
+        if self.bandwidth_bytes_per_ms <= 0.0 {
+            0.0
+        } else {
+            bytes as f64 / self.bandwidth_bytes_per_ms
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lan_is_fast() {
+        let lan = NetProfile::lan();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(lan.sample_link_delay(&mut rng) < 1.0);
+        }
+        // 1500 B at 1 Gbps ≈ 12 µs.
+        assert!(lan.transmission_ms(1500) < 0.02);
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lan = NetProfile::lan();
+        let wan = NetProfile::planetlab();
+        let l = lan.sample_link_delay(&mut rng);
+        let w = wan.sample_link_delay(&mut rng);
+        assert!(w > l * 10.0);
+        assert!(wan.transmission_ms(1500) > lan.transmission_ms(1500));
+    }
+
+    #[test]
+    fn load_delay_distribution() {
+        let wan = NetProfile::planetlab();
+        let mut rng = StdRng::seed_from_u64(3);
+        let samples: Vec<f64> = (0..5000).map(|_| wan.sample_load_delay(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 15.0).abs() < 1.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,106 @@
+//! CRC-32 (IEEE 802.3) for slice-slot integrity.
+//!
+//! Slots that a relay could not fill (failed parent) are padded with
+//! random bytes (§4.3.6); the final consumer of a slice uses this CRC to
+//! tell real slices from padding before decoding. This is an integrity
+//! sanity check, not an authenticity mechanism — authenticity of data
+//! comes from the AEAD layer.
+
+/// CRC-32 lookup table (reflected, polynomial 0xEDB88320).
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Compute the CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Append the CRC-32 of `data` (little-endian) to it.
+pub fn append_crc(data: &mut Vec<u8>) {
+    let c = crc32(data);
+    data.extend_from_slice(&c.to_le_bytes());
+}
+
+/// Verify and strip a trailing CRC-32; returns the payload on success.
+pub fn check_crc(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < 4 {
+        return None;
+    }
+    let (payload, tail) = data.split_at(data.len() - 4);
+    let expected = u32::from_le_bytes([tail[0], tail[1], tail[2], tail[3]]);
+    if crc32(payload) == expected {
+        Some(payload)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_and_check_round_trip() {
+        let mut data = b"slice contents".to_vec();
+        append_crc(&mut data);
+        assert_eq!(check_crc(&data).unwrap(), b"slice contents");
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut data = b"slice contents".to_vec();
+        append_crc(&mut data);
+        data[3] ^= 0x40;
+        assert!(check_crc(&data).is_none());
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(check_crc(&[1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn random_padding_rejected() {
+        // A random slot should essentially never pass the CRC.
+        use rand::Rng;
+        let mut rng = rand::thread_rng();
+        for _ in 0..50 {
+            let data: Vec<u8> = (0..40).map(|_| rng.gen()).collect();
+            assert!(check_crc(&data).is_none());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Wire format for information-slicing packets (Fig. 3, §4.3.3, §9.4(c)).
+//!
+//! A packet carries a cleartext **flow-id** (so a relay can group the `d`
+//! packets of one flow, §4.3.1) followed by a fixed number of equal-size
+//! **slots**. Slot 0 is always the slice addressed to the receiving relay;
+//! the remaining slots are opaque to it (they hold downstream slices,
+//! possibly wrapped in per-hop transforms, or the random padding a relay
+//! inserts in place of its consumed slice, §4.3.6).
+//!
+//! Every packet of a flow has identical length at every hop — the
+//! slice-map machinery replaces consumed slices with padding rather than
+//! shrinking packets, defeating packet-size analysis (§9.4(c)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// Magic bytes prefixed to every packet ("IS").
+pub const MAGIC: [u8; 2] = [0x49, 0x53];
+/// Wire format version.
+pub const VERSION: u8 = 1;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 20;
+
+/// A 64-bit cleartext flow identifier.
+///
+/// Flow-ids change at every hop ("to prevent the attacker from detecting
+/// the path by matching flow-ids", §4.3.1); all parents of one child use
+/// the same flow-id so the child can group packets of the flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+impl FlowId {
+    /// Sample a fresh random flow id.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
+        FlowId(rng.gen())
+    }
+}
+
+impl std::fmt::Debug for FlowId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flow:{:016x}", self.0)
+    }
+}
+
+/// What phase of the protocol a packet belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PacketKind {
+    /// Graph-establishment packet: slots carry per-node information
+    /// slices (§4.3.4).
+    Setup,
+    /// Data packet: slots carry coded data slices (§4.3.7).
+    Data,
+}
+
+impl PacketKind {
+    fn to_byte(self) -> u8 {
+        match self {
+            PacketKind::Setup => 0,
+            PacketKind::Data => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(PacketKind::Setup),
+            1 => Some(PacketKind::Data),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed packet header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PacketHeader {
+    /// Protocol phase.
+    pub kind: PacketKind,
+    /// Cleartext flow identifier.
+    pub flow_id: FlowId,
+    /// Message sequence number within the flow (0 for setup packets).
+    pub seq: u32,
+    /// Split factor of the flow (coefficients per slice).
+    pub d: u8,
+    /// Number of slots in the packet (the paper's `L` slices, Fig. 3).
+    pub slot_count: u8,
+    /// Length of each slot in bytes (`d + block_len`).
+    pub slot_len: u16,
+}
+
+/// A wire packet: header plus `slot_count` opaque slots of `slot_len`
+/// bytes each.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The header.
+    pub header: PacketHeader,
+    /// The slots. `slots.len() == slot_count`, each of `slot_len` bytes.
+    pub slots: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for Packet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Packet({:?}, {:?}, {} slots x {}B)",
+            self.header.kind, self.header.flow_id, self.header.slot_count, self.header.slot_len
+        )
+    }
+}
+
+/// Decoding failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input shorter than the header or the declared body.
+    Truncated,
+    /// Magic bytes missing.
+    BadMagic,
+    /// Unknown version.
+    BadVersion,
+    /// Unknown packet kind byte.
+    BadKind,
+    /// Header fields are internally inconsistent (e.g. zero slots).
+    Inconsistent,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "packet truncated"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::BadVersion => write!(f, "unsupported version"),
+            WireError::BadKind => write!(f, "unknown packet kind"),
+            WireError::Inconsistent => write!(f, "inconsistent header"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl Packet {
+    /// Assemble a packet.
+    ///
+    /// # Panics
+    /// Panics if the slots don't match the header's declared shape.
+    pub fn new(header: PacketHeader, slots: Vec<Vec<u8>>) -> Self {
+        assert_eq!(slots.len(), header.slot_count as usize, "slot count");
+        assert!(
+            slots.iter().all(|s| s.len() == header.slot_len as usize),
+            "slot length"
+        );
+        Packet { header, slots }
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.header.slot_count as usize * self.header.slot_len as usize
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(self.wire_len());
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(self.header.kind.to_byte());
+        buf.put_u64_le(self.header.flow_id.0);
+        buf.put_u32_le(self.header.seq);
+        buf.put_u8(self.header.d);
+        buf.put_u8(self.header.slot_count);
+        buf.put_u16_le(self.header.slot_len);
+        for slot in &self.slots {
+            buf.put_slice(slot);
+        }
+        buf.to_vec()
+    }
+
+    /// Deserialize, validating shape.
+    pub fn decode(mut bytes: &[u8]) -> Result<Packet, WireError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut magic = [0u8; 2];
+        bytes.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = bytes.get_u8();
+        if version != VERSION {
+            return Err(WireError::BadVersion);
+        }
+        let kind = PacketKind::from_byte(bytes.get_u8()).ok_or(WireError::BadKind)?;
+        let flow_id = FlowId(bytes.get_u64_le());
+        let seq = bytes.get_u32_le();
+        let d = bytes.get_u8();
+        let slot_count = bytes.get_u8();
+        let slot_len = bytes.get_u16_le();
+        if d == 0 || slot_count == 0 || (d as u16) > slot_len {
+            return Err(WireError::Inconsistent);
+        }
+        let body_len = slot_count as usize * slot_len as usize;
+        if bytes.remaining() != body_len {
+            return Err(WireError::Truncated);
+        }
+        let mut slots = Vec::with_capacity(slot_count as usize);
+        for _ in 0..slot_count {
+            let mut slot = vec![0u8; slot_len as usize];
+            bytes.copy_to_slice(&mut slot);
+            slots.push(slot);
+        }
+        Ok(Packet {
+            header: PacketHeader {
+                kind,
+                flow_id,
+                seq,
+                d,
+                slot_count,
+                slot_len,
+            },
+            slots,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::new(
+            PacketHeader {
+                kind: PacketKind::Setup,
+                flow_id: FlowId(0xDEADBEEF12345678),
+                seq: 7,
+                d: 2,
+                slot_count: 3,
+                slot_len: 10,
+            },
+            vec![vec![1u8; 10], vec![2u8; 10], vec![3u8; 10]],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let p = sample();
+        let bytes = p.encode();
+        assert_eq!(bytes.len(), p.wire_len());
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let bytes = sample().encode();
+        for cut in [0usize, 1, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
+            assert_eq!(
+                Packet::decode(&bytes[..cut]).unwrap_err(),
+                WireError::Truncated,
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().encode();
+        bytes[0] ^= 0xFF;
+        assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample().encode();
+        bytes[2] = 99;
+        assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadVersion);
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = sample().encode();
+        bytes[3] = 7;
+        assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadKind);
+    }
+
+    #[test]
+    fn zero_d_rejected() {
+        let mut bytes = sample().encode();
+        bytes[16] = 0; // d field
+        assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::Inconsistent);
+    }
+
+    #[test]
+    fn constant_size_for_flow() {
+        // Packets of one flow shape always encode to the same length,
+        // regardless of slot content (§9.4(c)).
+        let p1 = sample();
+        let mut p2 = sample();
+        p2.slots[1] = vec![0xFF; 10];
+        assert_eq!(p1.encode().len(), p2.encode().len());
+    }
+
+    #[test]
+    fn kind_round_trips() {
+        for kind in [PacketKind::Setup, PacketKind::Data] {
+            assert_eq!(PacketKind::from_byte(kind.to_byte()), Some(kind));
+        }
+        assert_eq!(PacketKind::from_byte(255), None);
+    }
+
+    #[test]
+    fn flow_id_randomness() {
+        let mut rng = rand::thread_rng();
+        let a = FlowId::random(&mut rng);
+        let b = FlowId::random(&mut rng);
+        assert_ne!(a, b); // 2^-64 collision chance
+    }
+}

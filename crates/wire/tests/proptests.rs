@@ -1,0 +1,61 @@
+//! Property tests: wire round-trip totality and decoder robustness.
+
+use proptest::prelude::*;
+use slicing_wire::{FlowId, Packet, PacketHeader, PacketKind};
+
+proptest! {
+    /// encode ∘ decode is the identity for every valid packet shape.
+    #[test]
+    fn round_trip(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
+                  extra in 0u16..64, kind in any::<bool>(),
+                  content_seed in any::<u64>()) {
+        let slot_len = d as u16 + extra;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(content_seed);
+        let slot_data: Vec<Vec<u8>> = (0..slots)
+            .map(|_| (0..slot_len).map(|_| rng.gen()).collect())
+            .collect();
+        let p = Packet::new(
+            PacketHeader {
+                kind: if kind { PacketKind::Setup } else { PacketKind::Data },
+                flow_id: FlowId(flow),
+                seq: flow as u32,
+                d,
+                slot_count: slots,
+                slot_len,
+            },
+            slot_data,
+        );
+        prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    /// The decoder never panics on arbitrary input.
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Packet::decode(&bytes);
+    }
+
+    /// Any single-byte corruption either still parses to a same-shape
+    /// packet or fails cleanly — never panics, never changes length
+    /// interpretation silently.
+    #[test]
+    fn bitflip_robustness(pos in any::<u16>(), bit in 0u8..8) {
+        let p = Packet::new(
+            PacketHeader {
+                kind: PacketKind::Data,
+                flow_id: FlowId(42),
+                seq: 1,
+                d: 3,
+                slot_count: 4,
+                slot_len: 20,
+            },
+            vec![vec![7u8; 20]; 4],
+        );
+        let mut bytes = p.encode();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        if let Ok(decoded) = Packet::decode(&bytes) {
+            prop_assert_eq!(decoded.wire_len(), bytes.len());
+        }
+    }
+}

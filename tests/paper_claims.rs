@@ -1,0 +1,150 @@
+//! Integration tests pinning the paper's quantitative claims: the
+//! analytic formulas against the Monte-Carlo engines, and the headline
+//! orderings of each figure.
+
+use information_slicing::anonymity::chaum::ChaumParams;
+use information_slicing::anonymity::montecarlo::{average_anonymity, average_chaum};
+use information_slicing::anonymity::ScenarioParams;
+use information_slicing::sim::analysis;
+use information_slicing::sim::churn::ChurnModel;
+use information_slicing::sim::transfer::ChurnExperiment;
+
+/// Fig. 7: anonymity high at low f, destination decays faster, slicing
+/// comparable to Chaum mixes.
+#[test]
+fn fig7_claims() {
+    let trials = 800;
+    let at = |f: f64| average_anonymity(&ScenarioParams::new(10_000, 8, 3, f), trials, 5);
+    let low = at(0.05);
+    assert!(low.source > 0.85 && low.dest > 0.75, "{low:?}");
+    let mid = at(0.2);
+    assert!(mid.dest < mid.source + 0.02, "dest decays faster: {mid:?}");
+    let chaum = average_chaum(
+        &ChaumParams {
+            n: 10_000,
+            length: 8,
+            fraction_malicious: 0.05,
+        },
+        trials,
+        5,
+    );
+    assert!((low.source - chaum.source).abs() < 0.12);
+}
+
+/// Fig. 8: at low f anonymity mildly decreases with d; at high f the
+/// full-stage effect reverses the trend for the destination.
+#[test]
+fn fig8_claims() {
+    let trials = 1200;
+    let at = |d: usize, f: f64| average_anonymity(&ScenarioParams::new(10_000, 8, d, f), trials, 6);
+    let low_d2 = at(2, 0.1);
+    let low_d8 = at(8, 0.1);
+    assert!(
+        low_d8.source <= low_d2.source + 0.03,
+        "low f: more exposure with d: {} vs {}",
+        low_d8.source,
+        low_d2.source
+    );
+    let high_d2 = at(2, 0.4);
+    let high_d8 = at(8, 0.4);
+    assert!(
+        high_d8.dest > high_d2.dest,
+        "high f: larger stages resist full compromise: {} vs {}",
+        high_d8.dest,
+        high_d2.dest
+    );
+}
+
+/// Fig. 9: anonymity grows with L.
+#[test]
+fn fig9_claims() {
+    let trials = 1200;
+    let at = |l: usize| average_anonymity(&ScenarioParams::new(10_000, l, 3, 0.1), trials, 7);
+    assert!(at(16).source > at(2).source);
+    assert!(at(16).dest > at(2).dest);
+}
+
+/// Fig. 10: redundancy costs destination anonymity, not source.
+#[test]
+fn fig10_claims() {
+    let trials = 1500;
+    let at = |w: usize| {
+        average_anonymity(
+            &ScenarioParams::new(10_000, 8, 3, 0.1).with_width(w),
+            trials,
+            8,
+        )
+    };
+    let no_red = at(3);
+    let high_red = at(9);
+    assert!(high_red.dest < no_red.dest, "dest falls with redundancy");
+    // "Source anonymity is not that adversely affected": it must fall
+    // strictly less than destination anonymity does, and stay high.
+    let src_drop = no_red.source - high_red.source;
+    let dst_drop = no_red.dest - high_red.dest;
+    assert!(
+        dst_drop > src_drop,
+        "dest must suffer more: src drop {src_drop:.3} vs dst drop {dst_drop:.3}"
+    );
+    assert!(high_red.source > 0.6, "source stays high: {}", high_red.source);
+}
+
+/// Fig. 16: for equal redundancy and failure rate, Eq. 7 (slicing)
+/// dominates Eq. 6 (onion + erasure codes).
+#[test]
+fn fig16_claims() {
+    for p in [0.1, 0.3] {
+        for dp in 2..=10u64 {
+            assert!(
+                analysis::slicing_success(5, 2, dp, p)
+                    >= analysis::onion_ec_success(5, 2, dp, p) - 1e-12
+            );
+        }
+    }
+    // Crossover magnitude at the paper's example point.
+    let s = analysis::slicing_success(5, 2, 4, 0.3);
+    let o = analysis::onion_ec_success(5, 2, 4, 0.3);
+    assert!(s - o > 0.25, "gap at R=1, p=0.3: {s} vs {o}");
+}
+
+/// Fig. 17: measured through the real engines — standard onion mostly
+/// fails, slicing reaches high success with modest redundancy.
+#[test]
+fn fig17_claims() {
+    let e = ChurnExperiment {
+        length: 5,
+        split: 2,
+        paths: 4,
+        churn: ChurnModel::with_failure_probability(0.2, 30.0),
+        messages: 4,
+    };
+    let (s, ec, o) = e.run(40, 17);
+    assert!(o.rate() < 0.55, "standard onion too lucky: {}", o.rate());
+    assert!(s.rate() > 0.8, "slicing should mostly succeed: {}", s.rate());
+    assert!(s.rate() >= ec.rate() - 0.05, "slicing >= onion+EC");
+}
+
+/// §7.1: coding cost is ~d GF multiplies per byte — encode time grows
+/// roughly linearly in d.
+#[test]
+fn micro_cost_scaling() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::time::Instant;
+    let mut rng = StdRng::seed_from_u64(3);
+    let packet = vec![0u8; 1500];
+    let time_at = |d: usize, rng: &mut StdRng| {
+        let start = Instant::now();
+        for _ in 0..300 {
+            let _ = information_slicing::codec::encode(&packet, d, d, rng);
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let t2 = time_at(2, &mut rng);
+    let t8 = time_at(8, &mut rng);
+    // 4x the multiplies; allow wide margin for fixed overheads.
+    assert!(
+        t8 > t2 * 1.5,
+        "encode cost must grow with d: t2={t2:.4}s t8={t8:.4}s"
+    );
+}
