@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use slicing_gf::{Field, Gf256, Gf65536, Matrix};
+use rand::{RngCore, SeedableRng};
+use slicing_gf::{bulk, Field, Gf256, Gf65536, Matrix};
 
 fn gf(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(11);
@@ -37,6 +37,42 @@ fn gf(c: &mut Criterion) {
             }
             acc
         });
+    });
+    group.finish();
+
+    // The bulk byte-slice kernels every packet payload goes through,
+    // against the element-at-a-time loops they replaced.
+    let mut group = c.benchmark_group("bulk_kernels_4096B");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    let mut src = vec![0u8; 4096];
+    rng.fill_bytes(&mut src);
+    let mut dst = vec![0u8; 4096];
+    rng.fill_bytes(&mut dst);
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("scalar_axpy", |bench| {
+        bench.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= Gf256::mul_bytes(0xA7, s);
+            }
+        });
+    });
+    group.bench_function("bulk_mul_add", |bench| {
+        bench.iter(|| bulk::mul_add_slice(&mut dst, 0xA7, &src));
+    });
+    group.bench_function("scalar_xor", |bench| {
+        bench.iter(|| {
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= s;
+            }
+        });
+    });
+    group.bench_function("bulk_xor", |bench| {
+        bench.iter(|| bulk::xor_slice(&mut dst, &src));
+    });
+    group.bench_function("bulk_mul_slice", |bench| {
+        bench.iter(|| bulk::mul_slice(&mut dst, 0xA7));
     });
     group.finish();
 

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use slicing_gf::{mds, Gf256, Matrix};
+use slicing_gf::{bulk, mds, Gf256, Matrix};
 
 use crate::slice::{InfoSlice, SlicedMessage};
 
@@ -39,26 +39,6 @@ impl std::fmt::Display for CodecError {
 }
 
 impl std::error::Error for CodecError {}
-
-/// `dst[j] += c · src[j]` over GF(2⁸) — the hot kernel (§7.1 measures
-/// exactly this: coding costs ~d of these multiplies per byte).
-#[inline]
-pub fn axpy_bytes(dst: &mut [u8], c: u8, src: &[u8]) {
-    debug_assert_eq!(dst.len(), src.len());
-    match c {
-        0 => {}
-        1 => {
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d ^= s;
-            }
-        }
-        _ => {
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d ^= Gf256::mul_bytes(c, s);
-            }
-        }
-    }
-}
 
 /// Split `msg` into `d` equal blocks (4-byte little-endian length prefix,
 /// zero padding), returning `(blocks, block_len)`.
@@ -107,7 +87,12 @@ pub fn encode_blocks(g: &Matrix<Gf256>, blocks: &[Vec<u8>]) -> Vec<InfoSlice> {
         for (k, block) in blocks.iter().enumerate() {
             let c = g.get(i, k).value();
             coeffs.push(c);
-            axpy_bytes(&mut payload, c, block);
+            if k == 0 {
+                // Fresh payload: a straight scaled copy beats xor-into-zero.
+                bulk::mul_slice_into(&mut payload, c, block);
+            } else {
+                bulk::mul_add_slice(&mut payload, c, block);
+            }
         }
         out.push(InfoSlice::new(coeffs, payload));
     }
@@ -189,7 +174,11 @@ pub fn decode_blocks(slices: &[InfoSlice], d: usize) -> Result<Vec<Vec<u8>>, Cod
     let mut blocks = vec![vec![0u8; block_len]; d];
     for (k, block) in blocks.iter_mut().enumerate() {
         for (i, s) in chosen.iter().enumerate() {
-            axpy_bytes(block, inv.get(k, i).value(), &s.payload);
+            if i == 0 {
+                bulk::mul_slice_into(block, inv.get(k, i).value(), &s.payload);
+            } else {
+                bulk::mul_add_slice(block, inv.get(k, i).value(), &s.payload);
+            }
         }
     }
     Ok(blocks)

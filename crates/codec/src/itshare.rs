@@ -11,6 +11,8 @@
 
 use rand::Rng;
 
+use slicing_gf::bulk;
+
 /// Shares of one block under `d`-of-`d` additive sharing.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Shares {
@@ -29,9 +31,7 @@ pub fn share<R: Rng + ?Sized>(block: &[u8], d: usize, rng: &mut R) -> Shares {
     for _ in 0..d - 1 {
         let mut pad = vec![0u8; block.len()];
         rng.fill_bytes(&mut pad);
-        for (a, p) in acc.iter_mut().zip(pad.iter()) {
-            *a ^= p;
-        }
+        bulk::xor_slice(&mut acc, &pad);
         shares.push(pad);
     }
     shares.push(acc);
@@ -51,9 +51,7 @@ pub fn reconstruct(shares: &Shares) -> Vec<u8> {
     );
     let mut out = vec![0u8; len];
     for s in &shares.shares {
-        for (o, b) in out.iter_mut().zip(s.iter()) {
-            *o ^= b;
-        }
+        bulk::xor_slice(&mut out, s);
     }
     out
 }

@@ -11,9 +11,37 @@
 
 use rand::Rng;
 
+use slicing_gf::bulk;
 
-use crate::coder::axpy_bytes;
 use crate::slice::InfoSlice;
+
+fn assert_consistent(slices: &[InfoSlice]) -> (usize, usize) {
+    assert!(!slices.is_empty(), "cannot recombine zero slices");
+    let d = slices[0].coeffs.len();
+    let block_len = slices[0].payload.len();
+    assert!(
+        slices
+            .iter()
+            .all(|s| s.coeffs.len() == d && s.payload.len() == block_len),
+        "inconsistent slice shapes"
+    );
+    (d, block_len)
+}
+
+/// Accumulate one random combination into pre-zeroed `coeffs`/`payload`
+/// buffers through the shared bulk kernels.
+fn mix_into<R: Rng + ?Sized>(
+    slices: &[InfoSlice],
+    rng: &mut R,
+    coeffs: &mut [u8],
+    payload: &mut [u8],
+) {
+    for s in slices {
+        let p: u8 = rng.gen_range(1..=255);
+        bulk::mul_add_slice(coeffs, p, &s.coeffs);
+        bulk::mul_add_slice(payload, p, &s.payload);
+    }
+}
 
 /// Produce a fresh slice as a random linear combination of `slices`.
 ///
@@ -26,23 +54,37 @@ use crate::slice::InfoSlice;
 /// # Panics
 /// Panics if `slices` is empty or shapes are inconsistent.
 pub fn recombine<R: Rng + ?Sized>(slices: &[InfoSlice], rng: &mut R) -> InfoSlice {
-    assert!(!slices.is_empty(), "cannot recombine zero slices");
-    let d = slices[0].coeffs.len();
-    let block_len = slices[0].payload.len();
-    assert!(
-        slices
-            .iter()
-            .all(|s| s.coeffs.len() == d && s.payload.len() == block_len),
-        "inconsistent slice shapes"
-    );
+    let (d, block_len) = assert_consistent(slices);
     let mut coeffs = vec![0u8; d];
     let mut payload = vec![0u8; block_len];
-    for s in slices {
-        let p: u8 = rng.gen_range(1..=255);
-        axpy_bytes(&mut coeffs, p, &s.coeffs);
-        axpy_bytes(&mut payload, p, &s.payload);
-    }
+    mix_into(slices, rng, &mut coeffs, &mut payload);
     InfoSlice::new(coeffs, payload)
+}
+
+/// Produce `n` fresh random combinations of `slices` in one pass.
+///
+/// This is the relay-side regeneration entry point (§4.4.1): a relay
+/// that must fabricate several outgoing slices (lost redundancy, or
+/// Recode-mode fan-out to all children) asks for them together, so every
+/// coded byte goes through the same [`bulk`] kernels and the shape
+/// checks run once instead of per slice.
+///
+/// # Panics
+/// Panics if `slices` is empty or shapes are inconsistent.
+pub fn recombine_batch<R: Rng + ?Sized>(
+    slices: &[InfoSlice],
+    n: usize,
+    rng: &mut R,
+) -> Vec<InfoSlice> {
+    let (d, block_len) = assert_consistent(slices);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut coeffs = vec![0u8; d];
+        let mut payload = vec![0u8; block_len];
+        mix_into(slices, rng, &mut coeffs, &mut payload);
+        out.push(InfoSlice::new(coeffs, payload));
+    }
+    out
 }
 
 /// Regenerate up to `want` slices from the `have` received ones,
@@ -58,8 +100,8 @@ pub fn restore_redundancy<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<InfoSlice> {
     let mut out: Vec<InfoSlice> = have.to_vec();
-    while out.len() < want {
-        out.push(recombine(have, rng));
+    if out.len() < want {
+        out.extend(recombine_batch(have, want - out.len(), rng));
     }
     out
 }

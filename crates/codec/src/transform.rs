@@ -18,7 +18,7 @@
 use rand::Rng;
 
 use slicing_crypto::chacha20::ChaCha20;
-use slicing_gf::{Field, Gf256};
+use slicing_gf::{bulk, Field, Gf256};
 
 /// Length of a transform seed in bytes.
 pub const SEED_LEN: usize = 16;
@@ -81,23 +81,21 @@ impl HopTransform {
         pad
     }
 
-    /// Apply the forward transform in place: `b ← mult·b + pad`.
+    /// Apply the forward transform in place: `b ← mult·b + pad`, fused
+    /// into a single pass over the buffer.
     pub fn apply(&self, data: &mut [u8]) {
         debug_assert!(self.mult != 0);
         let pad = self.pad(data.len());
-        for (b, p) in data.iter_mut().zip(pad.iter()) {
-            *b = Gf256::mul_bytes(self.mult, *b) ^ p;
-        }
+        bulk::mul_xor_slice(data, self.mult, &pad);
     }
 
-    /// Apply the inverse transform in place: `b ← mult⁻¹·(b − pad)`.
+    /// Apply the inverse transform in place: `b ← mult⁻¹·(b − pad)`,
+    /// fused into a single pass over the buffer.
     pub fn unapply(&self, data: &mut [u8]) {
         debug_assert!(self.mult != 0);
         let inv = Gf256::new(self.mult).inv().value();
         let pad = self.pad(data.len());
-        for (b, p) in data.iter_mut().zip(pad.iter()) {
-            *b = Gf256::mul_bytes(inv, *b ^ p);
-        }
+        bulk::xor_mul_slice(data, inv, &pad);
     }
 }
 

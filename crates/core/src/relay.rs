@@ -483,6 +483,19 @@ impl RelayNode {
         let info = active.info.clone();
         let d = info.d as usize;
         let seq = packet.header.seq;
+        // Only the flow's own neighbours may contribute slices: parents
+        // on the forward path, children on the reverse. Anything else
+        // could poison the gather's shape or inflate the completeness
+        // count toward a premature flush.
+        let legitimate = if is_reverse {
+            info.children.iter().any(|&(a, _)| a == from)
+        } else {
+            info.parents.iter().any(|&(a, _)| a == from)
+        };
+        if !legitimate {
+            self.stats.drops += 1;
+            return RelayOutput::default();
+        }
         let gathers = if is_reverse {
             &mut active.reverse
         } else {
@@ -504,7 +517,19 @@ impl RelayNode {
                 continue;
             }
             if let Some(slice) = parse_clean_slot(d, slot_len - d - 4, slot) {
-                gather.slices.push((from, slice));
+                // One coded shape per gather: a CRC-valid slot of a
+                // different length can be neither combined nor decoded
+                // with the rest, and must not reach the recombination
+                // kernels (whose shape check would panic the relay).
+                let consistent = gather
+                    .slices
+                    .first()
+                    .is_none_or(|(_, s)| s.payload.len() == slice.payload.len());
+                if consistent {
+                    gather.slices.push((from, slice));
+                } else {
+                    self.stats.drops += 1;
+                }
             }
         }
         // Expected senders: parents for forward flows, children for
@@ -576,27 +601,39 @@ impl RelayNode {
             return out;
         }
 
-        let slot_len = info.d as usize + slices[0].payload.len() + 4;
-        for (j, &(addr, next_flow)) in next_hops.iter().enumerate() {
-            let slice = if info.recode || is_reverse {
-                // Fresh random combination per neighbour (§4.4.1 applied
-                // continuously; also defeats pattern tracking, §9.4(a)).
-                recombine::recombine(&slices, &mut self.rng)
-            } else {
-                // Static data-map: pipe the designated parent's slice;
-                // regenerate it by recombination if it was lost (§4.4.1).
-                let want = info
-                    .data_map
+        // Decide per hop whether the designated parent's slice survives;
+        // every shortfall is regenerated in one batch through the shared
+        // bulk kernels (§4.4.1 applied continuously in Recode mode, which
+        // also defeats pattern tracking, §9.4(a)).
+        let picks: Vec<Option<InfoSlice>> = next_hops
+            .iter()
+            .enumerate()
+            .map(|(j, _)| {
+                if info.recode || is_reverse {
+                    // Fresh random combination for every neighbour.
+                    return None;
+                }
+                // Static data-map: pipe the designated parent's slice.
+                info.data_map
                     .get(j)
                     .and_then(|&p| info.parents.get(p as usize))
-                    .map(|&(addr, _)| addr);
-                match want.and_then(|w| {
-                    tagged.iter().find(|(o, _)| *o == w).map(|(_, s)| s.clone())
-                }) {
-                    Some(s) => s,
-                    None => recombine::recombine(&slices, &mut self.rng),
-                }
-            };
+                    .and_then(|&(want, _)| {
+                        tagged.iter().find(|(o, _)| *o == want).map(|(_, s)| s.clone())
+                    })
+            })
+            .collect();
+        let missing = picks.iter().filter(|p| p.is_none()).count();
+        let mut regenerated = if missing > 0 {
+            recombine::recombine_batch(&slices, missing, &mut self.rng)
+        } else {
+            Vec::new()
+        }
+        .into_iter();
+
+        let slot_len = info.d as usize + slices[0].payload.len() + 4;
+        for (&(addr, next_flow), pick) in next_hops.iter().zip(picks) {
+            let slice =
+                pick.unwrap_or_else(|| regenerated.next().expect("batched regeneration count"));
             let mut slot = slice.to_bytes();
             crc::append_crc(&mut slot);
             debug_assert_eq!(slot.len(), slot_len);

@@ -35,13 +35,20 @@ impl Default for SourceConfig {
     }
 }
 
+/// Per-seq reverse gathering state: (pseudo-source, sender) pairs heard
+/// and the CRC-valid slices collected so far.
+type ReverseGather = (HashSet<(OverlayAddr, OverlayAddr)>, Vec<InfoSlice>);
+
 /// An anonymous connection from the source's point of view.
 pub struct SourceSession {
     graph: BuiltGraph,
     config: SourceConfig,
     next_seq: u32,
-    /// Reverse-path gathering: seq → (senders heard, slices).
-    reverse: HashMap<u32, (HashSet<OverlayAddr>, Vec<InfoSlice>)>,
+    /// Reverse-path gathering: seq → ((pseudo-source, sender) pairs
+    /// heard, slices). Keyed on the pair because one relay legitimately
+    /// delivers distinct slices to several pseudo-sources (e.g. a
+    /// destination sitting in stage 1).
+    reverse: HashMap<u32, ReverseGather>,
     /// Reverse messages already decoded.
     reverse_done: HashSet<u32>,
     rng: StdRng,
@@ -170,7 +177,6 @@ impl SourceSession {
         if !expected.contains(&packet.header.flow_id) {
             return None;
         }
-        let _ = pseudo_source;
         let seq = packet.header.seq;
         if self.reverse_done.contains(&seq) {
             return None;
@@ -180,7 +186,7 @@ impl SourceSession {
             .reverse
             .entry(seq)
             .or_insert_with(|| (HashSet::new(), Vec::new()));
-        if !entry.0.insert(from) {
+        if !entry.0.insert((pseudo_source, from)) {
             return None;
         }
         for slot in &packet.slots {

@@ -219,6 +219,58 @@ mod tests {
         end_to_end(3, 2, 2, DataMode::Recode, 1);
     }
 
+    /// A CRC-valid data slot whose length disagrees with the flow's must
+    /// not panic the relay's recombination path nor corrupt delivery.
+    #[test]
+    fn malformed_slot_length_does_not_poison_flow() {
+        use slicing_wire::{crc, Packet, PacketHeader, PacketKind};
+
+        let (l, d, dp) = (3usize, 2usize, 2usize);
+        let pseudo = addrs(10_000, dp);
+        let candidates = addrs(20_000, l * dp + 10);
+        let dest = OverlayAddr(1);
+        let mut all_nodes = candidates.clone();
+        all_nodes.push(dest);
+        let params = GraphParams::new(l, d).with_paths(dp);
+        let (mut source, setup) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, 2).unwrap();
+        let mut net = TestNet::new(&all_nodes, 2);
+        net.submit(setup);
+        net.run_to_quiescence(Some(&mut source));
+
+        // Legitimate message alongside a forged, CRC-valid slot of the
+        // wrong length injected into a stage-1 relay for seq 0.
+        let (seq, sends) = source.send_message(b"survives forgery");
+        let target = source.graph().stages[1][0];
+        let target_flow = source.graph().flow_ids[1][0];
+        let bogus_block = 7usize; // flow's real block length differs
+        let mut slot = vec![0xEEu8; d + bogus_block];
+        crc::append_crc(&mut slot);
+        let forged = Packet::new(
+            PacketHeader {
+                kind: PacketKind::Data,
+                flow_id: target_flow,
+                seq,
+                d: d as u8,
+                slot_count: 1,
+                slot_len: slot.len() as u16,
+            },
+            vec![slot],
+        );
+        net.submit(vec![SendInstr {
+            from: OverlayAddr(666),
+            to: target,
+            packet: forged,
+        }]);
+        net.submit(sends);
+        net.run_to_quiescence(Some(&mut source));
+        net.settle(Some(&mut source), 1_500, 6);
+
+        let got = net.messages_for(dest);
+        assert_eq!(got.len(), 1, "message must survive the forged slot");
+        assert_eq!(got[0].1, b"survives forgery");
+    }
+
     #[test]
     fn end_to_end_recode_redundant() {
         end_to_end(5, 2, 3, DataMode::Recode, 2);

@@ -548,7 +548,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..1000 {
             let a: u128 = rng.gen();
-            let b: u128 = (rng.gen::<u128>() >> rng.gen_range(0..100)).max(1);
+            let b: u128 = (rng.gen::<u128>() >> rng.gen_range(0..100u32)).max(1);
             let (q, r) = big(a).div_rem(&big(b));
             assert_eq!(q.to_u128(), Some(a / b), "a={a} b={b}");
             assert_eq!(r.to_u128(), Some(a % b), "a={a} b={b}");

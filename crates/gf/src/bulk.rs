@@ -1,0 +1,297 @@
+//! Cache-friendly GF(2⁸) kernels over byte slices — the workspace's one
+//! shared coding hot path.
+//!
+//! Every coded byte in the system flows through these three operations:
+//!
+//! * [`mul_add_slice`] — `dst[i] ^= c · src[i]` (axpy), the inner loop of
+//!   slice encoding, Gaussian decode back-substitution, and relay
+//!   network re-coding (§7.1 of the paper measures exactly this: coding
+//!   costs ~`d` of these multiplies per byte);
+//! * [`mul_slice`] / [`mul_slice_into`] — `dst[i] = c · dst[i]` /
+//!   `dst[i] = c · src[i]`, the per-hop transform multiply;
+//! * [`xor_slice`] — `dst[i] ^= src[i]`, the `c = 1` fast path, done
+//!   eight bytes at a time (SWAR over `u64` words).
+//!
+//! Scalar [`Gf256`](crate::Gf256) arithmetic goes through log/exp tables
+//! (two dependent loads plus a zero-test per byte). These kernels
+//! instead index one 256-byte row of a 64 KiB compile-time
+//! multiplication table per call: the row stays resident in L1 across
+//! the whole slice, the per-byte loop is branch-free, and the add-only
+//! case degenerates to pure word-wide XOR. `slicing-codec`,
+//! `slicing-core`'s relays, and the criterion benches all call these —
+//! there is exactly one place to optimize further (SIMD, GFNI) later.
+
+use crate::gf256::{build_exp, build_log};
+
+/// `MUL[a][b] = a · b` in GF(2⁸), built at compile time.
+static MUL: [[u8; 256]; 256] = build_mul_table();
+
+const fn build_mul_table() -> [[u8; 256]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut t = [[0u8; 256]; 256];
+    let mut a = 1usize;
+    while a < 256 {
+        let mut b = 1usize;
+        while b < 256 {
+            t[a][b] = exp[log[a] as usize + log[b] as usize];
+            b += 1;
+        }
+        a += 1;
+    }
+    t
+}
+
+/// The 256-byte multiplication row for a fixed coefficient:
+/// `mul_row(c)[x] == c · x`.
+///
+/// Exposed so callers composing their own kernels (e.g. fused
+/// multiply-and-pad loops) can reuse the shared table.
+#[inline]
+pub fn mul_row(c: u8) -> &'static [u8; 256] {
+    &MUL[c as usize]
+}
+
+/// `dst[i] ^= src[i]` for all `i`, eight bytes at a time.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_slice length mismatch");
+    let mut dst_words = dst.chunks_exact_mut(8);
+    let mut src_words = src.chunks_exact(8);
+    for (d, s) in dst_words.by_ref().zip(src_words.by_ref()) {
+        let word = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d, s) in dst_words
+        .into_remainder()
+        .iter_mut()
+        .zip(src_words.remainder())
+    {
+        *d ^= s;
+    }
+}
+
+/// `dst[i] = c · dst[i]` for all `i` (in-place scale).
+#[inline]
+pub fn mul_slice(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = mul_row(c);
+            for d in dst.iter_mut() {
+                *d = row[*d as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] = c · src[i]` for all `i` (scale into a destination).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn mul_slice_into(dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_slice_into length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let row = mul_row(c);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d = row[s as usize];
+            }
+        }
+    }
+}
+
+/// `dst[i] = c · dst[i] ^ pad[i]` for all `i` — the fused forward
+/// per-hop transform (scale then pad) in one pass over the buffer.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn mul_xor_slice(dst: &mut [u8], c: u8, pad: &[u8]) {
+    assert_eq!(dst.len(), pad.len(), "mul_xor_slice length mismatch");
+    if c == 1 {
+        xor_slice(dst, pad);
+        return;
+    }
+    let row = mul_row(c);
+    for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+        *d = row[*d as usize] ^ p;
+    }
+}
+
+/// `dst[i] = c · (dst[i] ^ pad[i])` for all `i` — the fused inverse
+/// per-hop transform (unpad then scale) in one pass over the buffer.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn xor_mul_slice(dst: &mut [u8], c: u8, pad: &[u8]) {
+    assert_eq!(dst.len(), pad.len(), "xor_mul_slice length mismatch");
+    if c == 1 {
+        xor_slice(dst, pad);
+        return;
+    }
+    let row = mul_row(c);
+    for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+        *d = row[(*d ^ p) as usize];
+    }
+}
+
+/// `dst[i] ^= c · src[i]` for all `i` — the axpy kernel.
+///
+/// `c = 0` is a no-op; `c = 1` takes the SWAR [`xor_slice`] path; other
+/// coefficients stream through one L1-resident table row.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn mul_add_slice(dst: &mut [u8], c: u8, src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
+    match c {
+        0 => {}
+        1 => xor_slice(dst, src),
+        _ => {
+            let row = mul_row(c);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d ^= row[s as usize];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Gf256};
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    const LENS: [usize; 5] = [0, 1, 7, 64, 4096];
+
+    fn random_bytes(rng: &mut StdRng, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        rng.fill_bytes(&mut v);
+        v
+    }
+
+    #[test]
+    fn mul_table_matches_scalar() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(mul_row(a)[b as usize], Gf256::mul_bytes(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn xor_slice_matches_scalar_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in LENS {
+            let src = random_bytes(&mut rng, len);
+            let mut dst = random_bytes(&mut rng, len);
+            let expect: Vec<u8> = dst.iter().zip(src.iter()).map(|(d, s)| d ^ s).collect();
+            xor_slice(&mut dst, &src);
+            assert_eq!(dst, expect, "len {len}");
+        }
+    }
+
+    #[test]
+    fn mul_add_slice_matches_scalar_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for len in LENS {
+            for c in [0u8, 1, 2, 17, 255] {
+                let src = random_bytes(&mut rng, len);
+                let mut dst = random_bytes(&mut rng, len);
+                let expect: Vec<u8> = dst
+                    .iter()
+                    .zip(src.iter())
+                    .map(|(&d, &s)| d ^ Gf256::mul_bytes(c, s))
+                    .collect();
+                mul_add_slice(&mut dst, c, &src);
+                assert_eq!(dst, expect, "len {len}, c {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in LENS {
+            let c: u8 = rng.gen();
+            let orig = random_bytes(&mut rng, len);
+            let mut dst = orig.clone();
+            mul_slice(&mut dst, c);
+            let expect: Vec<u8> = orig.iter().map(|&b| Gf256::mul_bytes(c, b)).collect();
+            assert_eq!(dst, expect, "len {len}, c {c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_into_matches_in_place() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for len in LENS {
+            for c in [0u8, 1, 99] {
+                let src = random_bytes(&mut rng, len);
+                let mut a = src.clone();
+                mul_slice(&mut a, c);
+                let mut b = vec![0xFFu8; len];
+                mul_slice_into(&mut b, c, &src);
+                assert_eq!(a, b, "len {len}, c {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_add_is_field_axpy() {
+        // The byte kernel agrees with the generic Field axpy.
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = random_bytes(&mut rng, 253);
+        let mut dst = random_bytes(&mut rng, 253);
+        let c: u8 = rng.gen();
+        let mut field_acc: Vec<Gf256> = dst.iter().map(|&b| Gf256::new(b)).collect();
+        let field_src: Vec<Gf256> = src.iter().map(|&b| Gf256::new(b)).collect();
+        crate::field::axpy(&mut field_acc, Gf256::new(c), &field_src);
+        mul_add_slice(&mut dst, c, &src);
+        assert_eq!(
+            dst,
+            field_acc.iter().map(|f| f.value()).collect::<Vec<u8>>()
+        );
+    }
+
+    #[test]
+    fn fused_transform_kernels_match_two_pass() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for len in LENS {
+            for c in [1u8, 2, 0x53, 255] {
+                let pad = random_bytes(&mut rng, len);
+                let orig = random_bytes(&mut rng, len);
+                // Forward: fused vs scale-then-xor.
+                let mut fused = orig.clone();
+                mul_xor_slice(&mut fused, c, &pad);
+                let mut two_pass = orig.clone();
+                mul_slice(&mut two_pass, c);
+                xor_slice(&mut two_pass, &pad);
+                assert_eq!(fused, two_pass, "forward len {len} c {c}");
+                // Inverse: fused vs xor-then-scale, and round-trip.
+                let inv = Gf256::new(c).inv().value();
+                xor_mul_slice(&mut fused, inv, &pad);
+                assert_eq!(fused, orig, "round-trip len {len} c {c}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut dst = [0u8; 4];
+        mul_add_slice(&mut dst, 3, &[0u8; 5]);
+    }
+}

@@ -13,7 +13,7 @@ static EXP: [u8; 510] = build_exp();
 /// `LOG[x] = log_α x` for `x ∈ [1, 256)`; `LOG[0]` is a sentinel (unused).
 static LOG: [u8; 256] = build_log();
 
-const fn build_exp() -> [u8; 510] {
+pub(crate) const fn build_exp() -> [u8; 510] {
     let mut t = [0u8; 510];
     let mut x: u16 = 1;
     let mut i = 0;
@@ -29,7 +29,7 @@ const fn build_exp() -> [u8; 510] {
     t
 }
 
-const fn build_log() -> [u8; 256] {
+pub(crate) const fn build_log() -> [u8; 256] {
     let exp = build_exp();
     let mut t = [0u8; 256];
     let mut i = 0;

@@ -16,6 +16,10 @@
 //!   are linearly independent ("any d of d′ slices decode", §4.4(b)):
 //!   verified-random generation and provably-MDS randomized Cauchy
 //!   matrices.
+//! * [`bulk`] — the byte-slice kernels (`mul_add_slice`, `mul_slice`,
+//!   `xor_slice`) every packet payload in the workspace is coded
+//!   through: one L1-resident table row per coefficient, SWAR XOR for
+//!   the add-only case.
 //!
 //! All randomness is taken through `rand::Rng` so protocol code and tests
 //! can seed deterministically.
@@ -23,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bulk;
 pub mod field;
 pub mod gf256;
 pub mod gf65536;

@@ -1,7 +1,12 @@
-//! Property-based tests for field axioms and matrix identities.
+//! Property-based tests for field axioms, matrix identities, and the
+//! bulk byte-slice kernels.
 
 use proptest::prelude::*;
-use slicing_gf::{mds, Field, Gf256, Gf65536, Matrix};
+use slicing_gf::{bulk, mds, Field, Gf256, Gf65536, Matrix};
+
+/// The slice lengths the bulk kernels must agree with scalar arithmetic
+/// on: empty, single byte, sub-word, one cache line, and a full page.
+const KERNEL_LENS: [usize; 5] = [0, 1, 7, 64, 4096];
 
 fn gf256() -> impl Strategy<Value = Gf256> {
     any::<u8>().prop_map(Gf256::new)
@@ -105,5 +110,70 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed);
         let m = Matrix::<Gf65536>::random(r, c, &mut rng);
         prop_assert_eq!(Matrix::<Gf65536>::from_bytes(r, c, &m.to_bytes()), m);
+    }
+
+    /// `bulk::mul_add_slice` agrees with element-at-a-time `Gf256` ops
+    /// at every interesting length, including the `c = 0`/`c = 1`
+    /// special-cased paths.
+    #[test]
+    fn bulk_mul_add_matches_scalar(seed in any::<u64>(), c in any::<u8>()) {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for len in KERNEL_LENS {
+            let mut src = vec![0u8; len];
+            let mut dst = vec![0u8; len];
+            rng.fill_bytes(&mut src);
+            rng.fill_bytes(&mut dst);
+            for c in [c, 0, 1] {
+                let expect: Vec<u8> = dst
+                    .iter()
+                    .zip(src.iter())
+                    .map(|(&d, &s)| Gf256::new(d).add(Gf256::new(c).mul(Gf256::new(s))).value())
+                    .collect();
+                let mut got = dst.clone();
+                bulk::mul_add_slice(&mut got, c, &src);
+                prop_assert_eq!(&got, &expect, "len {} c {}", len, c);
+            }
+        }
+    }
+
+    /// `bulk::mul_slice` (in place) and `bulk::mul_slice_into` agree
+    /// with scalar multiplication at every interesting length.
+    #[test]
+    fn bulk_mul_matches_scalar(seed in any::<u64>(), c in any::<u8>()) {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for len in KERNEL_LENS {
+            let mut src = vec![0u8; len];
+            rng.fill_bytes(&mut src);
+            for c in [c, 0, 1] {
+                let expect: Vec<u8> = src
+                    .iter()
+                    .map(|&s| Gf256::new(c).mul(Gf256::new(s)).value())
+                    .collect();
+                let mut in_place = src.clone();
+                bulk::mul_slice(&mut in_place, c);
+                prop_assert_eq!(&in_place, &expect, "mul_slice len {} c {}", len, c);
+                let mut into = vec![0xEEu8; len];
+                bulk::mul_slice_into(&mut into, c, &src);
+                prop_assert_eq!(&into, &expect, "mul_slice_into len {} c {}", len, c);
+            }
+        }
+    }
+
+    /// The SWAR XOR path is exact at word boundaries and remainders.
+    #[test]
+    fn bulk_xor_matches_scalar(seed in any::<u64>()) {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for len in KERNEL_LENS {
+            let mut src = vec![0u8; len];
+            let mut dst = vec![0u8; len];
+            rng.fill_bytes(&mut src);
+            rng.fill_bytes(&mut dst);
+            let expect: Vec<u8> = dst.iter().zip(src.iter()).map(|(d, s)| d ^ s).collect();
+            bulk::xor_slice(&mut dst, &src);
+            prop_assert_eq!(&dst, &expect, "len {}", len);
+        }
     }
 }

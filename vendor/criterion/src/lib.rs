@@ -1,0 +1,286 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! Provides the benchmarking surface this workspace's `benches/` use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`criterion_group!`] /
+//! [`criterion_main!`] — with a simple warm-up + timed-batch measurement
+//! loop instead of upstream's statistical machinery. Results print one
+//! line per benchmark: mean ns/iter and derived throughput.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; call [`iter`](Bencher::iter) with the
+/// routine to measure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// Measured mean nanoseconds per iteration.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run for `warm_up`, estimating iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Batch size targeting ~1ms per batch so clock reads don't
+        // dominate nanosecond-scale routines.
+        let batch = ((1e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measurement {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        let elapsed = start.elapsed();
+        self.result_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn report(group: Option<&str>, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let name = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let per_iter_secs = b.result_ns / 1e9;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let mibps = n as f64 / per_iter_secs / (1024.0 * 1024.0);
+            format!(" thrpt: {mibps:>10.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / per_iter_secs;
+            format!(" thrpt: {eps:>10.0} elem/s")
+        }
+    });
+    println!(
+        "bench: {name:<40} {:>12.1} ns/iter ({} iters){}",
+        b.result_ns,
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_time: Duration,
+    warm_up: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the vendored runner is
+    /// time-bounded, not sample-bounded).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.sample_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.sample_time,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(Some(&self.name), &id.id, &bencher, self.throughput);
+        let _ = &self.criterion;
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_measurement: Duration,
+    default_warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_millis(800),
+            default_warm_up: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_time, warm_up) = (self.default_measurement, self.default_warm_up);
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_time,
+            warm_up,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.default_warm_up,
+            measurement: self.default_measurement,
+            result_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        report(None, &id.into().id, &bencher, None);
+        self
+    }
+}
+
+/// Define a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            default_measurement: Duration::from_millis(10),
+            default_warm_up: Duration::from_millis(2),
+        };
+        let mut group = c.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(2));
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,318 @@
+//! Vendored, dependency-free subset of the `proptest` API.
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`proptest!`] macro (with optional `#![proptest_config(..)]`
+//! header), [`Strategy`] with `prop_map`, [`any`], ranges as
+//! strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking**: failures report
+//! the seed-derived case as-is. Cases are generated from a deterministic
+//! RNG keyed on (test name, case index), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (rejection sampling, bounded).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive samples: {}", self.whence);
+    }
+}
+
+/// Strategy for any value of a [`rand::Standard`]-samplable type.
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+/// Uniform strategy over the whole of `T`.
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// A constant strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy for vectors with random length in `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+#[doc(hidden)]
+pub fn test_case_rng(test_name: &str, case: u32) -> StdRng {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    test_name.hash(&mut h);
+    case.hash(&mut h);
+    StdRng::seed_from_u64(h.finish())
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skip the current case when an assumption fails. The vendored runner
+/// has no case accounting, so a failed assumption just ends the case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr);) => {};
+    (($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)*
+                let _ = __case;
+                // Immediately-invoked closure so `prop_assume!`'s
+                // `return` skips just this case.
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn small() -> impl Strategy<Value = u8> {
+        any::<u8>().prop_map(|v| v % 10)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(a in 1usize..7, b in 0u64..64) {
+            prop_assert!((1..7).contains(&a));
+            prop_assert!(b < 64);
+        }
+
+        #[test]
+        fn vec_len_in_bounds(v in collection::vec(any::<u8>(), 3..9)) {
+            prop_assert!(v.len() >= 3 && v.len() < 9);
+        }
+
+        #[test]
+        fn mapped_strategy(x in small()) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_header_accepted(x in any::<u16>()) {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Vendored `#[tokio::test]` and `#[tokio::main]` attribute macros.
+//!
+//! Both rewrite an `async fn` into a synchronous one whose body drives
+//! the future on the vendored runtime via `::tokio::runtime::block_on`.
+//! Attribute arguments (`flavor`, `worker_threads`, ...) are accepted and
+//! ignored: the vendored runtime always uses its global thread pool.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Mark an `async fn` as a test driven by the vendored runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+/// Mark an `async fn main` as the program entry point.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let mut tokens: Vec<TokenTree> = item.into_iter().collect();
+    let body = match tokens.pop() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("expected function body, found {other:?}"),
+    };
+    // Drop the `async` keyword from the signature.
+    let sig: String = tokens
+        .into_iter()
+        .filter(|t| !matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+        .map(|t| t.to_string() + " ")
+        .collect();
+    let attr = if is_test { "#[test]" } else { "" };
+    let out = format!(
+        "{attr} {sig} {{ ::tokio::runtime::block_on(async move {body}) }}",
+        body = body
+    );
+    out.parse().expect("generated function parses")
+}

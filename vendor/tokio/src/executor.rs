@@ -1,0 +1,212 @@
+//! The global thread-pool executor behind [`crate::spawn`] and
+//! [`crate::runtime::block_on`].
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Wake, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+// Task lifecycle states (see `wake_task` / `run_task` for transitions).
+const IDLE: u8 = 0;
+const QUEUED: u8 = 1;
+const RUNNING: u8 = 2;
+const NOTIFIED: u8 = 3;
+const DONE: u8 = 4;
+
+/// One spawned task: the future plus its scheduling state.
+pub(crate) struct Task {
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicU8,
+    pub(crate) aborted: AtomicBool,
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        wake_task(&self);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        wake_task(self);
+    }
+}
+
+fn wake_task(task: &Arc<Task>) {
+    loop {
+        match task.state.load(Ordering::Acquire) {
+            IDLE => {
+                if task
+                    .state
+                    .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    executor().enqueue(task.clone());
+                    return;
+                }
+            }
+            RUNNING => {
+                if task
+                    .state
+                    .compare_exchange(RUNNING, NOTIFIED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+            // Already queued, already notified, or finished: nothing to do.
+            _ => return,
+        }
+    }
+}
+
+struct Executor {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+}
+
+impl Executor {
+    fn enqueue(&self, task: Arc<Task>) {
+        self.queue.lock().unwrap().push_back(task);
+        self.available.notify_one();
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        break t;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            run_task(task);
+        }
+    }
+}
+
+fn run_task(task: Arc<Task>) {
+    if task.aborted.load(Ordering::Acquire) {
+        task.future.lock().unwrap().take();
+        task.state.store(DONE, Ordering::Release);
+        return;
+    }
+    task.state.store(RUNNING, Ordering::Release);
+    let Some(mut fut) = task.future.lock().unwrap().take() else {
+        task.state.store(DONE, Ordering::Release);
+        return;
+    };
+    let waker = Waker::from(task.clone());
+    let mut cx = Context::from_waker(&waker);
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(()) => {
+            task.state.store(DONE, Ordering::Release);
+        }
+        Poll::Pending => {
+            *task.future.lock().unwrap() = Some(fut);
+            loop {
+                match task.state.compare_exchange(
+                    RUNNING,
+                    IDLE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => break,
+                    // A wake arrived mid-poll: reschedule immediately.
+                    Err(NOTIFIED) => {
+                        if task
+                            .state
+                            .compare_exchange(NOTIFIED, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            executor().enqueue(task);
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    }
+}
+
+fn executor() -> &'static Executor {
+    static EXECUTOR: OnceLock<Executor> = OnceLock::new();
+    static STARTED: OnceLock<()> = OnceLock::new();
+    let ex = EXECUTOR.get_or_init(|| Executor {
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+    });
+    STARTED.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(4, 8);
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("tokio-worker-{i}"))
+                .spawn(move || executor().worker_loop())
+                .expect("spawn executor worker");
+        }
+    });
+    ex
+}
+
+/// Spawn a future onto the global executor, returning its task handle.
+pub(crate) fn spawn_raw(fut: BoxFuture) -> Arc<Task> {
+    let task = Arc::new(Task {
+        future: Mutex::new(Some(fut)),
+        state: AtomicU8::new(QUEUED),
+        aborted: AtomicBool::new(false),
+    });
+    executor().enqueue(task.clone());
+    task
+}
+
+/// Request the task stop at the next scheduling point and wake it so the
+/// request is observed promptly.
+pub(crate) fn abort_task(task: &Arc<Task>) {
+    task.aborted.store(true, Ordering::Release);
+    wake_task(task);
+}
+
+/// Drive a future to completion on the current thread.
+pub(crate) fn block_on<F: Future>(fut: F) -> F::Output {
+    struct Parker {
+        thread: std::thread::Thread,
+        notified: AtomicBool,
+    }
+
+    impl Wake for Parker {
+        fn wake(self: Arc<Self>) {
+            self.wake_by_ref();
+        }
+
+        fn wake_by_ref(self: &Arc<Self>) {
+            self.notified.store(true, Ordering::Release);
+            self.thread.unpark();
+        }
+    }
+
+    let parker = Arc::new(Parker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            Poll::Pending => {
+                while !parker.notified.swap(false, Ordering::AcqRel) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}

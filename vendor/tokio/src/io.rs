@@ -1,0 +1,49 @@
+//! Async read/write extension traits for [`crate::net::TcpStream`].
+
+use std::future::Future;
+use std::io;
+
+use crate::net::TcpStream;
+
+/// Async reading helpers.
+pub trait AsyncReadExt {
+    /// Read until `buf` is full; errors with `UnexpectedEof` if the peer
+    /// closes first.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<usize>> + 'a;
+}
+
+/// Async writing helpers.
+pub trait AsyncWriteExt {
+    /// Write the whole buffer.
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> impl Future<Output = io::Result<()>> + 'a;
+}
+
+impl AsyncReadExt for TcpStream {
+    async fn read_exact<'a>(&'a mut self, buf: &'a mut [u8]) -> io::Result<usize> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            let n = self.read_some(&mut buf[filled..]).await?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed during read_exact",
+                ));
+            }
+            filled += n;
+        }
+        Ok(filled)
+    }
+}
+
+impl AsyncWriteExt for TcpStream {
+    async fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> io::Result<()> {
+        let mut written = 0;
+        while written < buf.len() {
+            written += self.write_some(&buf[written..]).await?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,197 @@
+//! Vendored, dependency-free subset of the `tokio` API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides a small self-contained async runtime covering exactly what
+//! the workspace's overlay layer uses:
+//!
+//! * a global multi-threaded executor ([`spawn`], [`runtime::block_on`]),
+//! * a timer thread ([`time::sleep`], [`time::sleep_until`],
+//!   [`time::interval`]),
+//! * async mpsc channels ([`sync::mpsc`]),
+//! * nonblocking loopback TCP ([`net::TcpListener`], [`net::TcpStream`])
+//!   polled on a 1 ms timer tick,
+//! * [`select!`] / [`pin!`] macros and the `#[tokio::test]` /
+//!   `#[tokio::main]` attributes.
+//!
+//! It is built entirely on `std` (`std::task::Wake`, nonblocking
+//! sockets, a binary-heap timer) with no unsafe code. Throughput is more
+//! than sufficient for the workspace's loopback experiments; a real
+//! deployment would swap in upstream tokio unchanged, since the API
+//! surface is identical.
+
+#![forbid(unsafe_code)]
+
+mod executor;
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::spawn;
+
+// `#[tokio::test]` / `#[tokio::main]` resolve through these re-exports.
+pub use tokio_macros::{main, test};
+
+#[doc(hidden)]
+pub mod macros {
+    //! Support helpers for the [`crate::select!`] macro expansion.
+
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::{Context, Poll};
+
+    /// Poll an optionally-disabled `Unpin` branch future; on readiness
+    /// the value is parked in `slot` and the branch index is reported.
+    pub fn poll_branch<F: Future + Unpin>(
+        fut: &mut Option<F>,
+        slot: &mut Option<F::Output>,
+        index: usize,
+        cx: &mut Context<'_>,
+    ) -> Option<Poll<usize>> {
+        if let Some(f) = fut.as_mut() {
+            if let Poll::Ready(v) = Pin::new(f).poll(cx) {
+                *slot = Some(v);
+                *fut = None;
+                return Some(Poll::Ready(index));
+            }
+        }
+        None
+    }
+}
+
+/// Pin one or more variables to the stack.
+///
+/// All futures in this vendored runtime are `Unpin`, so this is a plain
+/// shadowing rebind through `Pin::new`.
+#[macro_export]
+macro_rules! pin {
+    ($($x:ident),+ $(,)?) => {
+        $(
+            let mut $x = $x;
+            #[allow(unused_mut)]
+            let mut $x = ::std::pin::Pin::new(&mut $x);
+        )+
+    };
+}
+
+/// Wait on multiple futures, running the body of whichever finishes
+/// first. Supports 1–6 branches, match-arm style bodies (block bodies
+/// need no separating comma), and per-branch `, if guard` clauses.
+/// Branches are polled in declaration order (biased), which is
+/// indistinguishable from tokio's randomized order for this workspace's
+/// uses. Branch futures must be `Unpin`, which every future in this
+/// vendored runtime is.
+#[macro_export]
+macro_rules! select {
+    ($($tokens:tt)+) => {
+        $crate::__select_normalize!(@norm [] $($tokens)+)
+    };
+}
+
+/// First pass over `select!` input: rewrite every branch into the
+/// canonical `{pat} {future} {guard} {body}` group list, then dispatch
+/// to [`__select_expand`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_normalize {
+    // Done: expand the accumulated branches.
+    (@norm [$($acc:tt)*]) => {
+        $crate::__select_expand!($($acc)*)
+    };
+    // Skip separating commas between branches.
+    (@norm [$($acc:tt)*] , $($rest:tt)*) => {
+        $crate::__select_normalize!(@norm [$($acc)*] $($rest)*)
+    };
+    // Guarded branch, block body.
+    (@norm [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $b:block $($rest:tt)*) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {$g} {$b}]] $($rest)*)
+    };
+    // Guarded branch, expression body (comma-terminated or last).
+    (@norm [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $b:expr, $($rest:tt)*) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {$g} {$b}]] $($rest)*)
+    };
+    (@norm [$($acc:tt)*] $p:pat = $f:expr, if $g:expr => $b:expr) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {$g} {$b}]])
+    };
+    // Unguarded branch, block body.
+    (@norm [$($acc:tt)*] $p:pat = $f:expr => $b:block $($rest:tt)*) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {true} {$b}]] $($rest)*)
+    };
+    // Unguarded branch, expression body (comma-terminated or last).
+    (@norm [$($acc:tt)*] $p:pat = $f:expr => $b:expr, $($rest:tt)*) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {true} {$b}]] $($rest)*)
+    };
+    (@norm [$($acc:tt)*] $p:pat = $f:expr => $b:expr) => {
+        $crate::__select_normalize!(@norm [$($acc)* [{$p} {$f} {true} {$b}]])
+    };
+}
+
+/// Second pass: pair each normalized branch with a future slot ident, a
+/// result slot ident and a numeric index drawn from fixed pools (up to
+/// 8 branches), then emit one `poll_fn` over all of them.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_expand {
+    ($($branch:tt)+) => {
+        $crate::__select_emit!(
+            @pair
+            ($($branch)+)
+            (__sel_f1 __sel_f2 __sel_f3 __sel_f4 __sel_f5 __sel_f6 __sel_f7 __sel_f8)
+            (__sel_r1 __sel_r2 __sel_r3 __sel_r4 __sel_r5 __sel_r6 __sel_r7 __sel_r8)
+            (0 1 2 3 4 5 6 7)
+            @paired
+        )
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __select_emit {
+    // Pair off branches with idents/indices, accumulating after @paired.
+    (@pair ([{$p:pat} {$f:expr} {$g:expr} {$b:expr}] $($branch:tt)*)
+     ($fid1:ident $($fid:ident)*) ($rid1:ident $($rid:ident)*) ($idx1:tt $($idx:tt)*)
+     @paired $($done:tt)*) => {
+        $crate::__select_emit!(
+            @pair
+            ($($branch)*)
+            ($($fid)*) ($($rid)*) ($($idx)*)
+            @paired $($done)* [{$p} {$f} {$g} {$b} {$fid1} {$rid1} {$idx1}]
+        )
+    };
+    // All branches paired: emit the block.
+    (@pair () ($($fid:ident)*) ($($rid:ident)*) ($($idx:tt)*)
+     @paired $([{$p:pat} {$f:expr} {$g:expr} {$b:expr} {$bf:ident} {$br:ident} {$bi:tt}])+) => {{
+        $(
+            let mut $bf = if $g {
+                ::std::option::Option::Some($f)
+            } else {
+                ::std::option::Option::None
+            };
+            let mut $br = ::std::option::Option::None;
+        )+
+        let __sel_which = ::std::future::poll_fn(|__sel_cx| {
+            $(
+                if let ::std::option::Option::Some(ready) =
+                    $crate::macros::poll_branch(&mut $bf, &mut $br, $bi, __sel_cx)
+                {
+                    return ready;
+                }
+            )+
+            ::std::task::Poll::Pending
+        })
+        .await;
+        match __sel_which {
+            $(
+                i if i == $bi => {
+                    #[allow(clippy::let_unit_value)]
+                    let $p = $br.take().expect("select! result slot");
+                    $b
+                }
+            )+
+            _ => unreachable!("select! reported unknown branch"),
+        }
+    }};
+}

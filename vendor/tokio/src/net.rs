@@ -1,0 +1,107 @@
+//! Async TCP built on `std::net` nonblocking sockets.
+//!
+//! There is no epoll reactor: would-block operations park on the timer
+//! thread and retry on a 1 ms tick. That adds up to ~1 ms latency per
+//! wait, which is well inside the loopback experiments' tolerances.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::time::sleep;
+
+const RETRY_TICK: Duration = Duration::from_millis(1);
+
+/// A nonblocking TCP listener.
+#[derive(Debug)]
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Bind to `addr` (resolved synchronously; loopback binds are
+    /// instantaneous).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accept one connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        loop {
+            match self.inner.accept() {
+                Ok((stream, peer)) => {
+                    stream.set_nonblocking(true)?;
+                    return Ok((TcpStream { inner: stream }, peer));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A nonblocking TCP stream.
+#[derive(Debug)]
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    /// Connect to `addr`.
+    ///
+    /// The connect itself is performed synchronously — on the loopback
+    /// paths this runtime serves, connection establishment either
+    /// succeeds or is refused within microseconds.
+    pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// Disable Nagle's algorithm.
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+
+    /// The peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub(crate) async fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        use std::io::Read;
+        loop {
+            match (&self.inner).read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    pub(crate) async fn write_some(&mut self, buf: &[u8]) -> io::Result<usize> {
+        use std::io::Write;
+        loop {
+            match (&self.inner).write(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}

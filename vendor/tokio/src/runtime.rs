@@ -1,0 +1,159 @@
+//! Runtime entry points.
+//!
+//! The vendored runtime is a single global executor, so a [`Runtime`] is
+//! just a handle to [`block_on`]; [`Builder`] accepts tokio's
+//! configuration calls and ignores them.
+
+use std::future::Future;
+
+/// Drive a future to completion on the calling thread, with spawned
+/// tasks running on the global worker pool.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    crate::executor::block_on(fut)
+}
+
+/// Handle to the global runtime.
+#[derive(Debug, Default)]
+pub struct Runtime;
+
+impl Runtime {
+    /// Create a runtime handle.
+    pub fn new() -> std::io::Result<Runtime> {
+        Ok(Runtime)
+    }
+
+    /// Drive a future to completion.
+    pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+        block_on(fut)
+    }
+}
+
+/// Accepts tokio's builder calls; all configuration is ignored because
+/// the global pool is shared.
+#[derive(Debug, Default)]
+pub struct Builder;
+
+impl Builder {
+    /// Start configuring a multi-threaded runtime.
+    pub fn new_multi_thread() -> Builder {
+        Builder
+    }
+
+    /// Start configuring a current-thread runtime.
+    pub fn new_current_thread() -> Builder {
+        Builder
+    }
+
+    /// Ignored (the global pool size is fixed).
+    pub fn worker_threads(&mut self, _n: usize) -> &mut Builder {
+        self
+    }
+
+    /// Ignored (timers and IO are always enabled).
+    pub fn enable_all(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Ignored (timers are always enabled).
+    pub fn enable_time(&mut self) -> &mut Builder {
+        self
+    }
+
+    /// Build the runtime handle.
+    pub fn build(&mut self) -> std::io::Result<Runtime> {
+        Ok(Runtime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn block_on_plain_value() {
+        assert_eq!(super::block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn sleep_actually_sleeps() {
+        let start = Instant::now();
+        super::block_on(crate::time::sleep(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let out = super::block_on(async {
+            let h = crate::spawn(async {
+                crate::time::sleep(Duration::from_millis(5)).await;
+                7u32
+            });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn mpsc_bounded_round_trip() {
+        super::block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(2);
+            let h = crate::spawn(async move {
+                for i in 0..100 {
+                    tx.send(i).await.unwrap();
+                }
+            });
+            for i in 0..100 {
+                assert_eq!(rx.recv().await, Some(i));
+            }
+            assert_eq!(rx.recv().await, None);
+            h.await.unwrap();
+        });
+    }
+
+    #[test]
+    fn select_prefers_ready_branch() {
+        super::block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::unbounded_channel::<u8>();
+            tx.send(9).unwrap();
+            let deadline = crate::time::sleep(Duration::from_secs(5));
+            crate::pin!(deadline);
+            crate::select! {
+                v = rx.recv() => assert_eq!(v, Some(9)),
+                _ = &mut deadline => panic!("deadline fired first"),
+            }
+        });
+    }
+
+    #[test]
+    fn interval_ticks() {
+        super::block_on(async {
+            let start = Instant::now();
+            let mut ticker = crate::time::interval(Duration::from_millis(10));
+            ticker.tick().await; // immediate
+            ticker.tick().await;
+            ticker.tick().await;
+            assert!(start.elapsed() >= Duration::from_millis(18));
+        });
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use crate::io::{AsyncReadExt, AsyncWriteExt};
+        super::block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (mut s, _) = listener.accept().await.unwrap();
+                let mut buf = [0u8; 4];
+                s.read_exact(&mut buf).await.unwrap();
+                s.write_all(&buf).await.unwrap();
+            });
+            let mut c = crate::net::TcpStream::connect(addr).await.unwrap();
+            c.write_all(b"ping").await.unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).await.unwrap();
+            assert_eq!(&buf, b"ping");
+            server.await.unwrap();
+        });
+    }
+}

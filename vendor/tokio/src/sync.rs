@@ -1,0 +1,339 @@
+//! Synchronization primitives (mpsc channels).
+
+pub mod mpsc {
+    //! Multi-producer single-consumer channels with async receive and
+    //! (for the bounded flavor) async backpressured send.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    pub use error::{SendError, TryRecvError};
+
+    pub mod error {
+        //! Channel error types.
+
+        use std::fmt;
+
+        /// The receiver was dropped; the value is handed back.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        pub struct SendError<T>(pub T);
+
+        impl<T> fmt::Debug for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "SendError(..)")
+            }
+        }
+
+        impl<T> fmt::Display for SendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "channel closed")
+            }
+        }
+
+        impl<T> std::error::Error for SendError<T> {}
+
+        /// Why [`super::Receiver::try_recv`] returned nothing.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub enum TryRecvError {
+            /// No message currently queued.
+            Empty,
+            /// All senders dropped and the queue is drained.
+            Disconnected,
+        }
+
+        impl fmt::Display for TryRecvError {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    TryRecvError::Empty => write!(f, "channel empty"),
+                    TryRecvError::Disconnected => write!(f, "channel disconnected"),
+                }
+            }
+        }
+
+        impl std::error::Error for TryRecvError {}
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        rx_alive: bool,
+        rx_waker: Option<Waker>,
+        tx_wakers: Vec<Waker>,
+    }
+
+    struct Chan<T>(Mutex<Inner<T>>);
+
+    impl<T> Chan<T> {
+        fn wake_rx(inner: &mut Inner<T>) -> Option<Waker> {
+            inner.rx_waker.take()
+        }
+    }
+
+    /// Sender half of a bounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiver half of a bounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Sender half of an unbounded channel.
+    pub struct UnboundedSender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiver half of an unbounded channel.
+    pub struct UnboundedReceiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "mpsc::Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for UnboundedSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "mpsc::UnboundedSender")
+        }
+    }
+
+    fn clone_sender<T>(chan: &Arc<Chan<T>>) -> Arc<Chan<T>> {
+        chan.0.lock().unwrap().senders += 1;
+        chan.clone()
+    }
+
+    fn drop_sender<T>(chan: &Arc<Chan<T>>) {
+        let waker = {
+            let mut inner = chan.0.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                Chan::wake_rx(&mut inner)
+            } else {
+                None
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                chan: clone_sender(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.chan);
+        }
+    }
+
+    impl<T> Clone for UnboundedSender<T> {
+        fn clone(&self) -> Self {
+            UnboundedSender {
+                chan: clone_sender(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for UnboundedSender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.chan);
+        }
+    }
+
+    fn drop_receiver<T>(chan: &Arc<Chan<T>>) {
+        let wakers = {
+            let mut inner = chan.0.lock().unwrap();
+            inner.rx_alive = false;
+            inner.queue.clear();
+            std::mem::take(&mut inner.tx_wakers)
+        };
+        for w in wakers {
+            w.wake();
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            drop_receiver(&self.chan);
+        }
+    }
+
+    impl<T> Drop for UnboundedReceiver<T> {
+        fn drop(&mut self) {
+            drop_receiver(&self.chan);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value, waiting while the channel is full.
+        pub fn send(&self, value: T) -> Send<'_, T> {
+            Send {
+                chan: &self.chan,
+                value: Some(value),
+            }
+        }
+    }
+
+    /// Future returned by [`Sender::send`].
+    pub struct Send<'a, T> {
+        chan: &'a Arc<Chan<T>>,
+        value: Option<T>,
+    }
+
+    impl<T> Unpin for Send<'_, T> {}
+
+    impl<T> Future for Send<'_, T> {
+        type Output = Result<(), SendError<T>>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let value = self.value.take().expect("polled Send after completion");
+            let mut inner = self.chan.0.lock().unwrap();
+            if !inner.rx_alive {
+                return Poll::Ready(Err(SendError(value)));
+            }
+            if inner.queue.len() < inner.capacity {
+                inner.queue.push_back(value);
+                let waker = Chan::wake_rx(&mut inner);
+                drop(inner);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                Poll::Ready(Ok(()))
+            } else {
+                inner.tx_wakers.push(cx.waker().clone());
+                drop(inner);
+                self.value = Some(value);
+                Poll::Pending
+            }
+        }
+    }
+
+    impl<T> UnboundedSender<T> {
+        /// Send a value; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let waker = {
+                let mut inner = self.chan.0.lock().unwrap();
+                if !inner.rx_alive {
+                    return Err(SendError(value));
+                }
+                inner.queue.push_back(value);
+                Chan::wake_rx(&mut inner)
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    /// Future returned by receivers' `recv`.
+    pub struct Recv<'a, T> {
+        chan: &'a Arc<Chan<T>>,
+    }
+
+    impl<T> Unpin for Recv<'_, T> {}
+
+    impl<T> Future for Recv<'_, T> {
+        type Output = Option<T>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let (out, wakers) = {
+                let mut inner = self.chan.0.lock().unwrap();
+                match inner.queue.pop_front() {
+                    Some(v) => (Poll::Ready(Some(v)), std::mem::take(&mut inner.tx_wakers)),
+                    None if inner.senders == 0 => (Poll::Ready(None), Vec::new()),
+                    None => {
+                        inner.rx_waker = Some(cx.waker().clone());
+                        (Poll::Pending, Vec::new())
+                    }
+                }
+            };
+            for w in wakers {
+                w.wake();
+            }
+            out
+        }
+    }
+
+    fn try_recv_inner<T>(chan: &Arc<Chan<T>>) -> Result<T, TryRecvError> {
+        let (out, wakers) = {
+            let mut inner = chan.0.lock().unwrap();
+            match inner.queue.pop_front() {
+                Some(v) => (Ok(v), std::mem::take(&mut inner.tx_wakers)),
+                None if inner.senders == 0 => (Err(TryRecvError::Disconnected), Vec::new()),
+                None => (Err(TryRecvError::Empty), Vec::new()),
+            }
+        };
+        for w in wakers {
+            w.wake();
+        }
+        out
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next value; `None` once all senders are dropped
+        /// and the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { chan: &self.chan }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            try_recv_inner(&self.chan)
+        }
+    }
+
+    impl<T> UnboundedReceiver<T> {
+        /// Receive the next value; `None` once all senders are dropped
+        /// and the queue is drained.
+        pub fn recv(&mut self) -> Recv<'_, T> {
+            Recv { chan: &self.chan }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+            try_recv_inner(&self.chan)
+        }
+    }
+
+    fn new_chan<T>(capacity: usize) -> Arc<Chan<T>> {
+        Arc::new(Chan(Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            rx_alive: true,
+            rx_waker: None,
+            tx_wakers: Vec::new(),
+        })))
+    }
+
+    /// Create a bounded channel.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc capacity must be > 0");
+        let chan = new_chan(capacity);
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded_channel<T>() -> (UnboundedSender<T>, UnboundedReceiver<T>) {
+        let chan = new_chan(usize::MAX);
+        (
+            UnboundedSender { chan: chan.clone() },
+            UnboundedReceiver { chan },
+        )
+    }
+}

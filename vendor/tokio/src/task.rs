@@ -1,0 +1,141 @@
+//! Task spawning and join handles.
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::executor;
+
+struct JoinShared<T> {
+    result: Mutex<JoinSlot<T>>,
+}
+
+struct JoinSlot<T> {
+    value: Option<T>,
+    finished: bool,
+    waker: Option<Waker>,
+}
+
+/// Error returned when a joined task was aborted.
+#[derive(Debug)]
+pub struct JoinError {
+    aborted: bool,
+}
+
+impl JoinError {
+    /// Whether the task failed because it was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.aborted
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.aborted {
+            write!(f, "task was cancelled")
+        } else {
+            write!(f, "task failed")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Handle to a spawned task: await it for the result, or [`abort`] it.
+///
+/// [`abort`]: JoinHandle::abort
+pub struct JoinHandle<T> {
+    shared: Arc<JoinShared<T>>,
+    task: Arc<executor::Task>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Request cancellation: the task is dropped at its next scheduling
+    /// point and never polled again.
+    pub fn abort(&self) {
+        executor::abort_task(&self.task);
+        // Wake any joiner so it observes the cancellation.
+        let mut slot = self.shared.result.lock().unwrap();
+        if let Some(w) = slot.waker.take() {
+            drop(slot);
+            w.wake();
+        }
+    }
+
+    /// Whether the task has completed (successfully or by abort).
+    pub fn is_finished(&self) -> bool {
+        let slot = self.shared.result.lock().unwrap();
+        slot.finished || self.task.aborted.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+impl<T> Unpin for JoinHandle<T> {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.shared.result.lock().unwrap();
+        if let Some(v) = slot.value.take() {
+            return Poll::Ready(Ok(v));
+        }
+        if slot.finished || self.task.aborted.load(std::sync::atomic::Ordering::Acquire) {
+            return Poll::Ready(Err(JoinError { aborted: true }));
+        }
+        slot.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+/// Spawn a future onto the global multi-threaded executor.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared = Arc::new(JoinShared {
+        result: Mutex::new(JoinSlot {
+            value: None,
+            finished: false,
+            waker: None,
+        }),
+    });
+    let shared2 = shared.clone();
+    let wrapped = async move {
+        let out = fut.await;
+        let waker = {
+            let mut slot = shared2.result.lock().unwrap();
+            slot.value = Some(out);
+            slot.finished = true;
+            slot.waker.take()
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
+    };
+    let task = executor::spawn_raw(Box::pin(wrapped));
+    JoinHandle { shared, task }
+}
+
+/// Yield back to the executor once, letting other tasks run.
+pub async fn yield_now() {
+    struct YieldOnce(bool);
+
+    impl Future for YieldOnce {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    YieldOnce(false).await
+}

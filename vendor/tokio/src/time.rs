@@ -1,0 +1,234 @@
+//! Timers: a dedicated thread holding a deadline heap wakes sleeping
+//! tasks; everything here is `Unpin` so [`crate::select!`] can poll it
+//! without pin projection.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+pub use std::time::Instant;
+
+struct TimerEntry {
+    deadline: Instant,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerEntry {}
+
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+struct TimerState {
+    heap: BinaryHeap<Reverse<TimerEntry>>,
+    seq: u64,
+}
+
+struct Timer {
+    state: Mutex<TimerState>,
+    changed: Condvar,
+}
+
+impl Timer {
+    fn register(&self, deadline: Instant, waker: Waker) {
+        let mut s = self.state.lock().unwrap();
+        let seq = s.seq;
+        s.seq += 1;
+        s.heap.push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+        self.changed.notify_one();
+    }
+
+    fn run(&self) {
+        let mut s = self.state.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            while matches!(s.heap.peek(), Some(Reverse(e)) if e.deadline <= now) {
+                let Reverse(entry) = s.heap.pop().expect("peeked entry");
+                entry.waker.wake();
+            }
+            match s.heap.peek() {
+                Some(Reverse(next)) => {
+                    let wait = next.deadline.saturating_duration_since(now);
+                    let (guard, _) = self.changed.wait_timeout(s, wait).unwrap();
+                    s = guard;
+                }
+                None => s = self.changed.wait(s).unwrap(),
+            }
+        }
+    }
+}
+
+fn timer() -> &'static Timer {
+    static TIMER: OnceLock<Timer> = OnceLock::new();
+    static STARTED: OnceLock<()> = OnceLock::new();
+    let t = TIMER.get_or_init(|| Timer {
+        state: Mutex::new(TimerState {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }),
+        changed: Condvar::new(),
+    });
+    STARTED.get_or_init(|| {
+        std::thread::Builder::new()
+            .name("tokio-timer".into())
+            .spawn(|| timer().run())
+            .expect("spawn timer thread");
+    });
+    t
+}
+
+/// Future returned by [`sleep`] and [`sleep_until`].
+#[derive(Debug)]
+pub struct Sleep {
+    deadline: Instant,
+}
+
+impl Sleep {
+    /// The instant this sleep completes.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            timer().register(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Sleep for `duration`.
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+    }
+}
+
+/// Sleep until `deadline`.
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep { deadline }
+}
+
+/// What an [`Interval`] does about missed ticks. The vendored runtime
+/// always behaves like [`MissedTickBehavior::Delay`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MissedTickBehavior {
+    /// Tick again one full period after the late tick fired.
+    Delay,
+    /// Fire missed ticks back to back.
+    Burst,
+    /// Skip missed ticks.
+    Skip,
+}
+
+/// A stream of ticks spaced `period` apart; the first completes at once.
+#[derive(Debug)]
+pub struct Interval {
+    period: Duration,
+    next: Instant,
+}
+
+impl Interval {
+    /// Complete at the next tick.
+    pub fn tick(&mut self) -> Tick<'_> {
+        Tick { interval: self }
+    }
+
+    /// Accepted for API compatibility; the vendored interval always
+    /// delays after a missed tick.
+    pub fn set_missed_tick_behavior(&mut self, _behavior: MissedTickBehavior) {}
+
+    /// The tick period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+}
+
+/// Future returned by [`Interval::tick`].
+#[derive(Debug)]
+pub struct Tick<'a> {
+    interval: &'a mut Interval,
+}
+
+impl Future for Tick<'_> {
+    type Output = Instant;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Instant> {
+        let now = Instant::now();
+        if now >= self.interval.next {
+            // Delay semantics: schedule the next tick relative to now.
+            self.interval.next = now + self.interval.period;
+            Poll::Ready(now)
+        } else {
+            timer().register(self.interval.next, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Create an [`Interval`] whose first tick completes immediately.
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be nonzero");
+    Interval {
+        period,
+        next: Instant::now(),
+    }
+}
+
+/// Error returned by [`timeout`] when the deadline elapses first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Await `fut`, abandoning it if it takes longer than `duration`.
+pub async fn timeout<F: Future>(duration: Duration, fut: F) -> Result<F::Output, Elapsed> {
+    let sleep = sleep(duration);
+    let mut sleep = std::pin::pin!(sleep);
+    let mut fut = std::pin::pin!(fut);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = fut.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if let Poll::Ready(()) = sleep.as_mut().poll(cx) {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}
