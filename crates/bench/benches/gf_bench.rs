@@ -17,6 +17,8 @@ fn gf(c: &mut Criterion) {
     let a256: Vec<Gf256> = (0..4096).map(|_| Gf256::random(&mut rng)).collect();
     let b256: Vec<Gf256> = (0..4096).map(|_| Gf256::random(&mut rng)).collect();
     group.throughput(Throughput::Bytes(4096));
+    // The pre-port scalar loop (log/exp per element) the bulk-table
+    // `field::dot` replaced; kept for the before/after delta.
     group.bench_function("gf256_4096", |bench| {
         bench.iter(|| {
             let mut acc = Gf256::zero();
@@ -25,6 +27,23 @@ fn gf(c: &mut Criterion) {
             }
             acc
         });
+    });
+    group.bench_function("gf256_4096_dot_bulk", |bench| {
+        bench.iter(|| slicing_gf::dot(&a256, &b256));
+    });
+    // Field-element axpy: the matrix-elimination row kernel, scalar loop
+    // vs the bulk-table `field::axpy` it now dispatches to.
+    let mut acc256: Vec<Gf256> = (0..4096).map(|_| Gf256::random(&mut rng)).collect();
+    group.bench_function("gf256_4096_axpy_scalar", |bench| {
+        bench.iter(|| {
+            let c = Gf256::new(0xA7);
+            for (a, &s) in acc256.iter_mut().zip(b256.iter()) {
+                *a = a.add(c.mul(s));
+            }
+        });
+    });
+    group.bench_function("gf256_4096_axpy_bulk", |bench| {
+        bench.iter(|| slicing_gf::axpy(&mut acc256, Gf256::new(0xA7), &b256));
     });
     let a64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
     let b64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();

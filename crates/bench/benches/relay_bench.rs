@@ -1,0 +1,120 @@
+//! Criterion benches for the relay data plane: packets/sec through
+//! `RelayNode::handle_packet` and the cost of the timer `poll`, at
+//! 1 / 64 / 1024 concurrent flows (the §7.1 per-node multi-flow daemon,
+//! scaled toward the ROADMAP's "millions of users" north star).
+//!
+//! Each iteration replays one full data message for one flow: the relay
+//! receives one wire packet from each parent (decoded from bytes, as the
+//! daemon would), completes the gather and flushes downstream — i.e. the
+//! whole receive → gather → re-code → forward hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use slicing_core::{
+    DataMode, DestPlacement, GraphParams, OverlayAddr, Packet, RelayNode, SourceSession, Tick,
+};
+
+/// Wire offset of the `seq` header field (magic 2 + version 1 + kind 1 +
+/// flow id 8).
+const SEQ_OFFSET: usize = 12;
+
+/// One established flow hosted by the benched relay: the wire bytes of a
+/// template data message (one packet per parent) whose `seq` field gets
+/// patched per iteration.
+struct FlowTemplates {
+    packets: Vec<(OverlayAddr, Vec<u8>)>,
+}
+
+/// Build `flows` independent small graphs, establish each one's first
+/// stage-1 flow on a single relay node, and capture per-flow data-packet
+/// templates.
+fn establish(flows: usize) -> (RelayNode, Vec<FlowTemplates>) {
+    let params = GraphParams::new(3, 2)
+        .with_paths(2)
+        .with_data_mode(DataMode::Recode)
+        .with_dest_placement(DestPlacement::LastStage);
+    let pseudo: Vec<OverlayAddr> = (0..2u64).map(|i| OverlayAddr(10_000 + i)).collect();
+    let candidates: Vec<OverlayAddr> = (0..16u64).map(|i| OverlayAddr(20_000 + i)).collect();
+    let mut relay = RelayNode::new(OverlayAddr(42), 7);
+    let mut templates = Vec::with_capacity(flows);
+    for f in 0..flows {
+        let (mut source, setup) = SourceSession::establish(
+            params,
+            &pseudo,
+            &candidates,
+            OverlayAddr(1),
+            1000 + f as u64,
+        )
+        .expect("valid params");
+        let target = source.graph().stages[1][0];
+        for instr in setup {
+            if instr.to == target {
+                relay.handle_packet(Tick(0), instr.from, &instr.packet);
+            }
+        }
+        let payload = vec![0xA5u8; 1200];
+        let (_, sends) = source.send_message(&payload);
+        let packets = sends
+            .into_iter()
+            .filter(|s| s.to == target)
+            .map(|s| (s.from, s.packet.encode().to_vec()))
+            .collect();
+        templates.push(FlowTemplates { packets });
+    }
+    assert_eq!(
+        relay.stats().flows_established,
+        flows as u64,
+        "all benched flows must establish"
+    );
+    (relay, templates)
+}
+
+fn relay_data_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relay_data_plane");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    for flows in [1usize, 64, 1024] {
+        let (mut relay, mut templates) = establish(flows);
+        // Two parent packets per message = two handle_packet calls/iter.
+        group.throughput(Throughput::Elements(2));
+        let mut seq: u32 = 1;
+        let mut next = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("handle_packet", flows),
+            &flows,
+            |b, _| {
+                b.iter(|| {
+                    let t = &mut templates[next];
+                    next = (next + 1) % flows;
+                    seq = seq.wrapping_add(1);
+                    let mut outputs = 0usize;
+                    for (from, bytes) in &mut t.packets {
+                        bytes[SEQ_OFFSET..SEQ_OFFSET + 4].copy_from_slice(&seq.to_le_bytes());
+                        let packet = Packet::decode(bytes).expect("valid template");
+                        let out = relay.handle_packet(Tick(1), *from, &packet);
+                        outputs += out.sends.len();
+                    }
+                    black_box(outputs)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    // poll() with nothing expired: the per-tick cost a daemon pays every
+    // 50 ms regardless of traffic.
+    let mut group = c.benchmark_group("relay_poll_idle");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(400));
+    group.warm_up_time(std::time::Duration::from_millis(100));
+    for flows in [1usize, 64, 1024] {
+        let (mut relay, _templates) = establish(flows);
+        group.bench_with_input(BenchmarkId::new("poll", flows), &flows, |b, _| {
+            b.iter(|| black_box(relay.poll(Tick(100)).sends.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, relay_data_plane);
+criterion_main!(benches);

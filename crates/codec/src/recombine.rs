@@ -87,6 +87,30 @@ pub fn recombine_batch<R: Rng + ?Sized>(
     out
 }
 
+/// Accumulate one fresh random combination of raw slice buffers directly
+/// into a pre-zeroed output buffer.
+///
+/// Each input is the wire image of a slice — `coeffs ‖ payload` — and
+/// the output gets the same layout: because the same combination
+/// coefficient multiplies both the generator row and the coded block,
+/// one [`bulk::mul_add_slice`] pass per input covers both at once. This
+/// is the relay data plane's zero-allocation path: the output buffer is
+/// the outgoing packet's slot, and no [`InfoSlice`] is materialized.
+///
+/// # Panics
+/// Panics if `slices` is empty or any input length differs from `out`.
+pub fn recombine_into<R: Rng + ?Sized, S: AsRef<[u8]>>(
+    slices: &[S],
+    rng: &mut R,
+    out: &mut [u8],
+) {
+    assert!(!slices.is_empty(), "cannot recombine zero slices");
+    for s in slices {
+        let p: u8 = rng.gen_range(1..=255);
+        bulk::mul_add_slice(out, p, s.as_ref());
+    }
+}
+
 /// Regenerate up to `want` slices from the `have` received ones,
 /// returning `have.len() + missing` slices where
 /// `missing = want.saturating_sub(have.len())`.
@@ -174,6 +198,36 @@ mod tests {
         // with the original alone (rank 1).
         let set = vec![fresh, coded.slices[0].clone()];
         assert!(decode(&set, 2).is_err());
+    }
+
+    #[test]
+    fn recombine_into_matches_recombine() {
+        // The raw-buffer path (coeffs ‖ payload in one pass) must produce
+        // a slice distributed identically to the InfoSlice path: same RNG
+        // stream in, same combination out.
+        let mut rng_a = rng();
+        let mut rng_b = rng();
+        let coded = encode(b"one pass", 3, 4, &mut rng_a);
+        // Re-sync: encode consumed randomness from rng_a; mirror on rng_b.
+        let _ = encode(b"one pass", 3, 4, &mut rng_b);
+        let via_slices = recombine(&coded.slices, &mut rng_a);
+        let raw: Vec<Vec<u8>> = coded.slices.iter().map(|s| s.to_bytes()).collect();
+        let mut out = vec![0u8; raw[0].len()];
+        recombine_into(&raw, &mut rng_b, &mut out);
+        assert_eq!(out, via_slices.to_bytes());
+    }
+
+    #[test]
+    fn recombined_raw_buffer_decodes() {
+        let mut r = rng();
+        let msg = b"zero copy regen";
+        let coded = encode(msg, 2, 3, &mut r);
+        let raw: Vec<Vec<u8>> = coded.slices.iter().map(|s| s.to_bytes()).collect();
+        let mut out = vec![0u8; raw[0].len()];
+        recombine_into(&raw, &mut r, &mut out);
+        let fresh = InfoSlice::from_bytes(2, coded.block_len, &out).unwrap();
+        let set = vec![fresh, coded.slices[0].clone()];
+        assert_eq!(decode(&set, 2).unwrap(), msg);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   decode+decrypt, and stale-flow garbage collection.
 //! * [`testnet`] — a deterministic in-memory network for driving whole
 //!   graphs in tests and simulations, with failure injection.
+//! * [`wheel`] — the hashed timer wheel behind the relay's flow table:
+//!   deadlines are registered once and `poll` touches only expired work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod relay;
 pub mod source;
 pub mod testnet;
 pub mod time;
+pub mod wheel;
 
 pub use relay::{ReceivedData, RelayConfig, RelayNode, RelayOutput, RelayStats};
 pub use source::{SourceConfig, SourceSession};

@@ -9,21 +9,41 @@
 //! If the receiver flag is set, it additionally decodes and decrypts data
 //! messages — while still forwarding downstream so that its neighbours
 //! cannot tell it is the destination.
+//!
+//! # Hot-path discipline
+//!
+//! The data plane is zero-copy end to end: gathered slices are CRC-valid
+//! [`Bytes`] views into the receive buffers (no slice is copied out of a
+//! packet), and outgoing slots are coded in place — a picked slice is one
+//! `memcpy` into the packet under construction, a regenerated slice is
+//! accumulated there directly by the shared GF(2⁸) bulk kernels
+//! ([`recombine::recombine_into`]). Timeouts live in a hashed
+//! [`TimerWheel`]: gathers and flows register their deadlines once, and
+//! [`RelayNode::poll`] pops only what expired — it never scans live flows
+//! and allocates nothing when idle.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
+use bytes::Bytes;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{RngCore, SeedableRng};
 
 use slicing_codec::{coder, recombine, InfoSlice};
 use slicing_crypto::aead;
 use slicing_graph::info::NodeInfo;
 use slicing_graph::packets::SendInstr;
 use slicing_graph::OverlayAddr;
-use slicing_wire::{crc, FlowId, Packet, PacketHeader, PacketKind};
+use slicing_wire::{crc, FlowId, Packet, PacketBuilder, PacketHeader, PacketKind};
 
 use crate::time::Tick;
+use crate::wheel::TimerWheel;
+
+/// Timer-wheel bucket width. One bucket per daemon poll period.
+const WHEEL_GRANULARITY_MS: u64 = 50;
+/// Timer-wheel bucket count (horizon = 12.8 s; longer deadlines such as
+/// the flow TTL ride across rotations).
+const WHEEL_BUCKETS: usize = 256;
 
 /// Tunable relay behaviour.
 #[derive(Clone, Copy, Debug)]
@@ -103,15 +123,18 @@ impl RelayOutput {
     }
 }
 
-/// Per-(direction, seq) data-slice gathering.
+/// Per-(direction, seq) data-slice gathering. Its flush deadline lives
+/// in the relay's timer wheel, registered at creation.
 #[derive(Clone, Debug)]
 struct DataGather {
-    first_seen: Tick,
     /// Parents (or children, for reverse flows) heard from.
     heard: HashSet<OverlayAddr>,
-    /// CRC-valid slices received, tagged with the neighbour that sent
-    /// them (Map-mode forwarding selects by origin).
-    slices: Vec<(OverlayAddr, InfoSlice)>,
+    /// The neighbour each retained slice came from (parallel to
+    /// `slices`; Map-mode forwarding selects by origin).
+    origins: Vec<OverlayAddr>,
+    /// CRC-valid slice bytes (`coeffs ‖ payload`), zero-copy views into
+    /// the receive buffers.
+    slices: Vec<Bytes>,
     /// Already flushed downstream (late packets are ignored).
     flushed: bool,
     /// Already delivered to the application (destination only).
@@ -119,10 +142,10 @@ struct DataGather {
 }
 
 impl DataGather {
-    fn new(now: Tick) -> Self {
+    fn new() -> Self {
         DataGather {
-            first_seen: now,
             heard: HashSet::new(),
+            origins: Vec::new(),
             slices: Vec::new(),
             flushed: false,
             delivered: false,
@@ -130,7 +153,69 @@ impl DataGather {
     }
 }
 
+/// Compact at-most-once delivery guard (receiver flows only): a
+/// watermark plus a 1024-seq bitmap window above it, IPsec-anti-replay
+/// style. Seqs below the watermark count as delivered, so replays of
+/// any age are rejected in O(1) and constant space — per-seq gather
+/// state can be reaped without reopening duplicate delivery.
+#[derive(Clone, Debug, Default)]
+struct ReplayGuard {
+    base: u32,
+    bits: [u64; ReplayGuard::WORDS],
+}
+
+impl ReplayGuard {
+    const WORDS: usize = 16;
+    const WINDOW: u32 = (Self::WORDS * 64) as u32;
+
+    /// Whether `seq` was (or must be assumed) already delivered.
+    fn contains(&self, seq: u32) -> bool {
+        if seq < self.base {
+            return true;
+        }
+        let off = seq - self.base;
+        if off >= Self::WINDOW {
+            return false;
+        }
+        (self.bits[(off / 64) as usize] >> (off % 64)) & 1 == 1
+    }
+
+    /// Record `seq` as delivered, sliding the window forward as needed.
+    fn insert(&mut self, seq: u32) {
+        if seq < self.base {
+            return;
+        }
+        let mut off = seq - self.base;
+        if off >= Self::WINDOW {
+            self.slide(off - Self::WINDOW + 1);
+            off = Self::WINDOW - 1;
+        }
+        self.bits[(off / 64) as usize] |= 1 << (off % 64);
+    }
+
+    fn slide(&mut self, shift: u32) {
+        self.base = self.base.saturating_add(shift);
+        if shift >= Self::WINDOW {
+            self.bits = [0; Self::WORDS];
+            return;
+        }
+        let word_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        for i in 0..Self::WORDS {
+            let lo = self.bits.get(i + word_shift).copied().unwrap_or(0);
+            let hi = self.bits.get(i + word_shift + 1).copied().unwrap_or(0);
+            self.bits[i] = if bit_shift == 0 {
+                lo
+            } else {
+                (lo >> bit_shift) | (hi << (64 - bit_shift))
+            };
+        }
+    }
+}
+
 /// Setup-phase gathering: the packets received so far, by parent.
+/// Cloning a [`Packet`] into the gather is O(1) — the wire buffer is
+/// shared, not copied.
 #[derive(Clone, Debug)]
 struct SetupGather {
     first_seen: Tick,
@@ -147,14 +232,51 @@ struct ActiveFlow {
     data: HashMap<u32, DataGather>,
     /// Reverse data gathers by seq.
     reverse: HashMap<u32, DataGather>,
+    /// Seqs already delivered to the application (receiver flows);
+    /// outlives the per-seq gathers so replays never double-deliver.
+    delivered: ReplayGuard,
 }
 
 #[derive(Clone, Debug)]
 enum FlowState {
     Gathering(SetupGather, Vec<(OverlayAddr, Packet)>),
-    Active(ActiveFlow),
+    Active(Box<ActiveFlow>),
     /// Establishment failed; swallow traffic until GC.
     Dead(Tick),
+}
+
+/// A registered deadline; validated lazily when it fires (there are no
+/// cancellation handles — state that resolved early just ignores the
+/// stale entry).
+#[derive(Clone, Copy, Debug)]
+enum Deadline {
+    /// Force-establish an overdue setup gather.
+    SetupFlush(FlowId),
+    /// Flush an overdue data gather.
+    DataFlush {
+        /// The (forward) flow the gather belongs to.
+        flow: FlowId,
+        /// Message sequence number.
+        seq: u32,
+        /// Reverse-direction gather?
+        reverse: bool,
+    },
+    /// Candidate idle-GC point; re-armed if activity refreshed the flow.
+    FlowExpiry(FlowId),
+}
+
+/// Outcome of the borrow-free establishment analysis.
+enum Establish {
+    /// Keep gathering (need more parents, or decode not yet possible).
+    Wait,
+    /// Decoding failed; `hard` failures (undecodable `NodeInfo`) kill the
+    /// flow immediately, soft ones only on a forced (timed-out) attempt.
+    Failed {
+        /// Whether the failure is terminal regardless of `force`.
+        hard: bool,
+    },
+    /// Our info decoded and the parent set is satisfied.
+    Go(Box<NodeInfo>),
 }
 
 /// The relay node state machine. One instance per overlay node; handles
@@ -167,6 +289,10 @@ pub struct RelayNode {
     config: RelayConfig,
     stats: RelayStats,
     rng: StdRng,
+    /// Deadlines for every pending gather flush and flow expiry.
+    wheel: TimerWheel<Deadline>,
+    /// Reusable buffer for expired wheel entries (poll never allocates).
+    expired: Vec<(Tick, Deadline)>,
 }
 
 impl RelayNode {
@@ -184,6 +310,8 @@ impl RelayNode {
             config,
             stats: RelayStats::default(),
             rng: StdRng::seed_from_u64(seed ^ addr.0),
+            wheel: TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_BUCKETS),
+            expired: Vec::new(),
         }
     }
 
@@ -200,6 +328,11 @@ impl RelayNode {
     /// Number of live flows in the table.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// Number of pending timer-wheel entries (tests and diagnostics).
+    pub fn pending_deadlines(&self) -> usize {
+        self.wheel.len()
     }
 
     /// The decoded info of an established flow, if any (used by drivers
@@ -220,48 +353,97 @@ impl RelayNode {
         }
     }
 
-    /// Drive timeouts: flush overdue gathers, evict stale flows.
+    /// Drive timeouts: pop expired deadlines off the wheel and act on
+    /// each. Does not scan live flows; allocation-free when nothing is
+    /// due.
     pub fn poll(&mut self, now: Tick) -> RelayOutput {
         let mut out = RelayOutput::default();
-        let flow_ids: Vec<FlowId> = self.flows.keys().copied().collect();
-        for flow in flow_ids {
-            // Overdue setup gathers.
-            let flush_setup = matches!(
-                self.flows.get(&flow),
-                Some(FlowState::Gathering(g, _))
-                    if !g.flushed && now.since(g.first_seen) >= self.config.setup_flush_ms
-            );
-            if flush_setup {
-                out.merge(self.try_establish(now, flow, true));
-            }
-            // Overdue data gathers.
-            if let Some(FlowState::Active(_)) = self.flows.get(&flow) {
-                out.merge(self.flush_overdue_data(now, flow));
+        let mut expired = std::mem::take(&mut self.expired);
+        expired.clear();
+        self.wheel.poll_expired(now, &mut expired);
+        for &(_, deadline) in &expired {
+            match deadline {
+                Deadline::SetupFlush(flow) => {
+                    let overdue = matches!(
+                        self.flows.get(&flow),
+                        Some(FlowState::Gathering(g, _)) if !g.flushed
+                    );
+                    if overdue {
+                        out.merge(self.try_establish(now, flow, true));
+                    }
+                }
+                Deadline::DataFlush { flow, seq, reverse } => {
+                    match self.gather_flushed(flow, seq, reverse) {
+                        // Flow or gather already gone.
+                        None => {}
+                        // Flushed earlier (completeness beat the clock, or
+                        // this is the quarantine firing after a timeout
+                        // flush): the tombstone has swallowed late
+                        // duplicates for a full window — drop it, so
+                        // per-seq state cannot accumulate on long-lived
+                        // flows.
+                        Some(true) => self.remove_gather(flow, seq, reverse),
+                        // Overdue: flush now, then keep the tombstone for
+                        // one more window before the re-armed deadline
+                        // removes it.
+                        Some(false) => {
+                            out.merge(self.flush_data(now, flow, seq, reverse));
+                            self.wheel.schedule(
+                                now.plus(self.config.data_flush_ms),
+                                Deadline::DataFlush { flow, seq, reverse },
+                            );
+                        }
+                    }
+                }
+                Deadline::FlowExpiry(flow) => self.check_expiry(now, flow),
             }
         }
-        self.gc(now);
+        self.expired = expired;
         out
     }
 
-    /// Garbage-collect stale flows (the daemon's periodic GC, §7.1).
-    fn gc(&mut self, now: Tick) {
-        let ttl = self.config.flow_ttl_ms;
-        let mut evict = Vec::new();
-        for (&flow, state) in &self.flows {
-            let stale = match state {
-                FlowState::Gathering(g, _) => now.since(g.first_seen) >= ttl,
-                FlowState::Active(a) => now.since(a.last_activity) >= ttl,
-                FlowState::Dead(t) => now.since(*t) >= ttl,
+    /// Whether the gather for `(flow, seq, reverse)` exists and has
+    /// flushed (`None` if the flow or gather is gone).
+    fn gather_flushed(&self, flow: FlowId, seq: u32, reverse: bool) -> Option<bool> {
+        let Some(FlowState::Active(active)) = self.flows.get(&flow) else {
+            return None;
+        };
+        let gathers = if reverse { &active.reverse } else { &active.data };
+        gathers.get(&seq).map(|g| g.flushed)
+    }
+
+    /// Drop a gather's per-seq state. Very late slices for the seq will
+    /// re-gather (and be re-forwarded, deduplicated downstream by the
+    /// receiving gathers' `heard` sets) — the bounded price of not
+    /// holding per-message state for a flow's whole lifetime.
+    fn remove_gather(&mut self, flow: FlowId, seq: u32, reverse: bool) {
+        if let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) {
+            let gathers = if reverse {
+                &mut active.reverse
+            } else {
+                &mut active.data
             };
-            if stale {
-                evict.push(flow);
-            }
+            gathers.remove(&seq);
         }
-        for flow in evict {
+    }
+
+    /// A [`Deadline::FlowExpiry`] fired: evict the flow if it is actually
+    /// idle, otherwise re-arm at its true expiry (the daemon's GC, §7.1).
+    fn check_expiry(&mut self, now: Tick, flow: FlowId) {
+        let ttl = self.config.flow_ttl_ms;
+        let due = match self.flows.get(&flow) {
+            None => return, // already evicted or re-established
+            Some(FlowState::Gathering(g, _)) => g.first_seen.plus(ttl),
+            Some(FlowState::Active(a)) => a.last_activity.plus(ttl),
+            Some(FlowState::Dead(t)) => t.plus(ttl),
+        };
+        if due.0 <= now.0 {
             if let Some(FlowState::Active(a)) = self.flows.remove(&flow) {
                 self.reverse_index.remove(&a.info.reverse_flow_id);
             }
             self.stats.flows_evicted += 1;
+        } else {
+            self.wheel.schedule(due, Deadline::FlowExpiry(flow));
         }
     }
 
@@ -274,6 +456,17 @@ impl RelayNode {
             Entry::Occupied(mut e) => match e.get_mut() {
                 FlowState::Gathering(g, _) => {
                     if g.flushed {
+                        self.stats.drops += 1;
+                        return RelayOutput::default();
+                    }
+                    // One shape per gather: a forged packet with a
+                    // different geometry must not poison slot indexing
+                    // when the gather is forwarded.
+                    let consistent = g.packets.values().next().is_none_or(|first| {
+                        let (a, b) = (&first.header, &packet.header);
+                        a.d == b.d && a.slot_count == b.slot_count && a.slot_len == b.slot_len
+                    });
+                    if !consistent {
                         self.stats.drops += 1;
                         return RelayOutput::default();
                     }
@@ -297,6 +490,13 @@ impl RelayNode {
                 };
                 g.packets.insert(from, packet.clone());
                 v.insert(FlowState::Gathering(g, Vec::new()));
+                // Register the flow's deadlines once, at admission.
+                self.wheel.schedule(
+                    now.plus(self.config.setup_flush_ms),
+                    Deadline::SetupFlush(flow),
+                );
+                self.wheel
+                    .schedule(now.plus(self.config.flow_ttl_ms), Deadline::FlowExpiry(flow));
             }
         }
         // Try to establish once we *could* have enough: we don't know d'
@@ -318,72 +518,95 @@ impl RelayNode {
     /// Attempt to decode our info and (once the parent set is complete, or
     /// on `force`) forward downstream.
     fn try_establish(&mut self, now: Tick, flow: FlowId, force: bool) -> RelayOutput {
-        let Some(FlowState::Gathering(gather, _)) = self.flows.get(&flow) else {
-            return RelayOutput::default();
-        };
-        let first_seen = gather.first_seen;
-        let packets = gather.packets.clone();
-        let Some(first) = packets.values().next() else {
-            return RelayOutput::default();
-        };
-        let d = first.header.d as usize;
-        let slot_len = first.header.slot_len as usize;
-        let block_len = slot_len - d - 4;
-
-        // Decode our own info from the slot-0 slices.
-        let own: Vec<InfoSlice> = packets
-            .values()
-            .filter_map(|p| parse_clean_slot(d, block_len, &p.slots[0]))
-            .collect();
-        let Ok(bytes) = coder::decode(&own, d) else {
-            if force {
-                self.stats.setup_failures += 1;
-                self.flows.insert(flow, FlowState::Dead(first_seen));
+        // Phase 1: read-only analysis of the gather (no packet clones).
+        let (first_seen, decision) = {
+            let Some(FlowState::Gathering(gather, _)) = self.flows.get(&flow) else {
+                return RelayOutput::default();
+            };
+            if gather.flushed {
+                return RelayOutput::default();
             }
-            return RelayOutput::default();
-        };
-        let Ok(info) = NodeInfo::decode(&bytes) else {
-            self.stats.setup_failures += 1;
-            self.flows.insert(flow, FlowState::Dead(first_seen));
-            return RelayOutput::default();
+            let Some(first) = gather.packets.values().next() else {
+                return RelayOutput::default();
+            };
+            let d = first.header.d as usize;
+            let slot_len = first.header.slot_len as usize;
+            let decision = match slot_len.checked_sub(d + 4) {
+                None => Establish::Failed { hard: false },
+                Some(block_len) => {
+                    // Decode our own info from the slot-0 slices.
+                    let own: Vec<InfoSlice> = gather
+                        .packets
+                        .values()
+                        .filter_map(|p| parse_clean_slot(d, block_len, p.slot(0)))
+                        .collect();
+                    match coder::decode(&own, d) {
+                        Err(_) => Establish::Failed { hard: false },
+                        Ok(bytes) => match NodeInfo::decode(&bytes) {
+                            Err(_) => Establish::Failed { hard: true },
+                            Ok(info) => {
+                                if !force && gather.packets.len() < info.d_prime as usize {
+                                    // Parent set incomplete; wait for the
+                                    // rest (or the timeout).
+                                    Establish::Wait
+                                } else {
+                                    Establish::Go(Box::new(info))
+                                }
+                            }
+                        },
+                    }
+                }
+            };
+            (gather.first_seen, decision)
         };
 
-        let dp = info.d_prime as usize;
-        if !force && packets.len() < dp {
-            // Parent set incomplete; wait for the rest (or the timeout).
-            return RelayOutput::default();
+        // Phase 2: act, with the gather borrow released.
+        match decision {
+            Establish::Wait => RelayOutput::default(),
+            Establish::Failed { hard } => {
+                if hard || force {
+                    self.stats.setup_failures += 1;
+                    self.flows.insert(flow, FlowState::Dead(first_seen));
+                }
+                RelayOutput::default()
+            }
+            Establish::Go(info) => {
+                // Take ownership of the gathered packets — no clone.
+                let Some(FlowState::Gathering(gather, pending)) = self.flows.remove(&flow) else {
+                    return RelayOutput::default();
+                };
+                let mut out = RelayOutput {
+                    established: Some(info.receiver),
+                    ..RelayOutput::default()
+                };
+                out.sends = self.forward_setup(&info, &gather.packets);
+                self.stats.packets_out += out.sends.len() as u64;
+                self.stats.flows_established += 1;
+
+                // Transition to Active and replay any buffered early data.
+                self.reverse_index.insert(info.reverse_flow_id, flow);
+                self.flows.insert(
+                    flow,
+                    FlowState::Active(Box::new(ActiveFlow {
+                        info: *info,
+                        last_activity: now,
+                        data: HashMap::new(),
+                        reverse: HashMap::new(),
+                        delivered: ReplayGuard::default(),
+                    })),
+                );
+                for (from, p) in pending {
+                    out.merge(self.handle_data(now, from, &p));
+                }
+                out
+            }
         }
-
-        let mut out = RelayOutput {
-            established: Some(info.receiver),
-            ..RelayOutput::default()
-        };
-        out.sends = self.forward_setup(&info, &packets);
-        self.stats.packets_out += out.sends.len() as u64;
-        self.stats.flows_established += 1;
-
-        // Transition to Active and replay any buffered early data.
-        let pending = match self.flows.remove(&flow) {
-            Some(FlowState::Gathering(_, pending)) => pending,
-            _ => Vec::new(),
-        };
-        self.reverse_index.insert(info.reverse_flow_id, flow);
-        self.flows.insert(
-            flow,
-            FlowState::Active(ActiveFlow {
-                info,
-                last_activity: now,
-                data: HashMap::new(),
-                reverse: HashMap::new(),
-            }),
-        );
-        for (from, p) in pending {
-            out.merge(self.handle_data(now, from, &p));
-        }
-        out
     }
 
-    /// Build the downstream setup packets per the slice-map (§4.3.6).
+    /// Build the downstream setup packets per the slice-map (§4.3.6),
+    /// coding each slot in place: copy the parent's slot into the packet
+    /// under construction, strip our transform layer there (§9.4(a)), or
+    /// fill with random padding.
     fn forward_setup(
         &mut self,
         info: &NodeInfo,
@@ -396,46 +619,41 @@ impl RelayNode {
         let slot_len = packets
             .values()
             .next()
-            .map(|p| p.header.slot_len as usize)
+            .map(|p| p.header.slot_len)
             .unwrap_or(0);
         let mut sends = Vec::with_capacity(info.children.len());
         for (j, &(child_addr, child_flow)) in info.children.iter().enumerate() {
-            let mut slots: Vec<Vec<u8>> = Vec::with_capacity(slots_n);
+            let mut builder = PacketBuilder::new(PacketHeader {
+                kind: PacketKind::Setup,
+                flow_id: child_flow,
+                seq: 0,
+                d: info.d,
+                slot_count: slots_n as u8,
+                slot_len,
+            });
             for s in 0..slots_n {
-                let entry = info.slice_map[j][s];
-                let slot = match entry {
-                    Some(parent_idx) => {
-                        let parent_addr = info.parents[parent_idx as usize].0;
-                        match packets.get(&parent_addr) {
-                            Some(p) => {
-                                // Forward incoming slot s+1, stripping our
-                                // transform layer (§9.4(a)).
-                                let mut bytes = p.slots[s + 1].clone();
-                                info.transform.unapply(&mut bytes);
-                                bytes
-                            }
-                            None => random_slot(&mut self.rng, slot_len),
-                        }
+                let slot = builder.slot();
+                let parent_packet = info.slice_map[j][s]
+                    .and_then(|idx| info.parents.get(idx as usize))
+                    .and_then(|&(addr, _)| packets.get(&addr))
+                    // The gather admits one shape only, but a slice-map
+                    // built for a deeper graph could still point past
+                    // this packet's slots; pad rather than panic.
+                    .filter(|p| s + 1 < p.header.slot_count as usize);
+                match parent_packet {
+                    Some(p) => {
+                        // Forward incoming slot s+1, stripping our
+                        // transform layer (§9.4(a)).
+                        slot.copy_from_slice(p.slot(s + 1));
+                        info.transform.unapply(slot);
                     }
-                    None => random_slot(&mut self.rng, slot_len),
-                };
-                slots.push(slot);
+                    None => self.rng.fill_bytes(slot),
+                }
             }
-            let packet = Packet::new(
-                PacketHeader {
-                    kind: PacketKind::Setup,
-                    flow_id: child_flow,
-                    seq: 0,
-                    d: info.d,
-                    slot_count: slots_n as u8,
-                    slot_len: slot_len as u16,
-                },
-                slots,
-            );
             sends.push(SendInstr {
                 from: self.addr,
                 to: child_addr,
-                packet,
+                packet: builder.build(),
             });
         }
         sends
@@ -452,7 +670,8 @@ impl RelayNode {
         match self.flows.get_mut(&flow) {
             Some(FlowState::Active(_)) => self.accumulate_data(now, flow, from, packet, false),
             Some(FlowState::Gathering(_, pending)) => {
-                // Data raced ahead of setup; buffer a bounded amount.
+                // Data raced ahead of setup; buffer a bounded amount
+                // (an O(1) buffer clone — the wire bytes are shared).
                 if pending.len() < self.config.max_pending_data {
                     pending.push((from, packet.clone()));
                 } else {
@@ -475,71 +694,101 @@ impl RelayNode {
         packet: &Packet,
         is_reverse: bool,
     ) -> RelayOutput {
-        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
-            self.stats.drops += 1;
-            return RelayOutput::default();
-        };
-        active.last_activity = now;
-        let info = active.info.clone();
-        let d = info.d as usize;
         let seq = packet.header.seq;
-        // Only the flow's own neighbours may contribute slices: parents
-        // on the forward path, children on the reverse. Anything else
-        // could poison the gather's shape or inflate the completeness
-        // count toward a premature flush.
-        let legitimate = if is_reverse {
-            info.children.iter().any(|&(a, _)| a == from)
-        } else {
-            info.parents.iter().any(|&(a, _)| a == from)
-        };
-        if !legitimate {
-            self.stats.drops += 1;
-            return RelayOutput::default();
-        }
-        let gathers = if is_reverse {
-            &mut active.reverse
-        } else {
-            &mut active.data
-        };
-        let gather = gathers.entry(seq).or_insert_with(|| DataGather::new(now));
-        if gather.flushed && gather.delivered {
-            self.stats.drops += 1;
-            return RelayOutput::default();
-        }
-        if !gather.heard.insert(from) {
-            // Duplicate from the same neighbour.
-            self.stats.drops += 1;
-            return RelayOutput::default();
-        }
-        for slot in &packet.slots {
-            let slot_len = slot.len();
-            if slot_len < d + 4 {
-                continue;
+        let data_flush_ms = self.config.data_flush_ms;
+        // All hot-path state updates below borrow disjoint fields
+        // (`flows`, `stats`, `wheel`); nothing is cloned per packet.
+        let complete = {
+            let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+                self.stats.drops += 1;
+                return RelayOutput::default();
+            };
+            active.last_activity = now;
+            // Replay of a seq this destination already delivered: even if
+            // the per-seq gather was reaped, the guard remembers.
+            let already_delivered =
+                !is_reverse && active.info.receiver && active.delivered.contains(seq);
+            let info = &active.info;
+            let d = info.d as usize;
+            // Only the flow's own neighbours may contribute slices:
+            // parents on the forward path, children on the reverse.
+            // Anything else could poison the gather's shape or inflate
+            // the completeness count toward a premature flush.
+            let legitimate = if is_reverse {
+                info.children.iter().any(|&(a, _)| a == from)
+            } else {
+                info.parents.iter().any(|&(a, _)| a == from)
+            };
+            if !legitimate {
+                self.stats.drops += 1;
+                return RelayOutput::default();
             }
-            if let Some(slice) = parse_clean_slot(d, slot_len - d - 4, slot) {
-                // One coded shape per gather: a CRC-valid slot of a
-                // different length can be neither combined nor decoded
-                // with the rest, and must not reach the recombination
-                // kernels (whose shape check would panic the relay).
-                let consistent = gather
-                    .slices
-                    .first()
-                    .is_none_or(|(_, s)| s.payload.len() == slice.payload.len());
-                if consistent {
-                    gather.slices.push((from, slice));
-                } else {
-                    self.stats.drops += 1;
+            let gathers = if is_reverse {
+                &mut active.reverse
+            } else {
+                &mut active.data
+            };
+            let gather = match gathers.entry(seq) {
+                Entry::Occupied(e) => e.into_mut(),
+                Entry::Vacant(v) => {
+                    // First slice of this message: register its flush
+                    // deadline once; the wheel will fire it if the
+                    // parent set never completes.
+                    self.wheel.schedule(
+                        now.plus(data_flush_ms),
+                        Deadline::DataFlush {
+                            flow,
+                            seq,
+                            reverse: is_reverse,
+                        },
+                    );
+                    v.insert(DataGather::new())
+                }
+            };
+            if gather.flushed && (gather.delivered || already_delivered) {
+                self.stats.drops += 1;
+                return RelayOutput::default();
+            }
+            if !gather.heard.insert(from) {
+                // Duplicate from the same neighbour.
+                self.stats.drops += 1;
+                return RelayOutput::default();
+            }
+            let slot_len = packet.header.slot_len as usize;
+            if slot_len >= d + 4 {
+                for i in 0..packet.header.slot_count as usize {
+                    // Retain CRC-valid slices as zero-copy views into the
+                    // receive buffer (coeffs ‖ payload, CRC stripped).
+                    if crc::check_crc(packet.slot(i)).is_none() {
+                        continue;
+                    }
+                    let body = packet.slot_bytes(i).slice(..slot_len - 4);
+                    // One coded shape per gather: a CRC-valid slot of a
+                    // different length can be neither combined nor
+                    // decoded with the rest, and must not reach the
+                    // recombination kernels (whose shape check would
+                    // panic the relay).
+                    let consistent = gather
+                        .slices
+                        .first()
+                        .is_none_or(|s| s.len() == body.len());
+                    if consistent {
+                        gather.origins.push(from);
+                        gather.slices.push(body);
+                    } else {
+                        self.stats.drops += 1;
+                    }
                 }
             }
-        }
-        // Expected senders: parents for forward flows, children for
-        // reverse flows.
-        let expected = if is_reverse {
-            info.children.len()
-        } else {
-            info.parents.len()
+            // Expected senders: parents for forward flows, children for
+            // reverse flows.
+            let expected = if is_reverse {
+                info.children.len()
+            } else {
+                info.parents.len()
+            };
+            gather.heard.len() >= expected
         };
-        let complete = gather.heard.len() >= expected;
         if complete {
             self.flush_data(now, flow, seq, is_reverse)
         } else {
@@ -549,28 +798,52 @@ impl RelayNode {
 
     /// Forward (and, at the destination, deliver) a gathered data message.
     fn flush_data(&mut self, _now: Tick, flow: FlowId, seq: u32, is_reverse: bool) -> RelayOutput {
-        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+        // Split the borrow: the flow entry, the stats, the RNG and our
+        // address are disjoint fields.
+        let RelayNode {
+            flows,
+            stats,
+            rng,
+            addr,
+            ..
+        } = self;
+        let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
             return RelayOutput::default();
         };
-        let info = active.info.clone();
-        let d = info.d as usize;
-        let gathers = if is_reverse {
-            &mut active.reverse
-        } else {
-            &mut active.data
-        };
+        let ActiveFlow {
+            info,
+            data,
+            reverse,
+            delivered,
+            ..
+        } = &mut **active;
+        let gathers = if is_reverse { reverse } else { data };
         let Some(gather) = gathers.get_mut(&seq) else {
             return RelayOutput::default();
         };
+        let d = info.d as usize;
         let mut out = RelayOutput::default();
 
-        // Destination delivery (forward direction only).
-        let bare: Vec<InfoSlice> = gather.slices.iter().map(|(_, s)| s.clone()).collect();
-        if info.receiver && !is_reverse && !gather.delivered && bare.len() >= d {
+        // Destination delivery (forward direction only). The d InfoSlice
+        // views are materialized once per *message*, never per packet;
+        // the flow-level replay guard enforces at-most-once even after
+        // this gather's state has been reaped.
+        if info.receiver
+            && !is_reverse
+            && !gather.delivered
+            && !delivered.contains(seq)
+            && gather.slices.len() >= d
+        {
+            let bare: Vec<InfoSlice> = gather
+                .slices
+                .iter()
+                .filter_map(|b| InfoSlice::from_bytes(d, b.len() - d, b))
+                .collect();
             if let Ok(sealed) = coder::decode(&bare, d) {
                 if let Ok(plaintext) = aead::open(&info.secret_key, &sealed) {
                     gather.delivered = true;
-                    self.stats.messages_received += 1;
+                    delivered.insert(seq);
+                    stats.messages_received += 1;
                     out.received.push(ReceivedData {
                         flow,
                         seq,
@@ -583,106 +856,61 @@ impl RelayNode {
         if gather.flushed {
             return out;
         }
-        let tagged = std::mem::take(&mut gather.slices);
         gather.flushed = true;
-
-        if tagged.is_empty() {
+        let origins = std::mem::take(&mut gather.origins);
+        let slices = std::mem::take(&mut gather.slices);
+        if slices.is_empty() {
             return out;
         }
-        let slices: Vec<InfoSlice> = tagged.iter().map(|(_, s)| s.clone()).collect();
 
         // Next hops: children forward, parents reverse.
-        let next_hops: Vec<(OverlayAddr, FlowId)> = if is_reverse {
-            info.parents.clone()
+        let next_hops: &[(OverlayAddr, FlowId)] = if is_reverse {
+            &info.parents
         } else {
-            info.children.clone()
+            &info.children
         };
         if next_hops.is_empty() {
             return out;
         }
 
-        // Decide per hop whether the designated parent's slice survives;
-        // every shortfall is regenerated in one batch through the shared
-        // bulk kernels (§4.4.1 applied continuously in Recode mode, which
-        // also defeats pattern tracking, §9.4(a)).
-        let picks: Vec<Option<InfoSlice>> = next_hops
-            .iter()
-            .enumerate()
-            .map(|(j, _)| {
-                if info.recode || is_reverse {
-                    // Fresh random combination for every neighbour.
-                    return None;
-                }
-                // Static data-map: pipe the designated parent's slice.
+        let block_len = slices[0].len() - d;
+        let slot_len = d + block_len + 4;
+        out.sends.reserve(next_hops.len());
+        for (j, &(to_addr, next_flow)) in next_hops.iter().enumerate() {
+            let mut builder = PacketBuilder::new(PacketHeader {
+                kind: PacketKind::Data,
+                flow_id: next_flow,
+                seq,
+                d: info.d,
+                slot_count: 1,
+                slot_len: slot_len as u16,
+            });
+            let slot = builder.slot();
+            // Static data-map: pipe the designated parent's slice if it
+            // survived; otherwise (or in Recode mode / on the reverse
+            // path, §4.4.1 applied continuously, which also defeats
+            // pattern tracking, §9.4(a)) code a fresh random combination
+            // of everything gathered straight into the outgoing slot.
+            let picked = if info.recode || is_reverse {
+                None
+            } else {
                 info.data_map
                     .get(j)
                     .and_then(|&p| info.parents.get(p as usize))
-                    .and_then(|&(want, _)| {
-                        tagged.iter().find(|(o, _)| *o == want).map(|(_, s)| s.clone())
-                    })
-            })
-            .collect();
-        let missing = picks.iter().filter(|p| p.is_none()).count();
-        let mut regenerated = if missing > 0 {
-            recombine::recombine_batch(&slices, missing, &mut self.rng)
-        } else {
-            Vec::new()
-        }
-        .into_iter();
-
-        let slot_len = info.d as usize + slices[0].payload.len() + 4;
-        for (&(addr, next_flow), pick) in next_hops.iter().zip(picks) {
-            let slice =
-                pick.unwrap_or_else(|| regenerated.next().expect("batched regeneration count"));
-            let mut slot = slice.to_bytes();
-            crc::append_crc(&mut slot);
-            debug_assert_eq!(slot.len(), slot_len);
-            let packet = Packet::new(
-                PacketHeader {
-                    kind: PacketKind::Data,
-                    flow_id: next_flow,
-                    seq,
-                    d: info.d,
-                    slot_count: 1,
-                    slot_len: slot_len as u16,
-                },
-                vec![slot],
-            );
+                    .and_then(|&(want, _)| origins.iter().position(|&o| o == want))
+            };
+            match picked {
+                Some(i) => slot[..d + block_len].copy_from_slice(&slices[i]),
+                None => recombine::recombine_into(&slices, rng, &mut slot[..d + block_len]),
+            }
+            crc::write_crc(slot);
             out.sends.push(SendInstr {
-                from: self.addr,
-                to: addr,
-                packet,
+                from: *addr,
+                to: to_addr,
+                packet: builder.build(),
             });
         }
-        self.stats.packets_out += out.sends.len() as u64;
-        out
-    }
-
-    /// Flush data gathers that have waited past the deadline.
-    fn flush_overdue_data(&mut self, now: Tick, flow: FlowId) -> RelayOutput {
-        let Some(FlowState::Active(active)) = self.flows.get(&flow) else {
-            return RelayOutput::default();
-        };
-        let deadline = self.config.data_flush_ms;
-        let overdue_fwd: Vec<u32> = active
-            .data
-            .iter()
-            .filter(|(_, g)| !g.flushed && now.since(g.first_seen) >= deadline)
-            .map(|(&s, _)| s)
-            .collect();
-        let overdue_rev: Vec<u32> = active
-            .reverse
-            .iter()
-            .filter(|(_, g)| !g.flushed && now.since(g.first_seen) >= deadline)
-            .map(|(&s, _)| s)
-            .collect();
-        let mut out = RelayOutput::default();
-        for seq in overdue_fwd {
-            out.merge(self.flush_data(now, flow, seq, false));
-        }
-        for seq in overdue_rev {
-            out.merge(self.flush_data(now, flow, seq, true));
-        }
+        stats.packets_out += out.sends.len() as u64;
         out
     }
 
@@ -699,41 +927,48 @@ impl RelayNode {
         seq: u32,
         plaintext: &[u8],
     ) -> Option<Vec<SendInstr>> {
-        let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+        let RelayNode {
+            flows,
+            stats,
+            rng,
+            addr,
+            ..
+        } = self;
+        let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
             return None;
         };
         if !active.info.receiver {
             return None;
         }
         active.last_activity = now;
-        let info = active.info.clone();
+        let info = &active.info;
         let d = info.d as usize;
         let dp = info.d_prime as usize;
-        let sealed = aead::seal(&info.secret_key, plaintext, &mut self.rng);
-        let coded = coder::encode(&sealed, d, dp, &mut self.rng);
+        let sealed = aead::seal(&info.secret_key, plaintext, rng);
+        let coded = coder::encode(&sealed, d, dp, rng);
         let slot_len = d + coded.block_len + 4;
         let mut sends = Vec::with_capacity(info.parents.len());
         for (k, &(parent_addr, parent_rev_flow)) in info.parents.iter().enumerate() {
-            let mut slot = coded.slices[k % coded.slices.len()].to_bytes();
-            crc::append_crc(&mut slot);
-            let packet = Packet::new(
-                PacketHeader {
-                    kind: PacketKind::Data,
-                    flow_id: parent_rev_flow,
-                    seq,
-                    d: info.d,
-                    slot_count: 1,
-                    slot_len: slot_len as u16,
-                },
-                vec![slot],
-            );
+            let mut builder = PacketBuilder::new(PacketHeader {
+                kind: PacketKind::Data,
+                flow_id: parent_rev_flow,
+                seq,
+                d: info.d,
+                slot_count: 1,
+                slot_len: slot_len as u16,
+            });
+            let slot = builder.slot();
+            let slice = &coded.slices[k % coded.slices.len()];
+            slot[..d].copy_from_slice(&slice.coeffs);
+            slot[d..d + coded.block_len].copy_from_slice(&slice.payload);
+            crc::write_crc(slot);
             sends.push(SendInstr {
-                from: self.addr,
+                from: *addr,
                 to: parent_addr,
-                packet,
+                packet: builder.build(),
             });
         }
-        self.stats.packets_out += sends.len() as u64;
+        stats.packets_out += sends.len() as u64;
         Some(sends)
     }
 }
@@ -743,12 +978,6 @@ impl RelayNode {
 fn parse_clean_slot(d: usize, block_len: usize, slot: &[u8]) -> Option<InfoSlice> {
     let payload = crc::check_crc(slot)?;
     InfoSlice::from_bytes(d, block_len, payload)
-}
-
-fn random_slot<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
-    let mut v = vec![0u8; len];
-    rng.fill_bytes(&mut v);
-    v
 }
 
 #[cfg(test)]
@@ -848,5 +1077,51 @@ mod tests {
         relay.poll(Tick(5_000));
         assert_eq!(relay.flow_count(), 0);
         assert_eq!(relay.stats().flows_evicted, 1);
+    }
+
+    #[test]
+    fn replay_guard_window_semantics() {
+        let mut g = ReplayGuard::default();
+        assert!(!g.contains(0));
+        g.insert(0);
+        assert!(g.contains(0));
+        assert!(!g.contains(1));
+        // Reorder within the window.
+        g.insert(10);
+        g.insert(5);
+        assert!(g.contains(5) && g.contains(10) && !g.contains(6));
+        // Slide far forward: old seqs fall below the watermark and count
+        // as delivered; in-window tracking keeps working.
+        g.insert(5_000);
+        assert!(g.contains(0) && g.contains(6), "below watermark = delivered");
+        assert!(g.contains(5_000));
+        assert!(!g.contains(4_999) || 4_999 < 5_000 - ReplayGuard::WINDOW + 1);
+        assert!(!g.contains(5_001));
+        // Word-aligned and unaligned slides.
+        g.insert(5_064);
+        g.insert(5_100);
+        assert!(g.contains(5_064) && g.contains(5_100) && !g.contains(5_099));
+    }
+
+    #[test]
+    fn mismatched_setup_shape_dropped() {
+        let mut relay = RelayNode::new(OverlayAddr(1), 7);
+        let shape = |slot_len: u16, fill: u8| {
+            Packet::new(
+                PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: FlowId(5),
+                    seq: 0,
+                    d: 2,
+                    slot_count: 2,
+                    slot_len,
+                },
+                vec![vec![fill; slot_len as usize]; 2],
+            )
+        };
+        relay.handle_packet(Tick(0), OverlayAddr(2), &shape(20, 1));
+        relay.handle_packet(Tick(0), OverlayAddr(3), &shape(24, 2));
+        // The second packet's geometry disagrees: dropped, not gathered.
+        assert_eq!(relay.stats().drops, 1);
     }
 }

@@ -15,7 +15,7 @@ use slicing_codec::{coder, recombine, InfoSlice};
 use slicing_crypto::aead;
 use slicing_graph::packets::SendInstr;
 use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, OverlayAddr};
-use slicing_wire::{crc, FlowId, Packet, PacketHeader, PacketKind};
+use slicing_wire::{crc, Packet, PacketBuilder, PacketHeader, PacketKind};
 
 use crate::time::Tick;
 
@@ -130,30 +130,33 @@ impl SourceSession {
         let mut sends = Vec::with_capacity(dp * dp);
         for i in 0..dp {
             for v in 0..dp {
+                let mut builder = PacketBuilder::new(PacketHeader {
+                    kind: PacketKind::Data,
+                    flow_id: self.graph.flow_ids[1][v],
+                    seq,
+                    d: d as u8,
+                    slot_count: 1,
+                    slot_len: slot_len as u16,
+                });
+                // Write the slice straight into the packet's slot.
+                let slot = builder.slot();
+                let body = d + coded.block_len;
+                let fresh;
                 let slice = if recode {
-                    recombine::recombine(&coded.slices, &mut self.rng)
+                    fresh = recombine::recombine(&coded.slices, &mut self.rng);
+                    &fresh
                 } else {
                     // Static assignment: slice (i + v + h₀) mod d′ crosses
                     // edge (pseudo-source i → stage-1 relay v).
-                    coded.slices[(i + v + self.graph.data_offsets[0]) % dp].clone()
+                    &coded.slices[(i + v + self.graph.data_offsets[0]) % dp]
                 };
-                let mut slot = slice.to_bytes();
-                crc::append_crc(&mut slot);
-                let packet = Packet::new(
-                    PacketHeader {
-                        kind: PacketKind::Data,
-                        flow_id: self.graph.flow_ids[1][v],
-                        seq,
-                        d: d as u8,
-                        slot_count: 1,
-                        slot_len: slot_len as u16,
-                    },
-                    vec![slot],
-                );
+                slot[..d].copy_from_slice(&slice.coeffs);
+                slot[d..body].copy_from_slice(&slice.payload);
+                crc::write_crc(slot);
                 sends.push(SendInstr {
                     from: self.graph.stages[0][i],
                     to: self.graph.stages[1][v],
-                    packet,
+                    packet: builder.build(),
                 });
             }
         }
@@ -172,9 +175,9 @@ impl SourceSession {
         if packet.header.kind != PacketKind::Data {
             return None;
         }
-        // Reverse packets arrive on the pseudo-sources' reverse flow ids.
-        let expected: Vec<FlowId> = self.graph.reverse_flow_ids[0].clone();
-        if !expected.contains(&packet.header.flow_id) {
+        // Reverse packets arrive on the pseudo-sources' reverse flow ids
+        // (borrowed in place — this runs once per received packet).
+        if !self.graph.reverse_flow_ids[0].contains(&packet.header.flow_id) {
             return None;
         }
         let seq = packet.header.seq;
@@ -189,7 +192,7 @@ impl SourceSession {
         if !entry.0.insert((pseudo_source, from)) {
             return None;
         }
-        for slot in &packet.slots {
+        for slot in packet.slots() {
             if slot.len() < d + 4 {
                 continue;
             }
@@ -305,10 +308,7 @@ mod tests {
             let rows: HashSet<Vec<u8>> = sends
                 .iter()
                 .filter(|x| x.to == to)
-                .map(|x| {
-                    let slot = &x.packet.slots[0];
-                    slot[..2].to_vec()
-                })
+                .map(|x| x.packet.slot(0)[..2].to_vec())
                 .collect();
             assert_eq!(rows.len(), 3, "stage-1 node {v} got duplicate slices");
         }

@@ -131,6 +131,60 @@ impl Field for Gf256 {
     fn read_bytes(bytes: &[u8]) -> Self {
         Gf256(bytes[0])
     }
+
+    // ---- bulk slice hooks, ported onto the 64 KiB multiplication table.
+    //
+    // Same table as `crate::bulk`; the scalar log/exp path costs two
+    // dependent loads, an add and a zero-test per element, these cost one
+    // load from an L1-resident row (fixed coefficient) or one 2-D lookup
+    // (varying pair).
+
+    #[inline]
+    fn dot_slices(a: &[Self], b: &[Self]) -> Self {
+        let mut acc = 0u8;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            acc ^= crate::bulk::mul_row(x.0)[y.0 as usize];
+        }
+        Gf256(acc)
+    }
+
+    #[inline]
+    fn axpy_slices(acc: &mut [Self], c: Self, src: &[Self]) {
+        match c.0 {
+            0 => {}
+            1 => {
+                for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                    a.0 ^= s.0;
+                }
+            }
+            _ => {
+                let row = crate::bulk::mul_row(c.0);
+                for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                    a.0 ^= row[s.0 as usize];
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn scale_slices(row_elems: &mut [Self], c: Self) {
+        match c.0 {
+            0 => row_elems.fill(Gf256(0)),
+            1 => {}
+            _ => {
+                let row = crate::bulk::mul_row(c.0);
+                for v in row_elems.iter_mut() {
+                    v.0 = row[v.0 as usize];
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn sub_scaled_slices(dst: &mut [Self], c: Self, src: &[Self]) {
+        // Characteristic 2: subtraction is addition.
+        Self::axpy_slices(dst, c, src);
+    }
 }
 
 #[cfg(test)]

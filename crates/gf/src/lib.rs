@@ -34,7 +34,7 @@ pub mod gf65536;
 pub mod matrix;
 pub mod mds;
 
-pub use field::Field;
+pub use field::{axpy, dot, scale, sub_scaled, Field};
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
 pub use matrix::Matrix;

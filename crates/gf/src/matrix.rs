@@ -4,7 +4,7 @@
 
 use rand::Rng;
 
-use crate::field::{axpy, dot, Field};
+use crate::field::{axpy, dot, scale, sub_scaled, Field};
 
 /// A dense row-major matrix over field `F`.
 #[derive(Clone, PartialEq, Eq, Hash)]
@@ -171,6 +171,11 @@ impl<F: Field> Matrix<F> {
     }
 
     /// Row rank via Gaussian elimination (non-destructive).
+    ///
+    /// Elimination runs row-at-a-time through the [`Field`] bulk kernels
+    /// ([`scale`], [`sub_scaled`]) — for GF(2⁸) that streams each row
+    /// update through one 64 KiB-table row instead of per-element
+    /// log/exp.
     pub fn rank(&self) -> usize {
         let mut m = self.clone();
         let mut rank = 0;
@@ -183,17 +188,12 @@ impl<F: Field> Matrix<F> {
             let Some(p) = pivot else { continue };
             m.swap_rows(rank, p);
             let inv = m.get(rank, col).inv();
-            for c in col..m.cols {
-                let v = m.get(rank, c).mul(inv);
-                m.set(rank, c, v);
-            }
+            scale(&mut m.row_mut(rank)[col..], inv);
             for r in 0..m.rows {
                 if r != rank && !m.get(r, col).is_zero() {
                     let factor = m.get(r, col);
-                    for c in col..m.cols {
-                        let v = m.get(r, c).sub(factor.mul(m.get(rank, c)));
-                        m.set(r, c, v);
-                    }
+                    let (pivot_row, row) = m.two_rows_mut(rank, r);
+                    sub_scaled(&mut row[col..], factor, &pivot_row[col..]);
                 }
             }
             rank += 1;
@@ -207,6 +207,9 @@ impl<F: Field> Matrix<F> {
     }
 
     /// Gauss–Jordan inverse; `None` if singular or non-square.
+    ///
+    /// Pivot normalization and row elimination go through the [`Field`]
+    /// bulk kernels (see [`Matrix::rank`]).
     pub fn inverse(&self) -> Option<Matrix<F>> {
         if self.rows != self.cols {
             return None;
@@ -218,20 +221,16 @@ impl<F: Field> Matrix<F> {
             let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
             a.swap_rows(col, pivot);
             inv.swap_rows(col, pivot);
-            let scale = a.get(col, col).inv();
-            for c in 0..n {
-                a.set(col, c, a.get(col, c).mul(scale));
-                inv.set(col, c, inv.get(col, c).mul(scale));
-            }
+            let norm = a.get(col, col).inv();
+            scale(a.row_mut(col), norm);
+            scale(inv.row_mut(col), norm);
             for r in 0..n {
                 if r != col && !a.get(r, col).is_zero() {
                     let factor = a.get(r, col);
-                    for c in 0..n {
-                        let va = a.get(r, c).sub(factor.mul(a.get(col, c)));
-                        a.set(r, c, va);
-                        let vi = inv.get(r, c).sub(factor.mul(inv.get(col, c)));
-                        inv.set(r, c, vi);
-                    }
+                    let (pivot_row, row) = a.two_rows_mut(col, r);
+                    sub_scaled(row, factor, pivot_row);
+                    let (pivot_row, row) = inv.two_rows_mut(col, r);
+                    sub_scaled(row, factor, pivot_row);
                 }
             }
         }
@@ -255,18 +254,14 @@ impl<F: Field> Matrix<F> {
             let pivot = (col..n).find(|&r| !a.get(r, col).is_zero())?;
             a.swap_rows(col, pivot);
             x.swap(col, pivot);
-            let scale = a.get(col, col).inv();
-            for c in 0..n {
-                a.set(col, c, a.get(col, c).mul(scale));
-            }
-            x[col] = x[col].mul(scale);
+            let norm = a.get(col, col).inv();
+            scale(a.row_mut(col), norm);
+            x[col] = x[col].mul(norm);
             for r in 0..n {
                 if r != col && !a.get(r, col).is_zero() {
                     let factor = a.get(r, col);
-                    for c in 0..n {
-                        let v = a.get(r, c).sub(factor.mul(a.get(col, c)));
-                        a.set(r, c, v);
-                    }
+                    let (pivot_row, row) = a.two_rows_mut(col, r);
+                    sub_scaled(row, factor, pivot_row);
                     x[r] = x[r].sub(factor.mul(x[col]));
                 }
             }
@@ -284,6 +279,25 @@ impl<F: Field> Matrix<F> {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
         out
+    }
+
+    /// Mutably borrow two distinct rows at once (`(row_a, row_b)`), for
+    /// row-wise elimination through the bulk kernels.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or either index is out of bounds.
+    fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [F], &mut [F]) {
+        assert_ne!(a, b, "two_rows_mut needs distinct rows");
+        let cols = self.cols;
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(hi * cols);
+        let row_lo = &mut head[lo * cols..(lo + 1) * cols];
+        let row_hi = &mut tail[..cols];
+        if a < b {
+            (row_lo, row_hi)
+        } else {
+            (row_hi, row_lo)
+        }
     }
 
     /// Swap two rows in place.

@@ -12,7 +12,7 @@ use rand::Rng;
 
 use slicing_codec::transform;
 use slicing_codec::InfoSlice;
-use slicing_wire::{crc, FlowId, Packet, PacketHeader, PacketKind};
+use slicing_wire::{crc, FlowId, Packet, PacketBuilder, PacketHeader, PacketKind};
 
 use crate::addr::OverlayAddr;
 use crate::build::BuiltGraph;
@@ -35,12 +35,20 @@ impl BuiltGraph {
         self.params.split + self.info_block_len + 4
     }
 
-    /// Wrap a slice for its journey: append CRC, then apply the transform
-    /// chain of the relays at stages `1..target_stage` on its path.
-    fn wrap_slice(&self, target_stage: usize, x: usize, k: usize) -> Vec<u8> {
+    /// Wrap a slice for its journey directly into a packet slot: write
+    /// `coeffs ‖ payload`, seal with the CRC, then apply the transform
+    /// chain of the relays at stages `1..target_stage` on its path — all
+    /// in place.
+    ///
+    /// # Panics
+    /// Panics if `out` is not exactly [`Self::setup_slot_len`] bytes.
+    fn wrap_slice_into(&self, target_stage: usize, x: usize, k: usize, out: &mut [u8]) {
         let slice = &self.info_slices[target_stage][x][k];
-        let mut bytes = slice.to_bytes();
-        crc::append_crc(&mut bytes);
+        let d = slice.coeffs.len();
+        assert_eq!(out.len(), d + slice.payload.len() + 4, "slot length");
+        out[..d].copy_from_slice(&slice.coeffs);
+        out[d..d + slice.payload.len()].copy_from_slice(&slice.payload);
+        crc::write_crc(out);
         // Forwarding relays: stages 1..target_stage on this slice's path.
         let chain: Vec<_> = (1..target_stage)
             .map(|m| {
@@ -48,8 +56,7 @@ impl BuiltGraph {
                 self.transforms[m][holder]
             })
             .collect();
-        transform::apply_chain(&chain, &mut bytes);
-        bytes
+        transform::apply_chain(&chain, out);
     }
 
     /// Produce every setup packet (one per pseudo-source → stage-1 relay
@@ -63,12 +70,19 @@ impl BuiltGraph {
         let mut out = Vec::with_capacity(dp * dp);
         for i in 0..dp {
             for v in 0..dp {
-                let mut slots: Vec<Vec<u8>> = Vec::with_capacity(l_len);
+                let mut builder = PacketBuilder::new(PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: self.flow_ids[1][v],
+                    seq: 0,
+                    d: self.params.split as u8,
+                    slot_count: l_len as u8,
+                    slot_len: slot_len as u16,
+                });
                 // Slot 0: v's own slice, via pseudo-source i.
                 let k_own = (0..dp)
                     .find(|&k| self.holders.holder(1, v, k, 0) == i)
                     .expect("own-slice permutation");
-                slots.push(self.wrap_slice(1, v, k_own));
+                self.wrap_slice_into(1, v, k_own, builder.slot());
                 // Slots 1..L-1: one slice per downstream stage.
                 for s in 1..l_len {
                     let target_stage = 1 + s;
@@ -79,28 +93,17 @@ impl BuiltGraph {
                                 && self.holders.holder(target_stage, x, k, 1) == v
                             {
                                 assert!(filled.is_none(), "balance violated");
-                                filled = Some(self.wrap_slice(target_stage, x, k));
+                                filled = Some((target_stage, x, k));
                             }
                         }
                     }
-                    slots.push(filled.expect("balance violated: empty first-hop slot"));
+                    let (ts, x, k) = filled.expect("balance violated: empty first-hop slot");
+                    self.wrap_slice_into(ts, x, k, builder.slot());
                 }
-                debug_assert!(slots.iter().all(|s| s.len() == slot_len));
-                let packet = Packet::new(
-                    PacketHeader {
-                        kind: PacketKind::Setup,
-                        flow_id: self.flow_ids[1][v],
-                        seq: 0,
-                        d: self.params.split as u8,
-                        slot_count: l_len as u8,
-                        slot_len: slot_len as u16,
-                    },
-                    slots,
-                );
                 out.push(SendInstr {
                     from: self.stages[0][i],
                     to: self.stages[1][v],
-                    packet,
+                    packet: builder.build(),
                 });
                 let _ = rng;
             }
@@ -180,7 +183,7 @@ mod tests {
                 .iter()
                 .filter(|p| p.to == relay_addr)
                 .map(|p| {
-                    BuiltGraph::parse_slot(2, g.info_block_len, &p.packet.slots[0])
+                    BuiltGraph::parse_slot(2, g.info_block_len, p.packet.slot(0))
                         .expect("slot 0 must be clean")
                 })
                 .collect();
@@ -200,7 +203,7 @@ mod tests {
         let packets = g.setup_packets(&mut rng);
         let mut wrapped = 0;
         for p in &packets {
-            for slot in &p.packet.slots[1..] {
+            for slot in p.packet.slots().skip(1) {
                 if BuiltGraph::parse_slot(2, g.info_block_len, slot).is_none() {
                     wrapped += 1;
                 }
@@ -217,7 +220,8 @@ mod tests {
         // relays' transforms in path order; must parse and contribute to
         // decoding at the end.
         let (l, x, k) = (3usize, 0usize, 0usize);
-        let mut bytes = g.wrap_slice(l, x, k);
+        let mut bytes = vec![0u8; g.setup_slot_len()];
+        g.wrap_slice_into(l, x, k, &mut bytes);
         for m in 1..l {
             let holder = g.holders.holder(l, x, k, m);
             g.transforms[m][holder].unapply(&mut bytes);

@@ -77,7 +77,7 @@ proptest! {
         for p in &packets {
             prop_assert_eq!(p.packet.encode().len(), len);
             prop_assert!(build::BuiltGraph::parse_slot(
-                d, g.info_block_len, &p.packet.slots[0]).is_some());
+                d, g.info_block_len, p.packet.slot(0)).is_some());
         }
     }
 

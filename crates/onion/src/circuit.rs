@@ -157,7 +157,7 @@ impl OnionSource {
                 circuit: circuit_ids[0],
                 kind: OnionPacketKind::Setup,
                 seq: 0,
-                payload: inner,
+                payload: inner.into(),
             },
         };
         Ok((handle, send))
@@ -191,7 +191,7 @@ impl CircuitHandle {
                     circuit: self.first_circuit,
                     kind: OnionPacketKind::Data,
                     seq,
-                    payload,
+                    payload: payload.into(),
                 },
             },
         )

@@ -134,7 +134,7 @@ impl OnionRelay {
                     circuit: next_circuit,
                     kind: OnionPacketKind::Setup,
                     seq: 0,
-                    payload: inner,
+                    payload: inner.into(),
                 },
             });
         }
@@ -148,16 +148,18 @@ impl OnionRelay {
             return out;
         };
         let state = state.clone();
-        let mut payload = packet.payload.clone();
         if state.is_exit {
-            // Innermost layer is an AEAD seal under the exit session key.
-            match aead::open(&state.session_key, &payload) {
+            // Innermost layer is an AEAD seal under the exit session key
+            // (read in place — no copy at the exit).
+            match aead::open(&state.session_key, &packet.payload) {
                 Ok(plaintext) => out.delivered.push((packet.seq, plaintext)),
                 Err(_) => self.drops += 1,
             }
             return out;
         }
-        // Strip one stream layer and forward.
+        // Strip one stream layer and forward (the one unavoidable copy:
+        // decryption rewrites the bytes).
+        let mut payload = packet.payload.to_vec();
         ChaCha20::xor(&state.session_key.0, &data_nonce(packet.seq), 0, &mut payload);
         let (next_addr, next_circuit) = state.next.expect("non-exit has next hop");
         out.sends.push(OnionSend {
@@ -167,7 +169,7 @@ impl OnionRelay {
                 circuit: next_circuit,
                 kind: OnionPacketKind::Data,
                 seq: packet.seq,
-                payload,
+                payload: payload.into(),
             },
         });
         out
@@ -252,7 +254,7 @@ mod tests {
             circuit: 42,
             kind: OnionPacketKind::Data,
             seq: 0,
-            payload: vec![0u8; 64],
+            payload: vec![0u8; 64].into(),
         });
         assert!(out.sends.is_empty());
         assert_eq!(relay.drops, 1);
@@ -267,7 +269,7 @@ mod tests {
             circuit: 42,
             kind: OnionPacketKind::Setup,
             seq: 0,
-            payload: vec![0xFF; 10],
+            payload: vec![0xFF; 10].into(),
         });
         assert!(out.established.is_none());
         assert!(relay.drops >= 1);
@@ -285,7 +287,9 @@ mod tests {
         relay.handle_packet(&setup.packet);
         let (_, mut data) = handle.send_data(b"secret", &mut rng);
         let mid = data.packet.payload.len() / 2;
-        data.packet.payload[mid] ^= 1;
+        let mut tampered = data.packet.payload.to_vec();
+        tampered[mid] ^= 1;
+        data.packet.payload = tampered.into();
         let out = relay.handle_packet(&data.packet);
         assert!(out.delivered.is_empty());
         assert_eq!(relay.drops, 1);

@@ -1,4 +1,15 @@
 //! Minimal wire format for the onion baseline.
+//!
+//! Framing parity with `slicing-wire`: the payload is a shared
+//! [`Bytes`] view, [`OnionPacket::from_bytes`] adopts the receive buffer
+//! zero-copy, and [`OnionPacket::encode`] emits one frozen buffer — so
+//! the Fig. 11–15 baseline pays the same (absent) serialization costs as
+//! the slicing data plane.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Onion header length: circuit id (8) + kind (1) + seq (4).
+pub const ONION_HEADER_LEN: usize = 13;
 
 /// Kind of onion packet.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,8 +30,9 @@ pub struct OnionPacket {
     pub kind: OnionPacketKind,
     /// Data sequence number (0 for setup).
     pub seq: u32,
-    /// Payload (onion remainder or layered ciphertext).
-    pub payload: Vec<u8>,
+    /// Payload (onion remainder or layered ciphertext) — a shared view,
+    /// zero-copy when the packet came off the wire.
+    pub payload: Bytes,
 }
 
 /// Decode failures.
@@ -44,36 +56,43 @@ impl std::fmt::Display for OnionWireError {
 impl std::error::Error for OnionWireError {}
 
 impl OnionPacket {
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(13 + self.payload.len());
-        out.extend_from_slice(&self.circuit.to_le_bytes());
-        out.push(match self.kind {
+    /// Serialize into one frozen buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::with_capacity(ONION_HEADER_LEN + self.payload.len());
+        out.put_u64_le(self.circuit);
+        out.put_u8(match self.kind {
             OnionPacketKind::Setup => 0,
             OnionPacketKind::Data => 1,
         });
-        out.extend_from_slice(&self.seq.to_le_bytes());
-        out.extend_from_slice(&self.payload);
-        out
+        out.put_u32_le(self.seq);
+        out.put_slice(&self.payload);
+        out.freeze()
     }
 
-    /// Deserialize.
+    /// Deserialize from a borrowed buffer (copies; receive paths holding
+    /// a [`Bytes`] should use [`OnionPacket::from_bytes`]).
     pub fn decode(bytes: &[u8]) -> Result<OnionPacket, OnionWireError> {
-        if bytes.len() < 13 {
+        OnionPacket::from_bytes(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Zero-copy deserialize: the payload is a view into `bytes`.
+    pub fn from_bytes(bytes: Bytes) -> Result<OnionPacket, OnionWireError> {
+        let mut cursor: &[u8] = &bytes;
+        if cursor.len() < ONION_HEADER_LEN {
             return Err(OnionWireError::Truncated);
         }
-        let circuit = u64::from_le_bytes(bytes[..8].try_into().unwrap());
-        let kind = match bytes[8] {
+        let circuit = cursor.get_u64_le();
+        let kind = match cursor.get_u8() {
             0 => OnionPacketKind::Setup,
             1 => OnionPacketKind::Data,
             _ => return Err(OnionWireError::BadKind),
         };
-        let seq = u32::from_le_bytes(bytes[9..13].try_into().unwrap());
+        let seq = cursor.get_u32_le();
         Ok(OnionPacket {
             circuit,
             kind,
             seq,
-            payload: bytes[13..].to_vec(),
+            payload: bytes.slice(ONION_HEADER_LEN..),
         })
     }
 }
@@ -88,9 +107,22 @@ mod tests {
             circuit: 0xABCD,
             kind: OnionPacketKind::Data,
             seq: 9,
-            payload: vec![1, 2, 3],
+            payload: Bytes::from(vec![1, 2, 3]),
         };
         assert_eq!(OnionPacket::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn from_bytes_is_zero_copy() {
+        let wire = OnionPacket {
+            circuit: 7,
+            kind: OnionPacketKind::Setup,
+            seq: 0,
+            payload: Bytes::from(vec![9u8; 32]),
+        }
+        .encode();
+        let p = OnionPacket::from_bytes(wire.clone()).unwrap();
+        assert_eq!(p.payload, wire.slice(ONION_HEADER_LEN..));
     }
 
     #[test]
@@ -107,9 +139,10 @@ mod tests {
             circuit: 1,
             kind: OnionPacketKind::Setup,
             seq: 0,
-            payload: vec![],
+            payload: Bytes::new(),
         }
-        .encode();
+        .encode()
+        .to_vec();
         bytes[8] = 7;
         assert_eq!(
             OnionPacket::decode(&bytes).unwrap_err(),

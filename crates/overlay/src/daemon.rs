@@ -54,7 +54,8 @@ pub fn spawn_relay(
             let outputs = tokio::select! {
                 maybe = port.rx.recv() => {
                     let Some((from, bytes)) = maybe else { break };
-                    let Ok(packet) = Packet::decode(&bytes) else { continue };
+                    // Zero-copy: the packet adopts the receive buffer.
+                    let Ok(packet) = Packet::from_bytes(bytes) else { continue };
                     relay.handle_packet(now_tick(epoch), from, &packet)
                 }
                 _ = ticker.tick() => relay.poll(now_tick(epoch)),
@@ -92,7 +93,7 @@ pub fn spawn_onion_relay(
     tokio::spawn(async move {
         let addr = port.addr;
         while let Some((_, bytes)) = port.rx.recv().await {
-            let Ok(packet) = OnionPacket::decode(&bytes) else {
+            let Ok(packet) = OnionPacket::from_bytes(bytes) else {
                 continue;
             };
             let out = relay.handle_packet(&packet);
@@ -138,7 +139,7 @@ mod tests {
         let (events_tx, _events_rx) = mpsc::unbounded_channel();
         let relay = RelayNode::new(OverlayAddr(10), 7);
         let handle = spawn_relay(relay, relay_port, events_tx, Instant::now());
-        sender.tx.send(OverlayAddr(10), b"not a packet".to_vec()).await;
+        sender.tx.send(OverlayAddr(10), bytes::Bytes::from(&b"not a packet"[..])).await;
         tokio::time::sleep(Duration::from_millis(30)).await;
         handle.abort();
     }

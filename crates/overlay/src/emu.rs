@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -25,7 +26,7 @@ pub struct Hub {
 struct HubState {
     rng: StdRng,
     /// Receiver inboxes.
-    inboxes: HashMap<OverlayAddr, mpsc::Sender<(OverlayAddr, Vec<u8>)>>,
+    inboxes: HashMap<OverlayAddr, mpsc::Sender<(OverlayAddr, Bytes)>>,
     /// Failed (churned-out) nodes.
     failed: std::collections::HashSet<OverlayAddr>,
     /// Stable per-link one-way propagation delay (ms).
@@ -99,7 +100,7 @@ impl EmulatedNet {
 
 impl Hub {
     /// Schedule delivery of one datagram with the profile's delays.
-    pub(crate) async fn send(self: &Arc<Self>, from: OverlayAddr, to: OverlayAddr, bytes: Vec<u8>) {
+    pub(crate) async fn send(self: &Arc<Self>, from: OverlayAddr, to: OverlayAddr, bytes: Bytes) {
         let now = Instant::now();
         let (deliver_at, inbox) = {
             let mut s = self.state.lock();
@@ -175,7 +176,7 @@ mod tests {
         let net = EmulatedNet::new(lan(), 1);
         let a = net.attach(OverlayAddr(1));
         let mut b = net.attach(OverlayAddr(2));
-        a.tx.send(OverlayAddr(2), b"hello".to_vec()).await;
+        a.tx.send(OverlayAddr(2), bytes::Bytes::from(&b"hello"[..])).await;
         let (from, bytes) = b.rx.recv().await.unwrap();
         assert_eq!(from, OverlayAddr(1));
         assert_eq!(bytes, b"hello");
@@ -188,7 +189,7 @@ mod tests {
         let a = net.attach(OverlayAddr(1));
         let mut b = net.attach(OverlayAddr(2));
         net.fail(OverlayAddr(2));
-        a.tx.send(OverlayAddr(2), b"x".to_vec()).await;
+        a.tx.send(OverlayAddr(2), bytes::Bytes::from(&b"x"[..])).await;
         tokio::time::sleep(Duration::from_millis(50)).await;
         assert!(b.rx.try_recv().is_err());
     }
@@ -199,7 +200,7 @@ mod tests {
         let a = net.attach(OverlayAddr(1));
         let mut b = net.attach(OverlayAddr(2));
         let start = std::time::Instant::now();
-        a.tx.send(OverlayAddr(2), vec![0u8; 100]).await;
+        a.tx.send(OverlayAddr(2), bytes::Bytes::from(vec![0u8; 100])).await;
         let _ = b.rx.recv().await.unwrap();
         let elapsed = start.elapsed();
         assert!(
@@ -221,7 +222,7 @@ mod tests {
         let mut b = net.attach(OverlayAddr(2));
         let start = std::time::Instant::now();
         for _ in 0..20 {
-            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
+            a.tx.send(OverlayAddr(2), bytes::Bytes::from(vec![0u8; 500])).await;
         }
         for _ in 0..20 {
             let _ = b.rx.recv().await.unwrap();
@@ -252,7 +253,7 @@ mod tests {
         // One link: 20 packets to b.
         let start = std::time::Instant::now();
         for _ in 0..20 {
-            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
+            a.tx.send(OverlayAddr(2), bytes::Bytes::from(vec![0u8; 500])).await;
         }
         for _ in 0..20 {
             let _ = b.rx.recv().await.unwrap();
@@ -262,8 +263,8 @@ mod tests {
         // Two links: 10 packets each to b and c.
         let start = std::time::Instant::now();
         for _ in 0..10 {
-            a.tx.send(OverlayAddr(2), vec![0u8; 500]).await;
-            a.tx.send(OverlayAddr(3), vec![0u8; 500]).await;
+            a.tx.send(OverlayAddr(2), bytes::Bytes::from(vec![0u8; 500])).await;
+            a.tx.send(OverlayAddr(3), bytes::Bytes::from(vec![0u8; 500])).await;
         }
         for _ in 0..10 {
             let _ = b.rx.recv().await.unwrap();

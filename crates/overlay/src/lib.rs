@@ -28,15 +28,21 @@ pub use experiment::{
 };
 pub use tcp::TcpNet;
 
+use bytes::Bytes;
 use slicing_graph::OverlayAddr;
 use tokio::sync::mpsc;
 
 /// A bidirectional attachment point for one overlay node.
+///
+/// Datagrams cross the port as frozen [`Bytes`]: a daemon hands the
+/// transport the packet's wire buffer (no re-encode, no copy on the
+/// emulated transport) and receives buffers it can adopt zero-copy via
+/// `Packet::from_bytes`.
 pub struct NodePort {
     /// The node's overlay address.
     pub addr: OverlayAddr,
     /// Incoming datagrams: `(sender, payload)`.
-    pub rx: mpsc::Receiver<(OverlayAddr, Vec<u8>)>,
+    pub rx: mpsc::Receiver<(OverlayAddr, Bytes)>,
     /// Outgoing sender handle.
     pub tx: PortSender,
 }
@@ -56,7 +62,7 @@ pub(crate) enum PortSenderInner {
 
 impl PortSender {
     /// Send `bytes` to `to` (fire-and-forget datagram semantics).
-    pub async fn send(&self, to: OverlayAddr, bytes: Vec<u8>) {
+    pub async fn send(&self, to: OverlayAddr, bytes: Bytes) {
         match &self.inner {
             PortSenderInner::Emu(hub) => hub.send(self.addr, to, bytes).await,
             PortSenderInner::Tcp(t) => t.send(self.addr, to, bytes).await,

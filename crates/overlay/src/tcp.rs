@@ -5,6 +5,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 use slicing_graph::OverlayAddr;
 use tokio::io::{AsyncReadExt, AsyncWriteExt};
@@ -19,7 +20,7 @@ const MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// Sender half for the TCP transport.
 #[derive(Clone)]
 pub struct TcpSender {
-    conns: Arc<Mutex<HashMap<OverlayAddr, mpsc::Sender<Vec<u8>>>>>,
+    conns: Arc<Mutex<HashMap<OverlayAddr, mpsc::Sender<Bytes>>>>,
 }
 
 /// A TCP-backed overlay network on loopback.
@@ -35,7 +36,7 @@ impl TcpNet {
         let listener = TcpListener::bind("127.0.0.1:0").await?;
         let port = listener.local_addr()?.port();
         let addr = OverlayAddr::from_ipv4([127, 0, 0, 1], port);
-        let (tx, rx) = mpsc::channel::<(OverlayAddr, Vec<u8>)>(1024);
+        let (tx, rx) = mpsc::channel::<(OverlayAddr, Bytes)>(1024);
 
         // Accept loop.
         tokio::spawn(async move {
@@ -65,7 +66,7 @@ impl TcpNet {
 
 async fn read_peer(
     mut stream: TcpStream,
-    tx: mpsc::Sender<(OverlayAddr, Vec<u8>)>,
+    tx: mpsc::Sender<(OverlayAddr, Bytes)>,
 ) -> std::io::Result<()> {
     // Hello: 8-byte sender overlay address.
     let mut hello = [0u8; 8];
@@ -82,7 +83,7 @@ async fn read_peer(
         }
         let mut frame = vec![0u8; len as usize];
         stream.read_exact(&mut frame).await?;
-        if tx.send((from, frame)).await.is_err() {
+        if tx.send((from, Bytes::from(frame))).await.is_err() {
             return Ok(()); // node shut down
         }
     }
@@ -90,7 +91,7 @@ async fn read_peer(
 
 impl TcpSender {
     /// Send one frame, establishing/caching the connection as needed.
-    pub(crate) async fn send(&self, from: OverlayAddr, to: OverlayAddr, bytes: Vec<u8>) {
+    pub(crate) async fn send(&self, from: OverlayAddr, to: OverlayAddr, bytes: Bytes) {
         // Fast path: existing writer.
         let existing = self.conns.lock().get(&to).cloned();
         let writer = match existing {
@@ -102,7 +103,7 @@ impl TcpSender {
                     return; // dead peer: datagram semantics, drop
                 };
                 let _ = stream.set_nodelay(true);
-                let (wtx, mut wrx) = mpsc::channel::<Vec<u8>>(256);
+                let (wtx, mut wrx) = mpsc::channel::<Bytes>(256);
                 tokio::spawn(async move {
                     // Hello preamble.
                     if stream.write_all(&from.to_bytes()).await.is_err() {
@@ -136,7 +137,7 @@ mod tests {
     async fn round_trip_over_loopback() {
         let a = TcpNet::attach().await.unwrap();
         let mut b = TcpNet::attach().await.unwrap();
-        a.tx.send(b.addr, b"over tcp".to_vec()).await;
+        a.tx.send(b.addr, bytes::Bytes::from(&b"over tcp"[..])).await;
         let (from, bytes) = b.rx.recv().await.unwrap();
         assert_eq!(from, a.addr);
         assert_eq!(bytes, b"over tcp");
@@ -147,7 +148,7 @@ mod tests {
         let a = TcpNet::attach().await.unwrap();
         let mut b = TcpNet::attach().await.unwrap();
         for i in 0..50u32 {
-            a.tx.send(b.addr, i.to_le_bytes().to_vec()).await;
+            a.tx.send(b.addr, bytes::Bytes::from(i.to_le_bytes().to_vec())).await;
         }
         for i in 0..50u32 {
             let (_, bytes) = b.rx.recv().await.unwrap();
@@ -159,10 +160,10 @@ mod tests {
     async fn bidirectional() {
         let mut a = TcpNet::attach().await.unwrap();
         let mut b = TcpNet::attach().await.unwrap();
-        a.tx.send(b.addr, b"ping".to_vec()).await;
+        a.tx.send(b.addr, bytes::Bytes::from(&b"ping"[..])).await;
         let (_, ping) = b.rx.recv().await.unwrap();
         assert_eq!(ping, b"ping");
-        b.tx.send(a.addr, b"pong".to_vec()).await;
+        b.tx.send(a.addr, bytes::Bytes::from(&b"pong"[..])).await;
         let (_, pong) = a.rx.recv().await.unwrap();
         assert_eq!(pong, b"pong");
     }
@@ -172,6 +173,6 @@ mod tests {
         let a = TcpNet::attach().await.unwrap();
         // Unbound address: connect fails, send becomes a no-op.
         let ghost = OverlayAddr::from_ipv4([127, 0, 0, 1], 1);
-        a.tx.send(ghost, b"x".to_vec()).await;
+        a.tx.send(ghost, bytes::Bytes::from(&b"x"[..])).await;
     }
 }

@@ -10,13 +10,24 @@
 //! Every packet of a flow has identical length at every hop — the
 //! slice-map machinery replaces consumed slices with padding rather than
 //! shrinking packets, defeating packet-size analysis (§9.4(c)).
+//!
+//! # Zero-copy data plane
+//!
+//! A [`Packet`] is a parsed [`PacketHeader`] plus one frozen [`Bytes`]
+//! buffer holding the full wire image. [`Packet::from_bytes`] validates a
+//! received buffer and *keeps it* — slot accessors ([`Packet::slot`],
+//! [`Packet::slot_bytes`]) are views into the receive buffer, and
+//! [`Packet::encode`] hands the same buffer back for transmission, so a
+//! relay that forwards a packet never copies its payload. New packets are
+//! assembled once, in place, through [`PacketBuilder`] (reserve a slot,
+//! code into it, freeze).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod crc;
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Magic bytes prefixed to every packet ("IS").
 pub const MAGIC: [u8; 2] = [0x49, 0x53];
@@ -90,15 +101,26 @@ pub struct PacketHeader {
     pub slot_len: u16,
 }
 
-/// A wire packet: header plus `slot_count` opaque slots of `slot_len`
-/// bytes each.
-#[derive(Clone, PartialEq, Eq)]
+/// A wire packet: a parsed header over one frozen wire buffer with
+/// `slot_count` opaque slots of `slot_len` bytes each.
+///
+/// Cloning is O(1) (the buffer is shared); equality compares the wire
+/// bytes.
+#[derive(Clone)]
 pub struct Packet {
-    /// The header.
+    /// The header (parsed from, and consistent with, the wire buffer).
     pub header: PacketHeader,
-    /// The slots. `slots.len() == slot_count`, each of `slot_len` bytes.
-    pub slots: Vec<Vec<u8>>,
+    /// Full wire image: header followed by the slots.
+    wire: Bytes,
 }
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Packet) -> bool {
+        self.wire == other.wire
+    }
+}
+
+impl Eq for Packet {}
 
 impl std::fmt::Debug for Packet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -140,7 +162,9 @@ impl std::fmt::Display for WireError {
 impl std::error::Error for WireError {}
 
 impl Packet {
-    /// Assemble a packet.
+    /// Assemble a packet from owned slot vectors (convenience for tests
+    /// and cold paths; hot paths use [`PacketBuilder`] to code slots in
+    /// place).
     ///
     /// # Panics
     /// Panics if the slots don't match the header's declared shape.
@@ -150,7 +174,11 @@ impl Packet {
             slots.iter().all(|s| s.len() == header.slot_len as usize),
             "slot length"
         );
-        Packet { header, slots }
+        let mut b = PacketBuilder::new(header);
+        for slot in &slots {
+            b.push_slot(slot);
+        }
+        b.build()
     }
 
     /// Total encoded length.
@@ -158,55 +186,79 @@ impl Packet {
         HEADER_LEN + self.header.slot_count as usize * self.header.slot_len as usize
     }
 
-    /// Serialize.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(self.wire_len());
-        buf.put_slice(&MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_u8(self.header.kind.to_byte());
-        buf.put_u64_le(self.header.flow_id.0);
-        buf.put_u32_le(self.header.seq);
-        buf.put_u8(self.header.d);
-        buf.put_u8(self.header.slot_count);
-        buf.put_u16_le(self.header.slot_len);
-        for slot in &self.slots {
-            buf.put_slice(slot);
-        }
-        buf.to_vec()
+    /// The frozen wire image, ready to transmit.
+    ///
+    /// O(1): returns a shared view of the buffer the packet was decoded
+    /// from (or built into) — forwarding never re-serializes.
+    pub fn encode(&self) -> Bytes {
+        self.wire.clone()
     }
 
-    /// Deserialize, validating shape.
-    pub fn decode(mut bytes: &[u8]) -> Result<Packet, WireError> {
-        if bytes.len() < HEADER_LEN {
+    /// Borrow slot `i` (zero-copy view into the wire buffer).
+    ///
+    /// # Panics
+    /// Panics if `i >= slot_count`.
+    pub fn slot(&self, i: usize) -> &[u8] {
+        assert!(i < self.header.slot_count as usize, "slot index");
+        let len = self.header.slot_len as usize;
+        let start = HEADER_LEN + i * len;
+        &self.wire[start..start + len]
+    }
+
+    /// Slot `i` as a shared [`Bytes`] view — O(1), keeps the receive
+    /// buffer alive, lets a gather retain one slot without copying the
+    /// packet.
+    ///
+    /// # Panics
+    /// Panics if `i >= slot_count`.
+    pub fn slot_bytes(&self, i: usize) -> Bytes {
+        assert!(i < self.header.slot_count as usize, "slot index");
+        let len = self.header.slot_len as usize;
+        let start = HEADER_LEN + i * len;
+        self.wire.slice(start..start + len)
+    }
+
+    /// Iterate over all slots.
+    pub fn slots(&self) -> impl Iterator<Item = &[u8]> {
+        (0..self.header.slot_count as usize).map(|i| self.slot(i))
+    }
+
+    /// Deserialize from a borrowed buffer, validating shape (copies the
+    /// bytes; receive paths holding a [`Bytes`] should use
+    /// [`Packet::from_bytes`] instead).
+    pub fn decode(bytes: &[u8]) -> Result<Packet, WireError> {
+        Packet::from_bytes(Bytes::copy_from_slice(bytes))
+    }
+
+    /// Zero-copy deserialize: validate `bytes` and adopt it as the
+    /// packet's wire buffer. Accepts and rejects byte-identically to
+    /// [`Packet::decode`].
+    pub fn from_bytes(bytes: Bytes) -> Result<Packet, WireError> {
+        let mut cursor: &[u8] = &bytes;
+        if cursor.len() < HEADER_LEN {
             return Err(WireError::Truncated);
         }
         let mut magic = [0u8; 2];
-        bytes.copy_to_slice(&mut magic);
+        cursor.copy_to_slice(&mut magic);
         if magic != MAGIC {
             return Err(WireError::BadMagic);
         }
-        let version = bytes.get_u8();
+        let version = cursor.get_u8();
         if version != VERSION {
             return Err(WireError::BadVersion);
         }
-        let kind = PacketKind::from_byte(bytes.get_u8()).ok_or(WireError::BadKind)?;
-        let flow_id = FlowId(bytes.get_u64_le());
-        let seq = bytes.get_u32_le();
-        let d = bytes.get_u8();
-        let slot_count = bytes.get_u8();
-        let slot_len = bytes.get_u16_le();
+        let kind = PacketKind::from_byte(cursor.get_u8()).ok_or(WireError::BadKind)?;
+        let flow_id = FlowId(cursor.get_u64_le());
+        let seq = cursor.get_u32_le();
+        let d = cursor.get_u8();
+        let slot_count = cursor.get_u8();
+        let slot_len = cursor.get_u16_le();
         if d == 0 || slot_count == 0 || (d as u16) > slot_len {
             return Err(WireError::Inconsistent);
         }
         let body_len = slot_count as usize * slot_len as usize;
-        if bytes.remaining() != body_len {
+        if cursor.remaining() != body_len {
             return Err(WireError::Truncated);
-        }
-        let mut slots = Vec::with_capacity(slot_count as usize);
-        for _ in 0..slot_count {
-            let mut slot = vec![0u8; slot_len as usize];
-            bytes.copy_to_slice(&mut slot);
-            slots.push(slot);
         }
         Ok(Packet {
             header: PacketHeader {
@@ -217,8 +269,71 @@ impl Packet {
                 slot_count,
                 slot_len,
             },
-            slots,
+            wire: bytes,
         })
+    }
+}
+
+/// Assembles a packet in a single buffer: header first, then each slot
+/// written (or coded) in place, then [`build`](PacketBuilder::build)
+/// freezes the buffer into a [`Packet`].
+pub struct PacketBuilder {
+    header: PacketHeader,
+    buf: BytesMut,
+    written: u8,
+}
+
+impl PacketBuilder {
+    /// Start a packet with the given header (slot contents follow).
+    pub fn new(header: PacketHeader) -> Self {
+        let mut buf = BytesMut::with_capacity(
+            HEADER_LEN + header.slot_count as usize * header.slot_len as usize,
+        );
+        buf.put_slice(&MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u8(header.kind.to_byte());
+        buf.put_u64_le(header.flow_id.0);
+        buf.put_u32_le(header.seq);
+        buf.put_u8(header.d);
+        buf.put_u8(header.slot_count);
+        buf.put_u16_le(header.slot_len);
+        PacketBuilder {
+            header,
+            buf,
+            written: 0,
+        }
+    }
+
+    /// Append the next (zero-initialized) slot and return it for in-place
+    /// filling — the data plane codes slices directly into this region.
+    ///
+    /// # Panics
+    /// Panics if all declared slots have already been written.
+    pub fn slot(&mut self) -> &mut [u8] {
+        assert!(self.written < self.header.slot_count, "too many slots");
+        self.written += 1;
+        self.buf.put_zeroed(self.header.slot_len as usize)
+    }
+
+    /// Append a pre-assembled slot.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or slot overflow.
+    pub fn push_slot(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.header.slot_len as usize, "slot length");
+        self.slot().copy_from_slice(bytes);
+    }
+
+    /// Freeze the buffer into an immutable [`Packet`].
+    ///
+    /// # Panics
+    /// Panics unless exactly `slot_count` slots were written.
+    pub fn build(self) -> Packet {
+        assert_eq!(self.written, self.header.slot_count, "slot count");
+        Packet {
+            header: self.header,
+            wire: self.buf.freeze(),
+        }
     }
 }
 
@@ -249,6 +364,54 @@ mod tests {
     }
 
     #[test]
+    fn from_bytes_is_zero_copy() {
+        let wire = sample().encode();
+        let p = Packet::from_bytes(wire.clone()).unwrap();
+        // Re-encoding hands back the same buffer, not a copy.
+        assert_eq!(p.encode(), wire);
+        // Slots are views into it.
+        assert_eq!(p.slot(1), &[2u8; 10]);
+        assert_eq!(p.slot_bytes(2), &[3u8; 10]);
+    }
+
+    #[test]
+    fn builder_in_place_slots() {
+        let header = PacketHeader {
+            kind: PacketKind::Data,
+            flow_id: FlowId(5),
+            seq: 1,
+            d: 2,
+            slot_count: 2,
+            slot_len: 4,
+        };
+        let mut b = PacketBuilder::new(header);
+        b.slot().copy_from_slice(&[9, 9, 9, 9]);
+        let s = b.slot();
+        s[0] = 1;
+        s[3] = 2;
+        let p = b.build();
+        assert_eq!(p.slot(0), &[9, 9, 9, 9]);
+        assert_eq!(p.slot(1), &[1, 0, 0, 2]);
+        assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot count")]
+    fn builder_missing_slot_panics() {
+        let header = PacketHeader {
+            kind: PacketKind::Data,
+            flow_id: FlowId(5),
+            seq: 1,
+            d: 1,
+            slot_count: 2,
+            slot_len: 4,
+        };
+        let mut b = PacketBuilder::new(header);
+        b.push_slot(&[0; 4]);
+        let _ = b.build();
+    }
+
+    #[test]
     fn truncated_rejected() {
         let bytes = sample().encode();
         for cut in [0usize, 1, HEADER_LEN - 1, HEADER_LEN + 5, bytes.len() - 1] {
@@ -262,35 +425,35 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes.push(0);
         assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::Truncated);
     }
 
     #[test]
     fn bad_magic_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[0] ^= 0xFF;
         assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadMagic);
     }
 
     #[test]
     fn bad_version_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[2] = 99;
         assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadVersion);
     }
 
     #[test]
     fn bad_kind_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[3] = 7;
         assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::BadKind);
     }
 
     #[test]
     fn zero_d_rejected() {
-        let mut bytes = sample().encode();
+        let mut bytes = sample().encode().to_vec();
         bytes[16] = 0; // d field
         assert_eq!(Packet::decode(&bytes).unwrap_err(), WireError::Inconsistent);
     }
@@ -300,8 +463,11 @@ mod tests {
         // Packets of one flow shape always encode to the same length,
         // regardless of slot content (§9.4(c)).
         let p1 = sample();
-        let mut p2 = sample();
-        p2.slots[1] = vec![0xFF; 10];
+        let header = p1.header;
+        let p2 = Packet::new(
+            header,
+            vec![vec![1u8; 10], vec![0xFF; 10], vec![3u8; 10]],
+        );
         assert_eq!(p1.encode().len(), p2.encode().len());
     }
 

@@ -1,7 +1,109 @@
-//! Property tests: wire round-trip totality and decoder robustness.
+//! Property tests: wire round-trip totality, decoder robustness, and
+//! byte-identical accept/reject parity between the zero-copy decoder and
+//! the PR 1 copying decoder it replaced.
 
 use proptest::prelude::*;
-use slicing_wire::{FlowId, Packet, PacketHeader, PacketKind};
+use slicing_wire::{FlowId, Packet, PacketHeader, PacketKind, HEADER_LEN, MAGIC, VERSION};
+
+/// The PR 1 decoder, reproduced verbatim as the model: parse the header
+/// field-by-field and copy every slot out. The zero-copy
+/// [`Packet::decode`] must accept exactly the inputs this accepts (with
+/// identical parsed fields and slot bytes) and reject with the same
+/// error.
+#[allow(clippy::type_complexity)]
+fn model_decode(bytes: &[u8]) -> Result<(PacketHeader, Vec<Vec<u8>>), slicing_wire::WireError> {
+    use slicing_wire::WireError;
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0..2] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[2] != VERSION {
+        return Err(WireError::BadVersion);
+    }
+    let kind = match bytes[3] {
+        0 => PacketKind::Setup,
+        1 => PacketKind::Data,
+        _ => return Err(WireError::BadKind),
+    };
+    let flow_id = FlowId(u64::from_le_bytes(bytes[4..12].try_into().unwrap()));
+    let seq = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    let d = bytes[16];
+    let slot_count = bytes[17];
+    let slot_len = u16::from_le_bytes(bytes[18..20].try_into().unwrap());
+    if d == 0 || slot_count == 0 || (d as u16) > slot_len {
+        return Err(WireError::Inconsistent);
+    }
+    let body_len = slot_count as usize * slot_len as usize;
+    if bytes.len() - HEADER_LEN != body_len {
+        return Err(WireError::Truncated);
+    }
+    let slots = bytes[HEADER_LEN..]
+        .chunks_exact(slot_len as usize)
+        .map(|c| c.to_vec())
+        .collect();
+    Ok((
+        PacketHeader {
+            kind,
+            flow_id,
+            seq,
+            d,
+            slot_count,
+            slot_len,
+        },
+        slots,
+    ))
+}
+
+/// Assert the zero-copy decoder and the model agree on `bytes`.
+fn assert_parity(bytes: &[u8]) {
+    match (Packet::decode(bytes), model_decode(bytes)) {
+        (Ok(p), Ok((header, slots))) => {
+            prop_assert_eq!(p.header, header);
+            prop_assert_eq!(p.slots().count(), slots.len());
+            for (i, slot) in slots.iter().enumerate() {
+                prop_assert_eq!(p.slot(i), slot.as_slice());
+                prop_assert_eq!(p.slot_bytes(i).as_ref(), slot.as_slice());
+            }
+            prop_assert_eq!(p.encode().as_ref(), bytes);
+        }
+        (Err(e), Err(m)) => prop_assert_eq!(e, m),
+        (got, model) => prop_assert!(
+            false,
+            "decoder divergence: zero-copy {:?} vs model {:?}",
+            got.map(|p| p.header),
+            model.map(|(h, _)| h)
+        ),
+    }
+}
+
+/// Build a valid wire packet from sampled parameters.
+fn build_packet_bytes(flow: u64, d: u8, slots: u8, extra: u16, kind: bool, seed: u64) -> Vec<u8> {
+    let slot_len = d as u16 + extra;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slot_data: Vec<Vec<u8>> = (0..slots)
+        .map(|_| (0..slot_len).map(|_| rng.gen()).collect())
+        .collect();
+    Packet::new(
+        PacketHeader {
+            kind: if kind {
+                PacketKind::Setup
+            } else {
+                PacketKind::Data
+            },
+            flow_id: FlowId(flow),
+            seq: flow as u32,
+            d,
+            slot_count: slots,
+            slot_len,
+        },
+        slot_data,
+    )
+    .encode()
+    .to_vec()
+}
 
 proptest! {
     /// encode ∘ decode is the identity for every valid packet shape.
@@ -9,30 +111,63 @@ proptest! {
     fn round_trip(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
                   extra in 0u16..64, kind in any::<bool>(),
                   content_seed in any::<u64>()) {
-        let slot_len = d as u16 + extra;
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(content_seed);
-        let slot_data: Vec<Vec<u8>> = (0..slots)
-            .map(|_| (0..slot_len).map(|_| rng.gen()).collect())
-            .collect();
-        let p = Packet::new(
-            PacketHeader {
-                kind: if kind { PacketKind::Setup } else { PacketKind::Data },
-                flow_id: FlowId(flow),
-                seq: flow as u32,
-                d,
-                slot_count: slots,
-                slot_len,
-            },
-            slot_data,
-        );
-        prop_assert_eq!(Packet::decode(&p.encode()).unwrap(), p);
+        let bytes = build_packet_bytes(flow, d, slots, extra, kind, content_seed);
+        let p = Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(p.encode().as_ref(), bytes.as_slice());
     }
 
-    /// The decoder never panics on arbitrary input.
+    /// The decoder never panics on arbitrary input, and agrees with the
+    /// PR 1 model on whether (and how) it fails.
     #[test]
-    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = Packet::decode(&bytes);
+    fn decode_never_panics_and_matches_model(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        assert_parity(&bytes);
+    }
+
+    /// Valid packets decode byte-identically to the PR 1 decoder.
+    #[test]
+    fn valid_packets_match_model(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
+                                 extra in 0u16..64, kind in any::<bool>(),
+                                 content_seed in any::<u64>()) {
+        let bytes = build_packet_bytes(flow, d, slots, extra, kind, content_seed);
+        assert_parity(&bytes);
+    }
+
+    /// Mutation fuzz: overwriting any byte (header fields — magic,
+    /// version, kind, d, slot_count, slot_len — or body) leaves both
+    /// decoders in agreement: same accept set, same error, same parsed
+    /// view.
+    #[test]
+    fn mutated_packets_match_model(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
+                                   extra in 0u16..64, content_seed in any::<u64>(),
+                                   pos in any::<u16>(), value in any::<u8>()) {
+        let mut bytes = build_packet_bytes(flow, d, slots, extra, false, content_seed);
+        let idx = pos as usize % bytes.len();
+        bytes[idx] = value;
+        assert_parity(&bytes);
+    }
+
+    /// Header-focused mutation fuzz: hammer the 20 header bytes
+    /// specifically, where every accept/reject branch lives.
+    #[test]
+    fn mutated_headers_match_model(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
+                                   extra in 0u16..64, content_seed in any::<u64>(),
+                                   pos in 0usize..HEADER_LEN, value in any::<u8>()) {
+        let mut bytes = build_packet_bytes(flow, d, slots, extra, true, content_seed);
+        bytes[pos] = value;
+        assert_parity(&bytes);
+    }
+
+    /// Truncation fuzz: every prefix of a valid packet is handled
+    /// identically by both decoders.
+    #[test]
+    fn truncated_packets_match_model(flow in any::<u64>(), d in 1u8..16, slots in 1u8..12,
+                                     extra in 0u16..64, content_seed in any::<u64>(),
+                                     cut in any::<u16>()) {
+        let bytes = build_packet_bytes(flow, d, slots, extra, false, content_seed);
+        let cut = cut as usize % (bytes.len() + 1);
+        assert_parity(&bytes[..cut]);
     }
 
     /// Any single-byte corruption either still parses to a same-shape
@@ -51,7 +186,7 @@ proptest! {
             },
             vec![vec![7u8; 20]; 4],
         );
-        let mut bytes = p.encode();
+        let mut bytes = p.encode().to_vec();
         let idx = pos as usize % bytes.len();
         bytes[idx] ^= 1 << bit;
         if let Ok(decoded) = Packet::decode(&bytes) {

@@ -55,9 +55,9 @@ fn no_repeated_slice_patterns_between_stages() {
     // wrapping).
     let mut seen = std::collections::HashSet::new();
     for instr in &setup {
-        for slot in &instr.packet.slots {
+        for slot in instr.packet.slots() {
             assert!(
-                seen.insert(slot.clone()),
+                seen.insert(slot.to_vec()),
                 "identical slot bytes on two first-hop packets"
             );
         }
@@ -146,7 +146,7 @@ proptest! {
         let (_, mut sends) = source.send_message(b"authentic");
         // Corrupt one bit of one data packet.
         let idx = (flip.0 as usize) % sends.len();
-        let mut bytes = sends[idx].packet.encode();
+        let mut bytes = sends[idx].packet.encode().to_vec();
         let pos = 20 + (flip.0 as usize % (bytes.len() - 20));
         bytes[pos] ^= 1 << (flip.1 % 8);
         if let Ok(p) = information_slicing::wire::Packet::decode(&bytes) {
