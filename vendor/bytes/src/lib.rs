@@ -1,9 +1,18 @@
 //! Vendored, dependency-free subset of the `bytes` API: the [`Buf`] /
-//! [`BufMut`] cursor traits over byte slices plus a growable
-//! [`BytesMut`], little-endian accessors only (all this workspace's wire
-//! formats are little-endian).
+//! [`BufMut`] cursor traits over byte slices, a growable [`BytesMut`]
+//! with [`freeze`](BytesMut::freeze), and the cheaply-cloneable shared
+//! [`Bytes`] view — little-endian accessors only (all this workspace's
+//! wire formats are little-endian).
+//!
+//! [`Bytes`] is implemented without `unsafe` as an `Arc<[u8]>` plus a
+//! `(start, end)` window: `clone()` is one refcount bump, and
+//! [`slice`](Bytes::slice) narrows the window without copying — exactly
+//! the operations the zero-copy packet data plane needs.
 
 #![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+use std::sync::Arc;
 
 /// A cursor over readable bytes; implemented for `&[u8]`, which advances
 /// the slice itself as bytes are consumed.
@@ -97,6 +106,166 @@ pub trait BufMut {
     }
 }
 
+/// A cheaply-cloneable, immutable, shared view of a byte buffer.
+///
+/// Backed by an `Arc<[u8]>` and a `(start, end)` window: cloning bumps a
+/// refcount, [`slice`](Bytes::slice) narrows the window in place. Both
+/// are O(1) and never copy the underlying bytes.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// The empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy `src` into a fresh shared buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn view(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Zero-copy sub-view over `range` (relative to this view).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds or inverted.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(start <= end, "slice start past end");
+        assert!(end <= self.len(), "slice out of bounds");
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + start,
+            end: self.start + end,
+        }
+    }
+
+    /// Copy the view out as an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.view().to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: v.into(),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(s: &[u8; N]) -> Self {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.view()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.view()
+    }
+}
+
+impl std::borrow::Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.view()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.view() == other.view()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.view() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.view() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.view() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.view() == &other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.view() == other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.view().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({}B)", self.len())
+    }
+}
+
 /// A growable byte buffer (thin wrapper over `Vec<u8>`).
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BytesMut(Vec<u8>);
@@ -125,6 +294,20 @@ impl BytesMut {
     /// Copy out as a plain vector.
     pub fn to_vec(&self) -> Vec<u8> {
         self.0.clone()
+    }
+
+    /// Convert into an immutable shared [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+
+    /// Append `len` zero bytes and return a mutable view of just that
+    /// region — the in-place "reserve a slot, then code into it" pattern
+    /// the packet builder uses.
+    pub fn put_zeroed(&mut self, len: usize) -> &mut [u8] {
+        let start = self.0.len();
+        self.0.resize(start + len, 0);
+        &mut self.0[start..]
     }
 }
 
@@ -157,6 +340,63 @@ impl From<BytesMut> for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bytes_slice_is_zero_copy_view() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = b.slice(2..6);
+        assert_eq!(mid, &[2, 3, 4, 5]);
+        let inner = mid.slice(1..3);
+        assert_eq!(inner, &[3, 4]);
+        assert_eq!(inner.len(), 2);
+        // Full-range and open-ended slices.
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(6..), &[6, 7]);
+        assert_eq!(b.slice(..2), &[0, 1]);
+    }
+
+    #[test]
+    fn bytes_clone_shares_storage() {
+        let b = Bytes::from(vec![9u8; 32]);
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.data, &c.data));
+        let s = b.slice(4..8);
+        assert!(Arc::ptr_eq(&b.data, &s.data));
+    }
+
+    #[test]
+    fn freeze_round_trip() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u32_le(0xAABBCCDD);
+        let frozen = m.freeze();
+        assert_eq!(frozen, &[0xDD, 0xCC, 0xBB, 0xAA]);
+        assert_eq!(frozen.to_vec(), vec![0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn put_zeroed_returns_writable_region() {
+        let mut m = BytesMut::new();
+        m.put_u8(7);
+        let region = m.put_zeroed(3);
+        assert_eq!(region, &[0, 0, 0]);
+        region[1] = 42;
+        assert_eq!(m.freeze(), &[7, 0, 42, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bytes_slice_out_of_bounds_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn empty_bytes() {
+        let b = Bytes::new();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.slice(..), b);
+    }
 
     #[test]
     fn write_then_read_round_trip() {
