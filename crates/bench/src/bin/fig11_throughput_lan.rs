@@ -45,6 +45,7 @@ fn main() {
             payload_len: 1400,
             seed: opts.seed + l as u64,
             timeout: Duration::from_secs(120),
+            relay_shards: 1,
         };
         let slicing = rt.block_on(run_slicing_transfer(&cfg));
         let onion = rt.block_on(run_onion_transfer(&cfg));

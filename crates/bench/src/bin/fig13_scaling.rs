@@ -31,6 +31,7 @@ fn main() {
     for &flows in flow_counts {
         let report = rt.block_on(run_multi_flow(
             100,
+            1,
             flows,
             GraphParams::new(5, 3),
             NetProfile::planetlab(),

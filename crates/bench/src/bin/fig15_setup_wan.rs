@@ -37,6 +37,7 @@ fn main() {
                 payload_len: 0,
                 seed: opts.seed + (l * 31 + r) as u64,
                 timeout: Duration::from_secs(60),
+                relay_shards: 1,
             };
             acc += rt.block_on(run_onion_transfer(&cfg)).setup_ms as f64 / 1000.0;
         }
@@ -52,6 +53,7 @@ fn main() {
                     payload_len: 0,
                     seed: opts.seed + (l * 131 + d * 17 + r) as u64,
                     timeout: Duration::from_secs(60),
+                    relay_shards: 1,
                 };
                 acc += rt.block_on(run_slicing_transfer(&cfg)).setup_ms as f64 / 1000.0;
             }

@@ -15,6 +15,10 @@
 //!   the node's own `I_x`, slice-map/data-map forwarding, per-hop
 //!   transform stripping, network-coded regeneration, destination
 //!   decode+decrypt, and stale-flow garbage collection.
+//! * [`ShardedRelay`] — the same engine fanned out over `N` independent
+//!   [`relay::RelayShard`]s routed by `hash(flow_id) % N`, so one relay
+//!   scales across cores (flows are independent; only stats and the
+//!   reverse-flow-id routing are shared).
 //! * [`testnet`] — a deterministic in-memory network for driving whole
 //!   graphs in tests and simulations, with failure injection.
 //! * [`wheel`] — the hashed timer wheel behind the relay's flow table:
@@ -24,12 +28,16 @@
 #![warn(missing_docs)]
 
 pub mod relay;
+pub mod shard;
 pub mod source;
 pub mod testnet;
 pub mod time;
 pub mod wheel;
 
-pub use relay::{ReceivedData, RelayConfig, RelayNode, RelayOutput, RelayStats};
+pub use relay::{
+    ReceivedData, RelayConfig, RelayNode, RelayOutput, RelayShard, RelayStats, RelayStatsAtomic,
+};
+pub use shard::{FlowRouter, ShardedRelay};
 pub use source::{SourceConfig, SourceSession};
 pub use time::Tick;
 

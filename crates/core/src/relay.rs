@@ -10,6 +10,18 @@
 //! messages — while still forwarding downstream so that its neighbours
 //! cannot tell it is the destination.
 //!
+//! # Sharding
+//!
+//! The state machine lives in [`RelayShard`]: one flow map, one
+//! [`TimerWheel`], one RNG, one scratch buffer — everything a flow
+//! touches is shard-local, because flows are independent (the only
+//! cross-flow state a relay has is its stats and its reverse-flow-id
+//! routing, both shared through [`FlowRouter`] /
+//! [`RelayStatsAtomic`]). [`RelayNode`] is the single-shard facade (one
+//! `&mut self` state machine, the classic per-node daemon), and
+//! [`crate::shard::ShardedRelay`] fans the same engine out across `N`
+//! shards keyed by `hash(flow_id) % N`.
+//!
 //! # Hot-path discipline
 //!
 //! The data plane is zero-copy end to end: gathered slices are CRC-valid
@@ -19,15 +31,21 @@
 //! accumulated there directly by the shared GF(2⁸) bulk kernels
 //! ([`recombine::recombine_into`]). Timeouts live in a hashed
 //! [`TimerWheel`]: gathers and flows register their deadlines once, and
-//! [`RelayNode::poll`] pops only what expired — it never scans live flows
-//! and allocates nothing when idle.
+//! [`RelayShard::poll`] pops only what expired — it never scans live
+//! flows and allocates nothing when idle. Stats stay plain shard-local
+//! counters on the hot path; [`RelayShard::publish_stats`] folds the
+//! delta into the shared atomics when a driver wants them visible.
 
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
+
+use crate::shard::FlowRouter;
 
 use slicing_codec::{coder, recombine, InfoSlice};
 use slicing_crypto::aead;
@@ -100,6 +118,110 @@ pub struct RelayStats {
     pub drops: u64,
     /// Flows evicted by GC.
     pub flows_evicted: u64,
+    /// Receive buffers that never parsed as a packet (counted by the
+    /// I/O layer — daemon loop or sharded ingress — not by the engine,
+    /// which only ever sees valid packets).
+    pub garbage: u64,
+}
+
+impl RelayStats {
+    /// Field-wise difference (`self` must be a later snapshot of the
+    /// same monotonically growing counters).
+    fn delta_since(&self, earlier: &RelayStats) -> RelayStats {
+        RelayStats {
+            packets_in: self.packets_in - earlier.packets_in,
+            packets_out: self.packets_out - earlier.packets_out,
+            flows_established: self.flows_established - earlier.flows_established,
+            setup_failures: self.setup_failures - earlier.setup_failures,
+            messages_received: self.messages_received - earlier.messages_received,
+            drops: self.drops - earlier.drops,
+            flows_evicted: self.flows_evicted - earlier.flows_evicted,
+            garbage: self.garbage - earlier.garbage,
+        }
+    }
+
+    /// Field-wise sum.
+    pub(crate) fn add(&mut self, other: &RelayStats) {
+        self.packets_in += other.packets_in;
+        self.packets_out += other.packets_out;
+        self.flows_established += other.flows_established;
+        self.setup_failures += other.setup_failures;
+        self.messages_received += other.messages_received;
+        self.drops += other.drops;
+        self.flows_evicted += other.flows_evicted;
+        self.garbage += other.garbage;
+    }
+}
+
+/// The shared, atomically updated mirror of a relay's [`RelayStats`]:
+/// every shard folds its local counters into one instance of this, so a
+/// driver (daemon, test, dashboard) can observe a live relay without
+/// owning any shard — shards are owned by their worker tasks in the
+/// sharded runtime.
+///
+/// Hot paths never touch these atomics: shards count into plain local
+/// fields and [`RelayShard::publish_stats`] folds the delta in batches,
+/// so the cacheline is not contended at packet rate.
+#[derive(Debug, Default)]
+pub struct RelayStatsAtomic {
+    packets_in: AtomicU64,
+    packets_out: AtomicU64,
+    flows_established: AtomicU64,
+    setup_failures: AtomicU64,
+    messages_received: AtomicU64,
+    drops: AtomicU64,
+    flows_evicted: AtomicU64,
+    garbage: AtomicU64,
+}
+
+impl RelayStatsAtomic {
+    /// Read a consistent-enough snapshot (individual counters are exact;
+    /// cross-counter skew is bounded by one publish batch).
+    pub fn snapshot(&self) -> RelayStats {
+        RelayStats {
+            packets_in: self.packets_in.load(Ordering::Relaxed),
+            packets_out: self.packets_out.load(Ordering::Relaxed),
+            flows_established: self.flows_established.load(Ordering::Relaxed),
+            setup_failures: self.setup_failures.load(Ordering::Relaxed),
+            messages_received: self.messages_received.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            flows_evicted: self.flows_evicted.load(Ordering::Relaxed),
+            garbage: self.garbage.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Count one receive buffer that failed wire-level parsing. Called
+    /// by the I/O layer, which has no shard to count into.
+    pub fn record_garbage(&self) {
+        self.garbage.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one packet dropped by the I/O layer (e.g. a sharded
+    /// ingress shedding load when a shard's inbox is full).
+    pub fn record_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold a delta of per-shard counters in.
+    fn fold(&self, d: &RelayStats) {
+        // Skip the RMW entirely for untouched counters — a publish after
+        // an idle poll is free.
+        macro_rules! fold_field {
+            ($f:ident) => {
+                if d.$f != 0 {
+                    self.$f.fetch_add(d.$f, Ordering::Relaxed);
+                }
+            };
+        }
+        fold_field!(packets_in);
+        fold_field!(packets_out);
+        fold_field!(flows_established);
+        fold_field!(setup_failures);
+        fold_field!(messages_received);
+        fold_field!(drops);
+        fold_field!(flows_evicted);
+        fold_field!(garbage);
+    }
 }
 
 /// Everything a single `handle_packet`/`poll` call wants to tell the
@@ -110,16 +232,20 @@ pub struct RelayOutput {
     pub sends: Vec<SendInstr>,
     /// Messages decoded by this node as the destination.
     pub received: Vec<ReceivedData>,
-    /// Set when this call completed a flow establishment; carries the
-    /// receiver flag (true = this node is the flow's destination).
-    pub established: Option<bool>,
+    /// One entry per flow establishment this call (or merged batch of
+    /// calls) completed, carrying the receiver flag (true = this node
+    /// is that flow's destination). A `Vec` rather than an `Option` so
+    /// batching drivers can merge outputs without losing events.
+    pub established: Vec<bool>,
 }
 
 impl RelayOutput {
-    fn merge(&mut self, other: RelayOutput) {
+    /// Append another call's output (drivers batching several
+    /// `handle_packet` calls before touching the network use this too).
+    pub fn merge(&mut self, other: RelayOutput) {
         self.sends.extend(other.sends);
         self.received.extend(other.received);
-        self.established = self.established.or(other.established);
+        self.established.extend(other.established);
     }
 }
 
@@ -279,15 +405,32 @@ enum Establish {
     Go(Box<NodeInfo>),
 }
 
-/// The relay node state machine. One instance per overlay node; handles
-/// any number of concurrent flows.
-pub struct RelayNode {
+/// One shard of a relay's data plane: a complete, independent instance
+/// of the flow state machine — its own flow map, timer wheel, RNG and
+/// scratch buffers. Flows never span shards, so `N` shards handle `N`
+/// disjoint flow sets with no synchronization on the packet path; the
+/// only shared state is the [`FlowRouter`] (reverse-flow-id → shard,
+/// written at establishment/eviction) and the [`RelayStatsAtomic`]
+/// counters (folded in batches by [`publish_stats`]).
+///
+/// [`publish_stats`]: RelayShard::publish_stats
+pub struct RelayShard {
     addr: OverlayAddr,
+    /// This shard's index within its relay (0 for a single-shard node).
+    index: usize,
     flows: HashMap<FlowId, FlowState>,
-    /// Reverse flow-id → forward flow-id.
+    /// Reverse flow-id → forward flow-id (shard-local; the router holds
+    /// the cross-shard reverse → shard map).
     reverse_index: HashMap<FlowId, FlowId>,
     config: RelayConfig,
+    /// Hot-path counters: plain shard-local fields.
     stats: RelayStats,
+    /// The part of `stats` already folded into `shared`.
+    folded: RelayStats,
+    /// The relay-wide atomic mirror all shards fold into.
+    shared: Arc<RelayStatsAtomic>,
+    /// The relay-wide flow router (reverse-flow-id registrations).
+    router: FlowRouter,
     rng: StdRng,
     /// Deadlines for every pending gather flush and flow expiry.
     wheel: TimerWheel<Deadline>,
@@ -295,21 +438,32 @@ pub struct RelayNode {
     expired: Vec<(Tick, Deadline)>,
 }
 
-impl RelayNode {
-    /// Create a relay for `addr` with a deterministic RNG seed.
-    pub fn new(addr: OverlayAddr, seed: u64) -> Self {
-        Self::with_config(addr, seed, RelayConfig::default())
-    }
-
-    /// Create with explicit configuration.
-    pub fn with_config(addr: OverlayAddr, seed: u64, config: RelayConfig) -> Self {
-        RelayNode {
+impl RelayShard {
+    /// Create shard `index` of a relay at `addr`. `config.max_flows` is
+    /// this shard's own quota (callers building an `N`-shard relay
+    /// divide the node budget before constructing shards).
+    pub fn new(
+        addr: OverlayAddr,
+        seed: u64,
+        config: RelayConfig,
+        index: usize,
+        router: FlowRouter,
+        shared: Arc<RelayStatsAtomic>,
+    ) -> Self {
+        // Shard 0 keeps the historical single-shard stream so a 1-shard
+        // relay is bit-compatible with the pre-sharding RelayNode.
+        let stream = (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        RelayShard {
             addr,
+            index,
             flows: HashMap::new(),
             reverse_index: HashMap::new(),
             config,
             stats: RelayStats::default(),
-            rng: StdRng::seed_from_u64(seed ^ addr.0),
+            folded: RelayStats::default(),
+            shared,
+            router,
+            rng: StdRng::seed_from_u64(seed ^ addr.0 ^ stream),
             wheel: TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_BUCKETS),
             expired: Vec::new(),
         }
@@ -320,12 +474,34 @@ impl RelayNode {
         self.addr
     }
 
-    /// Counters.
+    /// This shard's index within its relay.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Shard-local counters (excludes other shards; see
+    /// [`RelayStatsAtomic::snapshot`] for the relay-wide view).
     pub fn stats(&self) -> RelayStats {
         self.stats
     }
 
-    /// Number of live flows in the table.
+    /// Fold counters accrued since the last publish into the shared
+    /// atomic stats. Cheap when nothing changed; called by drivers at
+    /// batch boundaries, never per packet.
+    pub fn publish_stats(&mut self) {
+        let delta = self.stats.delta_since(&self.folded);
+        if delta != RelayStats::default() {
+            self.shared.fold(&delta);
+            self.folded = self.stats;
+        }
+    }
+
+    /// The relay-wide atomic stats this shard folds into.
+    pub fn shared_stats(&self) -> Arc<RelayStatsAtomic> {
+        Arc::clone(&self.shared)
+    }
+
+    /// Number of live flows in this shard's table.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
     }
@@ -440,6 +616,8 @@ impl RelayNode {
         if due.0 <= now.0 {
             if let Some(FlowState::Active(a)) = self.flows.remove(&flow) {
                 self.reverse_index.remove(&a.info.reverse_flow_id);
+                self.router
+                    .unregister_reverse(a.info.reverse_flow_id, self.index);
             }
             self.stats.flows_evicted += 1;
         } else {
@@ -576,7 +754,7 @@ impl RelayNode {
                     return RelayOutput::default();
                 };
                 let mut out = RelayOutput {
-                    established: Some(info.receiver),
+                    established: vec![info.receiver],
                     ..RelayOutput::default()
                 };
                 out.sends = self.forward_setup(&info, &gather.packets);
@@ -585,6 +763,7 @@ impl RelayNode {
 
                 // Transition to Active and replay any buffered early data.
                 self.reverse_index.insert(info.reverse_flow_id, flow);
+                self.router.register_reverse(info.reverse_flow_id, self.index);
                 self.flows.insert(
                     flow,
                     FlowState::Active(Box::new(ActiveFlow {
@@ -800,7 +979,7 @@ impl RelayNode {
     fn flush_data(&mut self, _now: Tick, flow: FlowId, seq: u32, is_reverse: bool) -> RelayOutput {
         // Split the borrow: the flow entry, the stats, the RNG and our
         // address are disjoint fields.
-        let RelayNode {
+        let RelayShard {
             flows,
             stats,
             rng,
@@ -927,7 +1106,7 @@ impl RelayNode {
         seq: u32,
         plaintext: &[u8],
     ) -> Option<Vec<SendInstr>> {
-        let RelayNode {
+        let RelayShard {
             flows,
             stats,
             rng,
@@ -970,6 +1149,107 @@ impl RelayNode {
         }
         stats.packets_out += sends.len() as u64;
         Some(sends)
+    }
+}
+
+/// The classic single-shard relay node: one `&mut self` state machine
+/// per overlay node, handling any number of concurrent flows. This is a
+/// zero-overhead facade over one [`RelayShard`] — the packet path is a
+/// direct delegation with no routing, no locking and no atomics — kept
+/// for tests, the deterministic simulators and the non-sharded daemon.
+/// Use [`crate::shard::ShardedRelay`] to spread the same engine over
+/// multiple cores.
+pub struct RelayNode {
+    shard: RelayShard,
+}
+
+impl RelayNode {
+    /// Create a relay for `addr` with a deterministic RNG seed.
+    pub fn new(addr: OverlayAddr, seed: u64) -> Self {
+        Self::with_config(addr, seed, RelayConfig::default())
+    }
+
+    /// Create with explicit configuration.
+    pub fn with_config(addr: OverlayAddr, seed: u64, config: RelayConfig) -> Self {
+        RelayNode {
+            shard: RelayShard::new(
+                addr,
+                seed,
+                config,
+                0,
+                FlowRouter::new(1),
+                Arc::new(RelayStatsAtomic::default()),
+            ),
+        }
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> OverlayAddr {
+        self.shard.addr()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RelayStats {
+        self.shard.stats()
+    }
+
+    /// Fold counters accrued since the last publish into the node's
+    /// shared atomic stats (see [`RelayNode::shared_stats`]).
+    pub fn publish_stats(&mut self) {
+        self.shard.publish_stats();
+    }
+
+    /// The atomically readable mirror of this node's stats: lets a
+    /// driver observe the relay after moving it into a daemon task. The
+    /// I/O layer also counts wire-garbage here.
+    pub fn shared_stats(&self) -> Arc<RelayStatsAtomic> {
+        self.shard.shared_stats()
+    }
+
+    /// Number of live flows in the table.
+    pub fn flow_count(&self) -> usize {
+        self.shard.flow_count()
+    }
+
+    /// Number of pending timer-wheel entries (tests and diagnostics).
+    pub fn pending_deadlines(&self) -> usize {
+        self.shard.pending_deadlines()
+    }
+
+    /// The decoded info of an established flow, if any.
+    pub fn flow_info(&self, flow: FlowId) -> Option<&NodeInfo> {
+        self.shard.flow_info(flow)
+    }
+
+    /// Feed one packet into the state machine.
+    pub fn handle_packet(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        self.shard.handle_packet(now, from, packet)
+    }
+
+    /// Drive timeouts; see [`RelayShard::poll`].
+    pub fn poll(&mut self, now: Tick) -> RelayOutput {
+        self.shard.poll(now)
+    }
+
+    /// Send application data back toward the source; see
+    /// [`RelayShard::send_reverse`].
+    pub fn send_reverse(
+        &mut self,
+        now: Tick,
+        flow: FlowId,
+        seq: u32,
+        plaintext: &[u8],
+    ) -> Option<Vec<SendInstr>> {
+        self.shard.send_reverse(now, flow, seq, plaintext)
+    }
+
+    /// Split into the underlying shard, its router and its shared stats
+    /// (the async daemon moves the shard into a worker task and keeps
+    /// the other two).
+    pub fn into_parts(self) -> (RelayShard, FlowRouter, Arc<RelayStatsAtomic>) {
+        let router = self.shard.router.clone();
+        let shared = self.shard.shared_stats();
+        (self.shard, router, shared)
     }
 }
 

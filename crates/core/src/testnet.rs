@@ -14,14 +14,18 @@ use rand::{Rng, SeedableRng};
 use slicing_graph::packets::SendInstr;
 use slicing_graph::OverlayAddr;
 
-use crate::relay::{ReceivedData, RelayConfig, RelayNode};
+use crate::relay::{ReceivedData, RelayConfig};
+use crate::shard::ShardedRelay;
 use crate::source::SourceSession;
 use crate::time::Tick;
 
 /// The in-memory network.
 pub struct TestNet {
-    /// Relay state machines by address.
-    pub relays: HashMap<OverlayAddr, RelayNode>,
+    /// Relay state machines by address. Hosted as [`ShardedRelay`]s so
+    /// every scenario can also run with a sharded data plane (see
+    /// [`TestNet::with_shards`]); the default single shard behaves
+    /// bit-identically to the classic `RelayNode`.
+    pub relays: HashMap<OverlayAddr, ShardedRelay>,
     /// Addresses that have failed (packets to them vanish).
     pub failed: HashSet<OverlayAddr>,
     /// Per-packet drop probability on every link.
@@ -47,9 +51,21 @@ impl TestNet {
 
     /// Create with a custom relay configuration.
     pub fn with_config(relay_addrs: &[OverlayAddr], seed: u64, config: RelayConfig) -> Self {
+        Self::with_shards(relay_addrs, seed, config, 1)
+    }
+
+    /// Create with every relay sharded `shards` ways — the same traffic
+    /// flows through `hash(flow_id)`-routed [`crate::relay::RelayShard`]s
+    /// instead of one state machine per node.
+    pub fn with_shards(
+        relay_addrs: &[OverlayAddr],
+        seed: u64,
+        config: RelayConfig,
+        shards: usize,
+    ) -> Self {
         let relays = relay_addrs
             .iter()
-            .map(|&a| (a, RelayNode::with_config(a, seed, config)))
+            .map(|&a| (a, ShardedRelay::with_config(a, seed, config, shards)))
             .collect();
         TestNet {
             relays,
@@ -187,8 +203,9 @@ mod tests {
     }
 
     /// Full end-to-end: establish a graph, send a message, verify only
-    /// the destination decodes it.
-    fn end_to_end(l: usize, d: usize, dp: usize, mode: DataMode, seed: u64) {
+    /// the destination decodes it — with every relay sharded `shards`
+    /// ways (1 = the classic single state machine per node).
+    fn end_to_end_sharded(l: usize, d: usize, dp: usize, mode: DataMode, seed: u64, shards: usize) {
         let pseudo = addrs(10_000, dp);
         let candidates = addrs(20_000, l * dp + 10);
         let dest = OverlayAddr(1);
@@ -199,7 +216,7 @@ mod tests {
             .with_data_mode(mode);
         let (mut source, setup) =
             SourceSession::establish(params, &pseudo, &candidates, dest, seed).unwrap();
-        let mut net = TestNet::new(&all_nodes, seed);
+        let mut net = TestNet::with_shards(&all_nodes, seed, RelayConfig::default(), shards);
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
 
@@ -214,9 +231,22 @@ mod tests {
         assert!(net.delivered.iter().all(|(a, _)| *a == dest));
     }
 
+    fn end_to_end(l: usize, d: usize, dp: usize, mode: DataMode, seed: u64) {
+        end_to_end_sharded(l, d, dp, mode, seed, 1);
+    }
+
     #[test]
     fn end_to_end_recode_small() {
         end_to_end(3, 2, 2, DataMode::Recode, 1);
+    }
+
+    #[test]
+    fn end_to_end_sharded_relays() {
+        // The identical scenario through 8-way sharded relays: flow-id
+        // routing must not change what arrives where.
+        end_to_end_sharded(3, 2, 2, DataMode::Recode, 1, 8);
+        end_to_end_sharded(5, 2, 3, DataMode::Recode, 2, 4);
+        end_to_end_sharded(4, 2, 3, DataMode::Map, 3, 8);
     }
 
     /// A CRC-valid data slot whose length disagrees with the flow's must
@@ -321,6 +351,18 @@ mod tests {
 
     #[test]
     fn reverse_path_delivers_to_source() {
+        reverse_path_sharded(1);
+    }
+
+    #[test]
+    fn reverse_path_delivers_to_source_sharded() {
+        // Reverse packets arrive under the flow's *reverse* id, which
+        // hashes to an arbitrary shard — delivery proves the router's
+        // reverse-id registrations steer them to the owning shard.
+        reverse_path_sharded(8);
+    }
+
+    fn reverse_path_sharded(shards: usize) {
         let (l, d, dp) = (4usize, 2usize, 2usize);
         let pseudo = addrs(10_000, dp);
         let candidates = addrs(20_000, l * dp + 10);
@@ -330,7 +372,7 @@ mod tests {
         let params = GraphParams::new(l, d).with_paths(dp);
         let (mut source, setup) =
             SourceSession::establish(params, &pseudo, &candidates, dest, 6).unwrap();
-        let mut net = TestNet::new(&all_nodes, 6);
+        let mut net = TestNet::with_shards(&all_nodes, 6, RelayConfig::default(), shards);
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
 

@@ -1,0 +1,177 @@
+//! Sharding must be unobservable: the same multi-flow trace pushed
+//! through a 1-shard and an 8-shard relay has to produce identical
+//! delivered messages, identical counters and identical forwarding
+//! decisions (up to the random coding coefficients inside the payload,
+//! which differ by RNG stream but never change *what* goes *where*).
+
+use slicing_core::{
+    DataMode, DestPlacement, FlowId, GraphParams, OverlayAddr, Packet, PacketKind, ShardedRelay,
+    SourceSession, Tick,
+};
+use slicing_graph::packets::SendInstr;
+
+/// One recorded step of the trace fed to both relays.
+enum Step {
+    /// Deliver a packet (from, packet).
+    Packet(OverlayAddr, Packet),
+    /// Fire the relay's timers at the given tick.
+    Poll(Tick),
+}
+
+/// Build a deterministic multi-flow setup+data trace for one relay at
+/// `target`: `forward_flows` flows where the relay is a stage-1
+/// forwarder and `receiver_flows` where it is the destination, each
+/// sending `messages` data messages, interleaved round-robin.
+fn build_trace(
+    target: OverlayAddr,
+    forward_flows: usize,
+    receiver_flows: usize,
+    messages: usize,
+) -> Vec<Step> {
+    let pseudo: Vec<OverlayAddr> = (0..2u64).map(|i| OverlayAddr(10_000 + i)).collect();
+    let candidates: Vec<OverlayAddr> = (0..16u64).map(|i| OverlayAddr(20_000 + i)).collect();
+    let mut steps = Vec::new();
+    let mut sources = Vec::new();
+
+    for f in 0..forward_flows + receiver_flows {
+        let receiver = f >= forward_flows;
+        let params = if receiver {
+            // Destination in stage 1: the relay under test receives the
+            // flow's packets directly from the source and must decode.
+            GraphParams::new(3, 2)
+                .with_paths(2)
+                .with_data_mode(DataMode::Recode)
+                .with_dest_placement(DestPlacement::Stage(1))
+        } else {
+            GraphParams::new(3, 2)
+                .with_paths(2)
+                .with_data_mode(DataMode::Recode)
+                .with_dest_placement(DestPlacement::LastStage)
+        };
+        let dest = if receiver { target } else { OverlayAddr(1) };
+        let (source, setup) =
+            SourceSession::establish(params, &pseudo, &candidates, dest, 500 + f as u64)
+                .expect("valid params");
+        let tap = if receiver {
+            // The destination may land at any stage-1 index; packets to
+            // `target` are the ones we feed.
+            target
+        } else {
+            source.graph().stages[1][0]
+        };
+        for instr in setup {
+            if instr.to == tap {
+                steps.push(Step::Packet(instr.from, instr.packet));
+            }
+        }
+        sources.push((source, tap));
+    }
+
+    // Data phase, flows interleaved so shards are hit in mixed order.
+    for m in 0..messages {
+        for (source, tap) in sources.iter_mut() {
+            let payload = vec![0xA5u8; 600 + m];
+            let (_, sends) = source.send_message(&payload);
+            for instr in sends {
+                if instr.to == *tap {
+                    steps.push(Step::Packet(instr.from, instr.packet));
+                }
+            }
+        }
+        // A mid-trace poll (nothing due yet) and a data-flush poll.
+        steps.push(Step::Poll(Tick(10 + m as u64)));
+    }
+    // Let every straggling gather flush.
+    steps.push(Step::Poll(Tick(5_000)));
+    steps
+}
+
+/// Everything observable about a run: what was delivered, what was
+/// forwarded where, and the counters.
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    delivered: Vec<(FlowId, u32, Vec<u8>)>,
+    sends: Vec<(OverlayAddr, FlowId, u32, bool)>,
+    stats: slicing_core::RelayStats,
+    flow_count: usize,
+}
+
+fn run(mut relay: ShardedRelay, steps: &[Step]) -> Observed {
+    let mut delivered = Vec::new();
+    let mut sends: Vec<SendInstr> = Vec::new();
+    for step in steps {
+        let out = match step {
+            Step::Packet(from, packet) => relay.handle_packet(Tick(1), *from, packet),
+            Step::Poll(at) => relay.poll(*at),
+        };
+        for r in out.received {
+            delivered.push((r.flow, r.seq, r.plaintext));
+        }
+        sends.extend(out.sends);
+    }
+    let mut sends: Vec<(OverlayAddr, FlowId, u32, bool)> = sends
+        .into_iter()
+        .map(|s| {
+            (
+                s.to,
+                s.packet.header.flow_id,
+                s.packet.header.seq,
+                s.packet.header.kind == PacketKind::Data,
+            )
+        })
+        .collect();
+    sends.sort();
+    let mut delivered_sorted = delivered;
+    delivered_sorted.sort();
+    Observed {
+        delivered: delivered_sorted,
+        sends,
+        stats: relay.stats(),
+        flow_count: relay.flow_count(),
+    }
+}
+
+#[test]
+fn one_shard_and_eight_shards_are_equivalent() {
+    let target = OverlayAddr(42);
+    let steps = build_trace(target, 24, 8, 4);
+
+    let one = run(ShardedRelay::new(target, 7, 1), &steps);
+    let eight = run(ShardedRelay::new(target, 7, 8), &steps);
+
+    assert!(
+        !one.delivered.is_empty(),
+        "trace must exercise destination delivery"
+    );
+    assert!(one.stats.flows_established >= 32);
+    assert_eq!(one.delivered, eight.delivered, "delivered messages differ");
+    assert_eq!(one.sends, eight.sends, "forwarding decisions differ");
+    assert_eq!(one.stats, eight.stats, "counters differ");
+    assert_eq!(one.flow_count, eight.flow_count);
+}
+
+#[test]
+fn sharded_stats_publish_to_shared_cell() {
+    let target = OverlayAddr(42);
+    let steps = build_trace(target, 8, 0, 2);
+    let mut relay = ShardedRelay::new(target, 7, 4);
+    let cell = relay.shared_stats();
+    for step in &steps {
+        match step {
+            Step::Packet(from, packet) => {
+                relay.handle_packet(Tick(1), *from, packet);
+            }
+            Step::Poll(at) => {
+                relay.poll(*at);
+            }
+        }
+    }
+    // Nothing published yet: the shared cell lags the local counters.
+    assert_eq!(cell.snapshot().packets_in, 0);
+    let exact = relay.stats();
+    let (mut shards, _router, _shared) = relay.into_parts();
+    for s in &mut shards {
+        s.publish_stats();
+    }
+    assert_eq!(cell.snapshot(), exact, "published stats must match exact");
+}

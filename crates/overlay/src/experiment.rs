@@ -8,14 +8,31 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slicing_core::{
-    DestPlacement, GraphParams, OverlayAddr, RelayNode, SourceSession,
+    DestPlacement, GraphParams, OverlayAddr, RelayNode, ShardedRelay, SourceSession,
 };
 use slicing_onion::{Directory, OnionRelay, OnionSource};
 use slicing_sim::wan::NetProfile;
 use tokio::sync::mpsc;
 
-use crate::daemon::{spawn_onion_relay, spawn_relay, OverlayEvent};
+use crate::daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent};
 use crate::{EmulatedNet, NodePort, TcpNet};
+
+/// Spawn one relay daemon: the classic single-task loop for one shard,
+/// the sharded ingress/worker runtime otherwise.
+fn spawn_relay_daemon(
+    addr: OverlayAddr,
+    seed: u64,
+    shards: usize,
+    port: NodePort,
+    events: mpsc::UnboundedSender<OverlayEvent>,
+    epoch: Instant,
+) -> tokio::task::JoinHandle<()> {
+    if shards > 1 {
+        spawn_sharded_relay(ShardedRelay::new(addr, seed, shards), port, events, epoch)
+    } else {
+        spawn_relay(RelayNode::new(addr, seed), port, events, epoch)
+    }
+}
 
 /// Which transport to measure over.
 #[derive(Clone, Debug)]
@@ -41,6 +58,9 @@ pub struct TransferConfig {
     pub seed: u64,
     /// Hard deadline for the whole run.
     pub timeout: Duration,
+    /// Shards per relay daemon (1 = classic single-task daemons; more
+    /// runs every relay through the sharded ingress/worker runtime).
+    pub relay_shards: usize,
 }
 
 impl Default for TransferConfig {
@@ -52,6 +72,7 @@ impl Default for TransferConfig {
             payload_len: 1200,
             seed: 7,
             timeout: Duration::from_secs(60),
+            relay_shards: 1,
         }
     }
 }
@@ -132,11 +153,19 @@ pub async fn run_slicing_transfer(cfg: &TransferConfig) -> TransferReport {
     let epoch = Instant::now();
     let mut handles = Vec::new();
     for port in relay_ports {
-        let relay = RelayNode::new(port.addr, cfg.seed);
-        handles.push(spawn_relay(relay, port, events_tx.clone(), epoch));
+        handles.push(spawn_relay_daemon(
+            port.addr,
+            cfg.seed,
+            cfg.relay_shards,
+            port,
+            events_tx.clone(),
+            epoch,
+        ));
     }
-    handles.push(spawn_relay(
-        RelayNode::new(dest_addr, cfg.seed),
+    handles.push(spawn_relay_daemon(
+        dest_addr,
+        cfg.seed,
+        cfg.relay_shards,
         dest_port,
         events_tx.clone(),
         epoch,
@@ -343,10 +372,12 @@ pub struct MultiFlowReport {
 }
 
 /// Fig. 13: `flows` concurrent anonymous flows over a shared overlay of
-/// `overlay_size` relay nodes (the paper: 100 nodes, d = 3, L = 5).
+/// `overlay_size` relay nodes (the paper: 100 nodes, d = 3, L = 5),
+/// each relay sharded `relay_shards` ways (1 = classic daemons).
 #[allow(clippy::too_many_arguments)] // experiment knobs, used by one harness
 pub async fn run_multi_flow(
     overlay_size: usize,
+    relay_shards: usize,
     flows: usize,
     params: GraphParams,
     profile: NetProfile,
@@ -365,8 +396,10 @@ pub async fn run_multi_flow(
     for i in 0..overlay_size {
         let port = net.attach(OverlayAddr(10_000 + i as u64));
         node_addrs.push(port.addr);
-        handles.push(spawn_relay(
-            RelayNode::new(port.addr, seed),
+        handles.push(spawn_relay_daemon(
+            port.addr,
+            seed,
+            relay_shards,
             port,
             events_tx.clone(),
             epoch,
@@ -504,6 +537,32 @@ mod tests {
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn slicing_transfer_sharded_relays_emulated() {
+        let cfg = TransferConfig {
+            messages: 5,
+            timeout: Duration::from_secs(30),
+            relay_shards: 4,
+            ..TransferConfig::default()
+        };
+        let report = run_slicing_transfer(&cfg).await;
+        assert_eq!(report.messages_delivered, 5, "report: {report:?}");
+        assert!(report.setup_ms < 10_000);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn slicing_transfer_sharded_relays_tcp() {
+        let cfg = TransferConfig {
+            transport: Transport::Tcp,
+            messages: 5,
+            timeout: Duration::from_secs(30),
+            relay_shards: 4,
+            ..TransferConfig::default()
+        };
+        let report = run_slicing_transfer(&cfg).await;
+        assert_eq!(report.messages_delivered, 5, "report: {report:?}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn onion_transfer_over_emulated_lan() {
         let cfg = TransferConfig {
             messages: 5,
@@ -520,6 +579,25 @@ mod tests {
         let params = GraphParams::new(3, 2);
         let report = run_multi_flow(
             30,
+            1,
+            3,
+            params,
+            NetProfile::lan(),
+            3,
+            600,
+            11,
+            Duration::from_secs(30),
+        )
+        .await;
+        assert!(report.payload_bytes > 0, "report: {report:?}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn multi_flow_sharded_smoke() {
+        let params = GraphParams::new(3, 2);
+        let report = run_multi_flow(
+            30,
+            4,
             3,
             params,
             NetProfile::lan(),

@@ -20,7 +20,7 @@ pub mod emu;
 pub mod experiment;
 pub mod tcp;
 
-pub use daemon::{spawn_onion_relay, spawn_relay, OverlayEvent};
+pub use daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent};
 pub use emu::EmulatedNet;
 pub use experiment::{
     run_multi_flow, run_onion_transfer, run_slicing_transfer, MultiFlowReport, TransferConfig,
@@ -66,6 +66,21 @@ impl PortSender {
         match &self.inner {
             PortSenderInner::Emu(hub) => hub.send(self.addr, to, bytes).await,
             PortSenderInner::Tcp(t) => t.send(self.addr, to, bytes).await,
+        }
+    }
+
+    /// Send a batch of frames to one neighbour, draining `frames` (the
+    /// caller keeps the Vec's capacity). On TCP the connection cache is
+    /// consulted once for the whole batch — the sharded daemon's egress
+    /// groups consecutive same-destination sends into these batches.
+    pub async fn send_many(&self, to: OverlayAddr, frames: &mut Vec<Bytes>) {
+        match &self.inner {
+            PortSenderInner::Emu(hub) => {
+                for bytes in frames.drain(..) {
+                    hub.send(self.addr, to, bytes).await;
+                }
+            }
+            PortSenderInner::Tcp(t) => t.send_many(self.addr, to, frames).await,
         }
     }
 

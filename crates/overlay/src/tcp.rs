@@ -38,11 +38,19 @@ impl TcpNet {
         let addr = OverlayAddr::from_ipv4([127, 0, 0, 1], port);
         let (tx, rx) = mpsc::channel::<(OverlayAddr, Bytes)>(1024);
 
-        // Accept loop.
+        // Accept loop: runs until the port (the inbox receiver) is
+        // dropped. Without the `closed()` arm the listener task — and
+        // the bound port — would leak forever once the node went away,
+        // since `accept()` alone never resolves on an idle listener.
         tokio::spawn(async move {
             loop {
-                let Ok((stream, _)) = listener.accept().await else {
-                    break;
+                let accept = Box::pin(listener.accept());
+                let stream = tokio::select! {
+                    accepted = accept => match accepted {
+                        Ok((stream, _)) => stream,
+                        Err(_) => break,
+                    },
+                    _ = tx.closed() => break,
                 };
                 let tx = tx.clone();
                 tokio::spawn(async move {
@@ -92,40 +100,99 @@ async fn read_peer(
 impl TcpSender {
     /// Send one frame, establishing/caching the connection as needed.
     pub(crate) async fn send(&self, from: OverlayAddr, to: OverlayAddr, bytes: Bytes) {
-        // Fast path: existing writer.
-        let existing = self.conns.lock().get(&to).cloned();
-        let writer = match existing {
-            Some(w) => w,
-            None => {
-                let (ip, port) = to.to_ipv4();
-                let target = std::net::SocketAddr::from((ip, port));
-                let Ok(mut stream) = TcpStream::connect(target).await else {
-                    return; // dead peer: datagram semantics, drop
-                };
-                let _ = stream.set_nodelay(true);
-                let (wtx, mut wrx) = mpsc::channel::<Bytes>(256);
-                tokio::spawn(async move {
-                    // Hello preamble.
-                    if stream.write_all(&from.to_bytes()).await.is_err() {
-                        return;
-                    }
-                    while let Some(frame) = wrx.recv().await {
-                        let len = (frame.len() as u32).to_le_bytes();
-                        if stream.write_all(&len).await.is_err()
-                            || stream.write_all(&frame).await.is_err()
-                        {
-                            return;
-                        }
-                    }
-                });
-                self.conns.lock().insert(to, wtx.clone());
-                wtx
-            }
+        let Some(writer) = self.writer_for(from, to).await else {
+            return; // dead peer: datagram semantics, drop
         };
         if writer.send(bytes).await.is_err() {
-            // Writer died; forget the connection so the next send retries.
-            self.conns.lock().remove(&to);
+            self.forget_if_current(to, &writer);
         }
+    }
+
+    /// Send a batch of frames to one peer: the connection cache is
+    /// consulted once for the whole batch. Drains `frames` (the caller
+    /// keeps the Vec's capacity); frames after a writer failure are
+    /// dropped, like any datagram to a dead peer.
+    pub(crate) async fn send_many(
+        &self,
+        from: OverlayAddr,
+        to: OverlayAddr,
+        frames: &mut Vec<Bytes>,
+    ) {
+        let Some(writer) = self.writer_for(from, to).await else {
+            frames.clear();
+            return;
+        };
+        for frame in frames.drain(..) {
+            if writer.send(frame).await.is_err() {
+                self.forget_if_current(to, &writer);
+                break;
+            }
+        }
+        frames.clear();
+    }
+
+    /// The cached writer for `to`, connecting if absent.
+    ///
+    /// Concurrent sends to the same cold peer may both connect; the
+    /// cache is re-checked under the lock before insert, the loser's
+    /// socket is dropped unused and both sends share the winner's
+    /// writer — exactly one connection is ever cached per peer.
+    async fn writer_for(
+        &self,
+        from: OverlayAddr,
+        to: OverlayAddr,
+    ) -> Option<mpsc::Sender<Bytes>> {
+        if let Some(w) = self.conns.lock().get(&to) {
+            return Some(w.clone());
+        }
+        let (ip, port) = to.to_ipv4();
+        let target = std::net::SocketAddr::from((ip, port));
+        let mut stream = TcpStream::connect(target).await.ok()?;
+        let _ = stream.set_nodelay(true);
+        {
+            // Re-check: a racing send may have connected and cached a
+            // writer while we were connecting. Keep theirs, drop ours —
+            // inserting blindly would orphan (and leak) the cached
+            // writer task and its live socket.
+            let mut conns = self.conns.lock();
+            if let Some(w) = conns.get(&to) {
+                return Some(w.clone());
+            }
+            let (wtx, mut wrx) = mpsc::channel::<Bytes>(256);
+            conns.insert(to, wtx.clone());
+            drop(conns);
+            tokio::spawn(async move {
+                // Hello preamble.
+                if stream.write_all(&from.to_bytes()).await.is_err() {
+                    return;
+                }
+                while let Some(frame) = wrx.recv().await {
+                    let len = (frame.len() as u32).to_le_bytes();
+                    if stream.write_all(&len).await.is_err()
+                        || stream.write_all(&frame).await.is_err()
+                    {
+                        return;
+                    }
+                }
+            });
+            Some(wtx)
+        }
+    }
+
+    /// Forget a dead writer — but only if the cache still holds *that*
+    /// writer: a racing send may already have replaced it with a fresh
+    /// healthy connection, which an unconditional remove would evict.
+    fn forget_if_current(&self, to: OverlayAddr, failed: &mpsc::Sender<Bytes>) {
+        let mut conns = self.conns.lock();
+        if conns.get(&to).is_some_and(|cur| cur.same_channel(failed)) {
+            conns.remove(&to);
+        }
+    }
+
+    /// Number of cached peer connections (tests).
+    #[cfg(test)]
+    fn cached_connections(&self) -> usize {
+        self.conns.lock().len()
     }
 }
 
@@ -174,5 +241,91 @@ mod tests {
         // Unbound address: connect fails, send becomes a no-op.
         let ghost = OverlayAddr::from_ipv4([127, 0, 0, 1], 1);
         a.tx.send(ghost, bytes::Bytes::from(&b"x"[..])).await;
+    }
+
+    #[tokio::test]
+    async fn batched_send_many_delivers_in_order() {
+        let a = TcpNet::attach().await.unwrap();
+        let mut b = TcpNet::attach().await.unwrap();
+        let mut frames: Vec<Bytes> = (0..20u32)
+            .map(|i| Bytes::from(i.to_le_bytes().to_vec()))
+            .collect();
+        a.tx.send_many(b.addr, &mut frames).await;
+        assert!(frames.is_empty(), "send_many drains the batch");
+        for i in 0..20u32 {
+            let (from, bytes) = b.rx.recv().await.unwrap();
+            assert_eq!(from, a.addr);
+            assert_eq!(bytes, i.to_le_bytes());
+        }
+    }
+
+    /// Regression test for the check-then-insert race in
+    /// `TcpSender::send`: many tasks racing to a cold peer used to
+    /// connect concurrently and overwrite each other's cached writer,
+    /// leaking sockets and stranding frames in orphaned writer tasks.
+    /// Exactly one connection may end up cached, and every frame must
+    /// arrive.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_cold_sends_cache_one_connection_and_lose_nothing() {
+        const TASKS: u32 = 24;
+        const FRAMES_PER_TASK: u32 = 8;
+        let a = TcpNet::attach().await.unwrap();
+        let mut b = TcpNet::attach().await.unwrap();
+        let b_addr = b.addr;
+
+        let mut joins = Vec::new();
+        for t in 0..TASKS {
+            let tx = a.tx.clone();
+            joins.push(tokio::spawn(async move {
+                for f in 0..FRAMES_PER_TASK {
+                    let tag = (t * FRAMES_PER_TASK + f).to_le_bytes().to_vec();
+                    tx.send(b_addr, Bytes::from(tag)).await;
+                }
+            }));
+        }
+        for j in joins {
+            j.await.unwrap();
+        }
+
+        let mut got = Vec::new();
+        for _ in 0..TASKS * FRAMES_PER_TASK {
+            let (from, bytes) = b.rx.recv().await.unwrap();
+            assert_eq!(from, a.addr);
+            got.push(u32::from_le_bytes(bytes[..4].try_into().unwrap()));
+        }
+        got.sort_unstable();
+        let want: Vec<u32> = (0..TASKS * FRAMES_PER_TASK).collect();
+        assert_eq!(got, want, "every frame must arrive exactly once");
+
+        let PortSenderInner::Tcp(sender) = &a.tx.inner else {
+            unreachable!("TCP transport")
+        };
+        assert_eq!(
+            sender.cached_connections(),
+            1,
+            "racing cold sends must collapse onto one cached connection"
+        );
+    }
+
+    /// Regression test for the leaked accept loop: dropping a `NodePort`
+    /// must terminate its listener task and release the port.
+    #[tokio::test]
+    async fn dropped_port_releases_listener() {
+        let node = TcpNet::attach().await.unwrap();
+        let (ip, port) = node.addr.to_ipv4();
+        drop(node);
+        // The accept loop exits on `tx.closed()`; once it has dropped
+        // the listener the port is rebindable. Bounded retry, no blind
+        // sleep.
+        let target = std::net::SocketAddr::from((ip, port));
+        let mut rebound = false;
+        for _ in 0..100 {
+            if std::net::TcpListener::bind(target).is_ok() {
+                rebound = true;
+                break;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        }
+        assert!(rebound, "listener port must be released after drop");
     }
 }

@@ -274,6 +274,19 @@ impl Packet {
     }
 }
 
+/// Read just the flow id out of a wire buffer, validating only the
+/// fixed prelude (magic, version, kind byte) — the cheap peek a sharded
+/// ingress uses to pick a shard before the owning shard runs the full
+/// [`Packet::from_bytes`] validation. `None` means the buffer can never
+/// parse as a packet and can be dropped at the door.
+pub fn peek_flow_id(bytes: &[u8]) -> Option<FlowId> {
+    if bytes.len() < HEADER_LEN || bytes[..2] != MAGIC || bytes[2] != VERSION {
+        return None;
+    }
+    PacketKind::from_byte(bytes[3])?;
+    Some(FlowId(u64::from_le_bytes(bytes[4..12].try_into().ok()?)))
+}
+
 /// Assembles a packet in a single buffer: header first, then each slot
 /// written (or coded) in place, then [`build`](PacketBuilder::build)
 /// freezes the buffer into a [`Packet`].
@@ -477,6 +490,27 @@ mod tests {
             assert_eq!(PacketKind::from_byte(kind.to_byte()), Some(kind));
         }
         assert_eq!(PacketKind::from_byte(255), None);
+    }
+
+    #[test]
+    fn peek_flow_id_agrees_with_full_decode() {
+        let p = sample();
+        let wire = p.encode();
+        assert_eq!(peek_flow_id(&wire), Some(p.header.flow_id));
+        // Too short, bad magic, bad version, bad kind: all rejected.
+        assert_eq!(peek_flow_id(&wire[..HEADER_LEN - 1]), None);
+        let mut bad = wire.to_vec();
+        bad[0] ^= 0xFF;
+        assert_eq!(peek_flow_id(&bad), None);
+        let mut bad = wire.to_vec();
+        bad[2] = 99;
+        assert_eq!(peek_flow_id(&bad), None);
+        let mut bad = wire.to_vec();
+        bad[3] = 7;
+        assert_eq!(peek_flow_id(&bad), None);
+        // A truncated body still peeks (full validation is the shard's
+        // job); only the fixed prelude gates the peek.
+        assert_eq!(peek_flow_id(&wire[..HEADER_LEN]), Some(p.header.flow_id));
     }
 
     #[test]

@@ -72,7 +72,7 @@ async fn main() {
                 let Ok(packet) = Packet::decode(&bytes) else { continue };
                 let flow = packet.header.flow_id;
                 let out = bob.handle_packet(now_tick(epoch), from, &packet);
-                if out.established == Some(true) {
+                if out.established.contains(&true) {
                     bob_flow = Some(flow);
                 }
                 for send in out.sends {

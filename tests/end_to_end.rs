@@ -146,6 +146,7 @@ async fn tokio_emulated_wan_full_transfer() {
         payload_len: 1000,
         seed: 21,
         timeout: Duration::from_secs(60),
+        relay_shards: 1,
     };
     let report = run_slicing_transfer(&cfg).await;
     assert_eq!(report.messages_delivered, 8, "{report:?}");
@@ -162,6 +163,7 @@ async fn tokio_tcp_loopback_slicing_beats_no_delivery() {
         payload_len: 1200,
         seed: 23,
         timeout: Duration::from_secs(60),
+        relay_shards: 1,
     };
     let report = run_slicing_transfer(&cfg).await;
     assert_eq!(report.messages_delivered, 10, "{report:?}");
@@ -189,6 +191,7 @@ async fn slicing_beats_onion_on_lan_throughput() {
         payload_len: 1400,
         seed,
         timeout: Duration::from_secs(90),
+        relay_shards: 1,
     };
     let s = run_slicing_transfer(&mk(31)).await;
     let o = run_onion_transfer(&mk(31)).await;

@@ -11,7 +11,7 @@ pub mod mpsc {
     use std::sync::{Arc, Mutex};
     use std::task::{Context, Poll, Waker};
 
-    pub use error::{SendError, TryRecvError};
+    pub use error::{SendError, TryRecvError, TrySendError};
 
     pub mod error {
         //! Channel error types.
@@ -55,6 +55,35 @@ pub mod mpsc {
         }
 
         impl std::error::Error for TryRecvError {}
+
+        /// Why [`super::Sender::try_send`] rejected the value.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        pub enum TrySendError<T> {
+            /// The channel is at capacity; the value is handed back.
+            Full(T),
+            /// The receiver was dropped; the value is handed back.
+            Closed(T),
+        }
+
+        impl<T> fmt::Debug for TrySendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "TrySendError::Full(..)"),
+                    TrySendError::Closed(_) => write!(f, "TrySendError::Closed(..)"),
+                }
+            }
+        }
+
+        impl<T> fmt::Display for TrySendError<T> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                match self {
+                    TrySendError::Full(_) => write!(f, "channel full"),
+                    TrySendError::Closed(_) => write!(f, "channel closed"),
+                }
+            }
+        }
+
+        impl<T> std::error::Error for TrySendError<T> {}
     }
 
     struct Inner<T> {
@@ -64,6 +93,9 @@ pub mod mpsc {
         rx_alive: bool,
         rx_waker: Option<Waker>,
         tx_wakers: Vec<Waker>,
+        /// Wakers parked by [`Sender::closed`]; woken only on receiver
+        /// drop (unlike `tx_wakers`, which every receive drains).
+        closed_wakers: Vec<Waker>,
     }
 
     struct Chan<T>(Mutex<Inner<T>>);
@@ -155,12 +187,16 @@ pub mod mpsc {
     }
 
     fn drop_receiver<T>(chan: &Arc<Chan<T>>) {
-        let wakers = {
+        let (mut wakers, closed) = {
             let mut inner = chan.0.lock().unwrap();
             inner.rx_alive = false;
             inner.queue.clear();
-            std::mem::take(&mut inner.tx_wakers)
+            (
+                std::mem::take(&mut inner.tx_wakers),
+                std::mem::take(&mut inner.closed_wakers),
+            )
         };
+        wakers.extend(closed);
         for w in wakers {
             w.wake();
         }
@@ -185,6 +221,65 @@ pub mod mpsc {
                 chan: &self.chan,
                 value: Some(value),
             }
+        }
+
+        /// Send without waiting: fails immediately if the channel is at
+        /// capacity or the receiver is gone. Mirrors upstream
+        /// `tokio::sync::mpsc::Sender::try_send`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let waker = {
+                let mut inner = self.chan.0.lock().unwrap();
+                if !inner.rx_alive {
+                    return Err(TrySendError::Closed(value));
+                }
+                if inner.queue.len() >= inner.capacity {
+                    return Err(TrySendError::Full(value));
+                }
+                inner.queue.push_back(value);
+                Chan::wake_rx(&mut inner)
+            };
+            if let Some(w) = waker {
+                w.wake();
+            }
+            Ok(())
+        }
+
+        /// Complete when the receiver half has been dropped: further
+        /// sends can never succeed. Mirrors upstream
+        /// `tokio::sync::mpsc::Sender::closed`.
+        pub fn closed(&self) -> Closed<'_, T> {
+            Closed { chan: &self.chan }
+        }
+
+        /// Whether `self` and `other` belong to the same channel.
+        pub fn same_channel(&self, other: &Sender<T>) -> bool {
+            Arc::ptr_eq(&self.chan, &other.chan)
+        }
+    }
+
+    /// Future returned by [`Sender::closed`].
+    pub struct Closed<'a, T> {
+        chan: &'a Arc<Chan<T>>,
+    }
+
+    impl<T> Unpin for Closed<'_, T> {}
+
+    impl<T> Future for Closed<'_, T> {
+        type Output = ();
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let mut inner = self.chan.0.lock().unwrap();
+            if !inner.rx_alive {
+                return Poll::Ready(());
+            }
+            // Parked separately from `tx_wakers` so receives don't wake
+            // closed() watchers once per popped value; deduplicated by
+            // task so a watcher that re-polls (e.g. a fresh `closed()`
+            // per select iteration) doesn't grow the list unboundedly.
+            if !inner.closed_wakers.iter().any(|w| w.will_wake(cx.waker())) {
+                inner.closed_wakers.push(cx.waker().clone());
+            }
+            Poll::Pending
         }
     }
 
@@ -318,6 +413,7 @@ pub mod mpsc {
             rx_alive: true,
             rx_waker: None,
             tx_wakers: Vec::new(),
+            closed_wakers: Vec::new(),
         })))
     }
 
