@@ -46,6 +46,7 @@ fn main() {
             seed: opts.seed + l as u64,
             timeout: Duration::from_secs(120),
             relay_shards: 1,
+            relay_config: Default::default(),
         };
         let slicing = rt.block_on(run_slicing_transfer(&cfg));
         let onion = rt.block_on(run_onion_transfer(&cfg));

@@ -34,6 +34,7 @@ fn main() {
             seed: opts.seed + l as u64,
             timeout: Duration::from_secs(if opts.quick { 25 } else { 180 }),
             relay_shards: 1,
+            relay_config: Default::default(),
         };
         let slicing = rt.block_on(run_slicing_transfer(&cfg));
         let onion = rt.block_on(run_onion_transfer(&cfg));

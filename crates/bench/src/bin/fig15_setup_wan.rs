@@ -38,6 +38,7 @@ fn main() {
                 seed: opts.seed + (l * 31 + r) as u64,
                 timeout: Duration::from_secs(60),
                 relay_shards: 1,
+                relay_config: Default::default(),
             };
             acc += rt.block_on(run_onion_transfer(&cfg)).setup_ms as f64 / 1000.0;
         }
@@ -54,6 +55,7 @@ fn main() {
                     seed: opts.seed + (l * 131 + d * 17 + r) as u64,
                     timeout: Duration::from_secs(60),
                     relay_shards: 1,
+                    relay_config: Default::default(),
                 };
                 acc += rt.block_on(run_slicing_transfer(&cfg)).setup_ms as f64 / 1000.0;
             }

@@ -76,6 +76,16 @@ pub struct RelayConfig {
     pub max_pending_data: usize,
     /// Maximum concurrently tracked flows (resource-exhaustion guard).
     pub max_flows: usize,
+    /// How often an established flow announces liveness to its children
+    /// (a [`slicing_wire::control::KEEPALIVE`] on each child's forward
+    /// flow id). `0` disables keepalives.
+    pub keepalive_ms: u64,
+    /// A parent silent (no data, no keepalive) for longer than this is
+    /// declared dead: the relay stops waiting for it in gathers and
+    /// reports a sealed [`slicing_wire::control::FLOW_FAILED`] toward
+    /// the source. Must comfortably exceed the upstream keepalive
+    /// interval. `0` disables failure detection.
+    pub liveness_timeout_ms: u64,
 }
 
 impl Default for RelayConfig {
@@ -86,6 +96,8 @@ impl Default for RelayConfig {
             flow_ttl_ms: 120_000,
             max_pending_data: 64,
             max_flows: 4_096,
+            keepalive_ms: 10_000,
+            liveness_timeout_ms: 30_000,
         }
     }
 }
@@ -122,6 +134,11 @@ pub struct RelayStats {
     /// I/O layer — daemon loop or sharded ingress — not by the engine,
     /// which only ever sees valid packets).
     pub garbage: u64,
+    /// Parents declared dead by liveness tracking (churn detection).
+    pub parents_lost: u64,
+    /// Established flows whose info was replaced in place by an
+    /// authenticated re-setup (source-side repair).
+    pub flows_repaired: u64,
 }
 
 impl RelayStats {
@@ -137,6 +154,8 @@ impl RelayStats {
             drops: self.drops - earlier.drops,
             flows_evicted: self.flows_evicted - earlier.flows_evicted,
             garbage: self.garbage - earlier.garbage,
+            parents_lost: self.parents_lost - earlier.parents_lost,
+            flows_repaired: self.flows_repaired - earlier.flows_repaired,
         }
     }
 
@@ -150,6 +169,8 @@ impl RelayStats {
         self.drops += other.drops;
         self.flows_evicted += other.flows_evicted;
         self.garbage += other.garbage;
+        self.parents_lost += other.parents_lost;
+        self.flows_repaired += other.flows_repaired;
     }
 }
 
@@ -172,6 +193,8 @@ pub struct RelayStatsAtomic {
     drops: AtomicU64,
     flows_evicted: AtomicU64,
     garbage: AtomicU64,
+    parents_lost: AtomicU64,
+    flows_repaired: AtomicU64,
 }
 
 impl RelayStatsAtomic {
@@ -187,6 +210,8 @@ impl RelayStatsAtomic {
             drops: self.drops.load(Ordering::Relaxed),
             flows_evicted: self.flows_evicted.load(Ordering::Relaxed),
             garbage: self.garbage.load(Ordering::Relaxed),
+            parents_lost: self.parents_lost.load(Ordering::Relaxed),
+            flows_repaired: self.flows_repaired.load(Ordering::Relaxed),
         }
     }
 
@@ -221,6 +246,8 @@ impl RelayStatsAtomic {
         fold_field!(drops);
         fold_field!(flows_evicted);
         fold_field!(garbage);
+        fold_field!(parents_lost);
+        fold_field!(flows_repaired);
     }
 }
 
@@ -349,6 +376,17 @@ struct SetupGather {
     flushed: bool,
 }
 
+/// Pending authenticated re-setup of an established flow (source-side
+/// repair, §4.4.2 extended): clean info slices gathered per sender until
+/// `d` decode into a [`NodeInfo`] proving knowledge of the flow's secret
+/// key. Bounded (one per flow, capped senders) and reaped by a wheel
+/// deadline, so forged re-setups cannot pin memory.
+#[derive(Clone, Debug, Default)]
+struct ResetupGather {
+    /// One retained slice per sender (repair packets are one slot each).
+    slices: HashMap<OverlayAddr, InfoSlice>,
+}
+
 /// An established flow.
 #[derive(Clone, Debug)]
 struct ActiveFlow {
@@ -361,6 +399,35 @@ struct ActiveFlow {
     /// Seqs already delivered to the application (receiver flows);
     /// outlives the per-seq gathers so replays never double-deliver.
     delivered: ReplayGuard,
+    /// Last tick each parent was heard from (data, keepalive or
+    /// control), parallel to `info.parents`.
+    last_heard: Vec<Tick>,
+    /// Parents currently considered dead, as a bitmask over parent
+    /// indices (`d′ ≤ 64` by [`slicing_graph::GraphParams::validate`]).
+    dead_parents: u64,
+    /// Parents whose death has already been reported toward the source.
+    reported_dead: u64,
+    /// Hashes of recently forwarded FLOW_FAILED payloads (dedup against
+    /// the `d′`-ary fan-in re-delivering the same report).
+    seen_failures: Vec<u64>,
+    /// In-progress authenticated re-setup, if any.
+    resetup: Option<ResetupGather>,
+}
+
+impl ActiveFlow {
+    /// Parents not currently marked dead.
+    fn live_parent_count(&self) -> usize {
+        self.info.parents.len() - (self.dead_parents.count_ones() as usize)
+    }
+
+    /// Revive a parent if it was marked dead (it spoke again, or repair
+    /// replaced it); clears the reported flag so a later real death is
+    /// reported afresh.
+    fn revive_parent(&mut self, idx: usize) {
+        let bit = 1u64 << idx;
+        self.dead_parents &= !bit;
+        self.reported_dead &= !bit;
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -389,6 +456,16 @@ enum Deadline {
     },
     /// Candidate idle-GC point; re-armed if activity refreshed the flow.
     FlowExpiry(FlowId),
+    /// Periodic liveness announcement to the flow's children.
+    Keepalive(FlowId),
+    /// Candidate parent-death point; like [`Deadline::FlowExpiry`] it is
+    /// validated lazily against the flow's *current* `last_heard` state
+    /// and re-armed at the true deadline, so a stale entry left behind
+    /// by a repair (or by chatty parents) can never fire a spurious
+    /// teardown.
+    LivenessCheck(FlowId),
+    /// Reap an abandoned re-setup gather.
+    ResetupExpire(FlowId),
 }
 
 /// Outcome of the borrow-free establishment analysis.
@@ -526,6 +603,7 @@ impl RelayShard {
         match packet.header.kind {
             PacketKind::Setup => self.handle_setup(now, from, packet),
             PacketKind::Data => self.handle_data(now, from, packet),
+            PacketKind::Control => self.handle_control(now, from, packet),
         }
     }
 
@@ -572,9 +650,119 @@ impl RelayShard {
                     }
                 }
                 Deadline::FlowExpiry(flow) => self.check_expiry(now, flow),
+                Deadline::Keepalive(flow) => out.merge(self.send_keepalives(now, flow)),
+                Deadline::LivenessCheck(flow) => out.merge(self.check_liveness(now, flow)),
+                Deadline::ResetupExpire(flow) => {
+                    if let Some(FlowState::Active(a)) = self.flows.get_mut(&flow) {
+                        a.resetup = None;
+                    }
+                }
             }
         }
         self.expired = expired;
+        out
+    }
+
+    /// A [`Deadline::Keepalive`] fired: announce liveness to every child
+    /// of the flow and re-arm. Dropped without re-arm once the flow is
+    /// gone, so keepalives stop when GC collects the flow.
+    fn send_keepalives(&mut self, now: Tick, flow: FlowId) -> RelayOutput {
+        let interval = self.config.keepalive_ms;
+        let mut out = RelayOutput::default();
+        let Some(FlowState::Active(active)) = self.flows.get(&flow) else {
+            return out;
+        };
+        if interval == 0 || active.info.children.is_empty() {
+            return out;
+        }
+        for &(child_addr, child_flow) in &active.info.children {
+            out.sends.push(SendInstr {
+                from: self.addr,
+                to: child_addr,
+                // Our reverse flow id doubles as the membership token
+                // the child checks against its parent list.
+                packet: slicing_wire::control::keepalive(
+                    child_flow,
+                    active.info.reverse_flow_id,
+                ),
+            });
+        }
+        self.stats.packets_out += out.sends.len() as u64;
+        self.wheel
+            .schedule(now.plus(interval), Deadline::Keepalive(flow));
+        out
+    }
+
+    /// A [`Deadline::LivenessCheck`] fired: declare every parent silent
+    /// past the timeout dead, report each death toward the source
+    /// (sealed under this flow's secret key, §9.4 confidentiality), and
+    /// re-arm at the earliest deadline a still-live parent could miss.
+    ///
+    /// The entry is validated lazily against `last_heard` — parents
+    /// refreshed by traffic (or replaced wholesale by a repair, which
+    /// resets the liveness slate) simply push the next check out; a
+    /// stale entry can never fire a spurious teardown.
+    fn check_liveness(&mut self, now: Tick, flow: FlowId) -> RelayOutput {
+        let timeout = self.config.liveness_timeout_ms;
+        let mut out = RelayOutput::default();
+        if timeout == 0 {
+            return out;
+        }
+        let RelayShard {
+            flows,
+            stats,
+            rng,
+            addr,
+            wheel,
+            config: _,
+            ..
+        } = self;
+        let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
+            return out;
+        };
+        let mut next_due: Option<u64> = None;
+        let mut newly_dead: Vec<usize> = Vec::new();
+        for (idx, &heard) in active.last_heard.iter().enumerate() {
+            if active.dead_parents & (1 << idx) != 0 {
+                continue;
+            }
+            let due = heard.plus(timeout);
+            if due.0 <= now.0 {
+                newly_dead.push(idx);
+            } else {
+                next_due = Some(next_due.map_or(due.0, |d: u64| d.min(due.0)));
+            }
+        }
+        for idx in newly_dead {
+            let bit = 1u64 << idx;
+            active.dead_parents |= bit;
+            stats.parents_lost += 1;
+            if active.reported_dead & bit != 0 {
+                continue;
+            }
+            active.reported_dead |= bit;
+            // Seal the dead parent's address under this flow's secret
+            // key: forwarding relays learn nothing, the source (which
+            // issued every per-node key) recovers and authenticates it.
+            let dead_addr = active.info.parents[idx].0;
+            let sealed = aead::seal(&active.info.secret_key, &dead_addr.to_bytes(), rng);
+            for (pidx, &(parent_addr, parent_rev)) in active.info.parents.iter().enumerate() {
+                if active.dead_parents & (1 << pidx) != 0 {
+                    continue;
+                }
+                out.sends.push(SendInstr {
+                    from: *addr,
+                    to: parent_addr,
+                    packet: slicing_wire::control::flow_failed(parent_rev, &sealed),
+                });
+            }
+        }
+        stats.packets_out += out.sends.len() as u64;
+        // Lazy re-arm at the true next deadline (only live parents can
+        // still miss one).
+        if let Some(due) = next_due {
+            wheel.schedule(Tick(due), Deadline::LivenessCheck(flow));
+        }
         out
     }
 
@@ -629,6 +817,12 @@ impl RelayShard {
 
     fn handle_setup(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
         let flow = packet.header.flow_id;
+        // Setup for an established flow: a source-side repair updating
+        // this node's neighbour lists in place — authenticated by the
+        // flow's secret key.
+        if matches!(self.flows.get(&flow), Some(FlowState::Active(_))) {
+            return self.handle_resetup(now, from, packet);
+        }
         let at_capacity = self.flows.len() >= self.config.max_flows;
         match self.flows.entry(flow) {
             Entry::Occupied(mut e) => match e.get_mut() {
@@ -651,7 +845,8 @@ impl RelayShard {
                     g.packets.insert(from, packet.clone());
                 }
                 _ => {
-                    // Duplicate setup for an established flow: ignore.
+                    // Duplicate setup for a dead flow: ignore (active
+                    // flows were diverted to the re-setup path above).
                     self.stats.drops += 1;
                     return RelayOutput::default();
                 }
@@ -764,6 +959,8 @@ impl RelayShard {
                 // Transition to Active and replay any buffered early data.
                 self.reverse_index.insert(info.reverse_flow_id, flow);
                 self.router.register_reverse(info.reverse_flow_id, self.index);
+                let parent_count = info.parents.len();
+                let has_children = !info.children.is_empty();
                 self.flows.insert(
                     flow,
                     FlowState::Active(Box::new(ActiveFlow {
@@ -772,8 +969,26 @@ impl RelayShard {
                         data: HashMap::new(),
                         reverse: HashMap::new(),
                         delivered: ReplayGuard::default(),
+                        last_heard: vec![now; parent_count],
+                        dead_parents: 0,
+                        reported_dead: 0,
+                        seen_failures: Vec::new(),
+                        resetup: None,
                     })),
                 );
+                // Liveness plane: announce downstream, watch upstream.
+                if self.config.keepalive_ms > 0 && has_children {
+                    self.wheel.schedule(
+                        now.plus(self.config.keepalive_ms),
+                        Deadline::Keepalive(flow),
+                    );
+                }
+                if self.config.liveness_timeout_ms > 0 && parent_count > 0 {
+                    self.wheel.schedule(
+                        now.plus(self.config.liveness_timeout_ms),
+                        Deadline::LivenessCheck(flow),
+                    );
+                }
                 for (from, p) in pending {
                     out.merge(self.handle_data(now, from, &p));
                 }
@@ -791,7 +1006,12 @@ impl RelayShard {
         info: &NodeInfo,
         packets: &HashMap<OverlayAddr, Packet>,
     ) -> Vec<SendInstr> {
-        if info.children.is_empty() {
+        // Nothing to forward for last-stage nodes — or for flows
+        // (re-)established from repair setup packets, which carry no
+        // downstream slices (`out_real_slots == 0`): the source delivers
+        // every affected node's info directly, so forwarding would only
+        // spray padding at the children.
+        if info.children.is_empty() || info.out_real_slots == 0 {
             return Vec::new();
         }
         let slots_n = info.slots as usize;
@@ -838,6 +1058,206 @@ impl RelayShard {
         sends
     }
 
+    /// Setup slices arriving for an *established* flow: a source-side
+    /// repair (§4.4.2 extended) replacing this node's neighbour lists in
+    /// place. The new info must prove knowledge of the flow's secret key
+    /// (and preserve the flow's identity — reverse id, `d`, `d′`,
+    /// receiver flag), so only the source that built the flow can splice
+    /// new routes into it; anything else is dropped and the bounded
+    /// gather is reaped by a wheel deadline.
+    fn handle_resetup(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        let flow = packet.header.flow_id;
+        let RelayShard {
+            flows,
+            stats,
+            wheel,
+            config,
+            ..
+        } = self;
+        let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
+            stats.drops += 1;
+            return RelayOutput::default();
+        };
+        let d = active.info.d as usize;
+        let slot_len = packet.header.slot_len as usize;
+        let slice = (packet.header.d as usize == d)
+            .then(|| slot_len.checked_sub(d + 4))
+            .flatten()
+            .and_then(|block_len| parse_clean_slot(d, block_len, packet.slot(0)));
+        let Some(slice) = slice else {
+            stats.drops += 1;
+            return RelayOutput::default();
+        };
+        if active.resetup.is_none() {
+            active.resetup = Some(ResetupGather::default());
+            wheel.schedule(
+                now.plus(config.setup_flush_ms),
+                Deadline::ResetupExpire(flow),
+            );
+        }
+        let gather = active.resetup.as_mut().expect("created above");
+        // One coded shape per gather, bounded sender set.
+        let consistent = gather
+            .slices
+            .values()
+            .next()
+            .is_none_or(|s| s.payload.len() == slice.payload.len());
+        if !consistent || (gather.slices.len() >= 64 && !gather.slices.contains_key(&from)) {
+            stats.drops += 1;
+            return RelayOutput::default();
+        }
+        gather.slices.insert(from, slice);
+        if gather.slices.len() < d {
+            return RelayOutput::default();
+        }
+        let slices: Vec<InfoSlice> = gather.slices.values().cloned().collect();
+        let Ok(bytes) = coder::decode(&slices, d) else {
+            // Not yet decodable (dependent combination or noise): keep
+            // gathering until more slices or the reaper arrive.
+            return RelayOutput::default();
+        };
+        let Ok(new_info) = NodeInfo::decode(&bytes) else {
+            active.resetup = None;
+            stats.drops += 1;
+            return RelayOutput::default();
+        };
+        let cur = &active.info;
+        let authentic = new_info.secret_key == cur.secret_key
+            && new_info.reverse_flow_id == cur.reverse_flow_id
+            && new_info.d == cur.d
+            && new_info.d_prime == cur.d_prime
+            && new_info.receiver == cur.receiver;
+        if !authentic {
+            active.resetup = None;
+            stats.drops += 1;
+            return RelayOutput::default();
+        }
+        if new_info == *cur {
+            // Idempotent duplicate: the leftover d′−d slices of an
+            // already-applied repair (the gather completes at d) decode
+            // to the same neighbour lists. Applying again would reset
+            // the liveness slate for nothing — worst case masking a
+            // real death for a full timeout — and over-count repairs.
+            active.resetup = None;
+            return RelayOutput::default();
+        }
+        // Splice the repaired neighbour lists into the live flow: data
+        // gathers, pending seqs and the replay guard all survive; the
+        // liveness slate resets so stale deadlines validate cleanly.
+        active.info = new_info;
+        active.resetup = None;
+        active.last_heard = vec![now; active.info.parents.len()];
+        active.dead_parents = 0;
+        active.reported_dead = 0;
+        active.last_activity = now;
+        stats.flows_repaired += 1;
+        if config.liveness_timeout_ms > 0 && !active.info.parents.is_empty() {
+            wheel.schedule(
+                now.plus(config.liveness_timeout_ms),
+                Deadline::LivenessCheck(flow),
+            );
+        }
+        RelayOutput::default()
+    }
+
+    // ---- control plane ---------------------------------------------------
+
+    /// Keepalives (downstream, on forward flow ids) and failure reports
+    /// (upstream, on reverse flow ids).
+    fn handle_control(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
+        let mut out = RelayOutput::default();
+        let Some((op, payload)) = slicing_wire::control::parse(packet) else {
+            self.stats.drops += 1;
+            return out;
+        };
+        let flow = packet.header.flow_id;
+        match op {
+            slicing_wire::control::KEEPALIVE => {
+                let Some(FlowState::Active(active)) = self.flows.get_mut(&flow) else {
+                    self.stats.drops += 1;
+                    return out;
+                };
+                // Only the flow's own parents may vouch for themselves,
+                // and the payload must carry the parent's reverse flow
+                // id — a membership token a transport-level address
+                // forgery does not know, so a forged keepalive cannot
+                // suppress failure detection.
+                let Some(idx) = active.info.parents.iter().position(|&(a, _)| a == from)
+                else {
+                    self.stats.drops += 1;
+                    return out;
+                };
+                let token_ok = payload.len() == 8
+                    && u64::from_le_bytes(payload.try_into().expect("len checked"))
+                        == active.info.parents[idx].1 .0;
+                if !token_ok {
+                    self.stats.drops += 1;
+                    return out;
+                }
+                active.last_heard[idx] = now;
+                active.last_activity = now;
+                let was_dead = active.dead_parents & (1 << idx) != 0;
+                active.revive_parent(idx);
+                if was_dead && self.config.liveness_timeout_ms > 0 {
+                    // The liveness heartbeat stopped re-arming when every
+                    // parent was dead or the entry went stale; restart it
+                    // for the revived parent.
+                    self.wheel.schedule(
+                        now.plus(self.config.liveness_timeout_ms),
+                        Deadline::LivenessCheck(flow),
+                    );
+                }
+            }
+            slicing_wire::control::FLOW_FAILED => {
+                // A downstream relay lost a neighbour; relay the sealed
+                // report toward the source along the reverse path.
+                let Some(&fwd) = self.reverse_index.get(&flow) else {
+                    self.stats.drops += 1;
+                    return out;
+                };
+                let RelayShard {
+                    flows, stats, addr, ..
+                } = self;
+                let Some(FlowState::Active(active)) = flows.get_mut(&fwd) else {
+                    stats.drops += 1;
+                    return out;
+                };
+                if !active.info.children.iter().any(|&(a, _)| a == from) {
+                    stats.drops += 1;
+                    return out;
+                }
+                active.last_activity = now;
+                // The d′-ary fan-in re-delivers each report d′ times;
+                // forward each distinct payload once.
+                let h = hash_bytes(payload);
+                if active.seen_failures.contains(&h) {
+                    return out;
+                }
+                if active.seen_failures.len() >= 32 {
+                    active.seen_failures.remove(0);
+                }
+                active.seen_failures.push(h);
+                for (pidx, &(parent_addr, parent_rev)) in
+                    active.info.parents.iter().enumerate()
+                {
+                    if active.dead_parents & (1 << pidx) != 0 {
+                        continue;
+                    }
+                    out.sends.push(SendInstr {
+                        from: *addr,
+                        to: parent_addr,
+                        packet: slicing_wire::control::flow_failed(parent_rev, payload),
+                    });
+                }
+                stats.packets_out += out.sends.len() as u64;
+            }
+            _ => {
+                self.stats.drops += 1;
+            }
+        }
+        out
+    }
+
     // ---- data phase ------------------------------------------------------
 
     fn handle_data(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
@@ -875,6 +1295,7 @@ impl RelayShard {
     ) -> RelayOutput {
         let seq = packet.header.seq;
         let data_flush_ms = self.config.data_flush_ms;
+        let liveness_timeout_ms = self.config.liveness_timeout_ms;
         // All hot-path state updates below borrow disjoint fields
         // (`flows`, `stats`, `wheel`); nothing is cloned per packet.
         let complete = {
@@ -883,25 +1304,49 @@ impl RelayShard {
                 return RelayOutput::default();
             };
             active.last_activity = now;
+            // Only the flow's own neighbours may contribute slices:
+            // parents on the forward path, children on the reverse.
+            // Anything else could poison the gather's shape or inflate
+            // the completeness count toward a premature flush. A
+            // legitimate parent also refreshes its liveness slot — and
+            // revives itself if it had been declared dead (a repaired or
+            // merely slow neighbour rejoins the expected set).
+            if is_reverse {
+                if !active.info.children.iter().any(|&(a, _)| a == from) {
+                    self.stats.drops += 1;
+                    return RelayOutput::default();
+                }
+            } else {
+                let Some(idx) = active.info.parents.iter().position(|&(a, _)| a == from)
+                else {
+                    self.stats.drops += 1;
+                    return RelayOutput::default();
+                };
+                active.last_heard[idx] = now;
+                if active.dead_parents & (1 << idx) != 0 {
+                    active.revive_parent(idx);
+                    if liveness_timeout_ms > 0 {
+                        self.wheel.schedule(
+                            now.plus(liveness_timeout_ms),
+                            Deadline::LivenessCheck(flow),
+                        );
+                    }
+                }
+            }
+            // Completeness horizon: parents declared dead are no longer
+            // waited for, so one churned-out neighbour does not push
+            // every subsequent message into the flush timeout.
+            let expected = if is_reverse {
+                active.info.children.len()
+            } else {
+                active.live_parent_count()
+            };
             // Replay of a seq this destination already delivered: even if
             // the per-seq gather was reaped, the guard remembers.
             let already_delivered =
                 !is_reverse && active.info.receiver && active.delivered.contains(seq);
             let info = &active.info;
             let d = info.d as usize;
-            // Only the flow's own neighbours may contribute slices:
-            // parents on the forward path, children on the reverse.
-            // Anything else could poison the gather's shape or inflate
-            // the completeness count toward a premature flush.
-            let legitimate = if is_reverse {
-                info.children.iter().any(|&(a, _)| a == from)
-            } else {
-                info.parents.iter().any(|&(a, _)| a == from)
-            };
-            if !legitimate {
-                self.stats.drops += 1;
-                return RelayOutput::default();
-            }
             let gathers = if is_reverse {
                 &mut active.reverse
             } else {
@@ -959,13 +1404,6 @@ impl RelayShard {
                     }
                 }
             }
-            // Expected senders: parents for forward flows, children for
-            // reverse flows.
-            let expected = if is_reverse {
-                info.children.len()
-            } else {
-                info.parents.len()
-            };
             gather.heard.len() >= expected
         };
         if complete {
@@ -1258,6 +1696,17 @@ impl RelayNode {
 fn parse_clean_slot(d: usize, block_len: usize, slot: &[u8]) -> Option<InfoSlice> {
     let payload = crc::check_crc(slot)?;
     InfoSlice::from_bytes(d, block_len, payload)
+}
+
+/// FNV-1a over a byte string — the cheap fingerprint behind the per-flow
+/// FLOW_FAILED dedup (collisions only delay a duplicate report's drop).
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 #[cfg(test)]

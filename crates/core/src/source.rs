@@ -3,10 +3,16 @@
 //!
 //! A session owns a forwarding graph. Creating it yields the setup
 //! packets to transmit from the pseudo-sources; afterwards the source can
-//! slice-and-send encrypted data messages (§4.3.7), and decode
-//! reverse-path data arriving at the pseudo-sources.
+//! slice-and-send encrypted data messages (§4.3.7), decode reverse-path
+//! data arriving at the pseudo-sources — and keep the session alive
+//! through churn: sealed `FLOW_FAILED` reports from downstream relays
+//! accumulate in [`SourceSession::failed_nodes`], and
+//! [`SourceSession::repair`] re-runs Algorithm 1 around the dead nodes
+//! ([`build::rebuild_excluding`]), splices the new routes into the live
+//! flow with targeted re-setup packets, and retransmits the recent
+//! message window so nothing queued is lost.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -14,8 +20,8 @@ use rand::{Rng, SeedableRng};
 use slicing_codec::{coder, recombine, InfoSlice};
 use slicing_crypto::aead;
 use slicing_graph::packets::SendInstr;
-use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, OverlayAddr};
-use slicing_wire::{crc, Packet, PacketBuilder, PacketHeader, PacketKind};
+use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, NodeInfo, OverlayAddr};
+use slicing_wire::{control, crc, Packet, PacketBuilder, PacketHeader, PacketKind};
 
 use crate::time::Tick;
 
@@ -25,12 +31,23 @@ pub struct SourceConfig {
     /// Target wire size for data packets; the message chunk size is
     /// derived from it (paper uses 1500-byte packets, §7.2).
     pub data_packet_budget: usize,
+    /// How often [`SourceSession::poll`] announces liveness to the
+    /// stage-1 relays (who would otherwise declare their pseudo-source
+    /// parents dead). Must stay below the relays'
+    /// [`crate::RelayConfig::liveness_timeout_ms`]. `0` disables.
+    pub keepalive_ms: u64,
+    /// Recent plaintexts kept for retransmission after a repair (the
+    /// destination's replay guard makes re-delivery at-most-once, so
+    /// retransmitting generously is safe).
+    pub retransmit_buffer: usize,
 }
 
 impl Default for SourceConfig {
     fn default() -> Self {
         SourceConfig {
             data_packet_budget: 1500,
+            keepalive_ms: 10_000,
+            retransmit_buffer: 64,
         }
     }
 }
@@ -40,6 +57,40 @@ impl Default for SourceConfig {
 type ReverseGather = (HashSet<(OverlayAddr, OverlayAddr)>, Vec<InfoSlice>);
 
 /// An anonymous connection from the source's point of view.
+///
+/// # Example
+///
+/// Establish a 3-stage graph over the deterministic
+/// [`TestNet`](crate::testnet::TestNet), send one message, and observe
+/// that only the destination decodes it:
+///
+/// ```
+/// use slicing_core::testnet::TestNet;
+/// use slicing_core::{GraphParams, OverlayAddr, SourceSession};
+///
+/// let pseudo: Vec<OverlayAddr> = (0..2).map(OverlayAddr).collect();
+/// let relays: Vec<OverlayAddr> = (100..116).map(OverlayAddr).collect();
+/// let dest = OverlayAddr(999);
+/// let mut nodes = relays.clone();
+/// nodes.push(dest);
+///
+/// // Build the forwarding graph (Algorithm 1) and its setup packets.
+/// let (mut session, setup) =
+///     SourceSession::establish(GraphParams::new(3, 2), &pseudo, &relays, dest, 42)
+///         .expect("enough candidate relays");
+/// let mut net = TestNet::new(&nodes, 42);
+/// net.submit(setup);
+/// net.run_to_quiescence(Some(&mut session));
+///
+/// // Slice, encrypt and send one data message.
+/// let (seq, sends) = session.send_message(b"hello overlay");
+/// net.submit(sends);
+/// net.run_to_quiescence(Some(&mut session));
+/// assert_eq!(
+///     net.messages_for(dest),
+///     vec![(seq, b"hello overlay".to_vec())],
+/// );
+/// ```
 pub struct SourceSession {
     graph: BuiltGraph,
     config: SourceConfig,
@@ -51,6 +102,17 @@ pub struct SourceSession {
     reverse: HashMap<u32, ReverseGather>,
     /// Reverse messages already decoded.
     reverse_done: HashSet<u32>,
+    /// Relays reported dead (authenticated `FLOW_FAILED` reports) and
+    /// not yet repaired around.
+    failed: HashSet<OverlayAddr>,
+    /// Recent messages kept for retransmission after a repair.
+    sent_log: VecDeque<(u32, Vec<u8>)>,
+    /// Last keepalive emission ([`SourceSession::poll`]).
+    last_keepalive: Option<Tick>,
+    /// Setup packets emitted over the session's lifetime (initial
+    /// establishment plus repairs) — the measure of how much of the
+    /// graph a repair had to touch.
+    setup_packets_sent: u64,
     rng: StdRng,
 }
 
@@ -76,6 +138,10 @@ impl SourceSession {
                 next_seq: 0,
                 reverse: HashMap::new(),
                 reverse_done: HashSet::new(),
+                failed: HashSet::new(),
+                sent_log: VecDeque::new(),
+                last_keepalive: None,
+                setup_packets_sent: setup.len() as u64,
                 rng,
             },
             setup,
@@ -112,6 +178,11 @@ impl SourceSession {
     /// number and the packets to transmit (d′² of them, one per
     /// pseudo-source → stage-1 relay edge, §7.2).
     ///
+    /// The plaintext is also retained in a bounded retransmission window
+    /// ([`SourceConfig::retransmit_buffer`]) so a later
+    /// [`SourceSession::repair`] can replay messages that were in flight
+    /// when a relay died.
+    ///
     /// # Panics
     /// Panics if `plaintext` exceeds [`Self::max_chunk_len`].
     pub fn send_message(&mut self, plaintext: &[u8]) -> (u32, Vec<SendInstr>) {
@@ -121,6 +192,18 @@ impl SourceSession {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.sent_log.push_back((seq, plaintext.to_vec()));
+        while self.sent_log.len() > self.config.retransmit_buffer {
+            self.sent_log.pop_front();
+        }
+        (seq, self.encode_message(seq, plaintext))
+    }
+
+    /// Slice, encrypt and address `plaintext` as message `seq` against
+    /// the current graph (shared by fresh sends and repair
+    /// retransmissions — the destination's replay guard keeps repeated
+    /// seqs at-most-once).
+    fn encode_message(&mut self, seq: u32, plaintext: &[u8]) -> Vec<SendInstr> {
         let params = self.graph.params;
         let (d, dp) = (params.split, params.paths);
         let sealed = aead::seal(&self.graph.dest_key, plaintext, &mut self.rng);
@@ -160,11 +243,16 @@ impl SourceSession {
                 });
             }
         }
-        (seq, sends)
+        sends
     }
 
     /// Feed a packet received at one of the pseudo-sources; returns a
     /// decoded reverse-path message when one completes (§4.3.7).
+    ///
+    /// Sealed `FLOW_FAILED` control reports are consumed here too: the
+    /// source tries every per-node key it issued, and an authentic
+    /// report adds the dead relay to [`SourceSession::failed_nodes`]
+    /// for the driver to [`repair`](SourceSession::repair) around.
     pub fn handle_packet(
         &mut self,
         _now: Tick,
@@ -172,6 +260,10 @@ impl SourceSession {
         from: OverlayAddr,
         packet: &Packet,
     ) -> Option<(u32, Vec<u8>)> {
+        if packet.header.kind == PacketKind::Control {
+            self.handle_control(packet);
+            return None;
+        }
         if packet.header.kind != PacketKind::Data {
             return None;
         }
@@ -212,6 +304,177 @@ impl SourceSession {
             }
         }
         None
+    }
+
+    /// Decode a control packet addressed to the source (a stage-0
+    /// reverse flow id): sealed FLOW_FAILED reports name dead relays.
+    fn handle_control(&mut self, packet: &Packet) {
+        if !self.graph.reverse_flow_ids[0].contains(&packet.header.flow_id) {
+            return;
+        }
+        let Some((control::FLOW_FAILED, sealed)) = control::parse(packet) else {
+            return;
+        };
+        // The reporter sealed the address under its own secret key; the
+        // source issued every key in the graph, so trying each is cheap
+        // (L·d′ AEAD opens) and authenticates the report.
+        for stage_infos in self.graph.infos.iter().skip(1) {
+            for info in stage_infos {
+                if let Ok(bytes) = aead::open(&info.secret_key, sealed) {
+                    let Ok(addr_bytes) = <[u8; 8]>::try_from(bytes.as_slice()) else {
+                        return;
+                    };
+                    let dead = OverlayAddr::from_bytes(addr_bytes);
+                    // Stragglers naming already-replaced nodes (reports
+                    // still washing up the reverse path) are ignored:
+                    // only a relay in the *current* graph can fail.
+                    if self.graph.relay_addrs().any(|a| a == dead)
+                        && dead != self.graph.dest_addr()
+                    {
+                        self.failed.insert(dead);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Relays reported dead (and not yet repaired around).
+    pub fn failed_nodes(&self) -> &HashSet<OverlayAddr> {
+        &self.failed
+    }
+
+    /// Whether any relay of the live graph has been reported dead.
+    pub fn needs_repair(&self) -> bool {
+        !self.failed.is_empty()
+    }
+
+    /// Setup packets emitted so far (initial establishment plus every
+    /// repair) — lets tests assert a repair re-keyed only the affected
+    /// paths.
+    pub fn setup_packets_sent(&self) -> u64 {
+        self.setup_packets_sent
+    }
+
+    /// Periodic source-side work: liveness announcements to the stage-1
+    /// relays (every [`SourceConfig::keepalive_ms`]). Drive this from
+    /// the daemon's timer alongside feeding received packets in.
+    pub fn poll(&mut self, now: Tick) -> Vec<SendInstr> {
+        let interval = self.config.keepalive_ms;
+        if interval == 0 {
+            return Vec::new();
+        }
+        if let Some(last) = self.last_keepalive {
+            if now.0 < last.0 + interval {
+                return Vec::new();
+            }
+        }
+        self.last_keepalive = Some(now);
+        let dp = self.graph.params.paths;
+        let mut sends = Vec::with_capacity(dp * dp);
+        for i in 0..dp {
+            for v in 0..dp {
+                sends.push(SendInstr {
+                    from: self.graph.stages[0][i],
+                    to: self.graph.stages[1][v],
+                    // Token = the pseudo-source's reverse flow id, as
+                    // held in the stage-1 relay's parent list.
+                    packet: control::keepalive(
+                        self.graph.flow_ids[1][v],
+                        self.graph.reverse_flow_ids[0][i],
+                    ),
+                });
+            }
+        }
+        sends
+    }
+
+    /// Re-run Algorithm 1 around the reported-dead relays
+    /// ([`build::rebuild_excluding`]) and splice the new routes into the
+    /// live flow. Returns the packets to transmit:
+    ///
+    /// * **Targeted re-setup** — `d′` clean setup packets per *affected*
+    ///   relay only (the replacements and the dead nodes' direct
+    ///   neighbours), sent straight from the pseudo-sources. Survivors
+    ///   authenticate the update against their flow's secret key and
+    ///   splice the new neighbour lists in place; replacements establish
+    ///   as fresh flows. Unaffected relays receive nothing.
+    /// * **Retransmissions** — the buffered recent messages re-encoded
+    ///   against the repaired graph (at-most-once at the destination via
+    ///   its replay guard).
+    ///
+    /// `spares` are candidate replacement relays; addresses already in
+    /// the graph (or themselves reported dead) are skipped.
+    pub fn repair(&mut self, spares: &[OverlayAddr]) -> Result<Vec<SendInstr>, GraphError> {
+        let failed = std::mem::take(&mut self.failed);
+        let (graph, affected) =
+            match build::rebuild_excluding(&self.graph, &failed, spares, &mut self.rng) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    self.failed = failed;
+                    return Err(e);
+                }
+            };
+        let d = graph.params.split;
+        let dp = graph.params.paths;
+        let mut sends = Vec::new();
+        for pos in &affected {
+            // The update a relay applies in place (or, for a
+            // replacement, establishes from): correct parents/children
+            // and maps, but no downstream slices to forward — repair
+            // setup is delivered directly to each affected node.
+            let mut info: NodeInfo = graph.infos[pos.stage][pos.index].clone();
+            info.out_real_slots = 0;
+            info.slice_map = Vec::new();
+            let coded = coder::encode(&info.encode(), d, dp, &mut self.rng);
+            let slot_len = d + coded.block_len + 4;
+            for (i, slice) in coded.slices.iter().enumerate() {
+                let mut builder = PacketBuilder::new(PacketHeader {
+                    kind: PacketKind::Setup,
+                    flow_id: graph.flow_ids[pos.stage][pos.index],
+                    seq: 0,
+                    d: d as u8,
+                    slot_count: 1,
+                    slot_len: slot_len as u16,
+                });
+                let slot = builder.slot();
+                slot[..d].copy_from_slice(&slice.coeffs);
+                slot[d..d + coded.block_len].copy_from_slice(&slice.payload);
+                crc::write_crc(slot);
+                sends.push(SendInstr {
+                    from: graph.stages[0][i % dp],
+                    to: graph.stages[pos.stage][pos.index],
+                    packet: builder.build(),
+                });
+            }
+        }
+        self.setup_packets_sent += sends.len() as u64;
+        self.graph = graph;
+        // Replay the recent message window over the repaired routes.
+        let log: Vec<(u32, Vec<u8>)> = self.sent_log.iter().cloned().collect();
+        for (seq, plaintext) in log {
+            sends.extend(self.encode_message(seq, &plaintext));
+        }
+        Ok(sends)
+    }
+
+    /// Re-encode and re-address a recent message (fresh coded slices
+    /// over the *current* graph). `None` if `seq` has aged out of the
+    /// retransmission window.
+    ///
+    /// Drivers use this to retry messages the destination has not
+    /// acknowledged — e.g. a message whose slices were in flight through
+    /// a relay when it died, or a retransmission that raced a gather's
+    /// duplicate-suppression window. Delivery stays at-most-once (the
+    /// destination's replay guard).
+    pub fn retransmit(&mut self, seq: u32) -> Option<Vec<SendInstr>> {
+        let plaintext = self
+            .sent_log
+            .iter()
+            .find(|(s, _)| *s == seq)?
+            .1
+            .clone();
+        Some(self.encode_message(seq, &plaintext))
     }
 
     /// All addresses this session's pseudo-sources use.

@@ -40,6 +40,9 @@ pub struct TestNet {
     pub packets_transported: u64,
     /// Total payload bytes transported.
     pub bytes_transported: u64,
+    /// Setup packets delivered per relay address — lets churn tests
+    /// assert a repair re-established only the affected nodes.
+    pub setup_delivered: HashMap<OverlayAddr, u64>,
     rng: StdRng,
 }
 
@@ -76,6 +79,7 @@ impl TestNet {
             delivered: Vec::new(),
             packets_transported: 0,
             bytes_transported: 0,
+            setup_delivered: HashMap::new(),
             rng: StdRng::seed_from_u64(seed ^ 0xD15EA5E),
         }
     }
@@ -136,6 +140,9 @@ impl TestNet {
             let Some(relay) = self.relays.get_mut(&instr.to) else {
                 continue;
             };
+            if instr.packet.header.kind == slicing_wire::PacketKind::Setup {
+                *self.setup_delivered.entry(instr.to).or_insert(0) += 1;
+            }
             let out = relay.handle_packet(self.now, instr.from, &instr.packet);
             for r in out.received {
                 self.delivered.push((instr.to, r));
@@ -164,6 +171,10 @@ impl TestNet {
     /// Advance + run repeatedly until both the queue and the timers are
     /// exhausted (used after failures, when timeouts must fire). Returns
     /// any reverse-path messages decoded by the source along the way.
+    ///
+    /// When a source is supplied, its periodic work
+    /// ([`SourceSession::poll`] — keepalives to the stage-1 relays) runs
+    /// on every step, exactly as a live driver would run it.
     pub fn settle(
         &mut self,
         mut source: Option<&mut SourceSession>,
@@ -174,6 +185,10 @@ impl TestNet {
         for _ in 0..steps {
             reverse.extend(self.run_to_quiescence(source.as_deref_mut()));
             self.advance(step_ms);
+            if let Some(src) = source.as_deref_mut() {
+                let sends = src.poll(self.now);
+                self.submit(sends);
+            }
         }
         reverse.extend(self.run_to_quiescence(source));
         reverse

@@ -214,13 +214,15 @@ fn flushed_gathers_are_dropped_after_quarantine() {
     }
     // All gathers complete immediately (both parents deliver); after the
     // flush windows pass (and the flow's stale setup-flush entry fires
-    // as a no-op), the wheel must have reaped every gather.
+    // as a no-op), the wheel must have reaped every gather. What remains
+    // is the flow's constant-size steady state: its expiry entry plus
+    // the keepalive and liveness-check heartbeats.
     relay.poll(Tick(5_000));
     assert_eq!(relay.flow_count(), 1, "flow itself stays");
     assert_eq!(
         relay.pending_deadlines(),
-        1,
-        "only the flow-expiry entry may remain once all gathers are reaped"
+        3,
+        "only flow-expiry + keepalive + liveness may remain once all gathers are reaped"
     );
 }
 

@@ -46,6 +46,9 @@ pub enum GraphError {
     /// An address appears more than once across candidates,
     /// pseudo-sources and destination.
     DuplicateAddress(OverlayAddr),
+    /// A node that cannot be excluded from the graph (the destination or
+    /// a pseudo-source) was reported dead.
+    UnrepairableNode(OverlayAddr),
 }
 
 impl std::fmt::Display for GraphError {
@@ -59,6 +62,9 @@ impl std::fmt::Display for GraphError {
                 write!(f, "need {need} pseudo-sources, have {have}")
             }
             GraphError::DuplicateAddress(a) => write!(f, "duplicate address {a:?}"),
+            GraphError::UnrepairableNode(a) => {
+                write!(f, "node {a:?} cannot be replaced (destination or pseudo-source)")
+            }
         }
     }
 }
@@ -244,7 +250,58 @@ pub fn build<R: Rng + ?Sized>(
     let holders = Holders::generate(l_len, dp, rng);
     let data_offsets: Vec<usize> = (0..l_len).map(|_| rng.gen_range(0..dp)).collect();
 
-    // Assemble per-node infos.
+    let infos = assemble_infos(
+        &params,
+        &stages,
+        &flow_ids,
+        &reverse_flow_ids,
+        &keys,
+        &transforms,
+        &holders,
+        &data_offsets,
+        dest_stage,
+        dest_index,
+    );
+    let (info_slices, info_block_len) = slice_infos(&infos, d, dp, rng);
+
+    Ok(BuiltGraph {
+        params,
+        dest: NodePosition {
+            stage: dest_stage,
+            index: dest_index,
+        },
+        dest_key: keys[dest_stage][dest_index],
+        stages,
+        flow_ids,
+        reverse_flow_ids,
+        infos,
+        transforms,
+        info_slices,
+        holders,
+        info_block_len,
+        data_offsets,
+    })
+}
+
+/// Assemble per-node infos for a graph whose node placement, keys, flow
+/// ids, transforms and slice-position bookkeeping are already fixed.
+/// Shared by initial construction and by [`rebuild_excluding`] (which
+/// changes only the entries at replaced positions and recomputes the
+/// rest from the same inputs).
+#[allow(clippy::too_many_arguments)] // internal assembly step over one graph's parts
+fn assemble_infos(
+    params: &GraphParams,
+    stages: &[Vec<OverlayAddr>],
+    flow_ids: &[Vec<FlowId>],
+    reverse_flow_ids: &[Vec<FlowId>],
+    keys: &[Vec<SymmetricKey>],
+    transforms: &[Vec<HopTransform>],
+    holders: &Holders,
+    data_offsets: &[usize],
+    dest_stage: usize,
+    dest_index: usize,
+) -> Vec<Vec<NodeInfo>> {
+    let (l_len, d, dp) = (params.length, params.split, params.paths);
     let mut infos: Vec<Vec<NodeInfo>> = vec![vec![]];
     for stage in 1..=l_len {
         let mut stage_infos = Vec::with_capacity(dp);
@@ -298,7 +355,7 @@ pub fn build<R: Rng + ?Sized>(
                                 // j at `stage+1`).
                                 let target_stage = stage + 1 + s;
                                 let (x, k) = find_transit(
-                                    &holders, target_stage, stage, v, j, dp,
+                                    holders, target_stage, stage, v, j, dp,
                                 );
                                 let parent = holders.holder(target_stage, x, k, stage - 1);
                                 Some(parent as u8)
@@ -327,8 +384,16 @@ pub fn build<R: Rng + ?Sized>(
         }
         infos.push(stage_infos);
     }
+    infos
+}
 
-    // Slice every info blob.
+/// Code every info blob into `d′` slices of `d` blocks each.
+fn slice_infos<R: Rng + ?Sized>(
+    infos: &[Vec<NodeInfo>],
+    d: usize,
+    dp: usize,
+    rng: &mut R,
+) -> (Vec<Vec<Vec<InfoSlice>>>, usize) {
     let mut info_slices: Vec<Vec<Vec<InfoSlice>>> = vec![vec![]];
     let mut info_block_len = 0;
     for stage_infos in infos.iter().skip(1) {
@@ -347,24 +412,153 @@ pub fn build<R: Rng + ?Sized>(
         }
         info_slices.push(per_node);
     }
+    (info_slices, info_block_len)
+}
 
-    Ok(BuiltGraph {
-        params,
-        dest: NodePosition {
-            stage: dest_stage,
-            index: dest_index,
+/// Re-run Algorithm 1 after node failures, reusing everything that
+/// survived: surviving nodes keep their positions, addresses, secret
+/// keys, transforms and flow ids, and the slice-position bookkeeping
+/// ([`Holders`]) and data offsets are carried over unchanged. Only the
+/// dead positions are re-keyed — each gets a fresh address drawn from
+/// `replacements`, a fresh key, transform and fresh flow ids — so the
+/// repair touches exactly the dead nodes and their direct neighbours
+/// (whose parent/child lists name the replacement).
+///
+/// Returns the repaired graph plus the positions whose [`NodeInfo`]
+/// changed (the replacement itself and the dead node's neighbours);
+/// everything else is byte-identical and needs no re-establishment.
+///
+/// `dead` addresses not present in the graph are ignored. Reporting the
+/// destination or a pseudo-source dead is an error
+/// ([`GraphError::UnrepairableNode`]) — the session cannot outlive
+/// either.
+pub fn rebuild_excluding<R: Rng + ?Sized>(
+    graph: &BuiltGraph,
+    dead: &HashSet<OverlayAddr>,
+    replacements: &[OverlayAddr],
+    rng: &mut R,
+) -> Result<(BuiltGraph, Vec<NodePosition>), GraphError> {
+    let params = graph.params;
+    let (l_len, d, dp) = (params.length, params.split, params.paths);
+
+    if let Some(&a) = dead.iter().find(|a| graph.stages[0].contains(a)) {
+        return Err(GraphError::UnrepairableNode(a));
+    }
+    if dead.contains(&graph.dest_addr()) {
+        return Err(GraphError::UnrepairableNode(graph.dest_addr()));
+    }
+
+    // Locate the dead positions (dead addresses not in the graph are
+    // someone else's problem).
+    let mut dead_positions: Vec<NodePosition> = Vec::new();
+    for stage in 1..=l_len {
+        for v in 0..dp {
+            if dead.contains(&graph.stages[stage][v]) {
+                dead_positions.push(NodePosition { stage, index: v });
+            }
+        }
+    }
+
+    // Fresh addresses: replacements minus anything already placed, the
+    // dead themselves, and duplicates within the caller's list (a
+    // repeated spare handed to two dead positions would place one
+    // address twice and corrupt both paths).
+    let placed: HashSet<OverlayAddr> = graph
+        .stages
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    let mut seen_fresh = HashSet::new();
+    let fresh: Vec<OverlayAddr> = replacements
+        .iter()
+        .copied()
+        .filter(|&a| !placed.contains(&a) && !dead.contains(&a) && seen_fresh.insert(a))
+        .collect();
+    if fresh.len() < dead_positions.len() {
+        return Err(GraphError::NotEnoughRelays {
+            have: fresh.len(),
+            need: dead_positions.len(),
+        });
+    }
+    let mut fresh_addrs = fresh.into_iter();
+    // Fresh flow ids must not collide with any id the graph still uses.
+    let mut used_flows: HashSet<FlowId> = graph
+        .flow_ids
+        .iter()
+        .chain(graph.reverse_flow_ids.iter())
+        .flatten()
+        .copied()
+        .collect();
+    let mut fresh_flow = |rng: &mut R| loop {
+        let f = FlowId::random(rng);
+        if f.0 != 0 && used_flows.insert(f) {
+            return f;
+        }
+    };
+
+    // Carry everything over; re-key only the dead positions.
+    let mut stages = graph.stages.clone();
+    let mut flow_ids = graph.flow_ids.clone();
+    let mut reverse_flow_ids = graph.reverse_flow_ids.clone();
+    let mut transforms = graph.transforms.clone();
+    // Keys live inside the infos (the graph does not store them
+    // separately); recover the surviving ones from there.
+    let mut keys: Vec<Vec<SymmetricKey>> = vec![vec![]];
+    for stage_infos in graph.infos.iter().skip(1) {
+        keys.push(stage_infos.iter().map(|i| i.secret_key).collect());
+    }
+    for &pos in &dead_positions {
+        let addr = fresh_addrs.next().expect("count checked above");
+        stages[pos.stage][pos.index] = addr;
+        flow_ids[pos.stage][pos.index] = fresh_flow(rng);
+        reverse_flow_ids[pos.stage][pos.index] = fresh_flow(rng);
+        keys[pos.stage][pos.index] = SymmetricKey::random(rng);
+        transforms[pos.stage][pos.index] = HopTransform::random(rng);
+    }
+
+    let infos = assemble_infos(
+        &params,
+        &stages,
+        &flow_ids,
+        &reverse_flow_ids,
+        &keys,
+        &transforms,
+        &graph.holders,
+        &graph.data_offsets,
+        graph.dest.stage,
+        graph.dest.index,
+    );
+    let (info_slices, info_block_len) = slice_infos(&infos, d, dp, rng);
+
+    // Affected = every position whose info changed (replacements plus
+    // the dead nodes' direct parents and children).
+    let mut affected = Vec::new();
+    for (stage, stage_infos) in infos.iter().enumerate().skip(1) {
+        for (v, info) in stage_infos.iter().enumerate() {
+            if *info != graph.infos[stage][v] {
+                affected.push(NodePosition { stage, index: v });
+            }
+        }
+    }
+
+    Ok((
+        BuiltGraph {
+            params,
+            dest: graph.dest,
+            dest_key: graph.dest_key,
+            stages,
+            flow_ids,
+            reverse_flow_ids,
+            infos,
+            transforms,
+            info_slices,
+            holders: graph.holders.clone(),
+            info_block_len,
+            data_offsets: graph.data_offsets.clone(),
         },
-        dest_key: keys[dest_stage][dest_index],
-        stages,
-        flow_ids,
-        reverse_flow_ids,
-        infos,
-        transforms,
-        info_slices,
-        holders,
-        info_block_len,
-        data_offsets,
-    })
+        affected,
+    ))
 }
 
 /// Find the unique `(target index, slice index)` of stage `target_stage`
@@ -645,6 +839,121 @@ mod tests {
                 assert_eq!(&info, &g.infos[stage][v]);
             }
         }
+    }
+
+    #[test]
+    fn rebuild_replaces_only_the_dead_position() {
+        let g = build_graph(5, 2, 3, 23);
+        let victim = g.stages[2][1];
+        let dead: HashSet<OverlayAddr> = [victim].into();
+        let spares = addrs(90_000, 4);
+        let mut rng = StdRng::seed_from_u64(99);
+        let (g2, affected) = rebuild_excluding(&g, &dead, &spares, &mut rng).unwrap();
+        g2.validate().unwrap();
+        // The victim is gone; its position holds a spare.
+        assert!(!g2.relay_addrs().any(|a| a == victim));
+        assert_eq!(g2.stages[2][1], OverlayAddr(90_000));
+        // Everything else kept its address, flow ids and key.
+        for stage in 1..=5usize {
+            for v in 0..3 {
+                if (stage, v) == (2, 1) {
+                    assert_ne!(g2.flow_ids[2][1], g.flow_ids[2][1]);
+                    assert_ne!(g2.infos[2][1].secret_key, g.infos[2][1].secret_key);
+                    continue;
+                }
+                assert_eq!(g2.stages[stage][v], g.stages[stage][v]);
+                assert_eq!(g2.flow_ids[stage][v], g.flow_ids[stage][v]);
+                assert_eq!(g2.infos[stage][v].secret_key, g.infos[stage][v].secret_key);
+            }
+        }
+        // Affected = the replacement plus the victim's parents (stage 1)
+        // and children (stage 3): 1 + 3 + 3 positions.
+        assert_eq!(affected.len(), 7, "affected: {affected:?}");
+        for pos in &affected {
+            assert!(
+                pos.stage == 2 && pos.index == 1 || pos.stage == 1 || pos.stage == 3,
+                "unexpected affected position {pos:?}"
+            );
+        }
+        // Unaffected infos are byte-identical (no re-establishment).
+        assert_eq!(g2.infos[4], g.infos[4]);
+        assert_eq!(g2.infos[5], g.infos[5]);
+        assert_eq!(g2.dest_key, g.dest_key);
+    }
+
+    #[test]
+    fn rebuild_rejects_unrepairable_and_exhausted() {
+        let g = build_graph(4, 2, 2, 29);
+        let mut rng = StdRng::seed_from_u64(1);
+        // Destination is sacred.
+        let err = rebuild_excluding(
+            &g,
+            &[g.dest_addr()].into(),
+            &addrs(90_000, 4),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnrepairableNode(_)));
+        // Pseudo-sources too.
+        let err = rebuild_excluding(
+            &g,
+            &[g.stages[0][0]].into(),
+            &addrs(90_000, 4),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::UnrepairableNode(_)));
+        // No spare relays left.
+        let victim = g
+            .relay_addrs()
+            .find(|&a| a != g.dest_addr())
+            .expect("some non-destination relay");
+        let err = rebuild_excluding(&g, &[victim].into(), &[], &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::NotEnoughRelays { .. }));
+        // A spare already placed in the graph does not count.
+        let err =
+            rebuild_excluding(&g, &[victim].into(), &[g.stages[3][0]], &mut rng).unwrap_err();
+        assert!(matches!(err, GraphError::NotEnoughRelays { .. }));
+        // Duplicate spares collapse to one usable address: two dead
+        // nodes cannot share it (that would place one overlay address
+        // at two positions and corrupt both paths).
+        let second = g
+            .relay_addrs()
+            .find(|&a| a != g.dest_addr() && a != victim)
+            .expect("a second victim");
+        let err = rebuild_excluding(
+            &g,
+            &[victim, second].into(),
+            &[OverlayAddr(90_000), OverlayAddr(90_000)],
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, GraphError::NotEnoughRelays { have: 1, need: 2 }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn rebuild_infos_decode_back() {
+        use slicing_codec::decode;
+        let g = build_graph(4, 2, 3, 31);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (g2, _) = rebuild_excluding(
+            &g,
+            &[g.stages[3][2]].into(),
+            &addrs(90_000, 2),
+            &mut rng,
+        )
+        .unwrap();
+        for stage in 1..=4usize {
+            for v in 0..3 {
+                let decoded = decode(&g2.info_slices[stage][v], 2).unwrap();
+                let info = NodeInfo::decode(&decoded).unwrap();
+                assert_eq!(&info, &g2.infos[stage][v]);
+            }
+        }
+        assert_eq!(g2.info_block_len, g.info_block_len, "fixed-size encoding");
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod packets;
 pub mod params;
 
 pub use addr::OverlayAddr;
-pub use build::{BuiltGraph, GraphError, NodePosition};
+pub use build::{rebuild_excluding, BuiltGraph, GraphError, NodePosition};
 pub use info::{NodeInfo, SliceMapEntry};
 pub use params::{DataMode, DestPlacement, GraphParams};

@@ -98,6 +98,60 @@ fn emit_events(
     }
 }
 
+/// A running relay daemon: the spawned task(s) plus a shutdown line.
+///
+/// Dropping the handle also stops the daemon (the stop channel closes),
+/// so harnesses that collect daemons in a `Vec` clean up by dropping it.
+pub struct RelayDaemon {
+    stop: mpsc::Sender<()>,
+    join: tokio::task::JoinHandle<()>,
+}
+
+impl RelayDaemon {
+    /// Ask the daemon to exit its loop cleanly (pending work published,
+    /// shard channels drained and closed) and wait until it has.
+    ///
+    /// Used by the churn driver to take a node off the overlay mid-flow:
+    /// on TCP the node's port closes and peers' cached connections fail
+    /// over to datagram drops, exactly like a crashed process.
+    pub async fn shutdown(self) {
+        let _ = self.stop.send(()).await;
+        let _ = self.join.await;
+    }
+
+    /// Hard-abort the daemon task (tests and teardown).
+    pub fn abort(&self) {
+        self.join.abort();
+    }
+}
+
+/// The stop line a worker loop selects on. For the single-shard daemon
+/// it is the daemon's real stop channel; sharded workers get a dormant
+/// line (the ingress dispatcher owns the real one and stopping it closes
+/// every worker's inbox instead).
+struct StopLine {
+    rx: mpsc::Receiver<()>,
+    /// Keeps a dormant line from resolving (a closed channel would).
+    _keep: Option<mpsc::Sender<()>>,
+}
+
+impl StopLine {
+    /// A line wired to `rx`: resolves on an explicit stop *or* when the
+    /// daemon handle is dropped.
+    fn live(rx: mpsc::Receiver<()>) -> Self {
+        StopLine { rx, _keep: None }
+    }
+
+    /// A line that never resolves.
+    fn dormant() -> Self {
+        let (tx, rx) = mpsc::channel(1);
+        StopLine {
+            rx,
+            _keep: Some(tx),
+        }
+    }
+}
+
 /// Transmit `sends`, grouping consecutive sends to the same neighbour
 /// into one transport batch (`scratch` is reused across calls).
 async fn flush_sends(port: &PortSender, outputs: RelayOutput, scratch: &mut Vec<Bytes>) {
@@ -125,21 +179,66 @@ pub fn spawn_relay(
     port: NodePort,
     events: mpsc::UnboundedSender<OverlayEvent>,
     epoch: Instant,
-) -> tokio::task::JoinHandle<()> {
+) -> RelayDaemon {
     let (shard, _router, _stats) = relay.into_parts();
-    tokio::spawn(shard_worker(shard, port.rx, port.tx, events, epoch))
+    let (stop_tx, stop_rx) = mpsc::channel(1);
+    RelayDaemon {
+        stop: stop_tx,
+        join: tokio::spawn(shard_worker(
+            shard,
+            port.rx,
+            port.tx,
+            events,
+            epoch,
+            StopLine::live(stop_rx),
+        )),
+    }
 }
 
 /// Spawn a sharded relay: one ingress dispatcher plus one worker task
-/// per shard, all on `port`. Runs until the port closes (aborting the
-/// returned handle drops the shard channels, which shuts the workers
-/// down).
+/// per shard, all on `port`. Runs until the port closes or the daemon
+/// is [shut down](RelayDaemon::shutdown) — stopping the ingress drops
+/// the shard channels, which shuts the workers down.
+///
+/// # Example
+///
+/// Run one 4-way sharded relay on the in-process emulated network,
+/// watch it count an unparseable frame through the shared stats, and
+/// shut it down cleanly:
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use slicing_core::{OverlayAddr, ShardedRelay};
+/// use slicing_overlay::{spawn_sharded_relay, EmulatedNet};
+/// use slicing_sim::wan::NetProfile;
+/// use tokio::sync::mpsc;
+///
+/// #[tokio::main]
+/// async fn main() {
+///     let net = EmulatedNet::new(NetProfile::lan(), 1);
+///     let port = net.attach(OverlayAddr(10));
+///     let sender = net.attach(OverlayAddr(11));
+///     let relay = ShardedRelay::new(OverlayAddr(10), 7, 4);
+///     let stats = relay.shared_stats();
+///     let (events, _events_rx) = mpsc::unbounded_channel();
+///     let daemon = spawn_sharded_relay(relay, port, events, Instant::now());
+///
+///     // Anything sent to OverlayAddr(10) is peeked for its flow id and
+///     // dispatched to the shard owning that flow; garbage dies at the
+///     // ingress and is counted in the shared stats.
+///     sender.tx.send(OverlayAddr(10), bytes::Bytes::from(&b"junk"[..])).await;
+///     while stats.snapshot().garbage == 0 {
+///         tokio::time::sleep(Duration::from_millis(5)).await;
+///     }
+///     daemon.shutdown().await;
+/// }
+/// ```
 pub fn spawn_sharded_relay(
     relay: ShardedRelay,
     port: NodePort,
     events: mpsc::UnboundedSender<OverlayEvent>,
     epoch: Instant,
-) -> tokio::task::JoinHandle<()> {
+) -> RelayDaemon {
     let (shards, router, stats) = relay.into_parts();
     let mut shard_txs = Vec::with_capacity(shards.len());
     for shard in shards {
@@ -150,10 +249,15 @@ pub fn spawn_sharded_relay(
             port.tx.clone(),
             events.clone(),
             epoch,
+            StopLine::dormant(),
         ));
         shard_txs.push(stx);
     }
-    tokio::spawn(ingress(port, router, shard_txs, stats))
+    let (stop_tx, stop_rx) = mpsc::channel(1);
+    RelayDaemon {
+        stop: stop_tx,
+        join: tokio::spawn(ingress(port, router, shard_txs, stats, stop_rx)),
+    }
 }
 
 /// The ingress dispatcher: peek the flow id, pick the shard, hand the
@@ -165,8 +269,17 @@ async fn ingress(
     router: FlowRouter,
     shard_txs: Vec<mpsc::Sender<(OverlayAddr, Bytes)>>,
     stats: Arc<RelayStatsAtomic>,
+    mut stop: mpsc::Receiver<()>,
 ) {
-    while let Some((from, bytes)) = port.rx.recv().await {
+    loop {
+        let received = tokio::select! {
+            maybe = port.rx.recv() => maybe,
+            // Clean shutdown (or daemon handle dropped): stop
+            // dispatching; dropping `shard_txs` below drains the
+            // workers out.
+            _ = stop.recv() => None,
+        };
+        let Some((from, bytes)) = received else { break };
         match peek_flow_id(&bytes) {
             Some(flow) => {
                 let idx = router.route(flow);
@@ -181,7 +294,8 @@ async fn ingress(
             None => stats.record_garbage(),
         }
     }
-    // Port closed: dropping `shard_txs` closes every worker's inbox.
+    // Port closed or stopped: dropping `shard_txs` closes every
+    // worker's inbox.
 }
 
 /// One shard's worker: owns the shard, drives packets and the 50 ms
@@ -193,6 +307,7 @@ async fn shard_worker(
     tx: PortSender,
     events: mpsc::UnboundedSender<OverlayEvent>,
     epoch: Instant,
+    mut stop: StopLine,
 ) {
     let addr = shard.addr();
     let stats = shard.shared_stats();
@@ -221,6 +336,9 @@ async fn shard_worker(
                 last_poll = Instant::now();
                 shard.poll(now_tick(epoch))
             }
+            // Clean mid-flow shutdown (single-shard daemons; sharded
+            // workers stop when the ingress closes their inbox).
+            _ = stop.rx.recv() => break,
         };
         // Drain whatever else is already queued before touching the
         // network, so bursts produce dense egress batches.
@@ -240,6 +358,8 @@ async fn shard_worker(
         flush_sends(&tx, outputs, &mut scratch).await;
         shard.publish_stats();
     }
+    // Exiting (port closed or shutdown): leave the shared stats exact.
+    shard.publish_stats();
 }
 
 /// Spawn an onion relay daemon on `port`.

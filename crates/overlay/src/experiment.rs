@@ -3,18 +3,24 @@
 //! onion baseline, over either transport, plus the multi-flow scaling
 //! driver.
 
+use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slicing_core::{
-    DestPlacement, GraphParams, OverlayAddr, RelayNode, ShardedRelay, SourceSession,
+    DestPlacement, GraphParams, OverlayAddr, RelayConfig, RelayNode, ShardedRelay, SourceConfig,
+    SourceSession,
 };
+use slicing_graph::packets::SendInstr;
 use slicing_onion::{Directory, OnionRelay, OnionSource};
+use slicing_sim::churn::ChurnModel;
 use slicing_sim::wan::NetProfile;
 use tokio::sync::mpsc;
 
-use crate::daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent};
+use crate::daemon::{
+    now_tick, spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent, RelayDaemon,
+};
 use crate::{EmulatedNet, NodePort, TcpNet};
 
 /// Spawn one relay daemon: the classic single-task loop for one shard,
@@ -22,15 +28,21 @@ use crate::{EmulatedNet, NodePort, TcpNet};
 fn spawn_relay_daemon(
     addr: OverlayAddr,
     seed: u64,
+    config: RelayConfig,
     shards: usize,
     port: NodePort,
     events: mpsc::UnboundedSender<OverlayEvent>,
     epoch: Instant,
-) -> tokio::task::JoinHandle<()> {
+) -> RelayDaemon {
     if shards > 1 {
-        spawn_sharded_relay(ShardedRelay::new(addr, seed, shards), port, events, epoch)
+        spawn_sharded_relay(
+            ShardedRelay::with_config(addr, seed, config, shards),
+            port,
+            events,
+            epoch,
+        )
     } else {
-        spawn_relay(RelayNode::new(addr, seed), port, events, epoch)
+        spawn_relay(RelayNode::with_config(addr, seed, config), port, events, epoch)
     }
 }
 
@@ -61,6 +73,8 @@ pub struct TransferConfig {
     /// Shards per relay daemon (1 = classic single-task daemons; more
     /// runs every relay through the sharded ingress/worker runtime).
     pub relay_shards: usize,
+    /// Relay engine tuning (timeouts, keepalive/liveness intervals).
+    pub relay_config: RelayConfig,
 }
 
 impl Default for TransferConfig {
@@ -73,6 +87,7 @@ impl Default for TransferConfig {
             seed: 7,
             timeout: Duration::from_secs(60),
             relay_shards: 1,
+            relay_config: RelayConfig::default(),
         }
     }
 }
@@ -156,6 +171,7 @@ pub async fn run_slicing_transfer(cfg: &TransferConfig) -> TransferReport {
         handles.push(spawn_relay_daemon(
             port.addr,
             cfg.seed,
+            cfg.relay_config,
             cfg.relay_shards,
             port,
             events_tx.clone(),
@@ -165,6 +181,7 @@ pub async fn run_slicing_transfer(cfg: &TransferConfig) -> TransferReport {
     handles.push(spawn_relay_daemon(
         dest_addr,
         cfg.seed,
+        cfg.relay_config,
         cfg.relay_shards,
         dest_port,
         events_tx.clone(),
@@ -399,6 +416,7 @@ pub async fn run_multi_flow(
         handles.push(spawn_relay_daemon(
             port.addr,
             seed,
+            RelayConfig::default(),
             relay_shards,
             port,
             events_tx.clone(),
@@ -493,6 +511,372 @@ pub async fn run_multi_flow(
         throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
     for h in handles {
         h.abort();
+    }
+    report
+}
+
+/// Configuration of one live churn session: a paced message train
+/// through the async runtime while relays churn out mid-flow — and,
+/// optionally, the source repairs the forwarding graph around them
+/// (Fig. 17 measured end-to-end on the production data plane).
+#[derive(Clone, Debug)]
+pub struct ChurnSessionConfig {
+    /// Graph shape.
+    pub params: GraphParams,
+    /// Transport to run over.
+    pub transport: Transport,
+    /// Messages sent across the session.
+    pub messages: usize,
+    /// Plaintext bytes per message (clamped to the protocol's budget).
+    pub payload_len: usize,
+    /// Pacing between messages; the session's wall-clock length is
+    /// `messages × message_interval` and churn times map onto it.
+    pub message_interval: Duration,
+    /// Relay tuning — keepalive/liveness intervals set the detection
+    /// latency, so they should be a small fraction of the session.
+    pub relay_config: RelayConfig,
+    /// Shards per relay daemon.
+    pub relay_shards: usize,
+    /// Sample a failure time for every placed relay (the destination is
+    /// exempt) from this model, scaled onto the session length.
+    /// Replacements spliced in by a repair get their own lifetime drawn
+    /// over the remaining session.
+    pub churn: Option<ChurnModel>,
+    /// Explicit kills: `(fraction of session, stage, index)` — resolved
+    /// against the initial graph. Used by tests to kill one exact relay.
+    pub kills: Vec<(f64, usize, usize)>,
+    /// Whether the source repairs around reported failures.
+    pub repair: bool,
+    /// Retry cadence for sent-but-undelivered messages (the driver's
+    /// reliability layer over the fire-and-forget data plane; delivery
+    /// stays at-most-once via the destination's replay guard). Must
+    /// exceed the relays' gather quarantine (`2 × data_flush_ms`) or
+    /// retries are eaten as duplicates. `None` sends each message once.
+    pub retransmit_interval: Option<Duration>,
+    /// Spare relays attached beyond the graph's need (the repair pool).
+    pub spares: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard deadline for the whole run.
+    pub timeout: Duration,
+}
+
+impl Default for ChurnSessionConfig {
+    fn default() -> Self {
+        ChurnSessionConfig {
+            params: GraphParams::new(5, 2).with_dest_placement(DestPlacement::LastStage),
+            transport: Transport::Emulated(NetProfile::lan()),
+            messages: 6,
+            payload_len: 600,
+            message_interval: Duration::from_millis(300),
+            relay_config: RelayConfig {
+                setup_flush_ms: 400,
+                data_flush_ms: 200,
+                keepalive_ms: 100,
+                liveness_timeout_ms: 400,
+                ..RelayConfig::default()
+            },
+            relay_shards: 1,
+            churn: None,
+            kills: Vec::new(),
+            repair: true,
+            retransmit_interval: Some(Duration::from_millis(600)),
+            spares: 4,
+            seed: 7,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Outcome of one live churn session.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChurnSessionReport {
+    /// The destination decoded its info (setup survived).
+    pub established: bool,
+    /// Messages handed to the network.
+    pub messages_sent: usize,
+    /// Distinct messages the destination decoded.
+    pub messages_delivered: usize,
+    /// Relays killed during the session.
+    pub kills: usize,
+    /// Source-side repairs performed.
+    pub repairs: usize,
+    /// Setup packets the source emitted over the session (initial
+    /// establishment + repairs) — the repair-locality measure.
+    pub setup_packets: u64,
+    /// Whole-session success: every message delivered.
+    pub success: bool,
+}
+
+impl NetHandle {
+    /// Take a node off an emulated network (no-op on TCP, where killing
+    /// the daemon closes the node's real socket instead).
+    fn fail(&self, addr: OverlayAddr) {
+        if let NetHandle::Emu(net) = self {
+            net.fail(addr);
+        }
+    }
+}
+
+/// Run one live churn session; see [`ChurnSessionConfig`].
+pub async fn run_churn_session(cfg: &ChurnSessionConfig) -> ChurnSessionReport {
+    let net = make_net(&cfg.transport, cfg.seed);
+    let params = cfg.params;
+    let dp = params.paths;
+    let candidate_count = params.relay_count() + cfg.spares + 4;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x00C0_FFEE);
+    let mut report = ChurnSessionReport::default();
+
+    // Attach everything (the transport assigns addresses on TCP).
+    let mut pseudo_ports = Vec::with_capacity(dp);
+    for i in 0..dp {
+        pseudo_ports.push(net.attach(OverlayAddr(1_000 + i as u64)).await);
+    }
+    let dest_port = net.attach(OverlayAddr(1)).await;
+    let dest_addr = dest_port.addr;
+    let mut relay_ports = Vec::with_capacity(candidate_count);
+    for i in 0..candidate_count {
+        relay_ports.push(net.attach(OverlayAddr(10_000 + i as u64)).await);
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let candidate_addrs: Vec<OverlayAddr> = relay_ports.iter().map(|p| p.addr).collect();
+
+    // Daemons, addressable for mid-session kills.
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let epoch = Instant::now();
+    let mut daemons: HashMap<OverlayAddr, RelayDaemon> = HashMap::new();
+    for port in relay_ports {
+        let addr = port.addr;
+        daemons.insert(
+            addr,
+            spawn_relay_daemon(
+                addr,
+                cfg.seed,
+                cfg.relay_config,
+                cfg.relay_shards,
+                port,
+                events_tx.clone(),
+                epoch,
+            ),
+        );
+    }
+    daemons.insert(
+        dest_addr,
+        spawn_relay_daemon(
+            dest_addr,
+            cfg.seed,
+            cfg.relay_config,
+            cfg.relay_shards,
+            dest_port,
+            events_tx.clone(),
+            epoch,
+        ),
+    );
+
+    // Source session, tuned to the relays' liveness plane.
+    let (mut source, setup) = match SourceSession::establish(
+        params,
+        &pseudo_addrs,
+        &candidate_addrs,
+        dest_addr,
+        cfg.seed,
+    ) {
+        Ok(ok) => ok,
+        Err(_) => return report,
+    };
+    source.set_config(SourceConfig {
+        keepalive_ms: cfg.relay_config.keepalive_ms.max(1),
+        ..SourceConfig::default()
+    });
+
+    // Split the pseudo-source ports into senders (for the source's
+    // outgoing instructions) and a merged receive stream (reverse-path
+    // data and FLOW_FAILED reports funneled into the driver loop).
+    let mut pseudo_send: HashMap<OverlayAddr, crate::PortSender> = HashMap::new();
+    let (merged_tx, mut merged_rx) =
+        mpsc::unbounded_channel::<(OverlayAddr, OverlayAddr, bytes::Bytes)>();
+    for mut port in pseudo_ports {
+        pseudo_send.insert(port.addr, port.tx.clone());
+        let tx = merged_tx.clone();
+        let me = port.addr;
+        tokio::spawn(async move {
+            while let Some((from, bytes)) = port.rx.recv().await {
+                if tx.send((me, from, bytes)).is_err() {
+                    break;
+                }
+            }
+        });
+    }
+    let transmit = |pseudo_send: &HashMap<OverlayAddr, crate::PortSender>,
+                    sends: Vec<SendInstr>| {
+        let pseudo_send = pseudo_send.clone();
+        async move {
+            for instr in sends {
+                if let Some(port) = pseudo_send.get(&instr.from) {
+                    port.send(instr.to, instr.packet.encode()).await;
+                }
+            }
+        }
+    };
+
+    // Establish, bounded by the session timeout.
+    transmit(&pseudo_send, setup).await;
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    loop {
+        tokio::select! {
+            ev = events_rx.recv() => match ev {
+                Some(OverlayEvent::Established { addr, receiver: true, .. })
+                    if addr == dest_addr => break,
+                Some(_) => continue,
+                None => return report,
+            },
+            _ = &mut deadline => return report,
+        }
+    }
+    report.established = true;
+
+    // Kill schedule over the session's wall clock.
+    let session_len = cfg.message_interval * cfg.messages as u32;
+    let mut kills: Vec<(Duration, OverlayAddr)> = Vec::new();
+    for &(frac, stage, index) in &cfg.kills {
+        let addr = source.graph().stages[stage][index];
+        assert_ne!(addr, dest_addr, "the destination cannot be killed");
+        kills.push((session_len.mul_f64(frac.clamp(0.0, 1.0)), addr));
+    }
+    if let Some(model) = cfg.churn {
+        for addr in source.graph().relay_addrs() {
+            if addr == dest_addr {
+                continue;
+            }
+            let node = model.sample_node(&mut rng);
+            if let Some(t) = node.sample_failure(model.session_minutes, &mut rng) {
+                kills.push((session_len.mul_f64(t / model.session_minutes), addr));
+            }
+        }
+    }
+    kills.sort_by_key(|&(t, _)| t);
+    let mut killed: HashSet<OverlayAddr> = HashSet::new();
+
+    // The session: paced sends, arrivals into the source, kills on
+    // schedule, keepalives and (optionally) repair on a driver tick.
+    let payload_len = cfg.payload_len.min(source.max_chunk_len());
+    let payload = vec![0xA5u8; payload_len];
+    let data_start = Instant::now();
+    let hard_deadline = data_start + cfg.timeout;
+    let mut delivered: HashSet<u32> = HashSet::new();
+    let mut sent_at: HashMap<u32, Instant> = HashMap::new();
+    let mut ticker = tokio::time::interval(Duration::from_millis(25));
+    loop {
+        if delivered.len() >= cfg.messages || Instant::now() >= hard_deadline {
+            break;
+        }
+        tokio::select! {
+            got = merged_rx.recv() => {
+                let Some((pseudo, from, bytes)) = got else { break };
+                if let Ok(packet) = slicing_core::Packet::from_bytes(bytes) {
+                    source.handle_packet(now_tick(epoch), pseudo, from, &packet);
+                }
+            }
+            ev = events_rx.recv() => {
+                if let Some(OverlayEvent::MessageReceived { addr, seq, .. }) = ev {
+                    if addr == dest_addr {
+                        delivered.insert(seq);
+                    }
+                }
+            }
+            _ = ticker.tick() => {
+                let now = data_start.elapsed();
+                // Kills whose time has come: shut the daemon down (on
+                // the emulated transport the hub blackholes it too).
+                while let Some(&(t, addr)) = kills.first() {
+                    if t > now {
+                        break;
+                    }
+                    kills.remove(0);
+                    if killed.insert(addr) {
+                        net.fail(addr);
+                        if let Some(daemon) = daemons.remove(&addr) {
+                            daemon.shutdown().await;
+                        }
+                        report.kills += 1;
+                    }
+                }
+                // Paced message train.
+                if report.messages_sent < cfg.messages
+                    && now >= cfg.message_interval * report.messages_sent as u32
+                {
+                    let (seq, sends) = source.send_message(&payload);
+                    transmit(&pseudo_send, sends).await;
+                    sent_at.insert(seq, Instant::now());
+                    report.messages_sent += 1;
+                }
+                // Reliability layer: retry undelivered messages on a
+                // cadence longer than the relays' gather quarantine.
+                if let Some(interval) = cfg.retransmit_interval {
+                    let now_i = Instant::now();
+                    let due: Vec<u32> = sent_at
+                        .iter()
+                        .filter(|(seq, at)| {
+                            !delivered.contains(seq)
+                                && now_i.duration_since(**at) >= interval
+                        })
+                        .map(|(&seq, _)| seq)
+                        .collect();
+                    for seq in due {
+                        if let Some(sends) = source.retransmit(seq) {
+                            transmit(&pseudo_send, sends).await;
+                        }
+                        sent_at.insert(seq, now_i);
+                    }
+                }
+                // Source-side periodic work: keepalives, then repair.
+                let polled = source.poll(now_tick(epoch));
+                if !polled.is_empty() {
+                    transmit(&pseudo_send, polled).await;
+                }
+                if cfg.repair && source.needs_repair() {
+                    let before: HashSet<OverlayAddr> = source.graph().relay_addrs().collect();
+                    let pool: Vec<OverlayAddr> = candidate_addrs
+                        .iter()
+                        .copied()
+                        .filter(|a| !killed.contains(a))
+                        .collect();
+                    if let Ok(sends) = source.repair(&pool) {
+                        report.repairs += 1;
+                        // Replacements live under the same churn model,
+                        // over what remains of the session.
+                        if let Some(model) = cfg.churn {
+                            let remaining = session_len.saturating_sub(now);
+                            let frac = remaining.as_secs_f64()
+                                / session_len.as_secs_f64().max(1e-9);
+                            for addr in source.graph().relay_addrs() {
+                                if before.contains(&addr) || addr == dest_addr {
+                                    continue;
+                                }
+                                let node = model.sample_node(&mut rng);
+                                if let Some(t) = node
+                                    .sample_failure(model.session_minutes * frac, &mut rng)
+                                {
+                                    let at = now
+                                        + session_len.mul_f64(t / model.session_minutes);
+                                    kills.push((at, addr));
+                                }
+                            }
+                            kills.sort_by_key(|&(t, _)| t);
+                        }
+                        transmit(&pseudo_send, sends).await;
+                    }
+                }
+            }
+        }
+    }
+
+    report.messages_delivered = delivered.len();
+    report.setup_packets = source.setup_packets_sent();
+    report.success = report.messages_delivered >= cfg.messages;
+    for (_, daemon) in daemons {
+        daemon.abort();
     }
     report
 }

@@ -20,7 +20,8 @@ pub mod emu;
 pub mod experiment;
 pub mod tcp;
 
-pub use daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent};
+pub use daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent, RelayDaemon};
+pub use experiment::{run_churn_session, ChurnSessionConfig, ChurnSessionReport};
 pub use emu::EmulatedNet;
 pub use experiment::{
     run_multi_flow, run_onion_transfer, run_slicing_transfer, MultiFlowReport, TransferConfig,

@@ -65,6 +65,11 @@ pub enum PacketKind {
     Setup,
     /// Data packet: slots carry coded data slices (§4.3.7).
     Data,
+    /// Control packet: neighbour keepalives and failure notifications
+    /// (slot 0 carries a [`control`] body). Control packets ride the
+    /// same flow ids as data — keepalives travel downstream on forward
+    /// flow ids, failure reports travel upstream on reverse flow ids.
+    Control,
 }
 
 impl PacketKind {
@@ -72,6 +77,7 @@ impl PacketKind {
         match self {
             PacketKind::Setup => 0,
             PacketKind::Data => 1,
+            PacketKind::Control => 2,
         }
     }
 
@@ -79,8 +85,80 @@ impl PacketKind {
         match b {
             0 => Some(PacketKind::Setup),
             1 => Some(PacketKind::Data),
+            2 => Some(PacketKind::Control),
             _ => None,
         }
+    }
+}
+
+/// Control-packet bodies (slot 0 of a [`PacketKind::Control`] packet).
+///
+/// The first byte of the slot is the opcode; the rest is the
+/// opcode-specific payload. Control packets are deliberately tiny — they
+/// are the live overlay's failure-detection plane, not a data path.
+pub mod control {
+    use super::{FlowId, Packet, PacketBuilder, PacketHeader, PacketKind};
+
+    /// Opcode: "I am alive" — sent by a relay to each child of an
+    /// established flow on the child's forward flow id, so children can
+    /// distinguish an idle parent from a dead one. The payload is the
+    /// sender's own reverse flow id (8 bytes LE), which the child holds
+    /// in its parent list: a flow-membership token that keeps a
+    /// transport-level address forgery from refreshing a parent's
+    /// liveness (and thereby suppressing failure detection).
+    pub const KEEPALIVE: u8 = 1;
+
+    /// Opcode: "a neighbour of this flow died" — sent toward the source
+    /// on reverse flow ids. The payload is the dead node's address,
+    /// AEAD-sealed under the *reporting* relay's secret key, so
+    /// forwarding relays learn nothing about nodes beyond their own
+    /// neighbours while the source (which knows every per-node key it
+    /// issued) can recover and authenticate the report.
+    pub const FLOW_FAILED: u8 = 2;
+
+    /// Build a keepalive packet for `flow`, carrying the sender's own
+    /// reverse flow id as the membership token the receiver checks
+    /// against its parent list.
+    pub fn keepalive(flow: FlowId, token: FlowId) -> Packet {
+        let mut b = PacketBuilder::new(PacketHeader {
+            kind: PacketKind::Control,
+            flow_id: flow,
+            seq: 0,
+            d: 1,
+            slot_count: 1,
+            slot_len: 9,
+        });
+        let slot = b.slot();
+        slot[0] = KEEPALIVE;
+        slot[1..9].copy_from_slice(&token.0.to_le_bytes());
+        b.build()
+    }
+
+    /// Build a flow-failed packet for `flow` carrying `sealed` (the
+    /// AEAD-sealed address of the dead node).
+    pub fn flow_failed(flow: FlowId, sealed: &[u8]) -> Packet {
+        let mut b = PacketBuilder::new(PacketHeader {
+            kind: PacketKind::Control,
+            flow_id: flow,
+            seq: 0,
+            d: 1,
+            slot_count: 1,
+            slot_len: (1 + sealed.len()) as u16,
+        });
+        let slot = b.slot();
+        slot[0] = FLOW_FAILED;
+        slot[1..].copy_from_slice(sealed);
+        b.build()
+    }
+
+    /// Split a control packet's slot 0 into `(opcode, payload)`.
+    /// `None` if the packet is not a control packet.
+    pub fn parse(packet: &Packet) -> Option<(u8, &[u8])> {
+        if packet.header.kind != PacketKind::Control || packet.header.slot_count == 0 {
+            return None;
+        }
+        let body = packet.slot(0);
+        Some((body[0], &body[1..]))
     }
 }
 
@@ -486,10 +564,31 @@ mod tests {
 
     #[test]
     fn kind_round_trips() {
-        for kind in [PacketKind::Setup, PacketKind::Data] {
+        for kind in [PacketKind::Setup, PacketKind::Data, PacketKind::Control] {
             assert_eq!(PacketKind::from_byte(kind.to_byte()), Some(kind));
         }
         assert_eq!(PacketKind::from_byte(255), None);
+    }
+
+    #[test]
+    fn control_bodies_round_trip() {
+        let ka = control::keepalive(FlowId(9), FlowId(0x0102_0304_0506_0708));
+        assert_eq!(
+            control::parse(&ka),
+            Some((
+                control::KEEPALIVE,
+                &0x0102_0304_0506_0708u64.to_le_bytes()[..],
+            ))
+        );
+        let sealed = [7u8; 52];
+        let ff = control::flow_failed(FlowId(9), &sealed);
+        assert_eq!(control::parse(&ff), Some((control::FLOW_FAILED, &sealed[..])));
+        // Control packets survive the wire like any other.
+        let decoded = Packet::decode(&ff.encode()).unwrap();
+        assert_eq!(decoded, ff);
+        assert_eq!(peek_flow_id(&ff.encode()), Some(FlowId(9)));
+        // Data packets are not control packets.
+        assert_eq!(control::parse(&sample()), None);
     }
 
     #[test]

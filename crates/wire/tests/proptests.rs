@@ -25,6 +25,7 @@ fn model_decode(bytes: &[u8]) -> Result<(PacketHeader, Vec<Vec<u8>>), slicing_wi
     let kind = match bytes[3] {
         0 => PacketKind::Setup,
         1 => PacketKind::Data,
+        2 => PacketKind::Control,
         _ => return Err(WireError::BadKind),
     };
     let flow_id = FlowId(u64::from_le_bytes(bytes[4..12].try_into().unwrap()));

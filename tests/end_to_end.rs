@@ -147,6 +147,7 @@ async fn tokio_emulated_wan_full_transfer() {
         seed: 21,
         timeout: Duration::from_secs(60),
         relay_shards: 1,
+        relay_config: Default::default(),
     };
     let report = run_slicing_transfer(&cfg).await;
     assert_eq!(report.messages_delivered, 8, "{report:?}");
@@ -164,6 +165,7 @@ async fn tokio_tcp_loopback_slicing_beats_no_delivery() {
         seed: 23,
         timeout: Duration::from_secs(60),
         relay_shards: 1,
+        relay_config: Default::default(),
     };
     let report = run_slicing_transfer(&cfg).await;
     assert_eq!(report.messages_delivered, 10, "{report:?}");
@@ -192,6 +194,7 @@ async fn slicing_beats_onion_on_lan_throughput() {
         seed,
         timeout: Duration::from_secs(90),
         relay_shards: 1,
+        relay_config: Default::default(),
     };
     let s = run_slicing_transfer(&mk(31)).await;
     let o = run_onion_transfer(&mk(31)).await;
