@@ -48,6 +48,8 @@ fn gf(c: &mut Criterion) {
     let a64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
     let b64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
     group.throughput(Throughput::Bytes(4096));
+    // The pre-port scalar GF(2¹⁶) loop (tables fetch + two logs per
+    // element) vs the word-slice kernels `Gf65536`'s hooks dispatch to.
     group.bench_function("gf65536_2048", |bench| {
         bench.iter(|| {
             let mut acc = Gf65536::zero();
@@ -56,6 +58,21 @@ fn gf(c: &mut Criterion) {
             }
             acc
         });
+    });
+    group.bench_function("gf65536_2048_dot_bulk", |bench| {
+        bench.iter(|| slicing_gf::dot(&a64k, &b64k));
+    });
+    let mut acc64k: Vec<Gf65536> = (0..2048).map(|_| Gf65536::random(&mut rng)).collect();
+    group.bench_function("gf65536_2048_axpy_scalar", |bench| {
+        bench.iter(|| {
+            let c = Gf65536::new(0xA7C3);
+            for (a, &s) in acc64k.iter_mut().zip(b64k.iter()) {
+                *a = a.add(c.mul(s));
+            }
+        });
+    });
+    group.bench_function("gf65536_2048_axpy_bulk", |bench| {
+        bench.iter(|| slicing_gf::axpy(&mut acc64k, Gf65536::new(0xA7C3), &b64k));
     });
     group.finish();
 

@@ -70,7 +70,7 @@ fn establish_with(
             }
         }
         let payload = vec![0xA5u8; 1200];
-        let (_, sends) = source.send_message(&payload);
+        let (_, sends) = source.send_message(&payload).expect("within chunk budget");
         let packets = sends
             .into_iter()
             .filter(|s| s.to == target)

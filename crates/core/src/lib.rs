@@ -19,15 +19,24 @@
 //!   [`relay::RelayShard`]s routed by `hash(flow_id) % N`, so one relay
 //!   scales across cores (flows are independent; only stats and the
 //!   reverse-flow-id routing are shared).
+//! * [`session`] — the endpoint layer over all of the above:
+//!   arbitrary-length streamed messages ([`SourceSession::send`]), the
+//!   destination-side [`DestSession`] (gather → recombine → in-order
+//!   reassembly, reverse-path acks/replies), and the [`SessionManager`]
+//!   multiplexing thousands of sessions over one node, sharded by
+//!   session id exactly like [`ShardedRelay`] shards flows.
 //! * [`testnet`] — a deterministic in-memory network for driving whole
 //!   graphs in tests and simulations, with failure injection.
-//! * [`wheel`] — the hashed timer wheel behind the relay's flow table:
-//!   deadlines are registered once and `poll` touches only expired work.
+//! * [`wheel`] — the hashed timer wheel behind the relay's flow table
+//!   and the session shards: deadlines are registered once and `poll`
+//!   touches only expired work.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod relay;
+mod replay;
+pub mod session;
 pub mod shard;
 pub mod source;
 pub mod testnet;
@@ -36,6 +45,10 @@ pub mod wheel;
 
 pub use relay::{
     ReceivedData, RelayConfig, RelayNode, RelayOutput, RelayShard, RelayStats, RelayStatsAtomic,
+};
+pub use session::{
+    DestOutput, DestResident, DestSession, SessionConfig, SessionError, SessionId, SessionManager,
+    SessionOutput, SessionRouter, SessionShard, SessionStats, SessionStatsAtomic,
 };
 pub use shard::{FlowRouter, ShardedRelay};
 pub use source::{SourceConfig, SourceSession};

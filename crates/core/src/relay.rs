@@ -45,6 +45,7 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
+use crate::replay::ReplayGuard;
 use crate::shard::FlowRouter;
 
 use slicing_codec::{coder, recombine, InfoSlice};
@@ -260,10 +261,20 @@ pub struct RelayOutput {
     /// Messages decoded by this node as the destination.
     pub received: Vec<ReceivedData>,
     /// One entry per flow establishment this call (or merged batch of
-    /// calls) completed, carrying the receiver flag (true = this node
-    /// is that flow's destination). A `Vec` rather than an `Option` so
-    /// batching drivers can merge outputs without losing events.
-    pub established: Vec<bool>,
+    /// calls) completed: the flow id plus the receiver flag (true =
+    /// this node is that flow's destination). A `Vec` rather than an
+    /// `Option` so batching drivers can merge outputs without losing
+    /// events; the flow id lets drivers attach per-flow machinery (e.g.
+    /// a [`crate::session::DestSession`]) to freshly established
+    /// receiver flows.
+    pub established: Vec<(FlowId, bool)>,
+    /// Receiver-flow seqs that arrived again *after* delivery (the
+    /// replay guard suppressed the duplicate). A colocated
+    /// [`crate::session::DestSession`] treats these as "my ack was
+    /// lost" and re-announces its delivery state — without this signal
+    /// a lost final ack would wedge the source's retransmit loop
+    /// forever, since retransmitted chunks never re-deliver.
+    pub replayed: Vec<(FlowId, u32)>,
 }
 
 impl RelayOutput {
@@ -273,6 +284,7 @@ impl RelayOutput {
         self.sends.extend(other.sends);
         self.received.extend(other.received);
         self.established.extend(other.established);
+        self.replayed.extend(other.replayed);
     }
 }
 
@@ -302,66 +314,6 @@ impl DataGather {
             slices: Vec::new(),
             flushed: false,
             delivered: false,
-        }
-    }
-}
-
-/// Compact at-most-once delivery guard (receiver flows only): a
-/// watermark plus a 1024-seq bitmap window above it, IPsec-anti-replay
-/// style. Seqs below the watermark count as delivered, so replays of
-/// any age are rejected in O(1) and constant space — per-seq gather
-/// state can be reaped without reopening duplicate delivery.
-#[derive(Clone, Debug, Default)]
-struct ReplayGuard {
-    base: u32,
-    bits: [u64; ReplayGuard::WORDS],
-}
-
-impl ReplayGuard {
-    const WORDS: usize = 16;
-    const WINDOW: u32 = (Self::WORDS * 64) as u32;
-
-    /// Whether `seq` was (or must be assumed) already delivered.
-    fn contains(&self, seq: u32) -> bool {
-        if seq < self.base {
-            return true;
-        }
-        let off = seq - self.base;
-        if off >= Self::WINDOW {
-            return false;
-        }
-        (self.bits[(off / 64) as usize] >> (off % 64)) & 1 == 1
-    }
-
-    /// Record `seq` as delivered, sliding the window forward as needed.
-    fn insert(&mut self, seq: u32) {
-        if seq < self.base {
-            return;
-        }
-        let mut off = seq - self.base;
-        if off >= Self::WINDOW {
-            self.slide(off - Self::WINDOW + 1);
-            off = Self::WINDOW - 1;
-        }
-        self.bits[(off / 64) as usize] |= 1 << (off % 64);
-    }
-
-    fn slide(&mut self, shift: u32) {
-        self.base = self.base.saturating_add(shift);
-        if shift >= Self::WINDOW {
-            self.bits = [0; Self::WORDS];
-            return;
-        }
-        let word_shift = (shift / 64) as usize;
-        let bit_shift = shift % 64;
-        for i in 0..Self::WORDS {
-            let lo = self.bits.get(i + word_shift).copied().unwrap_or(0);
-            let hi = self.bits.get(i + word_shift + 1).copied().unwrap_or(0);
-            self.bits[i] = if bit_shift == 0 {
-                lo
-            } else {
-                (lo >> bit_shift) | (hi << (64 - bit_shift))
-            };
         }
     }
 }
@@ -949,7 +901,7 @@ impl RelayShard {
                     return RelayOutput::default();
                 };
                 let mut out = RelayOutput {
-                    established: vec![info.receiver],
+                    established: vec![(flow, info.receiver)],
                     ..RelayOutput::default()
                 };
                 out.sends = self.forward_setup(&info, &gather.packets);
@@ -1371,7 +1323,14 @@ impl RelayShard {
             };
             if gather.flushed && (gather.delivered || already_delivered) {
                 self.stats.drops += 1;
-                return RelayOutput::default();
+                // A replayed seq on a receiver flow means the sender
+                // did not hear our delivery state: surface it so a
+                // colocated destination session can re-acknowledge.
+                let mut out = RelayOutput::default();
+                if active.info.receiver && !is_reverse {
+                    out.replayed.push((flow, seq));
+                }
+                return out;
             }
             if !gather.heard.insert(from) {
                 // Duplicate from the same neighbour.
@@ -1445,6 +1404,12 @@ impl RelayShard {
         // views are materialized once per *message*, never per packet;
         // the flow-level replay guard enforces at-most-once even after
         // this gather's state has been reaped.
+        if info.receiver && !is_reverse && !gather.delivered && delivered.contains(seq) {
+            // A retransmission completed a fresh gather for a seq the
+            // guard already delivered (its tombstone was reaped): the
+            // sender is retrying because an ack was lost.
+            out.replayed.push((flow, seq));
+        }
         if info.receiver
             && !is_reverse
             && !gather.delivered
@@ -1806,30 +1771,6 @@ mod tests {
         relay.poll(Tick(5_000));
         assert_eq!(relay.flow_count(), 0);
         assert_eq!(relay.stats().flows_evicted, 1);
-    }
-
-    #[test]
-    fn replay_guard_window_semantics() {
-        let mut g = ReplayGuard::default();
-        assert!(!g.contains(0));
-        g.insert(0);
-        assert!(g.contains(0));
-        assert!(!g.contains(1));
-        // Reorder within the window.
-        g.insert(10);
-        g.insert(5);
-        assert!(g.contains(5) && g.contains(10) && !g.contains(6));
-        // Slide far forward: old seqs fall below the watermark and count
-        // as delivered; in-window tracking keeps working.
-        g.insert(5_000);
-        assert!(g.contains(0) && g.contains(6), "below watermark = delivered");
-        assert!(g.contains(5_000));
-        assert!(!g.contains(4_999) || 4_999 < 5_000 - ReplayGuard::WINDOW + 1);
-        assert!(!g.contains(5_001));
-        // Word-aligned and unaligned slides.
-        g.insert(5_064);
-        g.insert(5_100);
-        assert!(g.contains(5_064) && g.contains(5_100) && !g.contains(5_099));
     }
 
     #[test]

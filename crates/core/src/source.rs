@@ -11,6 +11,22 @@
 //! ([`build::rebuild_excluding`]), splices the new routes into the live
 //! flow with targeted re-setup packets, and retransmits the recent
 //! message window so nothing queued is lost.
+//!
+//! The type is split along a durable/per-message seam:
+//!
+//! * **Durable session state** lives directly on [`SourceSession`] — the
+//!   graph (addresses, keys, flow ids, transforms), configuration, RNG,
+//!   failure set and keepalive clock. This is what a session *is* for
+//!   its whole lifetime, and it is constant-size.
+//! * **Per-message machinery** is bounded and transient: the reverse
+//!   assembler (`ReverseAssembler` — capped gathers plus a
+//!   constant-space replay guard), the retransmission log (ring of
+//!   recent plaintexts), and the streaming window (`StreamState`,
+//!   driven through [`SourceSession::send`] /
+//!   [`SourceSession::pump`]). All of it
+//!   drains back to empty once traffic is acknowledged, which is what
+//!   lets a [`crate::session::SessionManager`] hold thousands of these
+//!   without per-message residue.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -23,6 +39,8 @@ use slicing_graph::packets::SendInstr;
 use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, NodeInfo, OverlayAddr};
 use slicing_wire::{control, crc, Packet, PacketBuilder, PacketHeader, PacketKind};
 
+use crate::replay::ReplayGuard;
+use crate::session::{SessionError, StreamState};
 use crate::time::Tick;
 
 /// Source-side tunables.
@@ -56,6 +74,68 @@ impl Default for SourceConfig {
 /// and the CRC-valid slices collected so far.
 type ReverseGather = (HashSet<(OverlayAddr, OverlayAddr)>, Vec<InfoSlice>);
 
+/// Upper bound on concurrently gathering reverse seqs; beyond it, seqs
+/// far behind the newest are reaped (they will re-gather if their
+/// slices ever complete).
+const REVERSE_GATHER_CAP: usize = 128;
+/// How far behind the newest reverse seq a gather may lag before the
+/// cap reaps it.
+const REVERSE_GATHER_HORIZON: u32 = 512;
+
+/// The per-message half of the reverse path: bounded in-progress
+/// gathers plus a constant-space at-most-once guard. Long-lived
+/// sessions accumulate nothing here — decoded seqs collapse into the
+/// guard's watermark+bitmap and stale gathers are reaped by the cap.
+///
+/// The cap cannot be pinned by forged traffic: the horizon tracks the
+/// highest *authenticated* (decoded) seq — a forged far-future seq in a
+/// cleartext header never moves it — and when the cap is reached the
+/// oldest gather is evicted for the newcomer, so progress on fresh seqs
+/// is always possible.
+#[derive(Debug, Default)]
+struct ReverseAssembler {
+    /// Reverse-path gathering: seq → ((pseudo-source, sender) pairs
+    /// heard, slices). Keyed on the pair because one relay legitimately
+    /// delivers distinct slices to several pseudo-sources (e.g. a
+    /// destination sitting in stage 1).
+    gathers: HashMap<u32, ReverseGather>,
+    /// Reverse seqs already decoded (constant space).
+    done: ReplayGuard,
+    /// Highest reverse seq successfully decoded (AEAD-authenticated;
+    /// drives the gather horizon).
+    highest: u32,
+}
+
+impl ReverseAssembler {
+    /// Admit `seq` for gathering; `None` when it is already decoded.
+    /// Enforces the gather cap: stale seqs far behind the newest
+    /// decoded one are reaped first, then the oldest pending gather is
+    /// evicted so the newcomer always finds room.
+    fn admit(&mut self, seq: u32) -> Option<&mut ReverseGather> {
+        if self.done.contains(seq) {
+            return None;
+        }
+        if self.gathers.len() >= REVERSE_GATHER_CAP && !self.gathers.contains_key(&seq) {
+            let horizon = self.highest.saturating_sub(REVERSE_GATHER_HORIZON);
+            self.gathers.retain(|&s, _| s >= horizon);
+            if self.gathers.len() >= REVERSE_GATHER_CAP {
+                if let Some(&oldest) = self.gathers.keys().min() {
+                    self.gathers.remove(&oldest);
+                }
+            }
+        }
+        Some(self.gathers.entry(seq).or_default())
+    }
+
+    /// Mark `seq` decoded (ratcheting the authenticated horizon) and
+    /// drop its gather.
+    fn finish(&mut self, seq: u32) {
+        self.done.insert(seq);
+        self.highest = self.highest.max(seq);
+        self.gathers.remove(&seq);
+    }
+}
+
 /// An anonymous connection from the source's point of view.
 ///
 /// # Example
@@ -83,7 +163,7 @@ type ReverseGather = (HashSet<(OverlayAddr, OverlayAddr)>, Vec<InfoSlice>);
 /// net.run_to_quiescence(Some(&mut session));
 ///
 /// // Slice, encrypt and send one data message.
-/// let (seq, sends) = session.send_message(b"hello overlay");
+/// let (seq, sends) = session.send_message(b"hello overlay").expect("fits one chunk");
 /// net.submit(sends);
 /// net.run_to_quiescence(Some(&mut session));
 /// assert_eq!(
@@ -93,26 +173,24 @@ type ReverseGather = (HashSet<(OverlayAddr, OverlayAddr)>, Vec<InfoSlice>);
 /// ```
 pub struct SourceSession {
     graph: BuiltGraph,
-    config: SourceConfig,
+    pub(crate) config: SourceConfig,
     next_seq: u32,
-    /// Reverse-path gathering: seq → ((pseudo-source, sender) pairs
-    /// heard, slices). Keyed on the pair because one relay legitimately
-    /// delivers distinct slices to several pseudo-sources (e.g. a
-    /// destination sitting in stage 1).
-    reverse: HashMap<u32, ReverseGather>,
-    /// Reverse messages already decoded.
-    reverse_done: HashSet<u32>,
+    /// Per-message reverse-path machinery (bounded).
+    reverse: ReverseAssembler,
     /// Relays reported dead (authenticated `FLOW_FAILED` reports) and
     /// not yet repaired around.
     failed: HashSet<OverlayAddr>,
     /// Recent messages kept for retransmission after a repair.
     sent_log: VecDeque<(u32, Vec<u8>)>,
     /// Last keepalive emission ([`SourceSession::poll`]).
-    last_keepalive: Option<Tick>,
+    pub(crate) last_keepalive: Option<Tick>,
     /// Setup packets emitted over the session's lifetime (initial
     /// establishment plus repairs) — the measure of how much of the
     /// graph a repair had to touch.
     setup_packets_sent: u64,
+    /// The streaming window (per-message machinery; see
+    /// [`SourceSession::send`]).
+    pub(crate) stream: StreamState,
     rng: StdRng,
 }
 
@@ -136,12 +214,12 @@ impl SourceSession {
                 graph,
                 config: SourceConfig::default(),
                 next_seq: 0,
-                reverse: HashMap::new(),
-                reverse_done: HashSet::new(),
+                reverse: ReverseAssembler::default(),
                 failed: HashSet::new(),
                 sent_log: VecDeque::new(),
                 last_keepalive: None,
                 setup_packets_sent: setup.len() as u64,
+                stream: StreamState::default(),
                 rng,
             },
             setup,
@@ -174,28 +252,51 @@ impl SourceSession {
         (block_budget * d).saturating_sub(4 + 44).max(1)
     }
 
-    /// Slice, encrypt and address one data message; returns its sequence
-    /// number and the packets to transmit (d′² of them, one per
-    /// pseudo-source → stage-1 relay edge, §7.2).
+    /// Slice, encrypt and address one single-chunk data message; returns
+    /// its sequence number and the packets to transmit (d′² of them, one
+    /// per pseudo-source → stage-1 relay edge, §7.2).
     ///
     /// The plaintext is also retained in a bounded retransmission window
     /// ([`SourceConfig::retransmit_buffer`]) so a later
     /// [`SourceSession::repair`] can replay messages that were in flight
     /// when a relay died.
     ///
-    /// # Panics
-    /// Panics if `plaintext` exceeds [`Self::max_chunk_len`].
-    pub fn send_message(&mut self, plaintext: &[u8]) -> (u32, Vec<SendInstr>) {
-        assert!(
-            plaintext.len() <= self.max_chunk_len(),
-            "message exceeds per-packet budget; chunk it"
-        );
+    /// Plaintexts larger than [`Self::max_chunk_len`] yield
+    /// [`SessionError::Oversize`] — use the streaming
+    /// [`SourceSession::send`], which chunks arbitrary lengths.
+    ///
+    /// Raw and streamed sends share the session's sequence space. On a
+    /// session that uses the streaming `send`, prefer it exclusively:
+    /// raw messages are not covered by the ack/retransmit window, and a
+    /// raw seq that is *never* delivered stalls the destination's
+    /// cumulative ack watermark (the ack bitmap reaches only 64 seqs
+    /// past it). Drivers that mix the two — like the churn harness —
+    /// must retry raw messages themselves.
+    pub fn send_message(
+        &mut self,
+        plaintext: &[u8],
+    ) -> Result<(u32, Vec<SendInstr>), SessionError> {
+        if plaintext.len() > self.max_chunk_len() {
+            return Err(SessionError::Oversize {
+                len: plaintext.len(),
+                max: self.max_chunk_len(),
+            });
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.sent_log.push_back((seq, plaintext.to_vec()));
         while self.sent_log.len() > self.config.retransmit_buffer {
             self.sent_log.pop_front();
         }
+        Ok((seq, self.encode_message(seq, plaintext)))
+    }
+
+    /// Allocate a sequence number and encode `plaintext` against the
+    /// current graph without touching the retransmission log — the
+    /// streaming window keeps its own copy of every in-flight chunk.
+    pub(crate) fn send_raw(&mut self, plaintext: &[u8]) -> (u32, Vec<SendInstr>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
         (seq, self.encode_message(seq, plaintext))
     }
 
@@ -203,7 +304,7 @@ impl SourceSession {
     /// the current graph (shared by fresh sends and repair
     /// retransmissions — the destination's replay guard keeps repeated
     /// seqs at-most-once).
-    fn encode_message(&mut self, seq: u32, plaintext: &[u8]) -> Vec<SendInstr> {
+    pub(crate) fn encode_message(&mut self, seq: u32, plaintext: &[u8]) -> Vec<SendInstr> {
         let params = self.graph.params;
         let (d, dp) = (params.split, params.paths);
         let sealed = aead::seal(&self.graph.dest_key, plaintext, &mut self.rng);
@@ -247,12 +348,18 @@ impl SourceSession {
     }
 
     /// Feed a packet received at one of the pseudo-sources; returns a
-    /// decoded reverse-path message when one completes (§4.3.7).
+    /// decoded raw reverse-path message when one completes (§4.3.7).
     ///
     /// Sealed `FLOW_FAILED` control reports are consumed here too: the
     /// source tries every per-node key it issued, and an authentic
     /// report adds the dead relay to [`SourceSession::failed_nodes`]
     /// for the driver to [`repair`](SourceSession::repair) around.
+    ///
+    /// Stream control traffic (acknowledgements for the
+    /// [`send`](SourceSession::send) window, framed replies) is consumed
+    /// internally: acks open the window (emitted by the next
+    /// [`pump`](SourceSession::pump)), replies are drained via
+    /// [`pop_replies`](SourceSession::pop_replies).
     pub fn handle_packet(
         &mut self,
         _now: Tick,
@@ -273,33 +380,33 @@ impl SourceSession {
             return None;
         }
         let seq = packet.header.seq;
-        if self.reverse_done.contains(&seq) {
-            return None;
-        }
         let d = self.graph.params.split;
-        let entry = self
-            .reverse
-            .entry(seq)
-            .or_insert_with(|| (HashSet::new(), Vec::new()));
-        if !entry.0.insert((pseudo_source, from)) {
-            return None;
-        }
+        // Parse before admitting: a packet with no CRC-valid slice
+        // allocates no gather state (cheap chaff cannot occupy the cap).
+        let mut slices = Vec::new();
         for slot in packet.slots() {
             if slot.len() < d + 4 {
                 continue;
             }
             if let Some(payload) = crc::check_crc(slot) {
                 if let Some(slice) = InfoSlice::from_bytes(d, slot.len() - d - 4, payload) {
-                    entry.1.push(slice);
+                    slices.push(slice);
                 }
             }
         }
+        if slices.is_empty() {
+            return None;
+        }
+        let entry = self.reverse.admit(seq)?;
+        if !entry.0.insert((pseudo_source, from)) {
+            return None;
+        }
+        entry.1.extend(slices);
         if entry.1.len() >= d {
             if let Ok(sealed) = coder::decode(&entry.1, d) {
                 if let Ok(plaintext) = aead::open(&self.graph.dest_key, &sealed) {
-                    self.reverse_done.insert(seq);
-                    self.reverse.remove(&seq);
-                    return Some((seq, plaintext));
+                    self.reverse.finish(seq);
+                    return self.stream_consume(seq, plaintext);
                 }
             }
         }
@@ -357,9 +464,19 @@ impl SourceSession {
     }
 
     /// Periodic source-side work: liveness announcements to the stage-1
-    /// relays (every [`SourceConfig::keepalive_ms`]). Drive this from
-    /// the daemon's timer alongside feeding received packets in.
+    /// relays (every [`SourceConfig::keepalive_ms`]) and stream-window
+    /// driving ([`pump`](SourceSession::pump) — retransmits and paced
+    /// chunk emission). Drive this from the daemon's timer alongside
+    /// feeding received packets in; [`next_due`](SourceSession::next_due)
+    /// says when the next call is actually needed.
     pub fn poll(&mut self, now: Tick) -> Vec<SendInstr> {
+        let mut sends = self.pump(now);
+        sends.extend(self.keepalives(now));
+        sends
+    }
+
+    /// Emit keepalives to the stage-1 relays when the interval elapsed.
+    fn keepalives(&mut self, now: Tick) -> Vec<SendInstr> {
         let interval = self.config.keepalive_ms;
         if interval == 0 {
             return Vec::new();
@@ -522,10 +639,10 @@ mod tests {
     #[test]
     fn send_message_emits_dp_squared_packets() {
         let (mut s, _) = session(4, 2, 3);
-        let (seq, sends) = s.send_message(b"hello");
+        let (seq, sends) = s.send_message(b"hello").unwrap();
         assert_eq!(seq, 0);
         assert_eq!(sends.len(), 9);
-        let (seq2, _) = s.send_message(b"world");
+        let (seq2, _) = s.send_message(b"world").unwrap();
         assert_eq!(seq2, 1);
     }
 
@@ -533,7 +650,7 @@ mod tests {
     fn data_packets_fit_budget() {
         let (mut s, _) = session(5, 3, 3);
         let chunk = vec![0xAB; s.max_chunk_len()];
-        let (_, sends) = s.send_message(&chunk);
+        let (_, sends) = s.send_message(&chunk).unwrap();
         for send in sends {
             assert!(
                 send.packet.encode().len() <= 1500,
@@ -544,11 +661,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds per-packet budget")]
-    fn oversize_message_panics() {
+    fn oversize_message_is_typed_error() {
         let (mut s, _) = session(5, 2, 2);
-        let too_big = vec![0u8; s.max_chunk_len() + 1];
-        let _ = s.send_message(&too_big);
+        let max = s.max_chunk_len();
+        let too_big = vec![0u8; max + 1];
+        assert_eq!(
+            s.send_message(&too_big).unwrap_err(),
+            crate::session::SessionError::Oversize { len: max + 1, max },
+        );
+        // The session stays usable — no seq was consumed.
+        let (seq, _) = s.send_message(b"still fine").unwrap();
+        assert_eq!(seq, 0);
     }
 
     #[test]
@@ -564,7 +687,7 @@ mod tests {
             9,
         )
         .unwrap();
-        let (_, sends) = s.send_message(b"map mode");
+        let (_, sends) = s.send_message(b"map mode").unwrap();
         // Every stage-1 relay receives 3 distinct coefficient rows.
         for v in 0..3usize {
             let to = s.graph().stages[1][v];

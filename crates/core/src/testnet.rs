@@ -235,7 +235,7 @@ mod tests {
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
 
-        let (_, sends) = source.send_message(b"Let's meet at 5pm");
+        let (_, sends) = source.send_message(b"Let's meet at 5pm").expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
 
@@ -285,7 +285,7 @@ mod tests {
 
         // Legitimate message alongside a forged, CRC-valid slot of the
         // wrong length injected into a stage-1 relay for seq 0.
-        let (seq, sends) = source.send_message(b"survives forgery");
+        let (seq, sends) = source.send_message(b"survives forgery").expect("within chunk budget");
         let target = source.graph().stages[1][0];
         let target_flow = source.graph().flow_ids[1][0];
         let bogus_block = 7usize; // flow's real block length differs
@@ -353,7 +353,7 @@ mod tests {
         assert_ne!(victim, dest);
         net.fail(victim);
 
-        let (_, sends) = source.send_message(b"resilient");
+        let (_, sends) = source.send_message(b"resilient").expect("within chunk budget");
         net.submit(sends);
         // Failures leave gathers waiting on the dead parent; let the data
         // flush timeout fire.

@@ -84,7 +84,7 @@ fn repair_completes_no_redundancy(shards: usize) {
 
     // Two messages flow while everything is healthy.
     for m in 0..2 {
-        let (_, sends) = source.send_message(format!("msg {m}").as_bytes());
+        let (_, sends) = source.send_message(format!("msg {m}").as_bytes()).expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
     }
@@ -96,7 +96,7 @@ fn repair_completes_no_redundancy(shards: usize) {
     assert_ne!(victim, dest);
     net.fail(victim);
     for m in 2..4 {
-        let (_, sends) = source.send_message(format!("msg {m}").as_bytes());
+        let (_, sends) = source.send_message(format!("msg {m}").as_bytes()).expect("within chunk budget");
         net.submit(sends);
     }
     // Let liveness timeouts fire and the FlowFailed report wash up the
@@ -200,7 +200,7 @@ fn redundant_flow_survives_stage2_kill_without_repair() {
     net.fail(victim);
 
     for m in 0..4 {
-        let (_, sends) = source.send_message(format!("chunk {m}").as_bytes());
+        let (_, sends) = source.send_message(format!("chunk {m}").as_bytes()).expect("within chunk budget");
         net.submit(sends);
         net.settle(Some(&mut source), 400, 6);
     }
@@ -251,7 +251,7 @@ fn stale_liveness_entry_cannot_fire_spurious_teardown() {
     let target = relay.addr();
     let send_from = |relay: &mut RelayNode, source: &mut SourceSession, now: Tick, who: usize| {
         let parent = source.graph().stages[0][who];
-        let (_, sends) = source.send_message(b"tick");
+        let (_, sends) = source.send_message(b"tick").expect("within chunk budget");
         for instr in sends.into_iter().filter(|s| s.to == target && s.from == parent) {
             relay.handle_packet(now, instr.from, &instr.packet);
         }
@@ -391,7 +391,7 @@ fn detection_shrinks_gather_horizon() {
     // A fresh message now completes without any timeout-driven settle:
     // run_to_quiescence alone (no advance) must deliver it.
     let before = net.messages_for(dest).len();
-    let (_, sends) = source.send_message(b"no timeout wait");
+    let (_, sends) = source.send_message(b"no timeout wait").expect("within chunk budget");
     net.submit(sends);
     net.run_to_quiescence(Some(&mut source));
     assert_eq!(

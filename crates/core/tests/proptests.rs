@@ -30,7 +30,7 @@ proptest! {
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
         let chunk = &msg[..msg.len().min(source.max_chunk_len())];
-        let (_, sends) = source.send_message(chunk);
+        let (_, sends) = source.send_message(chunk).expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
         let got = net.messages_for(dest);
@@ -62,7 +62,7 @@ proptest! {
             .filter(|&a| a != dest).collect();
         let victim = relays[victim_seed as usize % relays.len()];
         net.fail(victim);
-        let (_, sends) = source.send_message(b"survives one failure");
+        let (_, sends) = source.send_message(b"survives one failure").expect("within chunk budget");
         net.submit(sends);
         net.settle(Some(&mut source), 1_500, l + 1);
         let got = net.messages_for(dest);
@@ -95,7 +95,7 @@ proptest! {
                 let _ = relay.handle_packet(slicing_core::Tick(5), garbage_addr, &p);
             }
         }
-        let (_, sends) = source.send_message(b"clean");
+        let (_, sends) = source.send_message(b"clean").expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
         let got = net.messages_for(dest);
@@ -119,7 +119,7 @@ proptest! {
         let mut net = TestNet::new(&nodes, seed);
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
-        let (_, sends) = source.send_message(b"once");
+        let (_, sends) = source.send_message(b"once").expect("within chunk budget");
         net.submit(sends.clone());
         net.run_to_quiescence(Some(&mut source));
         // Replay the identical packets.
@@ -148,7 +148,7 @@ proptest! {
         let mut net = TestNet::new(&nodes, seed);
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
-        let (_, sends) = source.send_message(b"recoded");
+        let (_, sends) = source.send_message(b"recoded").expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
         let got = net.messages_for(dest);

@@ -71,7 +71,7 @@ fn build_trace(
     for m in 0..messages {
         for (source, tap) in sources.iter_mut() {
             let payload = vec![0xA5u8; 600 + m];
-            let (_, sends) = source.send_message(&payload);
+            let (_, sends) = source.send_message(&payload).expect("within chunk budget");
             for instr in sends {
                 if instr.to == *tap {
                     steps.push(Step::Packet(instr.from, instr.packet));

@@ -20,6 +20,11 @@
 //! case degenerates to pure word-wide XOR. `slicing-codec`,
 //! `slicing-core`'s relays, and the criterion benches all call these —
 //! there is exactly one place to optimize further (SIMD, GFNI) later.
+//!
+//! The module also hosts the GF(2¹⁶) word-slice kernels
+//! ([`dot_slice16`], [`mul_add_slice16`], [`mul_slice16`]) that
+//! [`Gf65536`]'s `Field` bulk hooks dispatch to, so both provided fields
+//! ride shared kernels rather than per-element scalar loops.
 
 use crate::gf256::{build_exp, build_log};
 
@@ -167,6 +172,79 @@ pub fn mul_add_slice(dst: &mut [u8], c: u8, src: &[u8]) {
     }
 }
 
+// ---- GF(2¹⁶) word-slice kernels -------------------------------------------
+//
+// The 16-bit field is too large for a full 2-D multiplication table
+// (it would be 8 GiB), so its kernels hoist what *can* be hoisted out of
+// the per-element loop instead: the `OnceLock` table fetch and the
+// discrete log of the fixed coefficient. The scalar `Gf65536::mul` pays
+// both per element; these pay them once per slice. `Gf65536`'s `Field`
+// bulk hooks delegate here, which carries every GF(2¹⁶) consumer —
+// `Matrix` (mul/rank/inverse/solve) and the `mds` generator
+// constructions/verification — onto the shared kernel layer, the same
+// way the byte kernels above carry the GF(2⁸) coders.
+
+use crate::gf65536::{self, Gf65536};
+
+/// Dot product `Σ a[i]·b[i]` over GF(2¹⁶) slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn dot_slice16(a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
+    assert_eq!(a.len(), b.len(), "dot_slice16 length mismatch");
+    let t = gf65536::tables();
+    let mut acc: u16 = 0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        if x.0 != 0 && y.0 != 0 {
+            acc ^= t.exp[t.log[x.0 as usize] as usize + t.log[y.0 as usize] as usize];
+        }
+    }
+    Gf65536(acc)
+}
+
+/// `acc[i] ^= c · src[i]` for all `i` — the GF(2¹⁶) axpy kernel
+/// (`log c` hoisted out of the loop; `c = 1` degenerates to pure XOR).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn mul_add_slice16(acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
+    assert_eq!(acc.len(), src.len(), "mul_add_slice16 length mismatch");
+    match c.0 {
+        0 => {}
+        1 => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                a.0 ^= s.0;
+            }
+        }
+        _ => {
+            let t = gf65536::tables();
+            let lc = t.log[c.0 as usize] as usize;
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                if s.0 != 0 {
+                    a.0 ^= t.exp[lc + t.log[s.0 as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+/// `row[i] = c · row[i]` for all `i` — the GF(2¹⁶) in-place scale.
+pub fn mul_slice16(row: &mut [Gf65536], c: Gf65536) {
+    match c.0 {
+        0 => row.fill(Gf65536(0)),
+        1 => {}
+        _ => {
+            let t = gf65536::tables();
+            let lc = t.log[c.0 as usize] as usize;
+            for v in row.iter_mut() {
+                if v.0 != 0 {
+                    v.0 = t.exp[lc + t.log[v.0 as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -293,5 +371,59 @@ mod tests {
     fn length_mismatch_panics() {
         let mut dst = [0u8; 4];
         mul_add_slice(&mut dst, 3, &[0u8; 5]);
+    }
+
+    /// The GF(2¹⁶) kernels must agree with element-wise scalar `mul` for
+    /// every coefficient class (zero, one, generic) and length.
+    #[test]
+    fn wide_kernels_match_scalar_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in LENS {
+            let a: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+            let b: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+            for c in [Gf65536(0), Gf65536(1), Gf65536(0xA7C3), Gf65536(0xFFFF)] {
+                // dot (also exercises the zero-element skip).
+                let mut want = Gf65536::zero();
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    want = want.add(x.mul(y));
+                }
+                assert_eq!(dot_slice16(&a, &b), want, "dot len {len}");
+                // axpy.
+                let mut got = a.clone();
+                mul_add_slice16(&mut got, c, &b);
+                let want: Vec<Gf65536> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| x.add(c.mul(y)))
+                    .collect();
+                assert_eq!(got, want, "axpy len {len} c {c:?}");
+                // scale.
+                let mut got = a.clone();
+                mul_slice16(&mut got, c);
+                let want: Vec<Gf65536> = a.iter().map(|&x| x.mul(c)).collect();
+                assert_eq!(got, want, "scale len {len} c {c:?}");
+            }
+        }
+    }
+
+    /// Sparse inputs (zeros interleaved) hit the skip branches.
+    #[test]
+    fn wide_kernels_handle_zero_elements() {
+        let a: Vec<Gf65536> = (0..16u16)
+            .map(|i| Gf65536(if i % 3 == 0 { 0 } else { i * 31 }))
+            .collect();
+        let mut acc = vec![Gf65536(0x1111); 16];
+        let before = acc.clone();
+        mul_add_slice16(&mut acc, Gf65536(0x20), &a);
+        for i in 0..16 {
+            assert_eq!(acc[i], before[i].add(Gf65536(0x20).mul(a[i])));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wide_length_mismatch_panics() {
+        let mut dst = [Gf65536(0); 4];
+        mul_add_slice16(&mut dst, Gf65536(3), &[Gf65536(0); 5]);
     }
 }

@@ -95,9 +95,12 @@ pub trait Field:
     // `Gf256` overrides them to stream through the 64 KiB compile-time
     // multiplication table (one L1-resident row per fixed coefficient,
     // one 2-D lookup per varying pair), the same table behind
-    // [`crate::bulk`]. All matrix and dot-product code routes through
-    // these hooks, so the port covers `mul_mat`, `mul_vec`, `rank`,
-    // `inverse` and `solve` at once.
+    // [`crate::bulk`], and `Gf65536` overrides them with the word-slice
+    // kernels (`bulk::mul_add_slice16` and friends — table fetch and
+    // `log c` hoisted out of the loop). All matrix and dot-product code
+    // routes through these hooks, so the ports cover `mul_mat`,
+    // `mul_vec`, `rank`, `inverse`, `solve` and the `mds` generator
+    // constructions at once.
 
     /// Dot product `Σ a[i]·b[i]` over equal-length slices.
     fn dot_slices(a: &[Self], b: &[Self]) -> Self {
@@ -277,6 +280,44 @@ mod tests {
                 let mut got = a.clone();
                 sub_scaled(&mut got, c, &b);
                 let want: Vec<Gf256> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| x.sub(c.mul(y)))
+                    .collect();
+                assert_eq!(got, want, "sub_scaled len {len} c {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf65536_hooks_match_scalar_semantics() {
+        // Gf65536's kernel-backed overrides must agree with the
+        // element-wise defaults for every kernel the matrix code uses.
+        let mut rng = rand::thread_rng();
+        for len in [0usize, 1, 7, 64, 255] {
+            let a: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+            let b: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+            for c in [Gf65536::new(0), Gf65536::new(1), Gf65536::new(0xBEEF)] {
+                let mut want = Gf65536::zero();
+                for (&x, &y) in a.iter().zip(b.iter()) {
+                    want = want.add(x.mul(y));
+                }
+                assert_eq!(dot(&a, &b), want, "dot len {len}");
+                let mut got = a.clone();
+                axpy(&mut got, c, &b);
+                let want: Vec<Gf65536> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| x.add(c.mul(y)))
+                    .collect();
+                assert_eq!(got, want, "axpy len {len} c {c:?}");
+                let mut got = a.clone();
+                scale(&mut got, c);
+                let want: Vec<Gf65536> = a.iter().map(|&x| x.mul(c)).collect();
+                assert_eq!(got, want, "scale len {len} c {c:?}");
+                let mut got = a.clone();
+                sub_scaled(&mut got, c, &b);
+                let want: Vec<Gf65536> = a
                     .iter()
                     .zip(b.iter())
                     .map(|(&x, &y)| x.sub(c.mul(y)))

@@ -228,6 +228,17 @@ mod tests {
     }
 
     #[test]
+    fn verified_random_works_in_gf65536() {
+        // Exercises the whole verification loop (rank via Gaussian
+        // elimination) through Gf65536's kernel-backed bulk hooks.
+        let mut rng = rng();
+        for (dp, d) in [(3usize, 2usize), (5, 3), (4, 4)] {
+            let m = random_verified::<Gf65536, _>(dp, d, &mut rng);
+            assert!(all_row_subsets_invertible(&m), "failed at ({dp},{d})");
+        }
+    }
+
+    #[test]
     fn generator_square_case_is_invertible() {
         let mut rng = rng();
         let m = generator::<Gf256, _>(4, 4, &mut rng);

@@ -1,7 +1,7 @@
 //! Daemon tasks: async drivers around the sans-IO engines.
 //!
-//! Two shapes, mirroring the paper's per-node multi-threaded daemon
-//! (§7.1):
+//! Three shapes, mirroring (and extending) the paper's per-node
+//! multi-threaded daemon (§7.1):
 //!
 //! * [`spawn_relay`] — the classic single-task daemon: one worker task
 //!   owns the node's single [`RelayShard`] (fed straight from the
@@ -15,6 +15,17 @@
 //!   have shard affinity (`hash(flow_id) % N` via the shared
 //!   [`FlowRouter`]), so shards never contend on flow state and a relay
 //!   scales across cores.
+//! * [`spawn_node`] — the combined node: relay, source and destination
+//!   roles concurrently over shared transports. Every port's ingress
+//!   peeks the flow id and routes the buffer to either the relay plane
+//!   (shard workers, as above) or the session plane (a
+//!   [`slicing_core::SessionManager`] split into per-shard workers that
+//!   host thousands of source/destination endpoints). Receiver flows
+//!   established by the relay plane get a colocated
+//!   [`DestSession`] in their owning shard worker — flow affinity means
+//!   the destination role adds no locks to the packet path — while the
+//!   relay keeps forwarding downstream so neighbours cannot tell the
+//!   node terminates traffic.
 //!
 //! Wire-garbage (buffers that fail packet parsing) is counted into the
 //! relay's shared [`slicing_core::RelayStatsAtomic`] by whichever task
@@ -22,15 +33,20 @@
 //! cell, so tests and dashboards can watch a live relay without owning
 //! its state.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use slicing_core::{
-    FlowRouter, OverlayAddr, Packet, RelayNode, RelayOutput, RelayShard, RelayStatsAtomic,
-    ShardedRelay, Tick,
+    DestSession, FlowRouter, OverlayAddr, Packet, RelayNode, RelayOutput, RelayShard,
+    RelayStatsAtomic, SessionConfig, SessionError, SessionId, SessionManager, SessionOutput,
+    SessionRouter, SessionShard, SessionStats, SessionStatsAtomic, ShardedRelay, SourceSession,
+    Tick,
 };
+use slicing_graph::packets::SendInstr;
 use slicing_onion::{OnionPacket, OnionRelay};
-use slicing_wire::peek_flow_id;
+use slicing_wire::{peek_flow_id, FlowId};
 use std::sync::Arc;
 use tokio::sync::mpsc;
 
@@ -55,6 +71,8 @@ pub enum OverlayEvent {
     Established {
         /// The node that established.
         addr: OverlayAddr,
+        /// The established flow.
+        flow: FlowId,
         /// Whether it is the flow's destination.
         receiver: bool,
         /// Milliseconds since the daemon started.
@@ -81,9 +99,10 @@ fn emit_events(
     outputs: &RelayOutput,
 ) {
     let at_ms = epoch.elapsed().as_millis() as u64;
-    for &receiver in &outputs.established {
+    for &(flow, receiver) in &outputs.established {
         let _ = events.send(OverlayEvent::Established {
             addr,
+            flow,
             receiver,
             at_ms,
         });
@@ -191,6 +210,7 @@ pub fn spawn_relay(
             events,
             epoch,
             StopLine::live(stop_rx),
+            None,
         )),
     }
 }
@@ -250,6 +270,7 @@ pub fn spawn_sharded_relay(
             events.clone(),
             epoch,
             StopLine::dormant(),
+            None,
         ));
         shard_txs.push(stx);
     }
@@ -301,6 +322,13 @@ async fn ingress(
 /// One shard's worker: owns the shard, drives packets and the 50 ms
 /// timer, reports events, and transmits through its own egress handle
 /// with consecutive same-neighbour sends batched.
+///
+/// With `dest_spec` set, the worker also plays the **destination role**
+/// for receiver flows its shard establishes: each gets a colocated
+/// [`DestSession`] (flow affinity — no locks), fed from the relay's
+/// decoded deliveries; completed stream messages go out on the spec's
+/// delivery channel and acks/replies ride the reverse path through this
+/// worker's egress.
 async fn shard_worker(
     mut shard: RelayShard,
     mut rx: mpsc::Receiver<(OverlayAddr, Bytes)>,
@@ -308,6 +336,7 @@ async fn shard_worker(
     events: mpsc::UnboundedSender<OverlayEvent>,
     epoch: Instant,
     mut stop: StopLine,
+    dest_spec: Option<DestSessionSpec>,
 ) {
     let addr = shard.addr();
     let stats = shard.shared_stats();
@@ -315,6 +344,7 @@ async fn shard_worker(
     ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
     let mut scratch = Vec::new();
     let mut last_poll = Instant::now();
+    let mut dests: HashMap<FlowId, DestSession> = HashMap::new();
     let handle = |shard: &mut RelayShard, from: OverlayAddr, bytes: Bytes| match Packet::from_bytes(
         bytes,
     ) {
@@ -327,6 +357,7 @@ async fn shard_worker(
         }
     };
     loop {
+        let mut poll_boundary = false;
         let mut outputs = tokio::select! {
             maybe = rx.recv() => {
                 let Some((from, bytes)) = maybe else { break };
@@ -334,6 +365,7 @@ async fn shard_worker(
             }
             _ = ticker.tick() => {
                 last_poll = Instant::now();
+                poll_boundary = true;
                 shard.poll(now_tick(epoch))
             }
             // Clean mid-flow shutdown (single-shard daemons; sharded
@@ -352,7 +384,19 @@ async fn shard_worker(
         // so run overdue timer work at batch boundaries as well.
         if last_poll.elapsed() >= POLL_PERIOD {
             last_poll = Instant::now();
+            poll_boundary = true;
             outputs.merge(shard.poll(now_tick(epoch)));
+        }
+        if let Some(spec) = &dest_spec {
+            drive_dest_role(
+                &mut shard,
+                &mut dests,
+                spec,
+                addr,
+                epoch,
+                &mut outputs,
+                poll_boundary,
+            );
         }
         emit_events(&events, addr, epoch, &outputs);
         flush_sends(&tx, outputs, &mut scratch).await;
@@ -360,6 +404,668 @@ async fn shard_worker(
     }
     // Exiting (port closed or shutdown): leave the shared stats exact.
     shard.publish_stats();
+}
+
+/// The colocated destination role of one relay shard worker: register
+/// sessions for freshly established receiver flows, feed relay
+/// deliveries through them, run their periodic work at poll boundaries,
+/// and GC sessions whose flow the relay evicted.
+fn drive_dest_role(
+    shard: &mut RelayShard,
+    dests: &mut HashMap<FlowId, DestSession>,
+    spec: &DestSessionSpec,
+    addr: OverlayAddr,
+    epoch: Instant,
+    outputs: &mut RelayOutput,
+    poll_boundary: bool,
+) {
+    let now = now_tick(epoch);
+    for &(flow, receiver) in &outputs.established {
+        if receiver && !dests.contains_key(&flow) {
+            if let Some(info) = shard.flow_info(flow) {
+                dests.insert(
+                    flow,
+                    DestSession::new(addr, flow, info.clone(), spec.config, spec.seed ^ flow.0),
+                );
+            }
+        }
+    }
+    for r in &outputs.received {
+        if let Some(dest) = dests.get_mut(&r.flow) {
+            let dout = dest.handle_delivery(now, r.seq, r.plaintext.clone());
+            absorb_dest_output(spec, addr, epoch, r.flow, dout, &mut outputs.sends);
+        }
+    }
+    // Replays the relay suppressed mean a lost ack: re-announce.
+    for &(flow, seq) in &outputs.replayed {
+        if let Some(dest) = dests.get_mut(&flow) {
+            let dout = dest.handle_replay(now, seq);
+            absorb_dest_output(spec, addr, epoch, flow, dout, &mut outputs.sends);
+        }
+    }
+    if poll_boundary && !dests.is_empty() {
+        let mut douts: Vec<(FlowId, slicing_core::DestOutput)> = Vec::new();
+        for (&flow, dest) in dests.iter_mut() {
+            if dest.next_due().is_some_and(|d| d.0 <= now.0) {
+                douts.push((flow, dest.poll(now)));
+            }
+        }
+        for (flow, dout) in douts {
+            absorb_dest_output(spec, addr, epoch, flow, dout, &mut outputs.sends);
+        }
+        // The relay's flow GC is authoritative: a session whose flow was
+        // evicted dies with it.
+        dests.retain(|flow, _| shard.flow_info(*flow).is_some());
+    }
+}
+
+/// Queue a dest session's reverse sends and report completed messages.
+fn absorb_dest_output(
+    spec: &DestSessionSpec,
+    addr: OverlayAddr,
+    epoch: Instant,
+    flow: FlowId,
+    dout: slicing_core::DestOutput,
+    sends: &mut Vec<SendInstr>,
+) {
+    sends.extend(dout.sends);
+    let at_ms = epoch.elapsed().as_millis() as u64;
+    for (msg_id, payload) in dout.messages {
+        let _ = spec.deliveries.send(StreamDelivery {
+            addr,
+            flow,
+            msg_id,
+            payload,
+            at_ms,
+        });
+    }
+}
+
+// ---- the combined node: relay + source + destination roles ---------------
+
+/// Colocated destination-session support for relay workers: receiver
+/// flows established by the relay plane get a [`DestSession`] in their
+/// owning shard worker.
+#[derive(Clone)]
+pub struct DestSessionSpec {
+    /// Session tuning (ack cadence, reassembly quotas).
+    pub config: SessionConfig,
+    /// Base RNG seed (mixed with the flow id per session).
+    pub seed: u64,
+    /// Completed stream messages are reported here.
+    pub deliveries: mpsc::UnboundedSender<StreamDelivery>,
+}
+
+/// A stream message completed at a combined node's destination role.
+#[derive(Clone, Debug)]
+pub struct StreamDelivery {
+    /// The destination node.
+    pub addr: OverlayAddr,
+    /// The receiver flow it arrived on.
+    pub flow: FlowId,
+    /// Stream message id (per-session, in delivery order).
+    pub msg_id: u32,
+    /// The reassembled payload.
+    pub payload: Vec<u8>,
+    /// Milliseconds since the daemon epoch.
+    pub at_ms: u64,
+}
+
+/// Events the session plane reports to the harness.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// A source-side stream message was fully acknowledged end to end.
+    Acked {
+        /// The source session.
+        session: SessionId,
+        /// The completed message.
+        msg_id: u32,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
+    /// A manager-hosted destination endpoint completed a message.
+    Delivered {
+        /// The destination session.
+        session: SessionId,
+        /// Stream message id.
+        msg_id: u32,
+        /// The reassembled payload.
+        payload: Vec<u8>,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
+    /// A destination reply surfaced at a source session.
+    Reply {
+        /// The source session.
+        session: SessionId,
+        /// Reply id.
+        reply_id: u32,
+        /// Reply payload.
+        payload: Vec<u8>,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
+    /// An unframed (legacy) message surfaced at a session endpoint.
+    Raw {
+        /// The session.
+        session: SessionId,
+        /// Protocol sequence number.
+        seq: u32,
+        /// Decoded payload.
+        payload: Vec<u8>,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
+    /// A command against a session failed (backpressure, quota, unknown
+    /// id) — the session plane's typed error surface.
+    Rejected {
+        /// The session the command addressed.
+        session: SessionId,
+        /// Why it was rejected.
+        error: SessionError,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
+}
+
+/// Commands a [`SessionHandle`] routes to session shard workers.
+enum SessionCommand {
+    OpenSource {
+        id: SessionId,
+        source: Box<SourceSession>,
+        setup: Vec<SendInstr>,
+    },
+    OpenDest {
+        id: SessionId,
+        dest: Box<DestSession>,
+    },
+    Send {
+        id: SessionId,
+        payload: Vec<u8>,
+    },
+    Close {
+        id: SessionId,
+    },
+}
+
+/// Driver-side handle to a spawned node's session plane: open, feed and
+/// close sessions while the workers own the shards. Cloneable; commands
+/// route by session id to the owning worker, results surface through
+/// [`SessionEvent`]s and the shared stats.
+#[derive(Clone)]
+pub struct SessionHandle {
+    next_id: Arc<AtomicU64>,
+    router: SessionRouter,
+    config: SessionConfig,
+    cmds: Vec<mpsc::Sender<SessionCommand>>,
+    stats: Arc<SessionStatsAtomic>,
+}
+
+impl SessionHandle {
+    /// Open a source session (applies the node's default session
+    /// config); `setup` is transmitted by the owning worker once the
+    /// session's flows are registered, so reverse traffic can never
+    /// race its registration.
+    pub async fn open_source(
+        &self,
+        mut source: SourceSession,
+        setup: Vec<SendInstr>,
+    ) -> SessionId {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        source.set_session_config(self.config);
+        let shard = self.router.route_id(id);
+        let _ = self.cmds[shard]
+            .send(SessionCommand::OpenSource {
+                id,
+                source: Box::new(source),
+                setup,
+            })
+            .await;
+        id
+    }
+
+    /// Open a destination endpoint (endpoint mode — the node's ingress
+    /// routes the flow's data packets straight to it).
+    pub async fn open_dest(&self, dest: DestSession) -> SessionId {
+        let id = SessionId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let shard = self.router.route_id(id);
+        let _ = self.cmds[shard]
+            .send(SessionCommand::OpenDest {
+                id,
+                dest: Box::new(dest),
+            })
+            .await;
+        id
+    }
+
+    /// Queue one stream message on a session. Fire-and-forget: failures
+    /// (backpressure, unknown id) surface as
+    /// [`SessionEvent::Rejected`].
+    pub async fn send(&self, id: SessionId, payload: Vec<u8>) {
+        let shard = self.router.route_id(id);
+        let _ = self.cmds[shard]
+            .send(SessionCommand::Send { id, payload })
+            .await;
+    }
+
+    /// Tear a session down.
+    pub async fn close(&self, id: SessionId) {
+        let shard = self.router.route_id(id);
+        let _ = self.cmds[shard].send(SessionCommand::Close { id }).await;
+    }
+
+    /// Snapshot of the node's session-plane counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats.snapshot()
+    }
+
+    /// The session router (flow registrations; shard lookup).
+    pub fn router(&self) -> &SessionRouter {
+        &self.router
+    }
+}
+
+/// Everything [`spawn_node`] needs to bring one overlay node up.
+pub struct NodeSpec {
+    /// The relay plane, if this node forwards traffic.
+    pub relay: Option<ShardedRelay>,
+    /// The session plane, if this node hosts endpoints.
+    pub sessions: Option<SessionManager>,
+    /// Every attachment point the node owns (its relay address and/or
+    /// its pseudo-source addresses) — one shared ingress discipline
+    /// routes each port's traffic to whichever plane owns the flow.
+    pub ports: Vec<NodePort>,
+    /// Colocated destination sessions on the relay plane's receiver
+    /// flows.
+    pub dest_sessions: Option<DestSessionSpec>,
+    /// Relay-plane events.
+    pub events: mpsc::UnboundedSender<OverlayEvent>,
+    /// Session-plane events.
+    pub session_events: Option<mpsc::UnboundedSender<SessionEvent>>,
+    /// Shared epoch for the Tick clock.
+    pub epoch: Instant,
+}
+
+/// A running combined node.
+pub struct NodeHandle {
+    stops: Vec<mpsc::Sender<()>>,
+    joins: Vec<tokio::task::JoinHandle<()>>,
+    /// The session plane's driver handle (when the node hosts one).
+    pub sessions: Option<SessionHandle>,
+}
+
+impl NodeHandle {
+    /// Ask every ingress to exit (workers drain out when their inboxes
+    /// close) and wait for the ingress tasks.
+    pub async fn shutdown(self) {
+        for stop in &self.stops {
+            let _ = stop.send(()).await;
+        }
+        for join in self.joins {
+            let _ = join.await;
+        }
+    }
+
+    /// Hard-abort the node's ingress tasks (teardown).
+    pub fn abort(&self) {
+        for join in &self.joins {
+            join.abort();
+        }
+    }
+}
+
+/// A session-plane packet handed to a shard worker: `(owning session —
+/// resolved once at the ingress — local, from, wire bytes)`.
+type SessionPacket = (SessionId, OverlayAddr, OverlayAddr, Bytes);
+/// A relay-plane packet handed to a shard worker: `(from, wire bytes)`.
+type RelayPacket = (OverlayAddr, Bytes);
+
+/// What a node ingress needs to steer one received buffer.
+#[derive(Clone)]
+struct IngressRouting {
+    session: Option<(SessionRouter, Vec<mpsc::Sender<SessionPacket>>, Arc<SessionStatsAtomic>)>,
+    relay: Option<(FlowRouter, Vec<mpsc::Sender<RelayPacket>>, Arc<RelayStatsAtomic>)>,
+}
+
+/// Spawn one overlay node hosting any combination of relay, source and
+/// destination roles over shared transports.
+///
+/// Per port, an ingress task peeks each buffer's flow id and routes it:
+/// flows registered with the session plane go to the owning
+/// [`SessionShard`] worker, everything else to the relay plane's
+/// [`RelayShard`] workers (or dies as garbage when no plane claims it).
+/// Receiver flows the relay establishes get colocated [`DestSession`]s
+/// when `dest_sessions` is set, so one node terminates, originates and
+/// forwards traffic concurrently — with flow/session affinity keeping
+/// every packet path lock-free.
+pub fn spawn_node(spec: NodeSpec) -> NodeHandle {
+    let NodeSpec {
+        relay,
+        sessions,
+        ports,
+        dest_sessions,
+        events,
+        session_events,
+        epoch,
+    } = spec;
+    // Egress: one sender per attachment address, shared by the session
+    // workers (SendInstr.from picks the port).
+    let egress: Arc<HashMap<OverlayAddr, PortSender>> = Arc::new(
+        ports
+            .iter()
+            .map(|p| (p.addr, p.tx.clone()))
+            .collect(),
+    );
+
+    // Relay plane.
+    let mut relay_routing = None;
+    if let Some(relay) = relay {
+        let relay_addr = relay.addr();
+        let relay_tx = egress
+            .get(&relay_addr)
+            .cloned()
+            .or_else(|| ports.first().map(|p| p.tx.clone()))
+            .expect("spawn_node needs at least one port");
+        let (shards, router, stats) = relay.into_parts();
+        let mut shard_txs = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let (stx, srx) = mpsc::channel::<(OverlayAddr, Bytes)>(1024);
+            tokio::spawn(shard_worker(
+                shard,
+                srx,
+                relay_tx.clone(),
+                events.clone(),
+                epoch,
+                StopLine::dormant(),
+                dest_sessions.clone(),
+            ));
+            shard_txs.push(stx);
+        }
+        relay_routing = Some((router, shard_txs, stats));
+    }
+
+    // Session plane.
+    let mut session_routing = None;
+    let mut session_handle = None;
+    if let Some(manager) = sessions {
+        let config = manager.default_config();
+        let (shards, router, stats) = manager.into_parts();
+        let mut packet_txs = Vec::with_capacity(shards.len());
+        let mut cmd_txs = Vec::with_capacity(shards.len());
+        for shard in shards {
+            let (ptx, prx) = mpsc::channel::<SessionPacket>(1024);
+            let (ctx, crx) = mpsc::channel::<SessionCommand>(256);
+            tokio::spawn(session_worker(
+                shard,
+                prx,
+                crx,
+                Arc::clone(&egress),
+                session_events.clone(),
+                Arc::clone(&stats),
+                epoch,
+            ));
+            packet_txs.push(ptx);
+            cmd_txs.push(ctx);
+        }
+        session_handle = Some(SessionHandle {
+            next_id: Arc::new(AtomicU64::new(1)),
+            router: router.clone(),
+            config,
+            cmds: cmd_txs,
+            stats: Arc::clone(&stats),
+        });
+        session_routing = Some((router, packet_txs, stats));
+    }
+
+    let routing = IngressRouting {
+        session: session_routing,
+        relay: relay_routing,
+    };
+    let mut stops = Vec::with_capacity(ports.len());
+    let mut joins = Vec::with_capacity(ports.len());
+    for port in ports {
+        let (stop_tx, stop_rx) = mpsc::channel(1);
+        stops.push(stop_tx);
+        joins.push(tokio::spawn(node_ingress(port, routing.clone(), stop_rx)));
+    }
+    NodeHandle {
+        stops,
+        joins,
+        sessions: session_handle,
+    }
+}
+
+/// One port's ingress: peek the flow id, pick the plane, pick the
+/// shard, hand the frozen buffer over. Datagram semantics — a full
+/// worker inbox sheds the packet rather than stalling the other shards.
+async fn node_ingress(mut port: NodePort, routing: IngressRouting, mut stop: mpsc::Receiver<()>) {
+    let local = port.addr;
+    loop {
+        let received = tokio::select! {
+            maybe = port.rx.recv() => maybe,
+            _ = stop.recv() => None,
+        };
+        let Some((from, bytes)) = received else { break };
+        match peek_flow_id(&bytes) {
+            Some(flow) => {
+                if let Some((router, txs, stats)) = &routing.session {
+                    if let Some((shard, id)) = router.lookup(flow) {
+                        if txs[shard].try_send((id, local, from, bytes)).is_err() {
+                            stats.record_drop();
+                        }
+                        continue;
+                    }
+                }
+                if let Some((router, txs, stats)) = &routing.relay {
+                    let idx = router.route(flow);
+                    if txs[idx].try_send((from, bytes)).is_err() {
+                        stats.record_drop();
+                    }
+                    continue;
+                }
+                // No plane claims the flow on a session-only node.
+                if let Some((_, _, stats)) = &routing.session {
+                    stats.record_drop();
+                }
+            }
+            None => {
+                if let Some((_, _, stats)) = &routing.relay {
+                    stats.record_garbage();
+                } else if let Some((_, _, stats)) = &routing.session {
+                    stats.record_drop();
+                }
+            }
+        }
+    }
+    // Dropping the routing clones closes the workers' inboxes once
+    // every ingress has exited.
+}
+
+/// A command line that can go dormant once the last handle is dropped
+/// (so the worker's select loop does not spin on a closed channel).
+struct CmdLine {
+    rx: mpsc::Receiver<SessionCommand>,
+    _keep: Option<mpsc::Sender<SessionCommand>>,
+}
+
+/// One session shard's worker: owns the shard, drives packets, driver
+/// commands and the 50 ms wheel tick, transmits through the node's
+/// shared egress map, and reports session events.
+async fn session_worker(
+    mut shard: SessionShard,
+    mut packets: mpsc::Receiver<SessionPacket>,
+    cmds: mpsc::Receiver<SessionCommand>,
+    egress: Arc<HashMap<OverlayAddr, PortSender>>,
+    events: Option<mpsc::UnboundedSender<SessionEvent>>,
+    stats: Arc<SessionStatsAtomic>,
+    epoch: Instant,
+) {
+    let mut cmds = CmdLine {
+        rx: cmds,
+        _keep: None,
+    };
+    let mut ticker = tokio::time::interval(POLL_PERIOD);
+    ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+    let mut scratch = Vec::new();
+    let handle = |shard: &mut SessionShard,
+                  id: SessionId,
+                  local: OverlayAddr,
+                  from: OverlayAddr,
+                  bytes: Bytes| match Packet::from_bytes(bytes) {
+        Ok(packet) => shard.handle_routed(now_tick(epoch), id, local, from, &packet),
+        Err(_) => {
+            stats.record_drop();
+            SessionOutput::default()
+        }
+    };
+    loop {
+        let mut out = tokio::select! {
+            maybe = packets.recv() => {
+                let Some((id, local, from, bytes)) = maybe else { break };
+                handle(&mut shard, id, local, from, bytes)
+            }
+            cmd = cmds.rx.recv() => {
+                match cmd {
+                    Some(cmd) => apply_session_command(&mut shard, cmd, &events, epoch),
+                    None => {
+                        // Driver handle gone: keep serving packets, stop
+                        // selecting on the closed channel.
+                        let (keep, rx) = mpsc::channel(1);
+                        cmds = CmdLine { rx, _keep: Some(keep) };
+                        continue;
+                    }
+                }
+            }
+            _ = ticker.tick() => shard.poll(now_tick(epoch)),
+        };
+        for _ in 0..WORKER_DRAIN_BATCH {
+            match packets.try_recv() {
+                Ok((id, local, from, bytes)) => {
+                    out.merge(handle(&mut shard, id, local, from, bytes))
+                }
+                Err(_) => break,
+            }
+        }
+        emit_session_events(&events, epoch, &mut out);
+        flush_instr_batches(&egress, out.sends, &mut scratch).await;
+        shard.publish_stats();
+    }
+    shard.publish_stats();
+}
+
+/// Apply one driver command to a session shard.
+fn apply_session_command(
+    shard: &mut SessionShard,
+    cmd: SessionCommand,
+    events: &Option<mpsc::UnboundedSender<SessionEvent>>,
+    epoch: Instant,
+) -> SessionOutput {
+    let now = now_tick(epoch);
+    let mut out = SessionOutput::default();
+    let reject = |id: SessionId, error: SessionError| {
+        if let Some(ev) = events {
+            let _ = ev.send(SessionEvent::Rejected {
+                session: id,
+                error,
+                at_ms: epoch.elapsed().as_millis() as u64,
+            });
+        }
+    };
+    match cmd {
+        SessionCommand::OpenSource { id, source, setup } => {
+            match shard.open_source(now, id, *source) {
+                // The session's flows are registered; setup may now hit
+                // the wire without racing reverse traffic.
+                Ok(()) => out.sends.extend(setup),
+                Err(e) => reject(id, e),
+            }
+        }
+        SessionCommand::OpenDest { id, dest } => {
+            if let Err(e) = shard.open_dest(now, id, *dest) {
+                reject(id, e);
+            }
+        }
+        SessionCommand::Send { id, payload } => match shard.send(now, id, &payload) {
+            Ok((_, sends)) => out.sends.extend(sends),
+            Err(e) => reject(id, e),
+        },
+        SessionCommand::Close { id } => {
+            shard.close(id);
+        }
+    }
+    out
+}
+
+/// Report a shard output's session events.
+fn emit_session_events(
+    events: &Option<mpsc::UnboundedSender<SessionEvent>>,
+    epoch: Instant,
+    out: &mut SessionOutput,
+) {
+    let Some(ev) = events else {
+        out.delivered.clear();
+        out.acked.clear();
+        out.replies.clear();
+        out.raw.clear();
+        return;
+    };
+    let at_ms = epoch.elapsed().as_millis() as u64;
+    for (session, msg_id) in out.acked.drain(..) {
+        let _ = ev.send(SessionEvent::Acked {
+            session,
+            msg_id,
+            at_ms,
+        });
+    }
+    for (session, msg_id, payload) in out.delivered.drain(..) {
+        let _ = ev.send(SessionEvent::Delivered {
+            session,
+            msg_id,
+            payload,
+            at_ms,
+        });
+    }
+    for (session, reply_id, payload) in out.replies.drain(..) {
+        let _ = ev.send(SessionEvent::Reply {
+            session,
+            reply_id,
+            payload,
+            at_ms,
+        });
+    }
+    for (session, seq, payload) in out.raw.drain(..) {
+        let _ = ev.send(SessionEvent::Raw {
+            session,
+            seq,
+            payload,
+            at_ms,
+        });
+    }
+}
+
+/// Transmit `sends` through a per-address egress map, batching runs of
+/// identical `(from, to)` pairs into one transport call. Sends from
+/// addresses the node does not own are dropped (a mis-addressed
+/// instruction, not a transport error).
+async fn flush_instr_batches(
+    egress: &HashMap<OverlayAddr, PortSender>,
+    sends: Vec<SendInstr>,
+    scratch: &mut Vec<Bytes>,
+) {
+    let mut i = 0;
+    while i < sends.len() {
+        let (from, to) = (sends[i].from, sends[i].to);
+        scratch.clear();
+        while i < sends.len() && sends[i].from == from && sends[i].to == to {
+            scratch.push(sends[i].packet.encode());
+            i += 1;
+        }
+        if let Some(port) = egress.get(&from) {
+            port.send_many(to, scratch).await;
+        } else {
+            scratch.clear();
+        }
+    }
 }
 
 /// Spawn an onion relay daemon on `port`.
@@ -380,6 +1086,8 @@ pub fn spawn_onion_relay(
             if let Some(is_exit) = out.established {
                 let _ = events.send(OverlayEvent::Established {
                     addr,
+                    // Onion circuits have no slicing flow id.
+                    flow: FlowId(0),
                     receiver: is_exit,
                     at_ms,
                 });

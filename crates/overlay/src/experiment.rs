@@ -7,10 +7,10 @@ use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use slicing_core::{
-    DestPlacement, GraphParams, OverlayAddr, RelayConfig, RelayNode, ShardedRelay, SourceConfig,
-    SourceSession,
+    DestPlacement, GraphParams, OverlayAddr, RelayConfig, RelayNode, SessionConfig,
+    SessionManager, ShardedRelay, SourceConfig, SourceSession,
 };
 use slicing_graph::packets::SendInstr;
 use slicing_onion::{Directory, OnionRelay, OnionSource};
@@ -19,7 +19,8 @@ use slicing_sim::wan::NetProfile;
 use tokio::sync::mpsc;
 
 use crate::daemon::{
-    now_tick, spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent, RelayDaemon,
+    now_tick, spawn_node, spawn_onion_relay, spawn_relay, spawn_sharded_relay, DestSessionSpec,
+    NodeSpec, OverlayEvent, RelayDaemon, SessionEvent,
 };
 use crate::{EmulatedNet, NodePort, TcpNet};
 
@@ -233,7 +234,7 @@ pub async fn run_slicing_transfer(cfg: &TransferConfig) -> TransferReport {
     let payload = vec![0xA5u8; payload_len];
     let data_start = Instant::now();
     for _ in 0..cfg.messages {
-        let (_, sends) = source.send_message(&payload);
+        let (_, sends) = source.send_message(&payload).expect("payload clamped to budget");
         for instr in sends {
             let port = pseudo_ports
                 .iter()
@@ -391,6 +392,14 @@ pub struct MultiFlowReport {
 /// Fig. 13: `flows` concurrent anonymous flows over a shared overlay of
 /// `overlay_size` relay nodes (the paper: 100 nodes, d = 3, L = 5),
 /// each relay sharded `relay_shards` ways (1 = classic daemons).
+///
+/// Built on the combined-node runtime: every overlay node is a
+/// [`spawn_node`] hosting relay + destination roles (receiver flows get
+/// colocated destination sessions that acknowledge and reassemble), and
+/// **one** source node multiplexes every flow as a session of a single
+/// sharded [`SessionManager`] over `d′` shared pseudo-source ports —
+/// the paper's many-connections workload as one process would actually
+/// run it, rather than `flows` independent driver loops.
 #[allow(clippy::too_many_arguments)] // experiment knobs, used by one harness
 pub async fn run_multi_flow(
     overlay_size: usize,
@@ -405,35 +414,72 @@ pub async fn run_multi_flow(
 ) -> MultiFlowReport {
     let net = EmulatedNet::new(profile, seed);
     let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let (deliveries_tx, mut deliveries_rx) = mpsc::unbounded_channel();
     let epoch = Instant::now();
+    let relay_config = RelayConfig {
+        data_flush_ms: 250,
+        ..RelayConfig::default()
+    };
+    let session_config = SessionConfig {
+        retransmit_ms: 1_200,
+        ack_interval_ms: 150,
+        ..SessionConfig::default()
+    };
 
-    // Shared overlay nodes.
+    // Shared overlay nodes: relay + destination roles combined.
     let mut node_addrs = Vec::with_capacity(overlay_size);
     let mut handles = Vec::new();
     for i in 0..overlay_size {
         let port = net.attach(OverlayAddr(10_000 + i as u64));
         node_addrs.push(port.addr);
-        handles.push(spawn_relay_daemon(
-            port.addr,
-            seed,
-            RelayConfig::default(),
-            relay_shards,
-            port,
-            events_tx.clone(),
+        handles.push(spawn_node(NodeSpec {
+            relay: Some(ShardedRelay::with_config(
+                port.addr,
+                seed,
+                relay_config,
+                relay_shards,
+            )),
+            sessions: None,
+            ports: vec![port],
+            dest_sessions: Some(DestSessionSpec {
+                config: session_config,
+                seed,
+                deliveries: deliveries_tx.clone(),
+            }),
+            events: events_tx.clone(),
+            session_events: None,
             epoch,
-        ));
+        }));
     }
 
-    // Per-flow sources and destinations (destinations are overlay nodes).
+    // The source node: d′ shared pseudo-source ports, one session
+    // manager sharded like the relays.
+    let mut pseudo_ports = Vec::with_capacity(params.paths);
+    for i in 0..params.paths {
+        pseudo_ports.push(net.attach(OverlayAddr(1_000_000 + i as u64)));
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let manager = SessionManager::new(relay_shards.max(1), flows.max(1) * 2 + 8, session_config);
+    let (session_events_tx, mut session_events_rx) = mpsc::unbounded_channel();
+    let source_node = spawn_node(NodeSpec {
+        relay: None,
+        sessions: Some(manager),
+        ports: pseudo_ports,
+        dest_sessions: None,
+        events: events_tx.clone(),
+        session_events: Some(session_events_tx),
+        epoch,
+    });
+    let sessions = source_node
+        .sessions
+        .clone()
+        .expect("source node hosts the session plane");
+
+    // Open one session per flow (destinations are overlay nodes).
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut sources = Vec::new();
-    let mut dest_of_flow = Vec::new();
-    for flow in 0..flows {
-        let mut pseudo_ports = Vec::new();
-        for i in 0..params.paths {
-            pseudo_ports.push(net.attach(OverlayAddr(1_000_000 + (flow * 16 + i) as u64)));
-        }
-        let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let mut opened = 0usize;
+    let mut session_ids = Vec::with_capacity(flows);
+    for _ in 0..flows {
         let dest = node_addrs[rng.gen_range(0..node_addrs.len())];
         let candidates: Vec<OverlayAddr> = node_addrs
             .iter()
@@ -442,45 +488,27 @@ pub async fn run_multi_flow(
             .collect();
         match SourceSession::establish(params, &pseudo_addrs, &candidates, dest, rng.gen()) {
             Ok((source, setup)) => {
-                for instr in &setup {
-                    let port = pseudo_ports
-                        .iter()
-                        .find(|p| p.addr == instr.from)
-                        .expect("pseudo port");
-                    port.tx.send(instr.to, instr.packet.encode()).await;
-                }
-                dest_of_flow.push(dest);
-                sources.push((source, pseudo_ports));
+                session_ids.push(sessions.open_source(source, setup).await);
+                opened += 1;
             }
             Err(_) => continue,
         }
     }
 
-    // Give setups a moment to land, then count established flows.
+    // Give setups a moment to land, then stream the data phase.
     tokio::time::sleep(Duration::from_millis(500)).await;
     let mut report = MultiFlowReport {
         flows,
         ..Default::default()
     };
-
-    // Data phase: every flow sends `messages` chunks.
     let data_start = Instant::now();
-    let mut expected_total = 0usize;
-    for (source, pseudo_ports) in sources.iter_mut() {
-        let len = payload_len.min(source.max_chunk_len());
-        let payload = vec![0x5Au8; len];
+    let payload = vec![0x5Au8; payload_len];
+    for &id in &session_ids {
         for _ in 0..messages {
-            let (_, sends) = source.send_message(&payload);
-            for instr in sends {
-                let port = pseudo_ports
-                    .iter()
-                    .find(|p| p.addr == instr.from)
-                    .expect("pseudo port");
-                port.tx.send(instr.to, instr.packet.encode()).await;
-            }
-            expected_total += 1;
+            sessions.send(id, payload.clone()).await;
         }
     }
+    let mut expected_total = opened * messages;
 
     let mut got = 0usize;
     let mut established = std::collections::HashSet::new();
@@ -488,15 +516,35 @@ pub async fn run_multi_flow(
     tokio::pin!(deadline);
     while got < expected_total {
         tokio::select! {
+            dv = deliveries_rx.recv() => {
+                match dv {
+                    Some(delivery) => {
+                        got += 1;
+                        report.payload_bytes += delivery.payload.len() as u64;
+                        established.insert(delivery.flow);
+                    }
+                    None => break,
+                }
+            }
             ev = events_rx.recv() => {
                 match ev {
-                    Some(OverlayEvent::MessageReceived { len, addr, .. }) => {
-                        got += 1;
-                        report.payload_bytes += len as u64;
-                        established.insert(addr);
+                    Some(OverlayEvent::Established { flow, receiver: true, .. }) => {
+                        established.insert(flow);
                     }
-                    Some(OverlayEvent::Established { addr, receiver: true, .. }) => {
-                        established.insert(addr);
+                    Some(_) => continue,
+                    None => break,
+                }
+            }
+            sev = session_events_rx.recv() => {
+                match sev {
+                    // A rejected send (or a send against a rejected
+                    // open) can never deliver: shrink the target so a
+                    // stray rejection does not burn the whole timeout.
+                    Some(SessionEvent::Rejected { session, error, .. }) => {
+                        eprintln!("run_multi_flow: {session:?} rejected: {error}");
+                        if !matches!(error, slicing_core::SessionError::TooManySessions { .. }) {
+                            expected_total = expected_total.saturating_sub(1);
+                        }
                     }
                     Some(_) => continue,
                     None => break,
@@ -509,6 +557,235 @@ pub async fn run_multi_flow(
     report.flows_established = established.len().min(flows);
     report.aggregate_mbps =
         throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
+    source_node.abort();
+    for h in handles {
+        h.abort();
+    }
+    report
+}
+
+/// Configuration of one streamed session transfer: a single anonymous
+/// session carrying arbitrary-length messages (chunked, windowed,
+/// acknowledged end to end) over a live sharded overlay.
+#[derive(Clone, Debug)]
+pub struct SessionTransferConfig {
+    /// Graph shape.
+    pub params: GraphParams,
+    /// Transport to run over.
+    pub transport: Transport,
+    /// Stream messages to send.
+    pub messages: usize,
+    /// Plaintext bytes per message — any length; the session layer
+    /// chunks it.
+    pub payload_len: usize,
+    /// Shards per relay daemon.
+    pub relay_shards: usize,
+    /// Shards of the source node's session manager.
+    pub session_shards: usize,
+    /// Relay engine tuning.
+    pub relay_config: RelayConfig,
+    /// Session endpoint tuning.
+    pub session_config: SessionConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// Hard deadline for the whole run.
+    pub timeout: Duration,
+}
+
+impl Default for SessionTransferConfig {
+    fn default() -> Self {
+        SessionTransferConfig {
+            params: GraphParams::new(3, 2).with_dest_placement(DestPlacement::LastStage),
+            transport: Transport::Emulated(NetProfile::lan()),
+            messages: 1,
+            payload_len: 100_000,
+            relay_shards: 1,
+            session_shards: 1,
+            relay_config: RelayConfig {
+                setup_flush_ms: 500,
+                data_flush_ms: 150,
+                ..RelayConfig::default()
+            },
+            session_config: SessionConfig {
+                retransmit_ms: 1_000,
+                ack_interval_ms: 120,
+                ..SessionConfig::default()
+            },
+            seed: 7,
+            timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Outcome of one streamed session transfer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionTransferReport {
+    /// The destination's receiver flow established.
+    pub established: bool,
+    /// Chunks each message spans (from the protocol budget).
+    pub chunks_per_message: usize,
+    /// Messages fully reassembled at the destination.
+    pub messages_delivered: usize,
+    /// Application bytes delivered.
+    pub payload_bytes: u64,
+    /// Every delivered message was byte-identical to what was sent, in
+    /// order.
+    pub bytes_match: bool,
+    /// Every message was acknowledged end to end and the source window
+    /// drained (no per-message state left behind).
+    pub source_drained: bool,
+    /// Chunk retransmissions the window performed.
+    pub retransmits: u64,
+    /// Data-phase duration, ms.
+    pub elapsed_ms: u64,
+}
+
+/// Stream `messages × payload_len` bytes through one anonymous session
+/// on a live overlay: relays and the destination are combined
+/// [`spawn_node`]s (the destination's receiver flow gets a colocated
+/// destination session that acks and reassembles), the source is a
+/// session-plane node over `d′` pseudo-source ports.
+pub async fn run_session_transfer(cfg: &SessionTransferConfig) -> SessionTransferReport {
+    let net = make_net(&cfg.transport, cfg.seed ^ 0x5E55);
+    let params = cfg.params;
+    let dp = params.paths;
+    let relay_count = params.relay_count() + 4;
+    let mut report = SessionTransferReport::default();
+
+    // Attach everything (the transport assigns addresses on TCP).
+    let mut pseudo_ports = Vec::with_capacity(dp);
+    for i in 0..dp {
+        pseudo_ports.push(net.attach(OverlayAddr(1_000 + i as u64)).await);
+    }
+    let dest_port = net.attach(OverlayAddr(1)).await;
+    let dest_addr = dest_port.addr;
+    let mut relay_ports = Vec::with_capacity(relay_count);
+    for i in 0..relay_count {
+        relay_ports.push(net.attach(OverlayAddr(10_000 + i as u64)).await);
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let candidate_addrs: Vec<OverlayAddr> = relay_ports.iter().map(|p| p.addr).collect();
+
+    // Combined nodes: every relay (and the destination) hosts the relay
+    // plane plus colocated destination sessions.
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let (deliveries_tx, mut deliveries_rx) = mpsc::unbounded_channel();
+    let epoch = Instant::now();
+    let mut handles = Vec::new();
+    for port in relay_ports.into_iter().chain(std::iter::once(dest_port)) {
+        handles.push(spawn_node(NodeSpec {
+            relay: Some(ShardedRelay::with_config(
+                port.addr,
+                cfg.seed,
+                cfg.relay_config,
+                cfg.relay_shards,
+            )),
+            sessions: None,
+            ports: vec![port],
+            dest_sessions: Some(DestSessionSpec {
+                config: cfg.session_config,
+                seed: cfg.seed,
+                deliveries: deliveries_tx.clone(),
+            }),
+            events: events_tx.clone(),
+            session_events: None,
+            epoch,
+        }));
+    }
+
+    // The source node: session plane over the pseudo-source ports.
+    let (session_events_tx, mut session_events_rx) = mpsc::unbounded_channel();
+    let manager = SessionManager::new(cfg.session_shards.max(1), 16, cfg.session_config);
+    let source_node = spawn_node(NodeSpec {
+        relay: None,
+        sessions: Some(manager),
+        ports: pseudo_ports,
+        dest_sessions: None,
+        events: events_tx.clone(),
+        session_events: Some(session_events_tx),
+        epoch,
+    });
+    let sessions = source_node
+        .sessions
+        .clone()
+        .expect("source node hosts the session plane");
+
+    let (source, setup) = match SourceSession::establish(
+        params,
+        &pseudo_addrs,
+        &candidate_addrs,
+        dest_addr,
+        cfg.seed,
+    ) {
+        Ok(ok) => ok,
+        Err(_) => return report,
+    };
+    report.chunks_per_message = cfg.payload_len.div_ceil(source.stream_chunk_len()).max(1);
+    let id = sessions.open_source(source, setup).await;
+
+    // Wait for the destination's receiver flow.
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    loop {
+        tokio::select! {
+            ev = events_rx.recv() => match ev {
+                Some(OverlayEvent::Established { addr, receiver: true, .. })
+                    if addr == dest_addr => break,
+                Some(_) => continue,
+                None => return report,
+            },
+            _ = &mut deadline => return report,
+        }
+    }
+    report.established = true;
+
+    // The data phase: distinct pseudo-random payloads, verified byte
+    // for byte on arrival.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF);
+    let mut want: Vec<Vec<u8>> = Vec::with_capacity(cfg.messages);
+    let data_start = Instant::now();
+    for _ in 0..cfg.messages {
+        let mut payload = vec![0u8; cfg.payload_len];
+        rng.fill_bytes(&mut payload);
+        sessions.send(id, payload.clone()).await;
+        want.push(payload);
+    }
+
+    let mut acked = 0usize;
+    let mut bytes_match = true;
+    let deadline = tokio::time::sleep(cfg.timeout);
+    tokio::pin!(deadline);
+    while report.messages_delivered < cfg.messages || acked < cfg.messages {
+        tokio::select! {
+            dv = deliveries_rx.recv() => match dv {
+                Some(delivery) if delivery.addr == dest_addr => {
+                    bytes_match &= want
+                        .get(delivery.msg_id as usize)
+                        .is_some_and(|w| *w == delivery.payload);
+                    report.payload_bytes += delivery.payload.len() as u64;
+                    report.messages_delivered += 1;
+                }
+                Some(_) => continue,
+                None => break,
+            },
+            sev = session_events_rx.recv() => match sev {
+                Some(SessionEvent::Acked { .. }) => acked += 1,
+                Some(SessionEvent::Rejected { error, .. }) => {
+                    // A rejected send can never complete; fail fast.
+                    eprintln!("session transfer: send rejected: {error}");
+                    break;
+                }
+                Some(_) => continue,
+                None => break,
+            },
+            _ = &mut deadline => break,
+        }
+    }
+    report.elapsed_ms = data_start.elapsed().as_millis() as u64;
+    report.bytes_match = bytes_match && report.messages_delivered == cfg.messages;
+    report.source_drained = acked == cfg.messages;
+    report.retransmits = sessions.stats().retransmits;
+    source_node.abort();
     for h in handles {
         h.abort();
     }
@@ -806,7 +1083,8 @@ pub async fn run_churn_session(cfg: &ChurnSessionConfig) -> ChurnSessionReport {
                 if report.messages_sent < cfg.messages
                     && now >= cfg.message_interval * report.messages_sent as u32
                 {
-                    let (seq, sends) = source.send_message(&payload);
+                    let (seq, sends) =
+                        source.send_message(&payload).expect("payload clamped to budget");
                     transmit(&pseudo_send, sends).await;
                     sent_at.insert(seq, Instant::now());
                     report.messages_sent += 1;

@@ -20,12 +20,15 @@ pub mod emu;
 pub mod experiment;
 pub mod tcp;
 
-pub use daemon::{spawn_onion_relay, spawn_relay, spawn_sharded_relay, OverlayEvent, RelayDaemon};
+pub use daemon::{
+    spawn_node, spawn_onion_relay, spawn_relay, spawn_sharded_relay, DestSessionSpec, NodeHandle,
+    NodeSpec, OverlayEvent, RelayDaemon, SessionEvent, SessionHandle, StreamDelivery,
+};
 pub use experiment::{run_churn_session, ChurnSessionConfig, ChurnSessionReport};
 pub use emu::EmulatedNet;
 pub use experiment::{
-    run_multi_flow, run_onion_transfer, run_slicing_transfer, MultiFlowReport, TransferConfig,
-    TransferReport,
+    run_multi_flow, run_onion_transfer, run_session_transfer, run_slicing_transfer,
+    MultiFlowReport, SessionTransferConfig, SessionTransferReport, TransferConfig, TransferReport,
 };
 pub use tcp::TcpNet;
 

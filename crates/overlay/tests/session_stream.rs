@@ -1,0 +1,74 @@
+//! End-to-end streamed session transfers over the live overlay: a
+//! payload ≥ 32 × `max_chunk_len()` crosses a sharded relay overlay on
+//! both transports, reassembles byte-identically at a colocated
+//! destination session, and leaves no per-message state behind once the
+//! acks drain the source window.
+
+use std::time::Duration;
+
+use slicing_core::{DestPlacement, GraphParams};
+use slicing_overlay::experiment::Transport;
+use slicing_overlay::{run_session_transfer, SessionTransferConfig};
+
+fn big_stream_cfg() -> SessionTransferConfig {
+    SessionTransferConfig {
+        params: GraphParams::new(3, 2).with_dest_placement(DestPlacement::LastStage),
+        // max_chunk_len for the default 1500 B budget and d = 2 is
+        // ~2.9 KB; 96 KB spans well over 32 chunks.
+        payload_len: 96_000,
+        messages: 1,
+        relay_shards: 2,
+        session_shards: 2,
+        timeout: Duration::from_secs(120),
+        ..SessionTransferConfig::default()
+    }
+}
+
+fn assert_stream_report(report: &slicing_overlay::SessionTransferReport) {
+    assert!(report.established, "report: {report:?}");
+    assert!(
+        report.chunks_per_message >= 32,
+        "payload must span ≥ 32 chunks: {report:?}"
+    );
+    assert_eq!(report.messages_delivered, 1, "report: {report:?}");
+    assert!(report.bytes_match, "byte-identical delivery: {report:?}");
+    assert!(
+        report.source_drained,
+        "acks must drain the window: {report:?}"
+    );
+    assert_eq!(report.payload_bytes, 96_000);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn stream_32_chunks_over_emulated_sharded_overlay() {
+    let report = run_session_transfer(&big_stream_cfg()).await;
+    assert_stream_report(&report);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn stream_32_chunks_over_tcp_sharded_overlay() {
+    let cfg = SessionTransferConfig {
+        transport: Transport::Tcp,
+        ..big_stream_cfg()
+    };
+    let report = run_session_transfer(&cfg).await;
+    assert_stream_report(&report);
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn multiple_streamed_messages_in_order() {
+    let cfg = SessionTransferConfig {
+        payload_len: 20_000,
+        messages: 4,
+        relay_shards: 2,
+        session_shards: 2,
+        timeout: Duration::from_secs(120),
+        ..SessionTransferConfig::default()
+    };
+    let report = run_session_transfer(&cfg).await;
+    assert!(report.established, "report: {report:?}");
+    assert_eq!(report.messages_delivered, 4, "report: {report:?}");
+    assert!(report.bytes_match, "report: {report:?}");
+    assert!(report.source_drained, "report: {report:?}");
+    assert_eq!(report.payload_bytes, 80_000);
+}

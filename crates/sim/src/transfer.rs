@@ -106,7 +106,7 @@ impl ChurnExperiment {
                 net.fail(failures[fail_idx].1);
                 fail_idx += 1;
             }
-            let (_, sends) = source.send_message(format!("chunk {m}").as_bytes());
+            let (_, sends) = source.send_message(format!("chunk {m}").as_bytes()).expect("within chunk budget");
             net.submit(sends);
             // Failures in k consecutive stages need k timeout-flush
             // rounds to drain (§4.4.1 regeneration is timeout-driven at

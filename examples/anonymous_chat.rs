@@ -52,7 +52,7 @@ async fn main() {
     tokio::time::sleep(Duration::from_millis(300)).await;
 
     // Alice speaks first.
-    let (_, sends) = alice.send_message(b"hi bob, it's... someone");
+    let (_, sends) = alice.send_message(b"hi bob, it's... someone").expect("within chunk budget");
     for instr in sends {
         let port = if instr.from == port_a.addr { &port_a } else { &port_b };
         port.tx.send(instr.to, instr.packet.encode()).await;
@@ -70,9 +70,8 @@ async fn main() {
             maybe = bob_port.rx.recv() => {
                 let Some((from, bytes)) = maybe else { break };
                 let Ok(packet) = Packet::decode(&bytes) else { continue };
-                let flow = packet.header.flow_id;
                 let out = bob.handle_packet(now_tick(epoch), from, &packet);
-                if out.established.contains(&true) {
+                if let Some(&(flow, true)) = out.established.first() {
                     bob_flow = Some(flow);
                 }
                 for send in out.sends {

@@ -45,7 +45,7 @@ fn main() {
             println!("!! relay {victim:?} churned out before chunk {i}");
             net.fail(victim);
         }
-        let (_, sends) = source.send_message(chunk);
+        let (_, sends) = source.send_message(chunk).expect("within chunk budget");
         net.submit(sends);
         // Each failed stage adds one timeout-flush layer; give the
         // cascade room to drain.

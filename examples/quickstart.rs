@@ -47,7 +47,7 @@ fn main() {
     );
 
     // Send the message.
-    let (_, packets) = alice.send_message(b"Let's meet at 5pm");
+    let (_, packets) = alice.send_message(b"Let's meet at 5pm").expect("within chunk budget");
     net.submit(packets);
     net.run_to_quiescence(Some(&mut alice));
 

@@ -55,7 +55,7 @@
 //! net.run_to_quiescence(Some(&mut alice));
 //!
 //! // Send an anonymous, confidential message.
-//! let (_, packets) = alice.send_message(b"Let's meet at 5pm");
+//! let (_, packets) = alice.send_message(b"Let's meet at 5pm").expect("within chunk budget");
 //! net.submit(packets);
 //! net.run_to_quiescence(Some(&mut alice));
 //! assert_eq!(net.messages_for(bob)[0].1, b"Let's meet at 5pm");

@@ -41,7 +41,7 @@ fn many_shapes_end_to_end() {
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
         let msg = format!("shape L={l} d={d} d'={dp}");
-        let (_, sends) = source.send_message(msg.as_bytes());
+        let (_, sends) = source.send_message(msg.as_bytes()).expect("within chunk budget");
         net.submit(sends);
         net.run_to_quiescence(Some(&mut source));
         let got = net.messages_for(dest);
@@ -64,7 +64,7 @@ fn multi_message_stream_in_order() {
     net.submit(setup);
     net.run_to_quiescence(Some(&mut source));
     for i in 0..25u32 {
-        let (seq, sends) = source.send_message(format!("m{i}").as_bytes());
+        let (seq, sends) = source.send_message(format!("m{i}").as_bytes()).expect("within chunk budget");
         assert_eq!(seq, i);
         net.submit(sends);
     }
@@ -97,7 +97,7 @@ fn map_mode_survives_failure_via_regeneration() {
     net.submit(setup);
     net.run_to_quiescence(Some(&mut source));
     net.fail(source.graph().stages[2][1]);
-    let (_, sends) = source.send_message(b"map-mode survives");
+    let (_, sends) = source.send_message(b"map-mode survives").expect("within chunk budget");
     net.submit(sends);
     net.settle(Some(&mut source), 1_500, 6);
     let got = net.messages_for(dest);
@@ -131,7 +131,7 @@ fn too_many_failures_lose_the_message_but_nothing_panics() {
             net.fail(addr);
         }
     }
-    let (_, sends) = source.send_message(b"doomed");
+    let (_, sends) = source.send_message(b"doomed").expect("within chunk budget");
     net.submit(sends);
     net.settle(Some(&mut source), 1_500, 6);
     assert!(net.messages_for(dest).is_empty());

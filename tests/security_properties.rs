@@ -143,7 +143,7 @@ proptest! {
         let mut net = TestNet::new(&nodes, seed);
         net.submit(setup);
         net.run_to_quiescence(Some(&mut source));
-        let (_, mut sends) = source.send_message(b"authentic");
+        let (_, mut sends) = source.send_message(b"authentic").expect("within chunk budget");
         // Corrupt one bit of one data packet.
         let idx = (flip.0 as usize) % sends.len();
         let mut bytes = sends[idx].packet.encode().to_vec();
