@@ -26,6 +26,20 @@ fn codec(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("recombine", d), &d, |b, _| {
             b.iter(|| recombine(&coded.slices, &mut rng));
         });
+        // The fused multi-output path the relay forward flush uses: d
+        // fresh combinations in one kernel pass over the input slices.
+        let payloads: Vec<&[u8]> = coded.slices.iter().map(|s| s.payload.as_slice()).collect();
+        let mut outs: Vec<Vec<u8>> = vec![vec![0u8; payloads[0].len()]; d];
+        group.bench_with_input(BenchmarkId::new("recombine_multi", d), &d, |b, _| {
+            b.iter(|| {
+                for o in &mut outs {
+                    o.fill(0);
+                }
+                let mut out_refs: Vec<&mut [u8]> =
+                    outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                slicing_codec::recombine::recombine_multi_into(&payloads, &mut rng, &mut out_refs);
+            });
+        });
     }
     group.finish();
 

@@ -112,6 +112,70 @@ fn gf(c: &mut Criterion) {
     });
     group.finish();
 
+    // The same kernels pinned to each backend the host offers, so one
+    // run shows the scalar → SWAR → SIMD trajectory side by side.
+    let mut group = c.benchmark_group("gf_backends_4096B");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.throughput(Throughput::Bytes(4096));
+    let dot_a = a256.iter().map(|g| g.value()).collect::<Vec<u8>>();
+    let dot_b = b256.iter().map(|g| g.value()).collect::<Vec<u8>>();
+    for backend in slicing_gf::simd::available_backends() {
+        group.bench_function(BenchmarkId::new("axpy8", backend), |bench| {
+            bench.iter(|| bulk::mul_add_slice_on(backend, &mut dst, 0xA7, &src));
+        });
+        group.bench_function(BenchmarkId::new("dot8", backend), |bench| {
+            bench.iter(|| bulk::dot_slice8_on(backend, &dot_a, &dot_b));
+        });
+        group.bench_function(BenchmarkId::new("axpy16", backend), |bench| {
+            bench.iter(|| {
+                bulk::mul_add_slice16_on(backend, &mut acc64k, Gf65536::new(0xA7C3), &b64k)
+            });
+        });
+        group.bench_function(BenchmarkId::new("dot16", backend), |bench| {
+            bench.iter(|| bulk::dot_slice16_on(backend, &a64k, &b64k));
+        });
+    }
+    group.finish();
+
+    // The fused multi-output kernel (4 outputs × 4 sources) vs the 16
+    // independent axpy sweeps it replaces in relay recombination.
+    let mut group = c.benchmark_group("gf_fused_4x4x1024B");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(600));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+    group.throughput(Throughput::Bytes(16 * 1024));
+    let srcs: Vec<Vec<u8>> = (0..4)
+        .map(|_| {
+            let mut v = vec![0u8; 1024];
+            rng.fill_bytes(&mut v);
+            v
+        })
+        .collect();
+    let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+    let coeffs: Vec<u8> = (0..16).map(|i| (i as u8).wrapping_mul(37) | 1).collect();
+    let mut outs: Vec<Vec<u8>> = vec![vec![0u8; 1024]; 4];
+    for backend in slicing_gf::simd::available_backends() {
+        group.bench_function(BenchmarkId::new("sweeps", backend), |bench| {
+            bench.iter(|| {
+                for (j, out) in outs.iter_mut().enumerate() {
+                    for (i, s) in src_refs.iter().enumerate() {
+                        bulk::mul_add_slice_on(backend, out, coeffs[j * 4 + i], s);
+                    }
+                }
+            });
+        });
+        group.bench_function(BenchmarkId::new("fused", backend), |bench| {
+            bench.iter(|| {
+                let mut out_refs: Vec<&mut [u8]> =
+                    outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                bulk::mul_add_fused_on(backend, &mut out_refs, &coeffs, &src_refs);
+            });
+        });
+    }
+    group.finish();
+
     let mut group = c.benchmark_group("matrix_inverse");
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_millis(600));

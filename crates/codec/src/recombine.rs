@@ -77,14 +77,27 @@ pub fn recombine_batch<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Vec<InfoSlice> {
     let (d, block_len) = assert_consistent(slices);
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let mut coeffs = vec![0u8; d];
-        let mut payload = vec![0u8; block_len];
-        mix_into(slices, rng, &mut coeffs, &mut payload);
-        out.push(InfoSlice::new(coeffs, payload));
-    }
-    out
+    // Draw all combination coefficients up front, output-major — the
+    // same stream order as n sequential `mix_into` passes — then hand
+    // the whole batch to the fused kernel, which loads each input slice
+    // once per group of outputs instead of once per (output, input).
+    let ps: Vec<u8> = (0..n * slices.len())
+        .map(|_| rng.gen_range(1..=255))
+        .collect();
+    let src_coeffs: Vec<&[u8]> = slices.iter().map(|s| s.coeffs.as_slice()).collect();
+    let src_payloads: Vec<&[u8]> = slices.iter().map(|s| s.payload.as_slice()).collect();
+    let mut coeffs: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; d]).collect();
+    let mut payloads: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; block_len]).collect();
+    let mut coeff_refs: Vec<&mut [u8]> = coeffs.iter_mut().map(|c| c.as_mut_slice()).collect();
+    let mut payload_refs: Vec<&mut [u8]> =
+        payloads.iter_mut().map(|p| p.as_mut_slice()).collect();
+    bulk::mul_add_fused(&mut coeff_refs, &ps, &src_coeffs);
+    bulk::mul_add_fused(&mut payload_refs, &ps, &src_payloads);
+    coeffs
+        .into_iter()
+        .zip(payloads)
+        .map(|(c, p)| InfoSlice::new(c, p))
+        .collect()
 }
 
 /// Accumulate one fresh random combination of raw slice buffers directly
@@ -109,6 +122,32 @@ pub fn recombine_into<R: Rng + ?Sized, S: AsRef<[u8]>>(
         let p: u8 = rng.gen_range(1..=255);
         bulk::mul_add_slice(out, p, s.as_ref());
     }
+}
+
+/// Accumulate several fresh random combinations of raw slice buffers
+/// into pre-zeroed output buffers through one fused kernel pass.
+///
+/// Combination coefficients are drawn **output-major** (for each output,
+/// one coefficient per input slice), which makes the result bit-identical
+/// to `outs.len()` sequential [`recombine_into`] calls on the same RNG —
+/// but each input slice is loaded once per group of outputs instead of
+/// once per (output, input) pair ([`bulk::mul_add_fused`]). This is the
+/// relay forward path's regeneration kernel: one call fills every
+/// outgoing packet slot that needs a fresh combination.
+///
+/// # Panics
+/// Panics if `slices` is empty or any input/output length differs.
+pub fn recombine_multi_into<R: Rng + ?Sized, S: AsRef<[u8]>>(
+    slices: &[S],
+    rng: &mut R,
+    outs: &mut [&mut [u8]],
+) {
+    assert!(!slices.is_empty(), "cannot recombine zero slices");
+    let ps: Vec<u8> = (0..outs.len() * slices.len())
+        .map(|_| rng.gen_range(1..=255))
+        .collect();
+    let srcs: Vec<&[u8]> = slices.iter().map(|s| s.as_ref()).collect();
+    bulk::mul_add_fused(outs, &ps, &srcs);
 }
 
 /// Regenerate up to `want` slices from the `have` received ones,
@@ -228,6 +267,42 @@ mod tests {
         let fresh = InfoSlice::from_bytes(2, coded.block_len, &out).unwrap();
         let set = vec![fresh, coded.slices[0].clone()];
         assert_eq!(decode(&set, 2).unwrap(), msg);
+    }
+
+    #[test]
+    fn recombine_multi_into_matches_sequential_single() {
+        // The fused multi-output path must be bit-identical to n
+        // sequential recombine_into calls on the same RNG stream.
+        for n in [1usize, 2, 3, 4, 5, 9] {
+            let mut rng_a = rng();
+            let mut rng_b = rng();
+            let coded = encode(b"fused outputs", 3, 4, &mut rng_a);
+            let _ = encode(b"fused outputs", 3, 4, &mut rng_b);
+            let raw: Vec<Vec<u8>> = coded.slices.iter().map(|s| s.to_bytes()).collect();
+            let len = raw[0].len();
+            let mut seq: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; len]).collect();
+            for out in seq.iter_mut() {
+                recombine_into(&raw, &mut rng_a, out);
+            }
+            let mut fused: Vec<Vec<u8>> = (0..n).map(|_| vec![0u8; len]).collect();
+            let mut refs: Vec<&mut [u8]> = fused.iter_mut().map(|o| o.as_mut_slice()).collect();
+            recombine_multi_into(&raw, &mut rng_b, &mut refs);
+            assert_eq!(fused, seq, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn recombine_multi_into_outputs_decode() {
+        let mut r = rng();
+        let msg = b"fused regen decodes";
+        let coded = encode(msg, 2, 3, &mut r);
+        let raw: Vec<Vec<u8>> = coded.slices.iter().map(|s| s.to_bytes()).collect();
+        let mut outs: Vec<Vec<u8>> = (0..2).map(|_| vec![0u8; raw[0].len()]).collect();
+        let mut refs: Vec<&mut [u8]> = outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+        recombine_multi_into(&raw, &mut r, &mut refs);
+        let a = InfoSlice::from_bytes(2, coded.block_len, &outs[0]).unwrap();
+        let b = InfoSlice::from_bytes(2, coded.block_len, &outs[1]).unwrap();
+        assert_eq!(decode(&[a, b], 2).unwrap(), msg);
     }
 
     #[test]

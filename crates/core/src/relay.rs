@@ -27,9 +27,10 @@
 //! The data plane is zero-copy end to end: gathered slices are CRC-valid
 //! [`Bytes`] views into the receive buffers (no slice is copied out of a
 //! packet), and outgoing slots are coded in place — a picked slice is one
-//! `memcpy` into the packet under construction, a regenerated slice is
-//! accumulated there directly by the shared GF(2⁸) bulk kernels
-//! ([`recombine::recombine_into`]). Timeouts live in a hashed
+//! `memcpy` into the packet under construction, and all regenerated
+//! slices of a flush are accumulated straight into their packets' slots
+//! by one fused multi-output pass over the gathered slices
+//! ([`recombine::recombine_multi_into`]). Timeouts live in a hashed
 //! [`TimerWheel`]: gathers and flows register their deadlines once, and
 //! [`RelayShard::poll`] pops only what expired — it never scans live
 //! flows and allocates nothing when idle. Stats stay plain shard-local
@@ -1457,8 +1458,17 @@ impl RelayShard {
 
         let block_len = slices[0].len() - d;
         let slot_len = d + block_len + 4;
-        out.sends.reserve(next_hops.len());
-        for (j, &(to_addr, next_flow)) in next_hops.iter().enumerate() {
+        // Build every outgoing packet first, filling piped slots in
+        // place and remembering which slots still need a fresh
+        // combination; those are then coded together through one fused
+        // multi-output recombine (each gathered slice is loaded once and
+        // feeds all pending accumulators, instead of one independent
+        // axpy sweep per outgoing packet). Coefficient draws stay
+        // output-major in hop order, so the wire bytes are identical to
+        // the old per-hop `recombine_into` loop.
+        let mut builders: Vec<PacketBuilder> = Vec::with_capacity(next_hops.len());
+        let mut regen = Vec::new();
+        for (j, &(_, next_flow)) in next_hops.iter().enumerate() {
             let mut builder = PacketBuilder::new(PacketHeader {
                 kind: PacketKind::Data,
                 flow_id: next_flow,
@@ -1483,9 +1493,30 @@ impl RelayShard {
             };
             match picked {
                 Some(i) => slot[..d + block_len].copy_from_slice(&slices[i]),
-                None => recombine::recombine_into(&slices, rng, &mut slot[..d + block_len]),
+                None => regen.push(j),
             }
-            crc::write_crc(slot);
+            builders.push(builder);
+        }
+        if !regen.is_empty() {
+            let mut pending = regen.iter().copied().peekable();
+            let mut outs: Vec<&mut [u8]> = builders
+                .iter_mut()
+                .enumerate()
+                .filter(|(j, _)| {
+                    if pending.peek() == Some(j) {
+                        pending.next();
+                        true
+                    } else {
+                        false
+                    }
+                })
+                .map(|(_, b)| &mut b.slot_mut(0)[..d + block_len])
+                .collect();
+            recombine::recombine_multi_into(&slices, rng, &mut outs);
+        }
+        out.sends.reserve(next_hops.len());
+        for (mut builder, &(to_addr, _)) in builders.into_iter().zip(next_hops.iter()) {
+            crc::write_crc(builder.slot_mut(0));
             out.sends.push(SendInstr {
                 from: *addr,
                 to: to_addr,

@@ -1,7 +1,7 @@
-//! Cache-friendly GF(2⁸) kernels over byte slices — the workspace's one
-//! shared coding hot path.
+//! Runtime-dispatched GF(2⁸)/GF(2¹⁶) kernels over byte and word slices —
+//! the workspace's one shared coding hot path.
 //!
-//! Every coded byte in the system flows through these three operations:
+//! Every coded byte in the system flows through these operations:
 //!
 //! * [`mul_add_slice`] — `dst[i] ^= c · src[i]` (axpy), the inner loop of
 //!   slice encoding, Gaussian decode back-substitution, and relay
@@ -9,24 +9,32 @@
 //!   costs ~`d` of these multiplies per byte);
 //! * [`mul_slice`] / [`mul_slice_into`] — `dst[i] = c · dst[i]` /
 //!   `dst[i] = c · src[i]`, the per-hop transform multiply;
-//! * [`xor_slice`] — `dst[i] ^= src[i]`, the `c = 1` fast path, done
-//!   eight bytes at a time (SWAR over `u64` words).
+//! * [`mul_xor_slice`] / [`xor_mul_slice`] — the fused per-hop
+//!   transform+pad passes;
+//! * [`dot_slice8`] / [`dot_slice16`] — varying × varying dot products,
+//!   the decode inner product;
+//! * [`mul_add_fused`] — the multi-output recombine kernel: `d`
+//!   accumulators fed per pass over each source slice, instead of `d`
+//!   independent axpy sweeps;
+//! * [`xor_slice`] — `dst[i] ^= src[i]`, the `c = 1` fast path.
 //!
-//! Scalar [`Gf256`](crate::Gf256) arithmetic goes through log/exp tables
-//! (two dependent loads plus a zero-test per byte). These kernels
-//! instead index one 256-byte row of a 64 KiB compile-time
-//! multiplication table per call: the row stays resident in L1 across
-//! the whole slice, the per-byte loop is branch-free, and the add-only
-//! case degenerates to pure word-wide XOR. `slicing-codec`,
-//! `slicing-core`'s relays, and the criterion benches all call these —
-//! there is exactly one place to optimize further (SIMD, GFNI) later.
+//! Each entry point dispatches once through [`crate::simd::backend`]
+//! (runtime CPU detection, overridable via `SLICING_GF_FORCE`) to one of
+//! three implementations — see [`crate::simd`] for the backend taxonomy:
 //!
-//! The module also hosts the GF(2¹⁶) word-slice kernels
-//! ([`dot_slice16`], [`mul_add_slice16`], [`mul_slice16`]) that
-//! [`Gf65536`]'s `Field` bulk hooks dispatch to, so both provided fields
-//! ride shared kernels rather than per-element scalar loops.
+//! * **scalar** — per-element log/exp arithmetic, the oracle;
+//! * **swar** — one 256-byte row of a 64 KiB compile-time multiplication
+//!   table per GF(2⁸) coefficient (L1-resident across the slice),
+//!   hoisted log/exp for GF(2¹⁶), `u64` SWAR XOR;
+//! * **simd** — split-nibble PSHUFB/TBL multiplies and carry-less-
+//!   multiply dot products (the arch kernels under `crate::simd`).
+//!
+//! The `*_on` variants take an explicit [`Backend`] so benches and the
+//! proptest oracles can pin and compare paths inside one process.
 
 use crate::gf256::{build_exp, build_log};
+use crate::simd::{self, Backend};
+use crate::Gf256;
 
 /// `MUL[a][b] = a · b` in GF(2⁸), built at compile time.
 static MUL: [[u8; 256]; 256] = build_mul_table();
@@ -59,6 +67,9 @@ pub fn mul_row(c: u8) -> &'static [u8; 256] {
 
 /// `dst[i] ^= src[i]` for all `i`, eight bytes at a time.
 ///
+/// Backend-independent: XOR is the same word-wide operation everywhere,
+/// so this kernel has no `_on` variant.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
@@ -80,18 +91,37 @@ pub fn xor_slice(dst: &mut [u8], src: &[u8]) {
     }
 }
 
+// ---- GF(2⁸) slice transforms ----------------------------------------------
+
 /// `dst[i] = c · dst[i]` for all `i` (in-place scale).
 #[inline]
 pub fn mul_slice(dst: &mut [u8], c: u8) {
-    match c {
-        0 => dst.fill(0),
-        1 => {}
-        _ => {
-            let row = mul_row(c);
+    mul_slice_on(simd::backend(), dst, c);
+}
+
+/// [`mul_slice`] pinned to an explicit backend.
+pub fn mul_slice_on(backend: Backend, dst: &mut [u8], c: u8) {
+    match backend {
+        Backend::Scalar => {
             for d in dst.iter_mut() {
-                *d = row[*d as usize];
+                *d = Gf256::mul_bytes(c, *d);
             }
         }
+        Backend::Swar => match c {
+            0 => dst.fill(0),
+            1 => {}
+            _ => {
+                let row = mul_row(c);
+                for d in dst.iter_mut() {
+                    *d = row[*d as usize];
+                }
+            }
+        },
+        Backend::Simd => match c {
+            0 => dst.fill(0),
+            1 => {}
+            _ => simd::kernels::mul8(dst, c),
+        },
     }
 }
 
@@ -101,16 +131,33 @@ pub fn mul_slice(dst: &mut [u8], c: u8) {
 /// Panics if the slices differ in length.
 #[inline]
 pub fn mul_slice_into(dst: &mut [u8], c: u8, src: &[u8]) {
+    mul_slice_into_on(simd::backend(), dst, c, src);
+}
+
+/// [`mul_slice_into`] pinned to an explicit backend.
+pub fn mul_slice_into_on(backend: Backend, dst: &mut [u8], c: u8, src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "mul_slice_into length mismatch");
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let row = mul_row(c);
+    match backend {
+        Backend::Scalar => {
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d = row[s as usize];
+                *d = Gf256::mul_bytes(c, s);
             }
         }
+        Backend::Swar => match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => {
+                let row = mul_row(c);
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = row[s as usize];
+                }
+            }
+        },
+        Backend::Simd => match c {
+            0 => dst.fill(0),
+            1 => dst.copy_from_slice(src),
+            _ => simd::kernels::mul8_into(dst, c, src),
+        },
     }
 }
 
@@ -121,14 +168,33 @@ pub fn mul_slice_into(dst: &mut [u8], c: u8, src: &[u8]) {
 /// Panics if the slices differ in length.
 #[inline]
 pub fn mul_xor_slice(dst: &mut [u8], c: u8, pad: &[u8]) {
+    mul_xor_slice_on(simd::backend(), dst, c, pad);
+}
+
+/// [`mul_xor_slice`] pinned to an explicit backend.
+pub fn mul_xor_slice_on(backend: Backend, dst: &mut [u8], c: u8, pad: &[u8]) {
     assert_eq!(dst.len(), pad.len(), "mul_xor_slice length mismatch");
-    if c == 1 {
-        xor_slice(dst, pad);
-        return;
-    }
-    let row = mul_row(c);
-    for (d, &p) in dst.iter_mut().zip(pad.iter()) {
-        *d = row[*d as usize] ^ p;
+    match backend {
+        Backend::Scalar => {
+            for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+                *d = Gf256::mul_bytes(c, *d) ^ p;
+            }
+        }
+        Backend::Swar => {
+            if c == 1 {
+                xor_slice(dst, pad);
+                return;
+            }
+            let row = mul_row(c);
+            for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+                *d = row[*d as usize] ^ p;
+            }
+        }
+        Backend::Simd => match c {
+            0 => dst.copy_from_slice(pad),
+            1 => xor_slice(dst, pad),
+            _ => simd::kernels::mul_xor8(dst, c, pad),
+        },
     }
 }
 
@@ -139,59 +205,173 @@ pub fn mul_xor_slice(dst: &mut [u8], c: u8, pad: &[u8]) {
 /// Panics if the slices differ in length.
 #[inline]
 pub fn xor_mul_slice(dst: &mut [u8], c: u8, pad: &[u8]) {
+    xor_mul_slice_on(simd::backend(), dst, c, pad);
+}
+
+/// [`xor_mul_slice`] pinned to an explicit backend.
+pub fn xor_mul_slice_on(backend: Backend, dst: &mut [u8], c: u8, pad: &[u8]) {
     assert_eq!(dst.len(), pad.len(), "xor_mul_slice length mismatch");
-    if c == 1 {
-        xor_slice(dst, pad);
-        return;
-    }
-    let row = mul_row(c);
-    for (d, &p) in dst.iter_mut().zip(pad.iter()) {
-        *d = row[(*d ^ p) as usize];
+    match backend {
+        Backend::Scalar => {
+            for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+                *d = Gf256::mul_bytes(c, *d ^ p);
+            }
+        }
+        Backend::Swar => {
+            if c == 1 {
+                xor_slice(dst, pad);
+                return;
+            }
+            let row = mul_row(c);
+            for (d, &p) in dst.iter_mut().zip(pad.iter()) {
+                *d = row[(*d ^ p) as usize];
+            }
+        }
+        Backend::Simd => match c {
+            0 => dst.fill(0),
+            1 => xor_slice(dst, pad),
+            _ => simd::kernels::xor_mul8(dst, c, pad),
+        },
     }
 }
 
 /// `dst[i] ^= c · src[i]` for all `i` — the axpy kernel.
 ///
 /// `c = 0` is a no-op; `c = 1` takes the SWAR [`xor_slice`] path; other
-/// coefficients stream through one L1-resident table row.
+/// coefficients stream through the active backend's multiply kernel.
 ///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
 pub fn mul_add_slice(dst: &mut [u8], c: u8, src: &[u8]) {
+    mul_add_slice_on(simd::backend(), dst, c, src);
+}
+
+/// [`mul_add_slice`] pinned to an explicit backend.
+pub fn mul_add_slice_on(backend: Backend, dst: &mut [u8], c: u8, src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "mul_add_slice length mismatch");
-    match c {
-        0 => {}
-        1 => xor_slice(dst, src),
-        _ => {
-            let row = mul_row(c);
+    match backend {
+        Backend::Scalar => {
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d ^= row[s as usize];
+                *d ^= Gf256::mul_bytes(c, s);
             }
         }
+        Backend::Swar => match c {
+            0 => {}
+            1 => xor_slice(dst, src),
+            _ => {
+                let row = mul_row(c);
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d ^= row[s as usize];
+                }
+            }
+        },
+        Backend::Simd => match c {
+            0 => {}
+            1 => xor_slice(dst, src),
+            _ => simd::kernels::axpy8(dst, c, src),
+        },
+    }
+}
+
+/// Dot product `Σ a[i]·b[i]` over GF(2⁸) byte slices — both operands
+/// varying, so no coefficient table applies; the SIMD path uses
+/// carry-less multiplication instead and falls back to the 2-D table
+/// when the host lacks it.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot_slice8(a: &[u8], b: &[u8]) -> u8 {
+    dot_slice8_on(simd::backend(), a, b)
+}
+
+/// [`dot_slice8`] pinned to an explicit backend.
+pub fn dot_slice8_on(backend: Backend, a: &[u8], b: &[u8]) -> u8 {
+    assert_eq!(a.len(), b.len(), "dot_slice8 length mismatch");
+    let swar = |a: &[u8], b: &[u8]| {
+        let mut acc = 0u8;
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            acc ^= MUL[x as usize][y as usize];
+        }
+        acc
+    };
+    match backend {
+        Backend::Scalar => {
+            let mut acc = 0u8;
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                acc ^= Gf256::mul_bytes(x, y);
+            }
+            acc
+        }
+        Backend::Swar => swar(a, b),
+        Backend::Simd => simd::kernels::dot8(a, b).unwrap_or_else(|| swar(a, b)),
+    }
+}
+
+/// Fused multi-coefficient accumulate:
+/// `outs[j][k] ^= Σ_i coeffs[j·srcs.len() + i] · srcs[i][k]` with
+/// coefficients laid out output-major.
+///
+/// The SIMD path loads each source block once and feeds up to four
+/// output accumulators per pass; scalar and SWAR decompose into
+/// `outs.len() · srcs.len()` independent [`mul_add_slice`] sweeps (same
+/// result, more memory traffic).
+///
+/// # Panics
+/// Panics unless `coeffs.len() == outs.len() · srcs.len()` and every
+/// output and source slice has the same length.
+#[inline]
+pub fn mul_add_fused(outs: &mut [&mut [u8]], coeffs: &[u8], srcs: &[&[u8]]) {
+    mul_add_fused_on(simd::backend(), outs, coeffs, srcs);
+}
+
+/// [`mul_add_fused`] pinned to an explicit backend.
+pub fn mul_add_fused_on(backend: Backend, outs: &mut [&mut [u8]], coeffs: &[u8], srcs: &[&[u8]]) {
+    assert_eq!(
+        coeffs.len(),
+        outs.len() * srcs.len(),
+        "mul_add_fused coefficient count mismatch"
+    );
+    let len = srcs.first().map_or_else(
+        || outs.first().map_or(0, |o| o.len()),
+        |s| s.len(),
+    );
+    assert!(
+        outs.iter().all(|o| o.len() == len) && srcs.iter().all(|s| s.len() == len),
+        "mul_add_fused length mismatch"
+    );
+    match backend {
+        Backend::Scalar | Backend::Swar => {
+            let nsrc = srcs.len();
+            for (j, out) in outs.iter_mut().enumerate() {
+                for (i, src) in srcs.iter().enumerate() {
+                    mul_add_slice_on(backend, out, coeffs[j * nsrc + i], src);
+                }
+            }
+        }
+        Backend::Simd => simd::kernels::fused8(outs, coeffs, srcs),
     }
 }
 
 // ---- GF(2¹⁶) word-slice kernels -------------------------------------------
 //
 // The 16-bit field is too large for a full 2-D multiplication table
-// (it would be 8 GiB), so its kernels hoist what *can* be hoisted out of
-// the per-element loop instead: the `OnceLock` table fetch and the
-// discrete log of the fixed coefficient. The scalar `Gf65536::mul` pays
-// both per element; these pay them once per slice. `Gf65536`'s `Field`
-// bulk hooks delegate here, which carries every GF(2¹⁶) consumer —
-// `Matrix` (mul/rank/inverse/solve) and the `mds` generator
+// (it would be 8 GiB), so its SWAR kernels hoist what *can* be hoisted
+// out of the per-element loop: the `OnceLock` table fetch and the
+// discrete log of the fixed coefficient. The SIMD kernels build a
+// 128-byte split-nibble table set per call instead, which only pays for
+// itself above [`crate::simd::kernels::MIN_LEN16`] elements — shorter
+// slices stay on the SWAR path even when SIMD is active. `Gf65536`'s
+// `Field` bulk hooks delegate here, which carries every GF(2¹⁶)
+// consumer — `Matrix` (mul/rank/inverse/solve) and the `mds` generator
 // constructions/verification — onto the shared kernel layer, the same
 // way the byte kernels above carry the GF(2⁸) coders.
 
+use crate::field::Field as _;
 use crate::gf65536::{self, Gf65536};
 
-/// Dot product `Σ a[i]·b[i]` over GF(2¹⁶) slices.
-///
-/// # Panics
-/// Panics if the slices differ in length.
-pub fn dot_slice16(a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
-    assert_eq!(a.len(), b.len(), "dot_slice16 length mismatch");
+fn dot16_swar(a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
     let t = gf65536::tables();
     let mut acc: u16 = 0;
     for (&x, &y) in a.iter().zip(b.iter()) {
@@ -202,46 +382,113 @@ pub fn dot_slice16(a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
     Gf65536(acc)
 }
 
-/// `acc[i] ^= c · src[i]` for all `i` — the GF(2¹⁶) axpy kernel
-/// (`log c` hoisted out of the loop; `c = 1` degenerates to pure XOR).
-///
-/// # Panics
-/// Panics if the slices differ in length.
-pub fn mul_add_slice16(acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
-    assert_eq!(acc.len(), src.len(), "mul_add_slice16 length mismatch");
-    match c.0 {
-        0 => {}
-        1 => {
-            for (a, &s) in acc.iter_mut().zip(src.iter()) {
-                a.0 ^= s.0;
-            }
-        }
-        _ => {
-            let t = gf65536::tables();
-            let lc = t.log[c.0 as usize] as usize;
-            for (a, &s) in acc.iter_mut().zip(src.iter()) {
-                if s.0 != 0 {
-                    a.0 ^= t.exp[lc + t.log[s.0 as usize] as usize];
-                }
-            }
+fn mul_add16_swar(acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
+    let t = gf65536::tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        if s.0 != 0 {
+            a.0 ^= t.exp[lc + t.log[s.0 as usize] as usize];
         }
     }
 }
 
-/// `row[i] = c · row[i]` for all `i` — the GF(2¹⁶) in-place scale.
-pub fn mul_slice16(row: &mut [Gf65536], c: Gf65536) {
-    match c.0 {
-        0 => row.fill(Gf65536(0)),
-        1 => {}
-        _ => {
-            let t = gf65536::tables();
-            let lc = t.log[c.0 as usize] as usize;
-            for v in row.iter_mut() {
-                if v.0 != 0 {
-                    v.0 = t.exp[lc + t.log[v.0 as usize] as usize];
-                }
+fn mul16_swar(row: &mut [Gf65536], c: Gf65536) {
+    let t = gf65536::tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for v in row.iter_mut() {
+        if v.0 != 0 {
+            v.0 = t.exp[lc + t.log[v.0 as usize] as usize];
+        }
+    }
+}
+
+/// Dot product `Σ a[i]·b[i]` over GF(2¹⁶) slices.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot_slice16(a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
+    dot_slice16_on(simd::backend(), a, b)
+}
+
+/// [`dot_slice16`] pinned to an explicit backend.
+pub fn dot_slice16_on(backend: Backend, a: &[Gf65536], b: &[Gf65536]) -> Gf65536 {
+    assert_eq!(a.len(), b.len(), "dot_slice16 length mismatch");
+    match backend {
+        Backend::Scalar => {
+            let mut acc = Gf65536(0);
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                acc.0 ^= x.mul(y).0;
+            }
+            acc
+        }
+        Backend::Swar => dot16_swar(a, b),
+        Backend::Simd => simd::kernels::dot16(a, b).unwrap_or_else(|| dot16_swar(a, b)),
+    }
+}
+
+/// `acc[i] ^= c · src[i]` for all `i` — the GF(2¹⁶) axpy kernel
+/// (`c = 1` degenerates to pure XOR).
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn mul_add_slice16(acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
+    mul_add_slice16_on(simd::backend(), acc, c, src);
+}
+
+/// [`mul_add_slice16`] pinned to an explicit backend.
+pub fn mul_add_slice16_on(backend: Backend, acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
+    assert_eq!(acc.len(), src.len(), "mul_add_slice16 length mismatch");
+    match backend {
+        Backend::Scalar => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                a.0 ^= c.mul(s).0;
             }
         }
+        Backend::Swar | Backend::Simd => match c.0 {
+            0 => {}
+            1 => {
+                for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                    a.0 ^= s.0;
+                }
+            }
+            _ => {
+                if backend == Backend::Simd && acc.len() >= simd::kernels::MIN_LEN16 {
+                    simd::kernels::axpy16(acc, c, src);
+                } else {
+                    mul_add16_swar(acc, c, src);
+                }
+            }
+        },
+    }
+}
+
+/// `row[i] = c · row[i]` for all `i` — the GF(2¹⁶) in-place scale.
+#[inline]
+pub fn mul_slice16(row: &mut [Gf65536], c: Gf65536) {
+    mul_slice16_on(simd::backend(), row, c);
+}
+
+/// [`mul_slice16`] pinned to an explicit backend.
+pub fn mul_slice16_on(backend: Backend, row: &mut [Gf65536], c: Gf65536) {
+    match backend {
+        Backend::Scalar => {
+            for v in row.iter_mut() {
+                *v = c.mul(*v);
+            }
+        }
+        Backend::Swar | Backend::Simd => match c.0 {
+            0 => row.fill(Gf65536(0)),
+            1 => {}
+            _ => {
+                if backend == Backend::Simd && row.len() >= simd::kernels::MIN_LEN16 {
+                    simd::kernels::mul16(row, c);
+                } else {
+                    mul16_swar(row, c);
+                }
+            }
+        },
     }
 }
 
@@ -282,47 +529,53 @@ mod tests {
     }
 
     #[test]
-    fn mul_add_slice_matches_scalar_all_lengths() {
+    fn mul_add_slice_matches_scalar_all_lengths_all_backends() {
         let mut rng = StdRng::seed_from_u64(2);
-        for len in LENS {
-            for c in [0u8, 1, 2, 17, 255] {
-                let src = random_bytes(&mut rng, len);
-                let mut dst = random_bytes(&mut rng, len);
-                let expect: Vec<u8> = dst
-                    .iter()
-                    .zip(src.iter())
-                    .map(|(&d, &s)| d ^ Gf256::mul_bytes(c, s))
-                    .collect();
-                mul_add_slice(&mut dst, c, &src);
-                assert_eq!(dst, expect, "len {len}, c {c}");
+        for backend in simd::available_backends() {
+            for len in LENS {
+                for c in [0u8, 1, 2, 17, 255] {
+                    let src = random_bytes(&mut rng, len);
+                    let mut dst = random_bytes(&mut rng, len);
+                    let expect: Vec<u8> = dst
+                        .iter()
+                        .zip(src.iter())
+                        .map(|(&d, &s)| d ^ Gf256::mul_bytes(c, s))
+                        .collect();
+                    mul_add_slice_on(backend, &mut dst, c, &src);
+                    assert_eq!(dst, expect, "backend {backend}, len {len}, c {c}");
+                }
             }
         }
     }
 
     #[test]
-    fn mul_slice_matches_scalar() {
+    fn mul_slice_matches_scalar_all_backends() {
         let mut rng = StdRng::seed_from_u64(3);
-        for len in LENS {
-            let c: u8 = rng.gen();
-            let orig = random_bytes(&mut rng, len);
-            let mut dst = orig.clone();
-            mul_slice(&mut dst, c);
-            let expect: Vec<u8> = orig.iter().map(|&b| Gf256::mul_bytes(c, b)).collect();
-            assert_eq!(dst, expect, "len {len}, c {c}");
+        for backend in simd::available_backends() {
+            for len in LENS {
+                let c: u8 = rng.gen();
+                let orig = random_bytes(&mut rng, len);
+                let mut dst = orig.clone();
+                mul_slice_on(backend, &mut dst, c);
+                let expect: Vec<u8> = orig.iter().map(|&b| Gf256::mul_bytes(c, b)).collect();
+                assert_eq!(dst, expect, "backend {backend}, len {len}, c {c}");
+            }
         }
     }
 
     #[test]
     fn mul_slice_into_matches_in_place() {
         let mut rng = StdRng::seed_from_u64(4);
-        for len in LENS {
-            for c in [0u8, 1, 99] {
-                let src = random_bytes(&mut rng, len);
-                let mut a = src.clone();
-                mul_slice(&mut a, c);
-                let mut b = vec![0xFFu8; len];
-                mul_slice_into(&mut b, c, &src);
-                assert_eq!(a, b, "len {len}, c {c}");
+        for backend in simd::available_backends() {
+            for len in LENS {
+                for c in [0u8, 1, 99] {
+                    let src = random_bytes(&mut rng, len);
+                    let mut a = src.clone();
+                    mul_slice_on(backend, &mut a, c);
+                    let mut b = vec![0xFFu8; len];
+                    mul_slice_into_on(backend, &mut b, c, &src);
+                    assert_eq!(a, b, "backend {backend}, len {len}, c {c}");
+                }
             }
         }
     }
@@ -347,21 +600,70 @@ mod tests {
     #[test]
     fn fused_transform_kernels_match_two_pass() {
         let mut rng = StdRng::seed_from_u64(6);
-        for len in LENS {
-            for c in [1u8, 2, 0x53, 255] {
-                let pad = random_bytes(&mut rng, len);
-                let orig = random_bytes(&mut rng, len);
-                // Forward: fused vs scale-then-xor.
-                let mut fused = orig.clone();
-                mul_xor_slice(&mut fused, c, &pad);
-                let mut two_pass = orig.clone();
-                mul_slice(&mut two_pass, c);
-                xor_slice(&mut two_pass, &pad);
-                assert_eq!(fused, two_pass, "forward len {len} c {c}");
-                // Inverse: fused vs xor-then-scale, and round-trip.
-                let inv = Gf256::new(c).inv().value();
-                xor_mul_slice(&mut fused, inv, &pad);
-                assert_eq!(fused, orig, "round-trip len {len} c {c}");
+        for backend in simd::available_backends() {
+            for len in LENS {
+                for c in [1u8, 2, 0x53, 255] {
+                    let pad = random_bytes(&mut rng, len);
+                    let orig = random_bytes(&mut rng, len);
+                    // Forward: fused vs scale-then-xor.
+                    let mut fused = orig.clone();
+                    mul_xor_slice_on(backend, &mut fused, c, &pad);
+                    let mut two_pass = orig.clone();
+                    mul_slice_on(backend, &mut two_pass, c);
+                    xor_slice(&mut two_pass, &pad);
+                    assert_eq!(fused, two_pass, "forward {backend} len {len} c {c}");
+                    // Inverse: fused vs xor-then-scale, and round-trip.
+                    let inv = Gf256::new(c).inv().value();
+                    xor_mul_slice_on(backend, &mut fused, inv, &pad);
+                    assert_eq!(fused, orig, "round-trip {backend} len {len} c {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_slice8_matches_scalar_all_backends() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for backend in simd::available_backends() {
+            for len in LENS {
+                let a = random_bytes(&mut rng, len);
+                let b = random_bytes(&mut rng, len);
+                let want = a
+                    .iter()
+                    .zip(b.iter())
+                    .fold(0u8, |acc, (&x, &y)| acc ^ Gf256::mul_bytes(x, y));
+                assert_eq!(
+                    dot_slice8_on(backend, &a, &b),
+                    want,
+                    "backend {backend}, len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_independent_axpy_sweeps() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for backend in simd::available_backends() {
+            for len in LENS {
+                for (nout, nsrc) in [(1, 1), (3, 3), (5, 2), (4, 7)] {
+                    let srcs: Vec<Vec<u8>> =
+                        (0..nsrc).map(|_| random_bytes(&mut rng, len)).collect();
+                    let coeffs: Vec<u8> = (0..nout * nsrc).map(|_| rng.gen()).collect();
+                    let mut outs: Vec<Vec<u8>> =
+                        (0..nout).map(|_| random_bytes(&mut rng, len)).collect();
+                    let mut want = outs.clone();
+                    for (j, w) in want.iter_mut().enumerate() {
+                        for (i, s) in srcs.iter().enumerate() {
+                            mul_add_slice_on(Backend::Swar, w, coeffs[j * nsrc + i], s);
+                        }
+                    }
+                    let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+                    let mut out_refs: Vec<&mut [u8]> =
+                        outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+                    mul_add_fused_on(backend, &mut out_refs, &coeffs, &src_refs);
+                    assert_eq!(outs, want, "backend {backend}, len {len}, {nout}x{nsrc}");
+                }
             }
         }
     }
@@ -374,34 +676,36 @@ mod tests {
     }
 
     /// The GF(2¹⁶) kernels must agree with element-wise scalar `mul` for
-    /// every coefficient class (zero, one, generic) and length.
+    /// every coefficient class (zero, one, generic), length and backend.
     #[test]
     fn wide_kernels_match_scalar_all_lengths() {
         let mut rng = StdRng::seed_from_u64(7);
-        for len in LENS {
-            let a: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
-            let b: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
-            for c in [Gf65536(0), Gf65536(1), Gf65536(0xA7C3), Gf65536(0xFFFF)] {
-                // dot (also exercises the zero-element skip).
-                let mut want = Gf65536::zero();
-                for (&x, &y) in a.iter().zip(b.iter()) {
-                    want = want.add(x.mul(y));
+        for backend in simd::available_backends() {
+            for len in LENS {
+                let a: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+                let b: Vec<Gf65536> = (0..len).map(|_| Gf65536::random(&mut rng)).collect();
+                for c in [Gf65536(0), Gf65536(1), Gf65536(0xA7C3), Gf65536(0xFFFF)] {
+                    // dot (also exercises the zero-element skip).
+                    let mut want = Gf65536::zero();
+                    for (&x, &y) in a.iter().zip(b.iter()) {
+                        want = want.add(x.mul(y));
+                    }
+                    assert_eq!(dot_slice16_on(backend, &a, &b), want, "dot {backend} {len}");
+                    // axpy.
+                    let mut got = a.clone();
+                    mul_add_slice16_on(backend, &mut got, c, &b);
+                    let want: Vec<Gf65536> = a
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(&x, &y)| x.add(c.mul(y)))
+                        .collect();
+                    assert_eq!(got, want, "axpy {backend} len {len} c {c:?}");
+                    // scale.
+                    let mut got = a.clone();
+                    mul_slice16_on(backend, &mut got, c);
+                    let want: Vec<Gf65536> = a.iter().map(|&x| x.mul(c)).collect();
+                    assert_eq!(got, want, "scale {backend} len {len} c {c:?}");
                 }
-                assert_eq!(dot_slice16(&a, &b), want, "dot len {len}");
-                // axpy.
-                let mut got = a.clone();
-                mul_add_slice16(&mut got, c, &b);
-                let want: Vec<Gf65536> = a
-                    .iter()
-                    .zip(b.iter())
-                    .map(|(&x, &y)| x.add(c.mul(y)))
-                    .collect();
-                assert_eq!(got, want, "axpy len {len} c {c:?}");
-                // scale.
-                let mut got = a.clone();
-                mul_slice16(&mut got, c);
-                let want: Vec<Gf65536> = a.iter().map(|&x| x.mul(c)).collect();
-                assert_eq!(got, want, "scale len {len} c {c:?}");
             }
         }
     }

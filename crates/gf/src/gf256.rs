@@ -6,7 +6,7 @@
 
 use crate::field::Field;
 
-const POLY: u16 = 0x11D;
+pub(crate) const POLY: u16 = 0x11D;
 
 /// `EXP[i] = α^i` for `i ∈ [0, 510)`; doubled so `mul` avoids a mod 255.
 static EXP: [u8; 510] = build_exp();
@@ -45,6 +45,7 @@ pub(crate) const fn build_log() -> [u8; 256] {
 /// The canonical payload field: a byte of message data is exactly one
 /// element, so slicing a buffer requires no re-packing.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
 pub struct Gf256(pub u8);
 
 impl std::fmt::Debug for Gf256 {
@@ -132,52 +133,25 @@ impl Field for Gf256 {
         Gf256(bytes[0])
     }
 
-    // ---- bulk slice hooks, ported onto the 64 KiB multiplication table.
-    //
-    // Same table as `crate::bulk`; the scalar log/exp path costs two
-    // dependent loads, an add and a zero-test per element, these cost one
-    // load from an L1-resident row (fixed coefficient) or one 2-D lookup
-    // (varying pair).
+    // ---- bulk slice hooks, routed through the runtime-dispatched
+    // kernels in `crate::bulk` (SWAR table rows or SIMD split-nibble /
+    // carry-less multiply, per `crate::simd::backend`). `Gf256` is
+    // `#[repr(transparent)]` over `u8`, so the element slices reinterpret
+    // directly as the byte slices the kernels take.
 
     #[inline]
     fn dot_slices(a: &[Self], b: &[Self]) -> Self {
-        let mut acc = 0u8;
-        for (&x, &y) in a.iter().zip(b.iter()) {
-            acc ^= crate::bulk::mul_row(x.0)[y.0 as usize];
-        }
-        Gf256(acc)
+        Gf256(crate::bulk::dot_slice8(as_bytes(a), as_bytes(b)))
     }
 
     #[inline]
     fn axpy_slices(acc: &mut [Self], c: Self, src: &[Self]) {
-        match c.0 {
-            0 => {}
-            1 => {
-                for (a, &s) in acc.iter_mut().zip(src.iter()) {
-                    a.0 ^= s.0;
-                }
-            }
-            _ => {
-                let row = crate::bulk::mul_row(c.0);
-                for (a, &s) in acc.iter_mut().zip(src.iter()) {
-                    a.0 ^= row[s.0 as usize];
-                }
-            }
-        }
+        crate::bulk::mul_add_slice(as_bytes_mut(acc), c.0, as_bytes(src));
     }
 
     #[inline]
     fn scale_slices(row_elems: &mut [Self], c: Self) {
-        match c.0 {
-            0 => row_elems.fill(Gf256(0)),
-            1 => {}
-            _ => {
-                let row = crate::bulk::mul_row(c.0);
-                for v in row_elems.iter_mut() {
-                    v.0 = row[v.0 as usize];
-                }
-            }
-        }
+        crate::bulk::mul_slice(as_bytes_mut(row_elems), c.0);
     }
 
     #[inline]
@@ -185,6 +159,26 @@ impl Field for Gf256 {
         // Characteristic 2: subtraction is addition.
         Self::axpy_slices(dst, c, src);
     }
+}
+
+/// Reinterpret a `Gf256` slice as raw bytes (`#[repr(transparent)]`
+/// makes the layouts identical).
+#[inline]
+#[allow(unsafe_code)]
+fn as_bytes(s: &[Gf256]) -> &[u8] {
+    // SAFETY: `Gf256` is `#[repr(transparent)]` over `u8`: same size,
+    // alignment and validity invariants, so the reinterpretation is
+    // sound for the same length.
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len()) }
+}
+
+/// Mutable variant of [`as_bytes`].
+#[inline]
+#[allow(unsafe_code)]
+fn as_bytes_mut(s: &mut [Gf256]) -> &mut [u8] {
+    // SAFETY: as in `as_bytes`; the `&mut` borrow is carried through
+    // unchanged, so aliasing rules are preserved.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut u8, s.len()) }
 }
 
 #[cfg(test)]

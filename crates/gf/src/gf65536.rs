@@ -12,7 +12,7 @@ use std::sync::OnceLock;
 
 use crate::field::Field;
 
-const POLY: u32 = 0x1100B;
+pub(crate) const POLY: u32 = 0x1100B;
 const ORDER_MINUS_1: usize = 65535;
 
 pub(crate) struct Tables {
@@ -44,6 +44,7 @@ pub(crate) fn tables() -> &'static Tables {
 
 /// An element of GF(2¹⁶).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Default)]
+#[repr(transparent)]
 pub struct Gf65536(pub u16);
 
 impl std::fmt::Debug for Gf65536 {

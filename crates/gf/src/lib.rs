@@ -17,14 +17,22 @@
 //!   verified-random generation and provably-MDS randomized Cauchy
 //!   matrices.
 //! * [`bulk`] — the byte-slice kernels (`mul_add_slice`, `mul_slice`,
-//!   `xor_slice`) every packet payload in the workspace is coded
-//!   through: one L1-resident table row per coefficient, SWAR XOR for
-//!   the add-only case.
+//!   `xor_slice`, `dot_slice8`, `mul_add_fused`) every packet payload in
+//!   the workspace is coded through.
+//! * [`simd`] — the runtime-dispatched backends behind those kernels:
+//!   SSSE3/AVX2 split-nibble and PCLMULQDQ kernels on x86_64, NEON on
+//!   aarch64, with the table-driven SWAR paths as the always-available
+//!   fallback and a pure-scalar oracle (`SLICING_GF_FORCE` pins one).
 //!
 //! All randomness is taken through `rand::Rng` so protocol code and tests
 //! can seed deterministically.
+//!
+//! `unsafe` is denied crate-wide except inside [`simd`]'s `std::arch`
+//! kernels and the `#[repr(transparent)]` slice casts that feed them;
+//! every unsafe block carries a SAFETY comment and is covered by the
+//! proptest oracle suite.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bulk;
@@ -33,8 +41,10 @@ pub mod gf256;
 pub mod gf65536;
 pub mod matrix;
 pub mod mds;
+pub mod simd;
 
 pub use field::{axpy, dot, scale, sub_scaled, Field};
+pub use simd::Backend;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
 pub use matrix::Matrix;

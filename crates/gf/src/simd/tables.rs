@@ -1,0 +1,149 @@
+//! Split-nibble multiplication tables and polynomial reduction helpers
+//! shared by every SIMD backend.
+//!
+//! The PSHUFB/TBL trick (ISA-L / Reed–Solomon style) computes `c · x`
+//! for 16/32 bytes at once by decomposing `x` into nibbles: because
+//! multiplication by a fixed `c` is linear over GF(2),
+//! `c · x = c · x_lo ⊕ c · (x_hi << 4)`, and each term is a lookup into
+//! a 16-entry table — exactly the shape a byte-shuffle instruction
+//! (`PSHUFB` on x86, `TBL` on aarch64) evaluates 16 lanes at a time.
+//!
+//! * GF(2⁸): both 16-entry tables for every coefficient are baked at
+//!   compile time into [`NIB8`] — 32 bytes per coefficient, 8 KiB total,
+//!   so a kernel invocation is two table loads with no setup multiply.
+//! * GF(2¹⁶): a full per-coefficient cache would cost 16 MiB, so
+//!   [`tab16`] builds the 128-byte table set (4 input nibbles × 2 output
+//!   byte planes) per call — 64 scalar multiplies, amortized over the
+//!   whole slice and cheap next to the per-element work it replaces.
+
+use crate::gf256::{build_exp, build_log};
+
+/// Per-coefficient split-nibble tables for GF(2⁸), built at compile time.
+///
+/// `NIB8[c][x]` (for `x < 16`) is `c · x`; `NIB8[c][16 + x]` is
+/// `c · (x << 4)`. A full product is
+/// `NIB8[c][b & 0xF] ^ NIB8[c][16 + (b >> 4)]`.
+pub(crate) static NIB8: [[u8; 32]; 256] = build_nib8();
+
+const fn build_nib8() -> [[u8; 32]; 256] {
+    let exp = build_exp();
+    let log = build_log();
+    let mut t = [[0u8; 32]; 256];
+    let mut c = 1usize;
+    while c < 256 {
+        let lc = log[c] as usize;
+        let mut x = 1usize;
+        while x < 16 {
+            t[c][x] = exp[lc + log[x] as usize];
+            t[c][16 + x] = exp[lc + log[x << 4] as usize];
+            x += 1;
+        }
+        c += 1;
+    }
+    t
+}
+
+/// Build the split-nibble table set for a GF(2¹⁶) coefficient.
+///
+/// Layout: four 16-byte tables for the *low* output byte
+/// (`out[k*16 + n] = lo(c · (n << 4k))`, `k ∈ 0..4`) followed by the
+/// same four tables for the *high* output byte (offset 64). A product
+/// is the XOR of four lookups per output byte plane:
+/// `c · w = ⊕ₖ c · (nibbleₖ(w) << 4k)`.
+pub(crate) fn tab16(c: crate::Gf65536) -> [u8; 128] {
+    use crate::Field;
+    let mut out = [0u8; 128];
+    for k in 0..4u16 {
+        for n in 0..16u16 {
+            let p = c.mul(crate::Gf65536(n << (4 * k))).0;
+            out[(k * 16 + n) as usize] = (p & 0xFF) as u8;
+            out[(64 + k * 16 + n) as usize] = (p >> 8) as u8;
+        }
+    }
+    out
+}
+
+/// Reduce an unreduced carry-less product/accumulator of degree ≤ 14
+/// modulo the GF(2⁸) polynomial `x⁸ + x⁴ + x³ + x² + 1` (0x11D).
+///
+/// The SIMD dot kernels XOR-accumulate *unreduced* 15-bit products
+/// (reduction is linear, so one pass at the end suffices); this folds
+/// the result back into the field.
+pub(crate) fn reduce15(mut v: u32) -> u8 {
+    for bit in (8..16).rev() {
+        if v & (1 << bit) != 0 {
+            v ^= (crate::gf256::POLY as u32) << (bit - 8);
+        }
+    }
+    v as u8
+}
+
+/// Reduce an unreduced carry-less accumulator of degree ≤ 30 modulo the
+/// GF(2¹⁶) polynomial `x¹⁶ + x¹² + x³ + x + 1` (0x1100B).
+pub(crate) fn reduce31(mut v: u64) -> u16 {
+    for bit in (16..32).rev() {
+        if v & (1 << bit) != 0 {
+            v ^= (crate::gf65536::POLY as u64) << (bit - 16);
+        }
+    }
+    v as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Field, Gf256, Gf65536};
+
+    #[test]
+    fn nib8_decomposition_is_exact() {
+        for c in 0..=255u8 {
+            for b in 0..=255u8 {
+                let via_nibbles =
+                    NIB8[c as usize][(b & 0xF) as usize] ^ NIB8[c as usize][16 + (b >> 4) as usize];
+                assert_eq!(via_nibbles, Gf256::mul_bytes(c, b), "c={c} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn tab16_decomposition_is_exact() {
+        for c in [0u16, 1, 2, 0xA7C3, 0xFFFF, 0x1234] {
+            let t = tab16(Gf65536(c));
+            for w in (0..=65535u16).step_by(257).chain([1, 0xFFFF, 0x8000]) {
+                let mut lo = 0u8;
+                let mut hi = 0u8;
+                for k in 0..4 {
+                    let n = ((w >> (4 * k)) & 0xF) as usize;
+                    lo ^= t[k * 16 + n];
+                    hi ^= t[64 + k * 16 + n];
+                }
+                let want = Gf65536(c).mul(Gf65536(w)).0;
+                assert_eq!(u16::from_le_bytes([lo, hi]), want, "c={c:#x} w={w:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_match_field_multiplication() {
+        // An unreduced schoolbook product reduced by reduce15/reduce31
+        // must equal the table multiply.
+        for (a, b) in [(0x53u8, 0xCAu8), (0xFF, 0xFF), (2, 0x80), (1, 1)] {
+            let mut un = 0u32;
+            for i in 0..8 {
+                if b & (1 << i) != 0 {
+                    un ^= (a as u32) << i;
+                }
+            }
+            assert_eq!(reduce15(un), Gf256::mul_bytes(a, b));
+        }
+        for (a, b) in [(0xA7C3u16, 0x1234u16), (0xFFFF, 0xFFFF), (2, 0x8000)] {
+            let mut un = 0u64;
+            for i in 0..16 {
+                if b & (1 << i) != 0 {
+                    un ^= (a as u64) << i;
+                }
+            }
+            assert_eq!(reduce31(un), Gf65536(a).mul(Gf65536(b)).0);
+        }
+    }
+}

@@ -1,0 +1,687 @@
+//! x86_64 kernels: SSSE3/AVX2 split-nibble table multiplies and
+//! PCLMULQDQ carry-less dot products.
+//!
+//! Every function in this module is a **safe** wrapper around
+//! `#[target_feature]` inner loops; the wrappers pick the widest
+//! available engine from [`crate::simd::caps`] (detected once at
+//! startup) and finish odd-length tails with the scalar table row, so
+//! callers never see alignment or length restrictions. The `unsafe` here
+//! is confined to `std::arch` intrinsics plus byte reinterpretation of
+//! `#[repr(transparent)]` [`Gf65536`] slices, all on the little-endian
+//! x86_64 memory model the intrinsics assume.
+//!
+//! Three instruction families do the work:
+//!
+//! * `PSHUFB` (`_mm_shuffle_epi8` / `_mm256_shuffle_epi8`) evaluates the
+//!   16-entry split-nibble tables of [`super::tables`] across 16 or 32
+//!   lanes per step — the ISA-L-style constant-coefficient multiply.
+//! * `PCLMULQDQ` computes dot products of *varying* × *varying*
+//!   operands (no fixed coefficient to build a table for): both inputs
+//!   are widened to 2× lanes, one is byte-reversed per group so lane
+//!   products land in non-overlapping bit slots, the unreduced carry-less
+//!   products are XOR-folded in-register, and one polynomial reduction
+//!   at the end maps back into the field.
+//! * For GF(2¹⁶), data arrives interleaved (`u16` little-endian); the
+//!   engines deinterleave lo/hi byte planes in-register with a shuffle +
+//!   64-bit unpack, apply four nibble tables per output plane, and
+//!   re-interleave before the store.
+
+use std::arch::x86_64::*;
+
+use crate::bulk;
+use crate::gf65536::{self, Gf65536};
+use crate::simd::tables::{self, NIB8};
+
+// ---- GF(2⁸) slice transforms ----------------------------------------------
+
+/// Dataflow selector for the const-generic transform engines. Each
+/// kernel's per-block recipe, with `m(x)` the split-nibble multiply:
+/// axpy `d ^= m(o)`, scale-into `d = m(o)`, scale `d = m(d)`,
+/// fused-forward `d = m(d) ^ o`, fused-inverse `d = m(d ^ o)`.
+const OP_AXPY: u8 = 0;
+const OP_MUL_INTO: u8 = 1;
+const OP_MUL: u8 = 2;
+const OP_MUL_XOR: u8 = 3;
+const OP_XOR_MUL: u8 = 4;
+
+/// One 32-lane split-nibble multiply: `m(v) = tlo[v & 0xF] ^ thi[v >> 4]`.
+#[inline(always)]
+unsafe fn mul_block256(tlo: __m256i, thi: __m256i, mask: __m256i, v: __m256i) -> __m256i {
+    _mm256_xor_si256(
+        _mm256_shuffle_epi8(tlo, _mm256_and_si256(v, mask)),
+        _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi16(v, 4), mask)),
+    )
+}
+
+/// One 16-lane split-nibble multiply (SSSE3 engine).
+#[inline(always)]
+unsafe fn mul_block128(tlo: __m128i, thi: __m128i, mask: __m128i, v: __m128i) -> __m128i {
+    _mm_xor_si128(
+        _mm_shuffle_epi8(tlo, _mm_and_si128(v, mask)),
+        _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi16(v, 4), mask)),
+    )
+}
+
+/// AVX2 transform engine: applies `OP` over 32-byte blocks (64-byte main
+/// loop), returns the number of bytes processed. `other` must equal
+/// `dst` for the one-operand ops (`OP_MUL`) and may not otherwise alias.
+#[target_feature(enable = "avx2")]
+unsafe fn transform8_avx2<const OP: u8>(
+    dst: *mut u8,
+    other: *const u8,
+    len: usize,
+    tab: &[u8; 32],
+) -> usize {
+    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
+    let thi =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i));
+    let mask = _mm256_set1_epi8(0x0f);
+    let mut i = 0usize;
+    macro_rules! block {
+        ($off:expr) => {{
+            let o = $off;
+            let r = match OP {
+                OP_AXPY => {
+                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                    let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                    _mm256_xor_si256(d, mul_block256(tlo, thi, mask, s))
+                }
+                OP_MUL_INTO => {
+                    let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                    mul_block256(tlo, thi, mask, s)
+                }
+                OP_MUL => {
+                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                    mul_block256(tlo, thi, mask, d)
+                }
+                OP_MUL_XOR => {
+                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                    let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                    _mm256_xor_si256(mul_block256(tlo, thi, mask, d), p)
+                }
+                _ => {
+                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                    let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                    mul_block256(tlo, thi, mask, _mm256_xor_si256(d, p))
+                }
+            };
+            _mm256_storeu_si256(dst.add(o) as *mut __m256i, r);
+        }};
+    }
+    while i + 64 <= len {
+        block!(i);
+        block!(i + 32);
+        i += 64;
+    }
+    if i + 32 <= len {
+        block!(i);
+        i += 32;
+    }
+    i
+}
+
+/// SSSE3 transform engine: 16-byte blocks (32-byte main loop).
+#[target_feature(enable = "ssse3")]
+unsafe fn transform8_ssse3<const OP: u8>(
+    dst: *mut u8,
+    other: *const u8,
+    len: usize,
+    tab: &[u8; 32],
+) -> usize {
+    let tlo = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
+    let thi = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
+    let mask = _mm_set1_epi8(0x0f);
+    let mut i = 0usize;
+    macro_rules! block {
+        ($off:expr) => {{
+            let o = $off;
+            let r = match OP {
+                OP_AXPY => {
+                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                    let s = _mm_loadu_si128(other.add(o) as *const __m128i);
+                    _mm_xor_si128(d, mul_block128(tlo, thi, mask, s))
+                }
+                OP_MUL_INTO => {
+                    let s = _mm_loadu_si128(other.add(o) as *const __m128i);
+                    mul_block128(tlo, thi, mask, s)
+                }
+                OP_MUL => {
+                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                    mul_block128(tlo, thi, mask, d)
+                }
+                OP_MUL_XOR => {
+                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                    let p = _mm_loadu_si128(other.add(o) as *const __m128i);
+                    _mm_xor_si128(mul_block128(tlo, thi, mask, d), p)
+                }
+                _ => {
+                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                    let p = _mm_loadu_si128(other.add(o) as *const __m128i);
+                    mul_block128(tlo, thi, mask, _mm_xor_si128(d, p))
+                }
+            };
+            _mm_storeu_si128(dst.add(o) as *mut __m128i, r);
+        }};
+    }
+    while i + 32 <= len {
+        block!(i);
+        block!(i + 16);
+        i += 32;
+    }
+    if i + 16 <= len {
+        block!(i);
+        i += 16;
+    }
+    i
+}
+
+/// Run a GF(2⁸) transform with the widest available engine; returns the
+/// number of bytes handled (the caller finishes the tail).
+#[inline]
+fn run_transform8<const OP: u8>(dst: *mut u8, other: *const u8, len: usize, c: u8) -> usize {
+    let tab = &NIB8[c as usize];
+    // SAFETY: dispatch guarantees the required target features; pointers
+    // cover `len` valid bytes per the safe wrappers' slice arguments.
+    unsafe {
+        if crate::simd::caps().wide {
+            transform8_avx2::<OP>(dst, other, len, tab)
+        } else {
+            transform8_ssse3::<OP>(dst, other, len, tab)
+        }
+    }
+}
+
+/// `dst[i] ^= c · src[i]` (generic `c`; `c = 0/1` are dispatched to the
+/// SWAR fast paths before reaching this kernel).
+pub(crate) fn axpy8(dst: &mut [u8], c: u8, src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = run_transform8::<OP_AXPY>(dst.as_mut_ptr(), src.as_ptr(), dst.len(), c);
+    let row = bulk::mul_row(c);
+    for (d, &s) in dst[n..].iter_mut().zip(&src[n..]) {
+        *d ^= row[s as usize];
+    }
+}
+
+/// `dst[i] = c · dst[i]` (in-place scale).
+pub(crate) fn mul8(dst: &mut [u8], c: u8) {
+    let n = run_transform8::<OP_MUL>(dst.as_mut_ptr(), dst.as_ptr(), dst.len(), c);
+    let row = bulk::mul_row(c);
+    for d in dst[n..].iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+/// `dst[i] = c · src[i]` (scale into a destination).
+pub(crate) fn mul8_into(dst: &mut [u8], c: u8, src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    let n = run_transform8::<OP_MUL_INTO>(dst.as_mut_ptr(), src.as_ptr(), dst.len(), c);
+    let row = bulk::mul_row(c);
+    for (d, &s) in dst[n..].iter_mut().zip(&src[n..]) {
+        *d = row[s as usize];
+    }
+}
+
+/// `dst[i] = c · dst[i] ^ pad[i]` (fused forward per-hop transform).
+pub(crate) fn mul_xor8(dst: &mut [u8], c: u8, pad: &[u8]) {
+    debug_assert_eq!(dst.len(), pad.len());
+    let n = run_transform8::<OP_MUL_XOR>(dst.as_mut_ptr(), pad.as_ptr(), dst.len(), c);
+    let row = bulk::mul_row(c);
+    for (d, &p) in dst[n..].iter_mut().zip(&pad[n..]) {
+        *d = row[*d as usize] ^ p;
+    }
+}
+
+/// `dst[i] = c · (dst[i] ^ pad[i])` (fused inverse per-hop transform).
+pub(crate) fn xor_mul8(dst: &mut [u8], c: u8, pad: &[u8]) {
+    debug_assert_eq!(dst.len(), pad.len());
+    let n = run_transform8::<OP_XOR_MUL>(dst.as_mut_ptr(), pad.as_ptr(), dst.len(), c);
+    let row = bulk::mul_row(c);
+    for (d, &p) in dst[n..].iter_mut().zip(&pad[n..]) {
+        *d = row[(*d ^ p) as usize];
+    }
+}
+
+// ---- GF(2⁸) fused multi-accumulator ---------------------------------------
+
+/// How many output accumulators one fused pass feeds. Four 256-bit
+/// accumulators plus per-source data and table registers fit the 16-ymm
+/// register file; larger groups spill.
+pub(crate) const FUSED_GROUP: usize = 4;
+
+/// AVX2 fused kernel: for up to [`FUSED_GROUP`] outputs at once,
+/// `outs[j][k] ^= Σ_i coeffs[j·nsrc + i] · srcs[i][k]`, loading each
+/// source block once per group instead of once per (output, source)
+/// pair. Returns bytes processed.
+#[target_feature(enable = "avx2")]
+unsafe fn fused8_avx2(
+    outs: &[*mut u8],
+    coeffs: &[u8],
+    srcs: &[*const u8],
+    len: usize,
+) -> usize {
+    let g = outs.len();
+    let nsrc = srcs.len();
+    let mask = _mm256_set1_epi8(0x0f);
+    let blocks = len / 32 * 32;
+    for (si, &sp) in srcs.iter().enumerate() {
+        // Hoist this source's per-output tables out of the block loop:
+        // 2·FUSED_GROUP table registers plus the source stream and one
+        // accumulator stay inside the 16-register file.
+        let mut tlo = [_mm256_setzero_si256(); FUSED_GROUP];
+        let mut thi = [_mm256_setzero_si256(); FUSED_GROUP];
+        let mut live = [false; FUSED_GROUP];
+        for j in 0..g {
+            let c = coeffs[j * nsrc + si];
+            if c == 0 {
+                continue;
+            }
+            let tab = &NIB8[c as usize];
+            tlo[j] =
+                _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
+            thi[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                tab.as_ptr().add(16) as *const __m128i
+            ));
+            live[j] = true;
+        }
+        if !live.contains(&true) {
+            continue;
+        }
+        let mut i = 0usize;
+        while i + 32 <= len {
+            let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+            let lo = _mm256_and_si256(s, mask);
+            let hi = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+            for j in 0..g {
+                if !live[j] {
+                    continue;
+                }
+                let op = outs[j].add(i);
+                let acc = _mm256_loadu_si256(op as *const __m256i);
+                let prod = _mm256_xor_si256(
+                    _mm256_shuffle_epi8(tlo[j], lo),
+                    _mm256_shuffle_epi8(thi[j], hi),
+                );
+                _mm256_storeu_si256(op as *mut __m256i, _mm256_xor_si256(acc, prod));
+            }
+            i += 32;
+        }
+    }
+    blocks
+}
+
+/// SSSE3 fused kernel — same dataflow at 16 bytes per block.
+#[target_feature(enable = "ssse3")]
+unsafe fn fused8_ssse3(
+    outs: &[*mut u8],
+    coeffs: &[u8],
+    srcs: &[*const u8],
+    len: usize,
+) -> usize {
+    let g = outs.len();
+    let nsrc = srcs.len();
+    let mask = _mm_set1_epi8(0x0f);
+    let blocks = len / 16 * 16;
+    for (si, &sp) in srcs.iter().enumerate() {
+        let mut tlo = [_mm_setzero_si128(); FUSED_GROUP];
+        let mut thi = [_mm_setzero_si128(); FUSED_GROUP];
+        let mut live = [false; FUSED_GROUP];
+        for j in 0..g {
+            let c = coeffs[j * nsrc + si];
+            if c == 0 {
+                continue;
+            }
+            let tab = &NIB8[c as usize];
+            tlo[j] = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
+            thi[j] = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
+            live[j] = true;
+        }
+        if !live.contains(&true) {
+            continue;
+        }
+        let mut i = 0usize;
+        while i + 16 <= len {
+            let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
+            let lo = _mm_and_si128(s, mask);
+            let hi = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+            for j in 0..g {
+                if !live[j] {
+                    continue;
+                }
+                let op = outs[j].add(i);
+                let acc = _mm_loadu_si128(op as *const __m128i);
+                let prod =
+                    _mm_xor_si128(_mm_shuffle_epi8(tlo[j], lo), _mm_shuffle_epi8(thi[j], hi));
+                _mm_storeu_si128(op as *mut __m128i, _mm_xor_si128(acc, prod));
+            }
+            i += 16;
+        }
+    }
+    blocks
+}
+
+/// Fused multi-coefficient accumulate:
+/// `outs[j][k] ^= Σ_i coeffs[j·srcs.len() + i] · srcs[i][k]`
+/// (coefficients output-major), loading each source slice once per
+/// group of [`FUSED_GROUP`] outputs.
+pub(crate) fn fused8(outs: &mut [&mut [u8]], coeffs: &[u8], srcs: &[&[u8]]) {
+    let nsrc = srcs.len();
+    let len = srcs.first().map_or(0, |s| s.len());
+    let src_ptrs: Vec<*const u8> = srcs.iter().map(|s| s.as_ptr()).collect();
+    for (chunk_idx, chunk) in outs.chunks_mut(FUSED_GROUP).enumerate() {
+        let cbase = chunk_idx * FUSED_GROUP * nsrc;
+        let coeffs = &coeffs[cbase..cbase + chunk.len() * nsrc];
+        let out_ptrs: Vec<*mut u8> = chunk.iter_mut().map(|o| o.as_mut_ptr()).collect();
+        // SAFETY: the `&mut` outputs are disjoint by construction, the
+        // pointers cover `len` bytes each (asserted by the dispatcher),
+        // and the required target features are detection-guaranteed.
+        let n = unsafe {
+            if crate::simd::caps().wide {
+                fused8_avx2(&out_ptrs, coeffs, &src_ptrs, len)
+            } else {
+                fused8_ssse3(&out_ptrs, coeffs, &src_ptrs, len)
+            }
+        };
+        // Scalar tail: same accumulation order, table-row lookups.
+        for (j, out) in chunk.iter_mut().enumerate() {
+            for (si, src) in srcs.iter().enumerate() {
+                let c = coeffs[j * nsrc + si];
+                if c == 0 {
+                    continue;
+                }
+                let row = bulk::mul_row(c);
+                for (d, &s) in out[n..].iter_mut().zip(&src[n..]) {
+                    *d ^= row[s as usize];
+                }
+            }
+        }
+    }
+}
+
+// ---- GF(2⁸) dot product (PCLMULQDQ) ---------------------------------------
+
+/// Carry-less dot core: processes `len/16*16` bytes, returning the
+/// *unreduced* 15-bit accumulator and bytes consumed.
+///
+/// Both operands are widened to 16-bit lanes; `b` is byte-reversed
+/// within each 4-byte group so that after widening, the products
+/// `a[k]·b[k]` of one 64-bit lane land at distinct 32-bit spacings of
+/// one `PCLMULQDQ` result, XOR-aligned at bit 48 across lanes.
+#[target_feature(enable = "ssse3,pclmulqdq,sse4.1")]
+unsafe fn dot8_clmul(a: *const u8, b: *const u8, len: usize) -> (u32, usize) {
+    let rev = _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+    let mut acc = _mm_setzero_si128();
+    let n = len / 16 * 16;
+    let mut i = 0usize;
+    while i < n {
+        let va = _mm_loadu_si128(a.add(i) as *const __m128i);
+        let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
+        let a_lo = _mm_cvtepu8_epi16(va);
+        let a_hi = _mm_cvtepu8_epi16(_mm_srli_si128(va, 8));
+        let b_lo = _mm_cvtepu8_epi16(vb);
+        let b_hi = _mm_cvtepu8_epi16(_mm_srli_si128(vb, 8));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
+        i += 16;
+    }
+    // Every lane-product of every CLMUL lands its dot terms at bits
+    // 48..62 of the low qword; everything else is discarded cross-terms.
+    let lo = _mm_cvtsi128_si64(acc) as u64;
+    (((lo >> 48) & 0x7FFF) as u32, n)
+}
+
+/// Dot product `Σ a[i]·b[i]` over GF(2⁸), or `None` when the host lacks
+/// PCLMULQDQ (dispatch then falls back to the SWAR path).
+pub(crate) fn dot8(a: &[u8], b: &[u8]) -> Option<u8> {
+    debug_assert_eq!(a.len(), b.len());
+    if !crate::simd::caps().clmul {
+        return None;
+    }
+    // SAFETY: clmul capability checked above; pointers cover `len` bytes.
+    let (un, n) = unsafe { dot8_clmul(a.as_ptr(), b.as_ptr(), a.len()) };
+    let mut acc = tables::reduce15(un);
+    for (&x, &y) in a[n..].iter().zip(&b[n..]) {
+        acc ^= bulk::mul_row(x)[y as usize];
+    }
+    Some(acc)
+}
+
+// ---- GF(2¹⁶) kernels ------------------------------------------------------
+
+/// Minimum element count for the GF(2¹⁶) table kernels: below this the
+/// 64 scalar multiplies building the per-coefficient table set cost more
+/// than they save, and dispatch stays on the SWAR path.
+pub(crate) const MIN_LEN16: usize = 64;
+
+const OP16_AXPY: u8 = 0;
+const OP16_MUL: u8 = 1;
+
+/// AVX2 GF(2¹⁶) engine over 32-element (64-byte) blocks; `OP16_AXPY`
+/// computes `acc ^= m(src)`, `OP16_MUL` computes `dst = m(dst)`.
+/// Returns elements processed.
+#[target_feature(enable = "avx2")]
+unsafe fn transform16_avx2<const OP: u8>(
+    dst: *mut u8,
+    src: *const u8,
+    len_elems: usize,
+    tab: &[u8; 128],
+) -> usize {
+    let bt = |o: usize| {
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i))
+    };
+    let tl0 = bt(0);
+    let tl1 = bt(16);
+    let tl2 = bt(32);
+    let tl3 = bt(48);
+    let th0 = bt(64);
+    let th1 = bt(80);
+    let th2 = bt(96);
+    let th3 = bt(112);
+    let nib = _mm256_set1_epi8(0x0f);
+    // Deinterleave u16 lanes into [lo bytes ×8, hi bytes ×8] per lane…
+    let sep = _mm256_setr_epi8(
+        0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15, 0, 2, 4, 6, 8, 10, 12, 14, 1, 3,
+        5, 7, 9, 11, 13, 15,
+    );
+    // …and back.
+    let ilv = _mm256_setr_epi8(
+        0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15, 0, 8, 1, 9, 2, 10, 3, 11, 4, 12,
+        5, 13, 6, 14, 7, 15,
+    );
+    let n = len_elems / 32 * 32;
+    let mut i = 0usize; // byte index
+    while i < n * 2 {
+        let va = _mm256_loadu_si256(src.add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(src.add(i + 32) as *const __m256i);
+        let sa = _mm256_shuffle_epi8(va, sep);
+        let sb = _mm256_shuffle_epi8(vb, sep);
+        let vlo = _mm256_unpacklo_epi64(sa, sb);
+        let vhi = _mm256_unpackhi_epi64(sa, sb);
+        let n0 = _mm256_and_si256(vlo, nib);
+        let n1 = _mm256_and_si256(_mm256_srli_epi16(vlo, 4), nib);
+        let n2 = _mm256_and_si256(vhi, nib);
+        let n3 = _mm256_and_si256(_mm256_srli_epi16(vhi, 4), nib);
+        let rlo = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_shuffle_epi8(tl0, n0), _mm256_shuffle_epi8(tl1, n1)),
+            _mm256_xor_si256(_mm256_shuffle_epi8(tl2, n2), _mm256_shuffle_epi8(tl3, n3)),
+        );
+        let rhi = _mm256_xor_si256(
+            _mm256_xor_si256(_mm256_shuffle_epi8(th0, n0), _mm256_shuffle_epi8(th1, n1)),
+            _mm256_xor_si256(_mm256_shuffle_epi8(th2, n2), _mm256_shuffle_epi8(th3, n3)),
+        );
+        let pa = _mm256_unpacklo_epi64(rlo, rhi);
+        let pb = _mm256_unpackhi_epi64(rlo, rhi);
+        let ra = _mm256_shuffle_epi8(pa, ilv);
+        let rb = _mm256_shuffle_epi8(pb, ilv);
+        let (ra, rb) = if OP == OP16_AXPY {
+            let da = _mm256_loadu_si256(dst.add(i) as *const __m256i);
+            let db = _mm256_loadu_si256(dst.add(i + 32) as *const __m256i);
+            (_mm256_xor_si256(da, ra), _mm256_xor_si256(db, rb))
+        } else {
+            (ra, rb)
+        };
+        _mm256_storeu_si256(dst.add(i) as *mut __m256i, ra);
+        _mm256_storeu_si256(dst.add(i + 32) as *mut __m256i, rb);
+        i += 64;
+    }
+    n
+}
+
+/// SSSE3 GF(2¹⁶) engine over 16-element (32-byte) blocks.
+#[target_feature(enable = "ssse3")]
+unsafe fn transform16_ssse3<const OP: u8>(
+    dst: *mut u8,
+    src: *const u8,
+    len_elems: usize,
+    tab: &[u8; 128],
+) -> usize {
+    let lt = |o: usize| _mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i);
+    let tl0 = lt(0);
+    let tl1 = lt(16);
+    let tl2 = lt(32);
+    let tl3 = lt(48);
+    let th0 = lt(64);
+    let th1 = lt(80);
+    let th2 = lt(96);
+    let th3 = lt(112);
+    let nib = _mm_set1_epi8(0x0f);
+    let sep = _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15);
+    let ilv = _mm_setr_epi8(0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15);
+    let n = len_elems / 16 * 16;
+    let mut i = 0usize;
+    while i < n * 2 {
+        let va = _mm_loadu_si128(src.add(i) as *const __m128i);
+        let vb = _mm_loadu_si128(src.add(i + 16) as *const __m128i);
+        let sa = _mm_shuffle_epi8(va, sep);
+        let sb = _mm_shuffle_epi8(vb, sep);
+        let vlo = _mm_unpacklo_epi64(sa, sb);
+        let vhi = _mm_unpackhi_epi64(sa, sb);
+        let n0 = _mm_and_si128(vlo, nib);
+        let n1 = _mm_and_si128(_mm_srli_epi16(vlo, 4), nib);
+        let n2 = _mm_and_si128(vhi, nib);
+        let n3 = _mm_and_si128(_mm_srli_epi16(vhi, 4), nib);
+        let rlo = _mm_xor_si128(
+            _mm_xor_si128(_mm_shuffle_epi8(tl0, n0), _mm_shuffle_epi8(tl1, n1)),
+            _mm_xor_si128(_mm_shuffle_epi8(tl2, n2), _mm_shuffle_epi8(tl3, n3)),
+        );
+        let rhi = _mm_xor_si128(
+            _mm_xor_si128(_mm_shuffle_epi8(th0, n0), _mm_shuffle_epi8(th1, n1)),
+            _mm_xor_si128(_mm_shuffle_epi8(th2, n2), _mm_shuffle_epi8(th3, n3)),
+        );
+        let pa = _mm_unpacklo_epi64(rlo, rhi);
+        let pb = _mm_unpackhi_epi64(rlo, rhi);
+        let ra = _mm_shuffle_epi8(pa, ilv);
+        let rb = _mm_shuffle_epi8(pb, ilv);
+        let (ra, rb) = if OP == OP16_AXPY {
+            let da = _mm_loadu_si128(dst.add(i) as *const __m128i);
+            let db = _mm_loadu_si128(dst.add(i + 16) as *const __m128i);
+            (_mm_xor_si128(da, ra), _mm_xor_si128(db, rb))
+        } else {
+            (ra, rb)
+        };
+        _mm_storeu_si128(dst.add(i) as *mut __m128i, ra);
+        _mm_storeu_si128(dst.add(i + 16) as *mut __m128i, rb);
+        i += 32;
+    }
+    n
+}
+
+#[inline]
+fn run_transform16<const OP: u8>(dst: *mut u8, src: *const u8, len_elems: usize, c: Gf65536) -> usize {
+    let tab = tables::tab16(c);
+    // SAFETY: dispatch guarantees the target features; pointers cover
+    // `2 · len_elems` valid bytes (from `#[repr(transparent)]` slices).
+    unsafe {
+        if crate::simd::caps().wide {
+            transform16_avx2::<OP>(dst, src, len_elems, &tab)
+        } else {
+            transform16_ssse3::<OP>(dst, src, len_elems, &tab)
+        }
+    }
+}
+
+/// `acc[i] ^= c · src[i]` over GF(2¹⁶) (generic `c`).
+pub(crate) fn axpy16(acc: &mut [Gf65536], c: Gf65536, src: &[Gf65536]) {
+    debug_assert_eq!(acc.len(), src.len());
+    let n = run_transform16::<OP16_AXPY>(
+        acc.as_mut_ptr() as *mut u8,
+        src.as_ptr() as *const u8,
+        acc.len(),
+        c,
+    );
+    let t = gf65536::tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for (a, &s) in acc[n..].iter_mut().zip(&src[n..]) {
+        if s.0 != 0 {
+            a.0 ^= t.exp[lc + t.log[s.0 as usize] as usize];
+        }
+    }
+}
+
+/// `row[i] = c · row[i]` over GF(2¹⁶) (generic `c`, in place).
+pub(crate) fn mul16(row: &mut [Gf65536], c: Gf65536) {
+    let n = run_transform16::<OP16_MUL>(
+        row.as_mut_ptr() as *mut u8,
+        row.as_ptr() as *const u8,
+        row.len(),
+        c,
+    );
+    let t = gf65536::tables();
+    let lc = t.log[c.0 as usize] as usize;
+    for v in row[n..].iter_mut() {
+        if v.0 != 0 {
+            v.0 = t.exp[lc + t.log[v.0 as usize] as usize];
+        }
+    }
+}
+
+/// Carry-less GF(2¹⁶) dot core over 8-element (16-byte) blocks:
+/// operands widen to 32-bit lanes, `b` swaps `u16` pairs per 4-byte
+/// group, products XOR-align at bit 32 of each 128-bit result. Returns
+/// the unreduced 31-bit accumulator and elements consumed.
+#[target_feature(enable = "ssse3,pclmulqdq,sse4.1")]
+unsafe fn dot16_clmul(a: *const u8, b: *const u8, len_elems: usize) -> (u64, usize) {
+    let rev = _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+    let mut acc = _mm_setzero_si128();
+    let n = len_elems / 8 * 8;
+    let mut i = 0usize;
+    while i < n * 2 {
+        let va = _mm_loadu_si128(a.add(i) as *const __m128i);
+        let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
+        let a_lo = _mm_cvtepu16_epi32(va);
+        let a_hi = _mm_cvtepu16_epi32(_mm_srli_si128(va, 8));
+        let b_lo = _mm_cvtepu16_epi32(vb);
+        let b_hi = _mm_cvtepu16_epi32(_mm_srli_si128(vb, 8));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
+        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
+        i += 16;
+    }
+    // Dot terms collect at bits 32..62 of the low qword of every CLMUL.
+    let lo = _mm_cvtsi128_si64(acc) as u64;
+    ((lo >> 32) & 0x7FFF_FFFF, n)
+}
+
+/// Dot product `Σ a[i]·b[i]` over GF(2¹⁶), or `None` when the host
+/// lacks PCLMULQDQ.
+pub(crate) fn dot16(a: &[Gf65536], b: &[Gf65536]) -> Option<Gf65536> {
+    debug_assert_eq!(a.len(), b.len());
+    if !crate::simd::caps().clmul {
+        return None;
+    }
+    // SAFETY: clmul capability checked; `#[repr(transparent)]` slices
+    // cover `2 · len` bytes.
+    let (un, n) = unsafe {
+        dot16_clmul(a.as_ptr() as *const u8, b.as_ptr() as *const u8, a.len())
+    };
+    let mut acc = tables::reduce31(un);
+    let t = gf65536::tables();
+    for (&x, &y) in a[n..].iter().zip(&b[n..]) {
+        if x.0 != 0 && y.0 != 0 {
+            acc ^= t.exp[t.log[x.0 as usize] as usize + t.log[y.0 as usize] as usize];
+        }
+    }
+    Some(Gf65536(acc))
+}

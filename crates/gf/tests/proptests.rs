@@ -177,3 +177,158 @@ proptest! {
         }
     }
 }
+
+// ---- per-backend kernel oracles -------------------------------------------
+//
+// Every backend the host offers (scalar, SWAR, and — on capable hosts —
+// SIMD) must agree bit-for-bit with element-at-a-time scalar field
+// arithmetic, over arbitrary lengths (odd tails), unaligned starting
+// offsets (the SIMD engines use unaligned loads, but the tail-handoff
+// arithmetic must stay exact wherever the slice begins), and the
+// special-cased `c = 0` / `c = 1` coefficients.
+
+proptest! {
+    /// All five GF(2⁸) slice transforms plus the dot product, on every
+    /// available backend.
+    #[test]
+    fn gf8_kernels_match_oracle_on_every_backend(
+        seed in any::<u64>(),
+        len in 0usize..530,
+        off in 0usize..17,
+        c_any in any::<u8>(),
+    ) {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a_buf = vec![0u8; off + len];
+        let mut b_buf = vec![0u8; off + len];
+        rng.fill_bytes(&mut a_buf);
+        rng.fill_bytes(&mut b_buf);
+        let a = &a_buf[off..];
+        let b = &b_buf[off..];
+        let mul = |x: u8, y: u8| Gf256::new(x).mul(Gf256::new(y)).value();
+        for backend in slicing_gf::simd::available_backends() {
+            for c in [c_any, 0, 1] {
+                // axpy: dst ^= c·src
+                let mut got = a_buf.clone();
+                bulk::mul_add_slice_on(backend, &mut got[off..], c, b);
+                let want: Vec<u8> =
+                    a.iter().zip(b).map(|(&d, &s)| d ^ mul(c, s)).collect();
+                prop_assert_eq!(&got[off..], &want[..], "axpy {} c {}", backend, c);
+                // scale in place: dst = c·dst
+                let mut got = a_buf.clone();
+                bulk::mul_slice_on(backend, &mut got[off..], c);
+                let want: Vec<u8> = a.iter().map(|&d| mul(c, d)).collect();
+                prop_assert_eq!(&got[off..], &want[..], "scale {} c {}", backend, c);
+                // scale into: dst = c·src
+                let mut got = a_buf.clone();
+                bulk::mul_slice_into_on(backend, &mut got[off..], c, b);
+                let want: Vec<u8> = b.iter().map(|&s| mul(c, s)).collect();
+                prop_assert_eq!(&got[off..], &want[..], "into {} c {}", backend, c);
+                // fused forward: dst = c·dst ^ pad
+                let mut got = a_buf.clone();
+                bulk::mul_xor_slice_on(backend, &mut got[off..], c, b);
+                let want: Vec<u8> =
+                    a.iter().zip(b).map(|(&d, &p)| mul(c, d) ^ p).collect();
+                prop_assert_eq!(&got[off..], &want[..], "mul_xor {} c {}", backend, c);
+                // fused inverse: dst = c·(dst ^ pad)
+                let mut got = a_buf.clone();
+                bulk::xor_mul_slice_on(backend, &mut got[off..], c, b);
+                let want: Vec<u8> =
+                    a.iter().zip(b).map(|(&d, &p)| mul(c, d ^ p)).collect();
+                prop_assert_eq!(&got[off..], &want[..], "xor_mul {} c {}", backend, c);
+            }
+            // dot: Σ a[i]·b[i]
+            let want = a.iter().zip(b).fold(0u8, |acc, (&x, &y)| acc ^ mul(x, y));
+            prop_assert_eq!(bulk::dot_slice8_on(backend, a, b), want, "dot {}", backend);
+        }
+    }
+
+    /// The GF(2¹⁶) kernels (axpy, scale, dot) on every available
+    /// backend, across the per-call table-build threshold.
+    #[test]
+    fn gf16_kernels_match_oracle_on_every_backend(
+        seed in any::<u64>(),
+        len in 0usize..200,
+        off in 0usize..9,
+        c_any in any::<u16>(),
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a_buf: Vec<Gf65536> =
+            (0..off + len).map(|_| Gf65536::random(&mut rng)).collect();
+        let b_buf: Vec<Gf65536> =
+            (0..off + len).map(|_| Gf65536::random(&mut rng)).collect();
+        let a = &a_buf[off..];
+        let b = &b_buf[off..];
+        for backend in slicing_gf::simd::available_backends() {
+            for c in [Gf65536(c_any), Gf65536(0), Gf65536(1)] {
+                let mut got = a_buf.clone();
+                bulk::mul_add_slice16_on(backend, &mut got[off..], c, b);
+                let want: Vec<Gf65536> =
+                    a.iter().zip(b).map(|(&d, &s)| d.add(c.mul(s))).collect();
+                prop_assert_eq!(&got[off..], &want[..], "axpy16 {} c {:?}", backend, c);
+                let mut got = a_buf.clone();
+                bulk::mul_slice16_on(backend, &mut got[off..], c);
+                let want: Vec<Gf65536> = a.iter().map(|&d| c.mul(d)).collect();
+                prop_assert_eq!(&got[off..], &want[..], "scale16 {} c {:?}", backend, c);
+            }
+            let want = a
+                .iter()
+                .zip(b)
+                .fold(Gf65536::zero(), |acc, (&x, &y)| acc.add(x.mul(y)));
+            prop_assert_eq!(bulk::dot_slice16_on(backend, a, b), want, "dot16 {}", backend);
+        }
+    }
+
+    /// The fused multi-output kernel equals independent scalar axpy
+    /// sweeps for every output/source shape on every backend.
+    #[test]
+    fn fused_kernel_matches_oracle_on_every_backend(
+        seed in any::<u64>(),
+        len in 0usize..300,
+        nout in 1usize..7,
+        nsrc in 1usize..7,
+    ) {
+        use rand::{rngs::StdRng, Rng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let srcs: Vec<Vec<u8>> = (0..nsrc)
+            .map(|_| {
+                let mut v = vec![0u8; len];
+                rng.fill_bytes(&mut v);
+                v
+            })
+            .collect();
+        let inits: Vec<Vec<u8>> = (0..nout)
+            .map(|_| {
+                let mut v = vec![0u8; len];
+                rng.fill_bytes(&mut v);
+                v
+            })
+            .collect();
+        // Include the c = 0 / c = 1 edges among random coefficients.
+        let coeffs: Vec<u8> = (0..nout * nsrc)
+            .map(|i| match i % 5 {
+                0 => 0,
+                1 => 1,
+                _ => rng.gen(),
+            })
+            .collect();
+        let mut want = inits.clone();
+        for (j, w) in want.iter_mut().enumerate() {
+            for (i, s) in srcs.iter().enumerate() {
+                let c = coeffs[j * nsrc + i];
+                for (d, &x) in w.iter_mut().zip(s) {
+                    *d ^= Gf256::new(c).mul(Gf256::new(x)).value();
+                }
+            }
+        }
+        let src_refs: Vec<&[u8]> = srcs.iter().map(|s| s.as_slice()).collect();
+        for backend in slicing_gf::simd::available_backends() {
+            let mut outs = inits.clone();
+            let mut out_refs: Vec<&mut [u8]> =
+                outs.iter_mut().map(|o| o.as_mut_slice()).collect();
+            bulk::mul_add_fused_on(backend, &mut out_refs, &coeffs, &src_refs);
+            prop_assert_eq!(&outs, &want, "fused {} {}x{}", backend, nout, nsrc);
+        }
+    }
+}

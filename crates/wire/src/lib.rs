@@ -406,6 +406,21 @@ impl PacketBuilder {
         self.buf.put_zeroed(self.header.slot_len as usize)
     }
 
+    /// Re-borrow an already-written slot for further in-place editing.
+    ///
+    /// The fused relay coding path fills several packets' slots through
+    /// one multi-output kernel call after all builders exist, then comes
+    /// back here to stamp CRCs.
+    ///
+    /// # Panics
+    /// Panics if slot `i` has not been written yet.
+    pub fn slot_mut(&mut self, i: usize) -> &mut [u8] {
+        assert!(i < self.written as usize, "slot not yet written");
+        let len = self.header.slot_len as usize;
+        let start = HEADER_LEN + i * len;
+        &mut self.buf[start..start + len]
+    }
+
     /// Append a pre-assembled slot.
     ///
     /// # Panics

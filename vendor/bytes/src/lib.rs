@@ -331,6 +331,12 @@ impl std::ops::Deref for BytesMut {
     }
 }
 
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
 impl From<BytesMut> for Vec<u8> {
     fn from(b: BytesMut) -> Vec<u8> {
         b.0
@@ -381,6 +387,14 @@ mod tests {
         assert_eq!(region, &[0, 0, 0]);
         region[1] = 42;
         assert_eq!(m.freeze(), &[7, 0, 42, 0]);
+    }
+
+    #[test]
+    fn bytes_mut_deref_mut_edits_in_place() {
+        let mut m = BytesMut::new();
+        m.put_slice(&[1, 2, 3, 4]);
+        m[1..3].copy_from_slice(&[9, 8]);
+        assert_eq!(m.freeze(), &[1, 9, 8, 4]);
     }
 
     #[test]
