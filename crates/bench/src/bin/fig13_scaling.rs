@@ -5,6 +5,7 @@ use std::time::Duration;
 
 use slicing_bench::{banner, RunOpts, Table};
 use slicing_core::GraphParams;
+use slicing_overlay::experiment::Transport;
 use slicing_overlay::run_multi_flow;
 use slicing_sim::NetProfile;
 
@@ -34,7 +35,7 @@ fn main() {
             1,
             flows,
             GraphParams::new(5, 3),
-            NetProfile::planetlab(),
+            Transport::Emulated(NetProfile::planetlab()),
             messages,
             1200,
             opts.seed,

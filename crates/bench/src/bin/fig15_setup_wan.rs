@@ -1,5 +1,8 @@
 //! Fig. 15: average route-setup time vs path length and split factor on
 //! the wide-area (PlanetLab substitute) network.
+//!
+//! A second table reruns the d = 2 setup sweep over the real UDP and
+//! TCP transports on loopback sockets.
 
 use std::time::Duration;
 
@@ -8,7 +11,7 @@ use slicing_core::{DestPlacement, GraphParams};
 use slicing_overlay::experiment::{
     run_onion_transfer, run_slicing_transfer, Transport,
 };
-use slicing_overlay::TransferConfig;
+use slicing_overlay::{TransferConfig, UdpFaults};
 use slicing_sim::NetProfile;
 
 fn main() {
@@ -64,4 +67,43 @@ fn main() {
         table.row(&row);
     }
     table.print();
+
+    // Rerun setup over real sockets: slicing d = 2, UDP (paced, setup
+    // exempt from injected loss by design — establishment needs all d′
+    // slices) vs TCP. Loopback, so these are protocol+stack costs
+    // without WAN RTT; milliseconds, not seconds.
+    println!();
+    println!("rerun over real sockets (setup ms, slicing d=2):");
+    let mut real = Table::new(&["L", "udp_setup_ms", "tcp_setup_ms"]);
+    for l in 1..=6usize {
+        let mk = |transport: Transport, salt: u64| TransferConfig {
+            params: GraphParams::new(l, 2).with_dest_placement(DestPlacement::LastStage),
+            transport,
+            messages: 0,
+            payload_len: 0,
+            seed: opts.seed + (l * 977) as u64 + salt,
+            timeout: Duration::from_secs(60),
+            relay_shards: 1,
+            relay_config: Default::default(),
+        };
+        let mut udp_acc = 0.0;
+        let mut tcp_acc = 0.0;
+        for r in 0..repeats {
+            udp_acc += rt
+                .block_on(run_slicing_transfer(&mk(
+                    Transport::Udp(UdpFaults::default()),
+                    4000 + r as u64,
+                )))
+                .setup_ms as f64;
+            tcp_acc += rt
+                .block_on(run_slicing_transfer(&mk(Transport::Tcp, 5000 + r as u64)))
+                .setup_ms as f64;
+        }
+        real.row(&[
+            l as f64,
+            udp_acc / repeats as f64,
+            tcp_acc / repeats as f64,
+        ]);
+    }
+    real.print();
 }

@@ -291,6 +291,11 @@ pub(crate) struct StreamState {
     pub(crate) msg_chunks_left: HashMap<u32, u32>,
     /// Earliest next emission (pacing).
     pub(crate) next_pace: Tick,
+    /// Transport-imposed pacing floor, ms (0 = none). The effective
+    /// inter-burst gap is `max(config.pace_ms, pace_override_ms)`, so a
+    /// congested transport can slow admission below the configured rate
+    /// without rewriting the session's config.
+    pub(crate) pace_override_ms: u64,
     /// Fully acknowledged message ids, drained by the driver.
     pub(crate) acked_msgs: Vec<u32>,
     /// Replies received from the destination, drained by the driver.
@@ -317,6 +322,15 @@ impl SourceSession {
     /// buffer quota).
     pub fn set_session_config(&mut self, config: SessionConfig) {
         self.stream.config = config;
+    }
+
+    /// Impose (or clear, with 0) a transport pacing floor in
+    /// milliseconds: the effective inter-burst gap becomes
+    /// `max(config.pace_ms, ms)`. Driven by the transport's congestion
+    /// controller — a UDP port under delay pressure quotes a hint here
+    /// so sources stop outrunning the wire.
+    pub fn set_pace_override(&mut self, ms: u64) {
+        self.stream.pace_override_ms = ms;
     }
 
     /// Largest payload [`SourceSession::send`] accepts: 65 535 chunks of
@@ -430,7 +444,8 @@ impl SourceSession {
             // the pace timer — re-arming here would busy-wake every
             // backlogged session for nothing.
             if emitted > 0 && !self.stream.queue.is_empty() {
-                self.stream.next_pace = now.plus(self.stream.config.pace_ms);
+                let pace = self.stream.config.pace_ms.max(self.stream.pace_override_ms);
+                self.stream.next_pace = now.plus(pace);
             }
         }
         sends
@@ -1273,6 +1288,9 @@ pub struct SessionShard {
     stats: SessionStats,
     folded: SessionStats,
     shared: Arc<SessionStatsAtomic>,
+    /// Transport pacing floor applied to every hosted source (0 = none);
+    /// inherited by sessions opened later.
+    pace_override_ms: u64,
 }
 
 impl SessionShard {
@@ -1294,6 +1312,20 @@ impl SessionShard {
             stats: SessionStats::default(),
             folded: SessionStats::default(),
             shared,
+            pace_override_ms: 0,
+        }
+    }
+
+    /// Set (or clear, with 0) the transport pacing floor for every
+    /// source session this shard hosts, now and in the future. Called by
+    /// the daemon when its egress transport publishes a new pace hint.
+    pub fn set_pace_override(&mut self, ms: u64) {
+        if self.pace_override_ms == ms {
+            return;
+        }
+        self.pace_override_ms = ms;
+        for slot in self.sources.values_mut() {
+            slot.inner.set_pace_override(ms);
         }
     }
 
@@ -1339,7 +1371,7 @@ impl SessionShard {
         &mut self,
         now: Tick,
         id: SessionId,
-        source: SourceSession,
+        mut source: SourceSession,
     ) -> Result<(), SessionError> {
         if self.session_count() >= self.max_sessions {
             self.stats.rejected += 1;
@@ -1347,6 +1379,7 @@ impl SessionShard {
                 limit: self.max_sessions,
             });
         }
+        source.set_pace_override(self.pace_override_ms);
         for &flow in &source.graph().reverse_flow_ids[0] {
             self.router.register(flow, self.index, id);
         }

@@ -1,0 +1,382 @@
+//! DELTA-style delay-gradient congestion control for the UDP transport.
+//!
+//! One [`NeighborCc`] per neighbour link. The receiver side of the UDP
+//! transport measures the one-way delay (OWD) of each datagram from its
+//! embedded send timestamp and periodically echoes the latest sample
+//! back; the sender feeds those samples in here. The controller keeps
+//! two EWMAs — the OWD itself and its *gradient* (µs of delay per µs of
+//! wall clock) — and runs a three-state machine:
+//!
+//! ```text
+//!            gradient > thresh                owd > base + ceiling
+//!   Normal ───────────────────▶ Rising ───────────────────────▶ Congested
+//!     ▲        (queue building)   │    (queue standing)             │
+//!     │                           │ gradient ≤ thresh               │ owd drains
+//!     └───────────────────────────┴──────────────────────────◀──────┘
+//! ```
+//!
+//! Entering `Rising` applies one multiplicative backoff per excursion;
+//! `Congested` backs off again on every sample while the standing queue
+//! persists. Clean samples in `Normal` recover the rate additively
+//! toward the ceiling — AIMD on a delay signal instead of loss, which is
+//! what lets two senders sharing a bottleneck converge to a fair split
+//! without ever dropping a packet.
+//!
+//! The send rate is enforced as a token budget: [`NeighborCc::take`]
+//! spends tokens (one per datagram), [`NeighborCc::refill`] accrues them
+//! at the current rate, capped at a burst ceiling. The transport's pacer
+//! schedules refill wakeups on the shared [`TimerWheel`](slicing_core::wheel::TimerWheel)
+//! (`slicing_core::wheel`) — no new timer machinery — and the
+//! controller's [`pace_hint_ms`](NeighborCc::pace_hint_ms) feeds the
+//! session layer so `pace_ms` adapts instead of staying fixed.
+
+use slicing_core::Tick;
+
+/// Tuning knobs for one delay-gradient controller.
+#[derive(Clone, Copy, Debug)]
+pub struct CcConfig {
+    /// EWMA weight for new OWD samples (0..1].
+    pub owd_alpha: f64,
+    /// EWMA weight for new gradient samples (0..1].
+    pub gradient_alpha: f64,
+    /// Gradient above which the queue is judged to be building
+    /// (dimensionless: µs of added delay per µs of elapsed time).
+    pub gradient_thresh: f64,
+    /// Standing queue that flips `Rising` into `Congested`: smoothed OWD
+    /// above the observed base by this many microseconds.
+    pub congested_owd_us: u64,
+    /// Multiplicative backoff applied once on entering `Rising`.
+    pub backoff_rising: f64,
+    /// Multiplicative backoff applied per sample while `Congested`.
+    pub backoff_congested: f64,
+    /// Additive recovery per clean sample, as a fraction of `max_rate`.
+    pub recover_frac: f64,
+    /// Rate floor, datagrams per second.
+    pub min_rate: f64,
+    /// Rate ceiling (and initial rate), datagrams per second.
+    pub max_rate: f64,
+    /// Token-budget ceiling: the largest burst one refill can accrue.
+    pub bucket_cap: f64,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            owd_alpha: 0.3,
+            gradient_alpha: 0.25,
+            gradient_thresh: 0.05,
+            congested_owd_us: 5_000,
+            backoff_rising: 0.85,
+            backoff_congested: 0.7,
+            recover_frac: 0.02,
+            min_rate: 2_000.0,
+            max_rate: 64_000.0,
+            bucket_cap: 256.0,
+        }
+    }
+}
+
+/// The controller's congestion verdict for one neighbour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcState {
+    /// Delay flat: transmit at the current rate, recover toward max.
+    Normal,
+    /// Delay gradient positive: the bottleneck queue is building.
+    Rising,
+    /// Standing queue: smoothed OWD sits above base by more than the
+    /// configured ceiling.
+    Congested,
+}
+
+/// Per-neighbour delay-gradient congestion state plus token budget.
+#[derive(Clone, Debug)]
+pub struct NeighborCc {
+    cfg: CcConfig,
+    state: CcState,
+    /// Smoothed one-way delay, µs. `None` until the first sample.
+    owd_ewma: Option<f64>,
+    /// Smoothed OWD gradient (µs/µs).
+    gradient_ewma: f64,
+    /// Lowest smoothed OWD seen — the propagation-delay baseline.
+    base_owd: f64,
+    /// Timestamp of the previous sample, µs.
+    last_sample_us: u64,
+    /// Allowed send rate, datagrams per second.
+    rate: f64,
+    /// Spendable tokens (datagrams).
+    tokens: f64,
+    /// Timestamp of the previous refill, µs.
+    last_refill_us: u64,
+    /// Whether the current `Rising` excursion already took its backoff.
+    backed_off: bool,
+}
+
+impl NeighborCc {
+    /// A controller starting at the rate ceiling (delay-gradient CC
+    /// probes *down* from max on congestion, not up from zero).
+    pub fn new(cfg: CcConfig) -> Self {
+        NeighborCc {
+            cfg,
+            state: CcState::Normal,
+            owd_ewma: None,
+            gradient_ewma: 0.0,
+            base_owd: f64::INFINITY,
+            last_sample_us: 0,
+            rate: cfg.max_rate,
+            tokens: cfg.bucket_cap,
+            last_refill_us: 0,
+            backed_off: false,
+        }
+    }
+
+    /// Feed one echoed delay sample (`owd_us` measured by the receiver
+    /// at `now_us` on the sender's clock) and run the state machine.
+    pub fn on_sample(&mut self, now_us: u64, owd_us: u64) {
+        let owd = owd_us as f64;
+        let prev = match self.owd_ewma {
+            Some(p) => p,
+            None => {
+                self.owd_ewma = Some(owd);
+                self.base_owd = owd;
+                self.last_sample_us = now_us;
+                return;
+            }
+        };
+        let smoothed = prev + self.cfg.owd_alpha * (owd - prev);
+        self.owd_ewma = Some(smoothed);
+        self.base_owd = self.base_owd.min(smoothed);
+        let dt = now_us.saturating_sub(self.last_sample_us) as f64;
+        self.last_sample_us = now_us;
+        if dt > 0.0 {
+            let gradient = (smoothed - prev) / dt;
+            self.gradient_ewma += self.cfg.gradient_alpha * (gradient - self.gradient_ewma);
+        }
+
+        let standing = smoothed - self.base_owd > self.cfg.congested_owd_us as f64;
+        let building = self.gradient_ewma > self.cfg.gradient_thresh;
+        match (standing, building) {
+            (true, _) => {
+                // Standing queue: keep shedding rate until it drains.
+                self.state = CcState::Congested;
+                self.rate = (self.rate * self.cfg.backoff_congested).max(self.cfg.min_rate);
+                self.backed_off = true;
+            }
+            (false, true) => {
+                if !self.backed_off {
+                    // One multiplicative cut per excursion; re-cutting on
+                    // every sample of the same ramp would collapse to the
+                    // floor before the first cut had time to act.
+                    self.rate = (self.rate * self.cfg.backoff_rising).max(self.cfg.min_rate);
+                    self.backed_off = true;
+                }
+                self.state = CcState::Rising;
+            }
+            (false, false) => {
+                self.state = CcState::Normal;
+                self.backed_off = false;
+                self.rate = (self.rate + self.cfg.recover_frac * self.cfg.max_rate)
+                    .min(self.cfg.max_rate);
+            }
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CcState {
+        self.state
+    }
+
+    /// Current allowed rate, datagrams per second.
+    pub fn rate_dps(&self) -> f64 {
+        self.rate
+    }
+
+    /// Accrue tokens for the wall clock elapsed since the last refill,
+    /// capped at the bucket ceiling.
+    pub fn refill(&mut self, now_us: u64) {
+        let dt = now_us.saturating_sub(self.last_refill_us) as f64 / 1e6;
+        self.last_refill_us = now_us;
+        self.tokens = (self.tokens + dt * self.rate).min(self.cfg.bucket_cap);
+    }
+
+    /// Refill, then spend up to `want` tokens; returns how many
+    /// datagrams may be sent now.
+    pub fn take(&mut self, now_us: u64, want: usize) -> usize {
+        self.refill(now_us);
+        let granted = (self.tokens.floor() as usize).min(want);
+        self.tokens -= granted as f64;
+        granted
+    }
+
+    /// Spendable tokens right now (not refilled first).
+    pub fn tokens(&self) -> f64 {
+        self.tokens
+    }
+
+    /// The [`Tick`] deadline by which at least one token will have
+    /// accrued — what the pacer hands to the `TimerWheel` when a send
+    /// finds the budget empty.
+    pub fn next_token_due(&self, now_us: u64) -> Tick {
+        let deficit = (1.0 - self.tokens).max(0.0);
+        let wait_ms = (deficit / self.rate.max(1.0) * 1e3).ceil() as u64;
+        Tick(now_us / 1_000 + wait_ms.max(1))
+    }
+
+    /// Adaptive pacing hint for the session layer: how many milliseconds
+    /// one `burst_chunks`-sized burst needs at the current rate. `None`
+    /// while the link runs uncontended at ≥ 90 % of the ceiling (keep
+    /// the session's configured floor).
+    pub fn pace_hint_ms(&self, burst_datagrams: usize) -> Option<u64> {
+        if self.state == CcState::Normal && self.rate >= 0.9 * self.cfg.max_rate {
+            return None;
+        }
+        let ms = (burst_datagrams as f64 * 1e3 / self.rate.max(1.0)).ceil() as u64;
+        Some(ms.clamp(1, 500))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc() -> NeighborCc {
+        NeighborCc::new(CcConfig::default())
+    }
+
+    /// Feed `n` samples at 1 ms spacing following `owd(i)`.
+    fn drive(cc: &mut NeighborCc, start_us: u64, n: usize, owd: impl Fn(usize) -> u64) -> u64 {
+        let mut t = start_us;
+        for i in 0..n {
+            cc.on_sample(t, owd(i));
+            t += 1_000;
+        }
+        t
+    }
+
+    #[test]
+    fn rising_gradient_backs_off() {
+        let mut cc = cc();
+        let max = cc.rate_dps();
+        // 400 µs of added delay per ms — a queue building fast.
+        drive(&mut cc, 0, 8, |i| 1_000 + 400 * i as u64);
+        assert_ne!(cc.state(), CcState::Normal, "ramp must leave Normal");
+        assert!(
+            cc.rate_dps() < max,
+            "rising gradient must cut rate: {} !< {max}",
+            cc.rate_dps()
+        );
+    }
+
+    #[test]
+    fn standing_queue_is_congested_and_keeps_shedding() {
+        let mut cc = cc();
+        let t = drive(&mut cc, 0, 6, |i| 1_000 + 2_000 * i as u64);
+        let after_ramp = cc.rate_dps();
+        // Delay parked far above base: standing queue.
+        drive(&mut cc, t, 6, |_| 40_000);
+        assert_eq!(cc.state(), CcState::Congested);
+        assert!(
+            cc.rate_dps() < after_ramp,
+            "congested must keep shedding: {} !< {after_ramp}",
+            cc.rate_dps()
+        );
+        assert!(cc.rate_dps() >= CcConfig::default().min_rate);
+    }
+
+    #[test]
+    fn drain_recovers_toward_max() {
+        let mut cc = cc();
+        let t = drive(&mut cc, 0, 10, |i| 1_000 + 2_000 * i as u64);
+        let congested_rate = cc.rate_dps();
+        assert!(congested_rate < CcConfig::default().max_rate);
+        // Queue drains: flat OWD back at base.
+        drive(&mut cc, t, 300, |_| 1_000);
+        assert_eq!(cc.state(), CcState::Normal);
+        assert!(
+            cc.rate_dps() > congested_rate * 1.5,
+            "drain must recover: {} vs {congested_rate}",
+            cc.rate_dps()
+        );
+        assert!(cc.rate_dps() <= CcConfig::default().max_rate);
+    }
+
+    #[test]
+    fn token_budget_never_exceeds_ceiling() {
+        let mut cc = cc();
+        for i in 0..50u64 {
+            // Huge gaps between refills try to overfill the bucket.
+            cc.refill(i * 60_000_000);
+            assert!(
+                cc.tokens() <= CcConfig::default().bucket_cap,
+                "bucket over ceiling: {}",
+                cc.tokens()
+            );
+        }
+        // Spend-and-refill cycles stay bounded too.
+        for i in 0..50u64 {
+            let now = 4_000_000_000 + i * 10_000;
+            let _ = cc.take(now, 10);
+            assert!(cc.tokens() <= CcConfig::default().bucket_cap);
+        }
+    }
+
+    #[test]
+    fn take_is_bounded_by_tokens_and_want() {
+        let mut cc = cc();
+        let granted = cc.take(0, 10_000);
+        assert!(granted as f64 <= CcConfig::default().bucket_cap);
+        // Bucket now nearly empty: an immediate retry grants ~nothing.
+        let again = cc.take(1, 10_000);
+        assert!(again <= 1, "drained bucket must not grant a burst: {again}");
+    }
+
+    /// AIMD fairness: two neighbours entering at very different rates,
+    /// subjected to the same congestion cycles, converge — the classic
+    /// Chiu–Jain argument (multiplicative decrease shrinks the gap,
+    /// additive increase preserves it).
+    #[test]
+    fn two_neighbour_fairness() {
+        let cfg = CcConfig::default();
+        let mut a = NeighborCc::new(cfg);
+        let mut b = NeighborCc::new(CcConfig {
+            min_rate: 500.0,
+            ..cfg
+        });
+        // Skew the start: a steep private ramp drives b toward its
+        // floor (a constant offset would just seed b's baseline — the
+        // gradient controller only reacts to *changing* delay).
+        let t = drive(&mut b, 0, 12, |i| 1_000 + 4_000 * i as u64);
+        assert!(b.rate_dps() < a.rate_dps() / 4.0, "precondition: skewed");
+        let mut t = t;
+        for _ in 0..60 {
+            // Shared bottleneck: both see the same ramp, then a drain.
+            t = drive(&mut a, t, 5, |i| 1_000 + 2_500 * i as u64);
+            drive(&mut b, t - 5_000, 5, |i| 1_000 + 2_500 * i as u64);
+            t = drive(&mut a, t, 40, |_| 1_000);
+            drive(&mut b, t - 40_000, 40, |_| 1_000);
+        }
+        let (ra, rb) = (a.rate_dps(), b.rate_dps());
+        let ratio = ra.max(rb) / ra.min(rb);
+        assert!(
+            ratio < 1.25,
+            "rates must converge to a fair share: a={ra} b={rb} ratio={ratio}"
+        );
+    }
+
+    #[test]
+    fn pace_hint_tracks_rate() {
+        let mut cc = cc();
+        assert_eq!(cc.pace_hint_ms(32), None, "uncontended: keep the floor");
+        drive(&mut cc, 0, 10, |i| 1_000 + 2_000 * i as u64);
+        let hint = cc.pace_hint_ms(32).expect("congested link must hint");
+        let expect = (32.0 * 1e3 / cc.rate_dps()).ceil() as u64;
+        assert_eq!(hint, expect.clamp(1, 500));
+    }
+
+    #[test]
+    fn next_token_due_is_in_the_future() {
+        let mut cc = cc();
+        let _ = cc.take(1_000_000, usize::MAX); // drain
+        let due = cc.next_token_due(1_000_000);
+        assert!(due.0 > 1_000, "due must lie beyond now: {due:?}");
+    }
+}

@@ -173,18 +173,31 @@ impl StopLine {
 
 /// Transmit `sends`, grouping consecutive sends to the same neighbour
 /// into one transport batch (`scratch` is reused across calls).
-async fn flush_sends(port: &PortSender, outputs: RelayOutput, scratch: &mut Vec<Bytes>) {
-    let sends = outputs.sends;
-    let mut i = 0;
-    while i < sends.len() {
-        let to = sends[i].to;
-        scratch.clear();
-        while i < sends.len() && sends[i].to == to {
-            scratch.push(sends[i].packet.encode());
-            i += 1;
-        }
-        port.send_many(to, scratch).await;
+async fn flush_sends(
+    port: &PortSender,
+    outputs: RelayOutput,
+    batches: &mut Vec<(OverlayAddr, Vec<Bytes>)>,
+) {
+    // Group every same-destination send across the whole flush into one
+    // transport call: a relay generation fans its `d` packets out to
+    // different next hops, so same-destination sends interleave — runs
+    // alone would leave every batch at one frame. Per-destination order
+    // is preserved; order between destinations carries no meaning.
+    for instr in outputs.sends {
+        let frames = match batches.iter_mut().find(|(to, _)| *to == instr.to) {
+            Some((_, frames)) => frames,
+            None => {
+                batches.push((instr.to, Vec::new()));
+                &mut batches.last_mut().expect("just pushed").1
+            }
+        };
+        frames.push(instr.packet.encode());
     }
+    for (to, frames) in batches.iter_mut() {
+        port.send_many(*to, frames).await;
+    }
+    // Keep the bucket allocations; frames were drained in place.
+    batches.retain(|(_, frames)| frames.capacity() > 0);
 }
 
 /// Spawn a slicing relay daemon on `port`; runs until the port closes.
@@ -936,7 +949,18 @@ async fn session_worker(
                     }
                 }
             }
-            _ = ticker.tick() => shard.poll(now_tick(epoch)),
+            _ = ticker.tick() => {
+                // Fold the transport's congestion hint into the shard's
+                // pacing floor: sources slow their admission to what the
+                // wire is actually draining (0 clears the override).
+                let hint = egress
+                    .values()
+                    .filter_map(|p| p.pace_hint_ms())
+                    .max()
+                    .unwrap_or(0);
+                shard.set_pace_override(hint);
+                shard.poll(now_tick(epoch))
+            }
         };
         for _ in 0..WORKER_DRAIN_BATCH {
             match packets.try_recv() {
@@ -1043,29 +1067,44 @@ fn emit_session_events(
     }
 }
 
-/// Transmit `sends` through a per-address egress map, batching runs of
-/// identical `(from, to)` pairs into one transport call. Sends from
-/// addresses the node does not own are dropped (a mis-addressed
-/// instruction, not a transport error).
+/// Transmit `sends` through a per-address egress map, grouping every
+/// send that shares a `(from, to)` pair across the whole flush into one
+/// transport call — one connection-cache probe on TCP, one
+/// `sendmmsg`-shaped syscall on UDP. A relay generation fans its `d`
+/// packets out to *different* next hops, so same-destination sends
+/// interleave rather than run consecutively; grouping across the flush
+/// is what makes the batches dense. Per-destination order is preserved
+/// (the only order a datagram transport carries); ordering *between*
+/// destinations has no protocol meaning. Sends from addresses the node
+/// does not own are dropped (a mis-addressed instruction, not a
+/// transport error).
 async fn flush_instr_batches(
     egress: &HashMap<OverlayAddr, PortSender>,
     sends: Vec<SendInstr>,
-    scratch: &mut Vec<Bytes>,
+    batches: &mut Vec<((OverlayAddr, OverlayAddr), Vec<Bytes>)>,
 ) {
-    let mut i = 0;
-    while i < sends.len() {
-        let (from, to) = (sends[i].from, sends[i].to);
-        scratch.clear();
-        while i < sends.len() && sends[i].from == from && sends[i].to == to {
-            scratch.push(sends[i].packet.encode());
-            i += 1;
-        }
-        if let Some(port) = egress.get(&from) {
-            port.send_many(to, scratch).await;
+    // A flush touches a handful of neighbours; linear scan over the
+    // bucket list beats a map allocation at these sizes.
+    for instr in sends {
+        let key = (instr.from, instr.to);
+        let frames = match batches.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, frames)) => frames,
+            None => {
+                batches.push((key, Vec::new()));
+                &mut batches.last_mut().expect("just pushed").1
+            }
+        };
+        frames.push(instr.packet.encode());
+    }
+    for ((from, to), frames) in batches.iter_mut() {
+        if let Some(port) = egress.get(from) {
+            port.send_many(*to, frames).await;
         } else {
-            scratch.clear();
+            frames.clear();
         }
     }
+    // Keep the bucket allocations (frame Vecs are drained in place).
+    batches.retain(|(_, frames)| frames.capacity() > 0);
 }
 
 /// Spawn an onion relay daemon on `port`.

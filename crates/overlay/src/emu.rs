@@ -99,6 +99,57 @@ impl EmulatedNet {
 }
 
 impl Hub {
+    /// Under the hub lock: apply loss, account the packet and compute
+    /// its delivery instant through NIC serialization, the per-link
+    /// throughput cap, stable propagation delay and host load. `None`
+    /// means the profile dropped the packet.
+    fn deliver_at_locked(
+        &self,
+        s: &mut HubState,
+        now: Instant,
+        from: OverlayAddr,
+        to: OverlayAddr,
+        len: usize,
+    ) -> Option<Instant> {
+        if self.profile.loss > 0.0 && s.rng.gen::<f64>() < self.profile.loss {
+            return None;
+        }
+        s.packets += 1;
+        s.bytes += len as u64;
+
+        // Sender NIC serialization.
+        let nic_tx_ms = self.profile.transmission_ms(len);
+        let nic_free = s.node_free.entry(from).or_insert(now);
+        let departure = (*nic_free).max(now) + dur_ms(nic_tx_ms);
+        *nic_free = departure;
+
+        // Per-link (single-connection) throughput cap.
+        let link_tx_ms = if self.profile.link_bytes_per_ms > 0.0 {
+            len as f64 / self.profile.link_bytes_per_ms
+        } else {
+            0.0
+        };
+        let link_free = s.link_free.entry((from, to)).or_insert(departure);
+        let link_done = (*link_free).max(departure) + dur_ms(link_tx_ms);
+        *link_free = link_done;
+
+        // Propagation (stable per link) + receiver host load.
+        let prop = {
+            let profile = &self.profile;
+            let rng = &mut s.rng;
+            *{
+                // Entry API needs the borrow split; compute first.
+                let sampled = profile.sample_link_delay(rng);
+                s.link_delay.entry((from, to)).or_insert(sampled)
+            }
+        };
+        let load = {
+            let profile = &self.profile;
+            profile.sample_load_delay(&mut s.rng)
+        };
+        Some(link_done + dur_ms(prop + load))
+    }
+
     /// Schedule delivery of one datagram with the profile's delays.
     pub(crate) async fn send(self: &Arc<Self>, from: OverlayAddr, to: OverlayAddr, bytes: Bytes) {
         let now = Instant::now();
@@ -107,46 +158,13 @@ impl Hub {
             if s.failed.contains(&from) || s.failed.contains(&to) {
                 return;
             }
-            if self.profile.loss > 0.0 && s.rng.gen::<f64>() < self.profile.loss {
-                return;
-            }
             let Some(inbox) = s.inboxes.get(&to).cloned() else {
                 return;
             };
-            s.packets += 1;
-            s.bytes += bytes.len() as u64;
-
-            // Sender NIC serialization.
-            let nic_tx_ms = self.profile.transmission_ms(bytes.len());
-            let nic_free = s.node_free.entry(from).or_insert(now);
-            let departure = (*nic_free).max(now) + dur_ms(nic_tx_ms);
-            *nic_free = departure;
-
-            // Per-link (single-connection) throughput cap.
-            let link_tx_ms = if self.profile.link_bytes_per_ms > 0.0 {
-                bytes.len() as f64 / self.profile.link_bytes_per_ms
-            } else {
-                0.0
+            let Some(at) = self.deliver_at_locked(&mut s, now, from, to, bytes.len()) else {
+                return;
             };
-            let link_free = s.link_free.entry((from, to)).or_insert(departure);
-            let link_done = (*link_free).max(departure) + dur_ms(link_tx_ms);
-            *link_free = link_done;
-
-            // Propagation (stable per link) + receiver host load.
-            let prop = {
-                let profile = &self.profile;
-                let rng = &mut s.rng;
-                *{
-                    // Entry API needs the borrow split; compute first.
-                    let sampled = profile.sample_link_delay(rng);
-                    s.link_delay.entry((from, to)).or_insert(sampled)
-                }
-            };
-            let load = {
-                let profile = &self.profile;
-                profile.sample_load_delay(&mut s.rng)
-            };
-            (link_done + dur_ms(prop + load), inbox)
+            (at, inbox)
         };
         let hub = self.clone();
         tokio::spawn(async move {
@@ -155,6 +173,56 @@ impl Hub {
                 return;
             }
             let _ = inbox.send((from, bytes)).await;
+        });
+    }
+
+    /// Schedule a whole same-destination batch, taking the hub lock
+    /// once for the batch instead of once per frame and delivering from
+    /// a single spawned task. The per-frame serialization math is
+    /// identical to [`Hub::send`] — the NIC and link `free` cursors
+    /// advance through the batch exactly as they would frame by frame.
+    pub(crate) async fn send_many(
+        self: &Arc<Self>,
+        from: OverlayAddr,
+        to: OverlayAddr,
+        frames: &mut Vec<Bytes>,
+    ) {
+        if frames.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let (deliveries, inbox) = {
+            let mut s = self.state.lock();
+            if s.failed.contains(&from) || s.failed.contains(&to) {
+                frames.clear();
+                return;
+            }
+            let Some(inbox) = s.inboxes.get(&to).cloned() else {
+                frames.clear();
+                return;
+            };
+            let mut deliveries = Vec::with_capacity(frames.len());
+            for bytes in frames.drain(..) {
+                if let Some(at) = self.deliver_at_locked(&mut s, now, from, to, bytes.len()) {
+                    deliveries.push((at, bytes));
+                }
+            }
+            (deliveries, inbox)
+        };
+        if deliveries.is_empty() {
+            return;
+        }
+        let hub = self.clone();
+        tokio::spawn(async move {
+            for (deliver_at, bytes) in deliveries {
+                tokio::time::sleep_until(deliver_at).await;
+                if hub.state.lock().failed.contains(&to) {
+                    return;
+                }
+                if inbox.send((from, bytes)).await.is_err() {
+                    return;
+                }
+            }
         });
     }
 }

@@ -22,7 +22,7 @@ use crate::daemon::{
     now_tick, spawn_node, spawn_onion_relay, spawn_relay, spawn_sharded_relay, DestSessionSpec,
     NodeSpec, OverlayEvent, RelayDaemon, SessionEvent,
 };
-use crate::{EmulatedNet, NodePort, TcpNet};
+use crate::{EmulatedNet, NodePort, TcpNet, UdpFaults, UdpNet, UdpStatsSnapshot};
 
 /// Spawn one relay daemon: the classic single-task loop for one shard,
 /// the sharded ingress/worker runtime otherwise.
@@ -54,6 +54,9 @@ pub enum Transport {
     Emulated(NetProfile),
     /// Real TCP sockets on loopback.
     Tcp,
+    /// Real UDP datagrams on loopback, with delay-gradient congestion
+    /// control and the given injected fault profile.
+    Udp(UdpFaults),
 }
 
 /// Configuration of one transfer experiment.
@@ -117,6 +120,7 @@ pub struct TransferReport {
 enum NetHandle {
     Emu(EmulatedNet),
     Tcp,
+    Udp(UdpNet),
 }
 
 impl NetHandle {
@@ -124,6 +128,7 @@ impl NetHandle {
         match self {
             NetHandle::Emu(net) => net.attach(suggested),
             NetHandle::Tcp => TcpNet::attach().await.expect("loopback bind"),
+            NetHandle::Udp(net) => net.attach().await.expect("loopback bind"),
         }
     }
 
@@ -131,6 +136,15 @@ impl NetHandle {
         match self {
             NetHandle::Emu(net) => net.counters(),
             NetHandle::Tcp => (0, 0),
+            NetHandle::Udp(net) => (net.stats().datagrams_sent, 0),
+        }
+    }
+
+    /// UDP transport counters, when the run went over UDP.
+    fn udp_stats(&self) -> Option<UdpStatsSnapshot> {
+        match self {
+            NetHandle::Udp(net) => Some(net.stats()),
+            _ => None,
         }
     }
 }
@@ -139,6 +153,7 @@ fn make_net(t: &Transport, seed: u64) -> NetHandle {
     match t {
         Transport::Emulated(profile) => NetHandle::Emu(EmulatedNet::new(*profile, seed)),
         Transport::Tcp => NetHandle::Tcp,
+        Transport::Udp(faults) => NetHandle::Udp(UdpNet::new(*faults, seed)),
     }
 }
 
@@ -387,6 +402,9 @@ pub struct MultiFlowReport {
     pub elapsed_ms: u64,
     /// Aggregate network throughput, Mbit/s.
     pub aggregate_mbps: f64,
+    /// UDP transport counters (batching ratio, pacing, injected faults)
+    /// when the run went over [`Transport::Udp`].
+    pub udp: Option<UdpStatsSnapshot>,
 }
 
 /// Fig. 13: `flows` concurrent anonymous flows over a shared overlay of
@@ -406,13 +424,13 @@ pub async fn run_multi_flow(
     relay_shards: usize,
     flows: usize,
     params: GraphParams,
-    profile: NetProfile,
+    transport: Transport,
     messages: usize,
     payload_len: usize,
     seed: u64,
     timeout: Duration,
 ) -> MultiFlowReport {
-    let net = EmulatedNet::new(profile, seed);
+    let net = make_net(&transport, seed);
     let (events_tx, mut events_rx) = mpsc::unbounded_channel();
     let (deliveries_tx, mut deliveries_rx) = mpsc::unbounded_channel();
     let epoch = Instant::now();
@@ -430,7 +448,7 @@ pub async fn run_multi_flow(
     let mut node_addrs = Vec::with_capacity(overlay_size);
     let mut handles = Vec::new();
     for i in 0..overlay_size {
-        let port = net.attach(OverlayAddr(10_000 + i as u64));
+        let port = net.attach(OverlayAddr(10_000 + i as u64)).await;
         node_addrs.push(port.addr);
         handles.push(spawn_node(NodeSpec {
             relay: Some(ShardedRelay::with_config(
@@ -456,7 +474,7 @@ pub async fn run_multi_flow(
     // manager sharded like the relays.
     let mut pseudo_ports = Vec::with_capacity(params.paths);
     for i in 0..params.paths {
-        pseudo_ports.push(net.attach(OverlayAddr(1_000_000 + i as u64)));
+        pseudo_ports.push(net.attach(OverlayAddr(1_000_000 + i as u64)).await);
     }
     let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
     let manager = SessionManager::new(relay_shards.max(1), flows.max(1) * 2 + 8, session_config);
@@ -557,6 +575,7 @@ pub async fn run_multi_flow(
     report.flows_established = established.len().min(flows);
     report.aggregate_mbps =
         throughput_mbps_f(report.payload_bytes, data_start.elapsed().as_secs_f64());
+    report.udp = net.udp_stats();
     source_node.abort();
     for h in handles {
         h.abort();
@@ -638,6 +657,9 @@ pub struct SessionTransferReport {
     pub retransmits: u64,
     /// Data-phase duration, ms.
     pub elapsed_ms: u64,
+    /// UDP transport counters (batching ratio, pacing, injected faults)
+    /// when the run went over [`Transport::Udp`].
+    pub udp: Option<UdpStatsSnapshot>,
 }
 
 /// Stream `messages × payload_len` bytes through one anonymous session
@@ -785,6 +807,7 @@ pub async fn run_session_transfer(cfg: &SessionTransferConfig) -> SessionTransfe
     report.bytes_match = bytes_match && report.messages_delivered == cfg.messages;
     report.source_drained = acked == cfg.messages;
     report.retransmits = sessions.stats().retransmits;
+    report.udp = net.udp_stats();
     source_node.abort();
     for h in handles {
         h.abort();
@@ -886,11 +909,14 @@ pub struct ChurnSessionReport {
 }
 
 impl NetHandle {
-    /// Take a node off an emulated network (no-op on TCP, where killing
-    /// the daemon closes the node's real socket instead).
+    /// Take a node off the network (no-op on TCP, where killing the
+    /// daemon closes the node's real socket instead; on UDP the node's
+    /// datagrams blackhole in both directions).
     fn fail(&self, addr: OverlayAddr) {
-        if let NetHandle::Emu(net) = self {
-            net.fail(addr);
+        match self {
+            NetHandle::Emu(net) => net.fail(addr),
+            NetHandle::Tcp => {}
+            NetHandle::Udp(net) => net.fail(addr),
         }
     }
 }
@@ -1244,7 +1270,7 @@ mod tests {
             1,
             3,
             params,
-            NetProfile::lan(),
+            Transport::Emulated(NetProfile::lan()),
             3,
             600,
             11,
@@ -1262,7 +1288,7 @@ mod tests {
             4,
             3,
             params,
-            NetProfile::lan(),
+            Transport::Emulated(NetProfile::lan()),
             3,
             600,
             11,

@@ -1,6 +1,6 @@
 //! The tokio overlay runtime: the Rust equivalent of the paper's
-//! PlanetLab prototype (§7.1) — relay daemons, a source utility, and two
-//! transports behind one interface:
+//! PlanetLab prototype (§7.1) — relay daemons, a source utility, and
+//! three transports behind one interface:
 //!
 //! * [`emu::EmulatedNet`] — an in-process network that enforces per-link
 //!   propagation delay, per-node and per-link bandwidth, host load delay
@@ -8,6 +8,10 @@
 //!   (LAN / PlanetLab substitutes; see DESIGN.md).
 //! * [`tcp::TcpNet`] — real TCP sockets on loopback, for hardware-honest
 //!   local-area numbers.
+//! * [`udp::UdpNet`] — real UDP datagrams on loopback: the transport the
+//!   paper's data plane assumes, with per-neighbour delay-gradient
+//!   congestion control ([`cc`]), wheel-driven pacing and
+//!   `sendmmsg`-shaped batched egress.
 //!
 //! The daemons drive the *sans-IO* engines from `slicing-core` and
 //! `slicing-onion`; nothing protocol-level lives here.
@@ -15,10 +19,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cc;
 pub mod daemon;
 pub mod emu;
 pub mod experiment;
 pub mod tcp;
+pub mod udp;
 
 pub use daemon::{
     spawn_node, spawn_onion_relay, spawn_relay, spawn_sharded_relay, DestSessionSpec, NodeHandle,
@@ -31,6 +37,7 @@ pub use experiment::{
     MultiFlowReport, SessionTransferConfig, SessionTransferReport, TransferConfig, TransferReport,
 };
 pub use tcp::TcpNet;
+pub use udp::{UdpFaults, UdpNet, UdpStatsSnapshot};
 
 use bytes::Bytes;
 use slicing_graph::OverlayAddr;
@@ -62,6 +69,7 @@ pub struct PortSender {
 pub(crate) enum PortSenderInner {
     Emu(std::sync::Arc<emu::Hub>),
     Tcp(tcp::TcpSender),
+    Udp(udp::UdpSender),
 }
 
 impl PortSender {
@@ -70,21 +78,34 @@ impl PortSender {
         match &self.inner {
             PortSenderInner::Emu(hub) => hub.send(self.addr, to, bytes).await,
             PortSenderInner::Tcp(t) => t.send(self.addr, to, bytes).await,
+            PortSenderInner::Udp(u) => u.send(self.addr, to, bytes).await,
         }
     }
 
     /// Send a batch of frames to one neighbour, draining `frames` (the
-    /// caller keeps the Vec's capacity). On TCP the connection cache is
-    /// consulted once for the whole batch — the sharded daemon's egress
-    /// groups consecutive same-destination sends into these batches.
+    /// caller keeps the Vec's capacity). Every transport consults its
+    /// shared state once per batch — the TCP connection cache, the
+    /// emulated hub's topology lock, the UDP token bucket — and UDP
+    /// additionally puts the whole batch on the wire in one
+    /// `sendmmsg`-shaped call. The sharded daemon's egress groups
+    /// consecutive same-destination sends into these batches.
     pub async fn send_many(&self, to: OverlayAddr, frames: &mut Vec<Bytes>) {
         match &self.inner {
-            PortSenderInner::Emu(hub) => {
-                for bytes in frames.drain(..) {
-                    hub.send(self.addr, to, bytes).await;
-                }
-            }
+            PortSenderInner::Emu(hub) => hub.send_many(self.addr, to, frames).await,
             PortSenderInner::Tcp(t) => t.send_many(self.addr, to, frames).await,
+            PortSenderInner::Udp(u) => u.send_many(self.addr, to, frames).await,
+        }
+    }
+
+    /// The transport's current pacing advice for sources feeding this
+    /// port, in milliseconds per burst — `None` when the transport has
+    /// no congestion signal (emulated and TCP transports, or a UDP link
+    /// running uncontended). The session layer folds this into its
+    /// `pace_ms` so source admission adapts to transport delay.
+    pub fn pace_hint_ms(&self) -> Option<u64> {
+        match &self.inner {
+            PortSenderInner::Udp(u) => u.pace_hint_ms(),
+            _ => None,
         }
     }
 

@@ -9,7 +9,8 @@
 //!   [`time::interval`]),
 //! * async mpsc channels ([`sync::mpsc`]),
 //! * nonblocking loopback TCP ([`net::TcpListener`], [`net::TcpStream`])
-//!   polled on a 1 ms timer tick,
+//!   and UDP ([`net::UdpSocket`], with `sendmmsg`/`recvmmsg`-shaped
+//!   batch calls) polled on a 1 ms timer tick,
 //! * [`select!`] / [`pin!`] macros and the `#[tokio::test]` /
 //!   `#[tokio::main]` attributes.
 //!

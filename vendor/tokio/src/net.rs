@@ -1,4 +1,4 @@
-//! Async TCP built on `std::net` nonblocking sockets.
+//! Async TCP and UDP built on `std::net` nonblocking sockets.
 //!
 //! There is no epoll reactor: would-block operations park on the timer
 //! thread and retry on a 1 ms tick. That adds up to ~1 ms latency per
@@ -99,6 +99,119 @@ impl TcpStream {
             match (&self.inner).write(buf) {
                 Ok(n) => return Ok(n),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A nonblocking UDP socket.
+///
+/// Besides the classic `send_to`/`recv_from` pair, the socket exposes
+/// `sendmmsg`/`recvmmsg`-shaped batch calls ([`UdpSocket::send_many_to`],
+/// [`UdpSocket::recv_many_from`]) so callers that already group
+/// same-destination datagrams pay one call — and, on a kernel-backed
+/// runtime, one syscall — per batch instead of one per datagram.
+#[derive(Debug)]
+pub struct UdpSocket {
+    inner: std::net::UdpSocket,
+}
+
+impl UdpSocket {
+    /// Bind to `addr` (resolved synchronously; loopback binds are
+    /// instantaneous).
+    pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<UdpSocket> {
+        let inner = std::net::UdpSocket::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(UdpSocket { inner })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Send one datagram to `target`.
+    pub async fn send_to(&self, buf: &[u8], target: SocketAddr) -> io::Result<usize> {
+        loop {
+            match self.inner.send_to(buf, target) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receive one datagram into `buf`; returns `(len, sender)`.
+    /// Datagrams longer than `buf` are truncated (standard UDP
+    /// semantics).
+    pub async fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        loop {
+            match self.inner.recv_from(buf) {
+                Ok(ok) => return Ok(ok),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `sendmmsg`-shaped batch transmit: send every datagram in
+    /// `datagrams` to `target` in one call, returning the count sent.
+    ///
+    /// The batch completes even across transient would-block pauses —
+    /// like `sendmmsg` retried on the remainder — so callers treat it as
+    /// one fire-and-forget unit. A hard error mid-batch returns that
+    /// error; earlier datagrams in the batch are already on the wire.
+    pub async fn send_many_to<B: AsRef<[u8]>>(
+        &self,
+        datagrams: &[B],
+        target: SocketAddr,
+    ) -> io::Result<usize> {
+        let mut sent = 0;
+        'outer: for d in datagrams {
+            loop {
+                match self.inner.send_to(d.as_ref(), target) {
+                    Ok(_) => {
+                        sent += 1;
+                        continue 'outer;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => sleep(RETRY_TICK).await,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(sent)
+    }
+
+    /// `recvmmsg`-shaped batch receive: await at least one datagram,
+    /// then drain — without further waiting — whatever else is already
+    /// queued on the socket, up to `max` datagrams of at most `max_len`
+    /// bytes each. One wakeup per burst instead of one per datagram.
+    pub async fn recv_many_from(
+        &self,
+        max: usize,
+        max_len: usize,
+    ) -> io::Result<Vec<(Vec<u8>, SocketAddr)>> {
+        let mut out = Vec::new();
+        let mut buf = vec![0u8; max_len];
+        loop {
+            match self.inner.recv_from(&mut buf) {
+                Ok((n, from)) => {
+                    out.push((buf[..n].to_vec(), from));
+                    if out.len() >= max.max(1) {
+                        return Ok(out);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if !out.is_empty() {
+                        return Ok(out);
+                    }
+                    sleep(RETRY_TICK).await;
+                }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                 Err(e) => return Err(e),
             }
