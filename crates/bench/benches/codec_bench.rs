@@ -1,6 +1,9 @@
 //! Criterion benches for the slicing codec: the §7.1 coding-cost table
 //! (encode/decode/recombine per 1500 B packet, per split factor).
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

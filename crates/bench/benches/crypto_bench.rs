@@ -2,6 +2,9 @@
 //! setup-cost asymmetry: slicing's matrix decode vs onion routing's RSA
 //! decryption per hop.
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

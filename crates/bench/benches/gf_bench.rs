@@ -2,6 +2,9 @@
 //! multiplication kernel (the §7.1 cost driver) and matrix inversion
 //! (the per-relay decode step).
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};

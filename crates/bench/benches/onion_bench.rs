@@ -2,6 +2,9 @@
 //! (layered RSA) and per-hop data processing — the costs Figs. 14–15
 //! trace back to.
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -15,6 +15,9 @@
 //! Set `RELAY_BENCH_QUICK=1` for a seconds-long smoke run (CI exercises
 //! the sharded path this way); leave it unset for the recorded numbers.
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use std::sync::{Barrier, Mutex};
 use std::time::{Duration, Instant};
 

@@ -1,6 +1,9 @@
 //! Criterion benches for graph construction and setup-packet emission
 //! (the source-side CPU cost of Algorithm 1, per L and d).
 
+// criterion_group! expands to an undocumented fn.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

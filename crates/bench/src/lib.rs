@@ -6,7 +6,6 @@
 //! trial counts ~10× for smoke runs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 /// Runtime options common to all figure binaries.
 #[derive(Clone, Copy, Debug)]

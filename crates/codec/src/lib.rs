@@ -23,7 +23,6 @@
 //!   (additive d-of-d secret sharing at d-fold space cost).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod coder;
 pub mod itshare;

@@ -32,7 +32,6 @@
 //!   touches only expired work.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod relay;
 mod replay;

@@ -466,6 +466,9 @@ pub struct RelayShard {
     wheel: TimerWheel<Deadline>,
     /// Reusable buffer for expired wheel entries (poll never allocates).
     expired: Vec<(Tick, Deadline)>,
+    /// Reusable buffer for the outgoing-slot indexes that need a fresh
+    /// combination during a flush (the flush path never allocates it).
+    scratch_regen: Vec<usize>,
 }
 
 impl RelayShard {
@@ -496,6 +499,7 @@ impl RelayShard {
             rng: StdRng::seed_from_u64(seed ^ addr.0 ^ stream),
             wheel: TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_BUCKETS),
             expired: Vec::new(),
+            scratch_regen: Vec::new(),
         }
     }
 
@@ -551,6 +555,7 @@ impl RelayShard {
     }
 
     /// Feed one packet into the state machine.
+    // lint: hot-path
     pub fn handle_packet(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
         self.stats.packets_in += 1;
         match packet.header.kind {
@@ -1140,9 +1145,8 @@ impl RelayShard {
                     self.stats.drops += 1;
                     return out;
                 };
-                let token_ok = payload.len() == 8
-                    && u64::from_le_bytes(payload.try_into().expect("len checked"))
-                        == active.info.parents[idx].1 .0;
+                let token_ok = <[u8; 8]>::try_from(payload)
+                    .is_ok_and(|b| u64::from_le_bytes(b) == active.info.parents[idx].1 .0);
                 if !token_ok {
                     self.stats.drops += 1;
                     return out;
@@ -1213,6 +1217,7 @@ impl RelayShard {
 
     // ---- data phase ------------------------------------------------------
 
+    // lint: hot-path
     fn handle_data(&mut self, now: Tick, from: OverlayAddr, packet: &Packet) -> RelayOutput {
         let flow = packet.header.flow_id;
         // Reverse traffic? Map to the forward flow.
@@ -1225,6 +1230,7 @@ impl RelayShard {
                 // Data raced ahead of setup; buffer a bounded amount
                 // (an O(1) buffer clone — the wire bytes are shared).
                 if pending.len() < self.config.max_pending_data {
+                    // lint: allow(hot-path) — Packet clones share the wire Bytes buffer: O(1) refcount bump, no copy.
                     pending.push((from, packet.clone()));
                 } else {
                     self.stats.drops += 1;
@@ -1238,6 +1244,7 @@ impl RelayShard {
         }
     }
 
+    // lint: hot-path
     fn accumulate_data(
         &mut self,
         now: Tick,
@@ -1346,6 +1353,11 @@ impl RelayShard {
                     if crc::check_crc(packet.slot(i)).is_none() {
                         continue;
                     }
+                    debug_assert_eq!(
+                        packet.slot(i).len(),
+                        slot_len,
+                        "wire slot length disagrees with header geometry"
+                    );
                     let body = packet.slot_bytes(i).slice(..slot_len - 4);
                     // One coded shape per gather: a CRC-valid slot of a
                     // different length can be neither combined nor
@@ -1374,14 +1386,16 @@ impl RelayShard {
     }
 
     /// Forward (and, at the destination, deliver) a gathered data message.
+    // lint: hot-path
     fn flush_data(&mut self, _now: Tick, flow: FlowId, seq: u32, is_reverse: bool) -> RelayOutput {
-        // Split the borrow: the flow entry, the stats, the RNG and our
-        // address are disjoint fields.
+        // Split the borrow: the flow entry, the stats, the RNG, the
+        // regen scratch and our address are disjoint fields.
         let RelayShard {
             flows,
             stats,
             rng,
             addr,
+            scratch_regen,
             ..
         } = self;
         let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
@@ -1421,6 +1435,7 @@ impl RelayShard {
                 .slices
                 .iter()
                 .filter_map(|b| InfoSlice::from_bytes(d, b.len() - d, b))
+                // lint: allow(hot-path) — destination delivery: d slice views built once per *delivered message*, not per packet.
                 .collect();
             if let Ok(sealed) = coder::decode(&bare, d) {
                 if let Ok(plaintext) = aead::open(&info.secret_key, &sealed) {
@@ -1456,6 +1471,12 @@ impl RelayShard {
             return out;
         }
 
+        // The accumulate-side consistency check admits one coded shape
+        // per gather; the recombine kernels below rely on it.
+        debug_assert!(
+            slices.iter().all(|s| s.len() == slices[0].len()),
+            "gather slices drifted from a single coded shape"
+        );
         let block_len = slices[0].len() - d;
         let slot_len = d + block_len + 4;
         // Build every outgoing packet first, filling piped slots in
@@ -1467,7 +1488,7 @@ impl RelayShard {
         // output-major in hop order, so the wire bytes are identical to
         // the old per-hop `recombine_into` loop.
         let mut builders: Vec<PacketBuilder> = Vec::with_capacity(next_hops.len());
-        let mut regen = Vec::new();
+        scratch_regen.clear();
         for (j, &(_, next_flow)) in next_hops.iter().enumerate() {
             let mut builder = PacketBuilder::new(PacketHeader {
                 kind: PacketKind::Data,
@@ -1493,12 +1514,12 @@ impl RelayShard {
             };
             match picked {
                 Some(i) => slot[..d + block_len].copy_from_slice(&slices[i]),
-                None => regen.push(j),
+                None => scratch_regen.push(j),
             }
             builders.push(builder);
         }
-        if !regen.is_empty() {
-            let mut pending = regen.iter().copied().peekable();
+        if !scratch_regen.is_empty() {
+            let mut pending = scratch_regen.iter().copied().peekable();
             let mut outs: Vec<&mut [u8]> = builders
                 .iter_mut()
                 .enumerate()
@@ -1511,6 +1532,7 @@ impl RelayShard {
                     }
                 })
                 .map(|(_, b)| &mut b.slot_mut(0)[..d + block_len])
+                // lint: allow(hot-path) — borrow list over `builders`; cannot outlive this call, ≤ d′ entries per flushed message.
                 .collect();
             recombine::recombine_multi_into(&slices, rng, &mut outs);
         }

@@ -421,6 +421,15 @@ impl SourceSession {
         // Fresh emissions, paced.
         if now.0 >= self.stream.next_pace.0 {
             let window = self.stream.config.window();
+            // The ack bitmap covers 64 seqs; a wider window (or more
+            // in-flight chunks — possible only if a mid-stream config
+            // override mishandled a shrink) would let acked chunks
+            // alias unacked ones.
+            debug_assert!(window <= 64, "window exceeds the ack-bitmap cap");
+            debug_assert!(
+                self.stream.in_flight.len() <= 64,
+                "in-flight chunks exceed the ack-bitmap cap"
+            );
             let burst = self.stream.config.burst_chunks.max(1);
             let mut emitted = 0;
             while emitted < burst
@@ -1467,6 +1476,7 @@ impl SessionShard {
     /// `local` is the attachment address the packet arrived on (a
     /// pseudo-source for reverse traffic, the destination address for
     /// endpoint-mode forward traffic).
+    // lint: hot-path
     pub fn handle_packet(
         &mut self,
         now: Tick,
@@ -1490,6 +1500,7 @@ impl SessionShard {
     /// take, so the router's shared map is read once per packet (at the
     /// ingress), never again on the shard. A stale id (session closed
     /// since dispatch) drops the packet.
+    // lint: hot-path
     pub fn handle_routed(
         &mut self,
         now: Tick,

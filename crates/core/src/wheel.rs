@@ -91,6 +91,10 @@ impl<K> TimerWheel<K> {
     /// elapsed bucket-time (a suspended daemon or a simulator jumping
     /// virtual time hours ahead must not spin).
     pub fn poll_expired(&mut self, now: Tick, out: &mut Vec<(Tick, K)>) {
+        // Re-arm monotonicity: the cursor never moves backwards, so a
+        // deadline re-armed by a fired entry lands at or ahead of the
+        // sweep (never in a bucket the sweep silently skipped).
+        let swept_from = self.cursor;
         let now_bucket = now.0 / self.granularity_ms;
         let n = self.buckets.len() as u64;
         if now_bucket > self.cursor && now_bucket - self.cursor >= n {
@@ -107,6 +111,7 @@ impl<K> TimerWheel<K> {
                 }
             }
             self.cursor = now_bucket;
+            debug_assert!(self.cursor >= swept_from, "wheel cursor moved backwards");
             return;
         }
         while self.cursor <= now_bucket {
@@ -129,6 +134,7 @@ impl<K> TimerWheel<K> {
             }
             self.cursor += 1;
         }
+        debug_assert!(self.cursor >= swept_from, "wheel cursor moved backwards");
     }
 }
 

@@ -23,7 +23,6 @@
 //! preserve.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod aead;
 pub mod bignum;

@@ -333,10 +333,9 @@ pub fn mul_add_fused_on(backend: Backend, outs: &mut [&mut [u8]], coeffs: &[u8],
         outs.len() * srcs.len(),
         "mul_add_fused coefficient count mismatch"
     );
-    let len = srcs.first().map_or_else(
-        || outs.first().map_or(0, |o| o.len()),
-        |s| s.len(),
-    );
+    let len = srcs
+        .first()
+        .map_or_else(|| outs.first().map_or(0, |o| o.len()), |s| s.len());
     assert!(
         outs.iter().all(|o| o.len() == len) && srcs.iter().all(|s| s.len() == len),
         "mul_add_fused length mismatch"

@@ -12,9 +12,7 @@ use rand::Rng;
 /// characteristic 2, so addition and subtraction coincide (XOR); the trait
 /// still exposes `sub` separately so generic code reads like the algebra in
 /// the paper.
-pub trait Field:
-    Copy + Clone + Eq + PartialEq + Debug + Hash + Send + Sync + 'static
-{
+pub trait Field: Copy + Clone + Eq + PartialEq + Debug + Hash + Send + Sync + 'static {
     /// Number of bytes in the canonical little-endian encoding of an element.
     const BYTES: usize;
     /// The field order (number of elements), as u64.

@@ -33,7 +33,6 @@
 //! proptest oracle suite.
 
 #![deny(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod bulk;
 pub mod field;
@@ -44,7 +43,7 @@ pub mod mds;
 pub mod simd;
 
 pub use field::{axpy, dot, scale, sub_scaled, Field};
-pub use simd::Backend;
 pub use gf256::Gf256;
 pub use gf65536::Gf65536;
 pub use matrix::Matrix;
+pub use simd::Backend;

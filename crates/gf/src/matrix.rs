@@ -325,10 +325,7 @@ impl<F: Field> Matrix<F> {
     /// Panics if `bytes.len() != rows * cols * F::BYTES`.
     pub fn from_bytes(rows: usize, cols: usize, bytes: &[u8]) -> Self {
         assert_eq!(bytes.len(), rows * cols * F::BYTES, "length mismatch");
-        let data = bytes
-            .chunks_exact(F::BYTES)
-            .map(F::read_bytes)
-            .collect();
+        let data = bytes.chunks_exact(F::BYTES).map(F::read_bytes).collect();
         Matrix { rows, cols, data }
     }
 }
@@ -420,10 +417,8 @@ mod tests {
 
     #[test]
     fn swap_rows_works() {
-        let mut m = Matrix::<Gf256>::from_rows(&[
-            vec![Gf256(1), Gf256(2)],
-            vec![Gf256(3), Gf256(4)],
-        ]);
+        let mut m =
+            Matrix::<Gf256>::from_rows(&[vec![Gf256(1), Gf256(2)], vec![Gf256(3), Gf256(4)]]);
         m.swap_rows(0, 1);
         assert_eq!(m.row(0), &[Gf256(3), Gf256(4)]);
         assert_eq!(m.row(1), &[Gf256(1), Gf256(2)]);

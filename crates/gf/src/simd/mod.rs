@@ -222,7 +222,11 @@ fn state() -> &'static State {
             },
             Err(_) => detected,
         };
-        let isa = if backend == Backend::Simd { isa } else { "none" };
+        let isa = if backend == Backend::Simd {
+            isa
+        } else {
+            "none"
+        };
         State { backend, caps, isa }
     })
 }

@@ -41,8 +41,11 @@ const OP_MUL_XOR: u8 = 3;
 const OP_XOR_MUL: u8 = 4;
 
 /// One 16-lane split-nibble multiply via two `TBL` lookups.
-#[inline(always)]
-unsafe fn mul_block(tlo: uint8x16_t, thi: uint8x16_t, v: uint8x16_t) -> uint8x16_t {
+/// Register-only (no memory access), so it is a *safe* target-feature
+/// fn: the engines that call it already carry the `neon` feature.
+#[inline]
+#[target_feature(enable = "neon")]
+fn mul_block(tlo: uint8x16_t, thi: uint8x16_t, v: uint8x16_t) -> uint8x16_t {
     let lo = vandq_u8(v, vdupq_n_u8(0x0f));
     let hi = vshrq_n_u8(v, 4);
     veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi))
@@ -51,6 +54,12 @@ unsafe fn mul_block(tlo: uint8x16_t, thi: uint8x16_t, v: uint8x16_t) -> uint8x16
 /// NEON transform engine over 16-byte blocks (32-byte main loop);
 /// returns bytes processed. `other` must equal `dst` for `OP_MUL` and
 /// may not otherwise alias.
+///
+/// # Safety
+///
+/// `dst` and `other` must each be valid for `len` bytes (`dst` for
+/// writes); they must not partially overlap (equal is fine). NEON is
+/// baseline on aarch64, so there is no feature precondition.
 #[target_feature(enable = "neon")]
 unsafe fn transform8<const OP: u8>(
     dst: *mut u8,
@@ -58,44 +67,49 @@ unsafe fn transform8<const OP: u8>(
     len: usize,
     tab: &[u8; 32],
 ) -> usize {
-    let tlo = vld1q_u8(tab.as_ptr());
-    let thi = vld1q_u8(tab.as_ptr().add(16));
-    let mut i = 0usize;
-    macro_rules! block {
-        ($off:expr) => {{
-            let o = $off;
-            let r = match OP {
-                OP_AXPY => {
-                    let d = vld1q_u8(dst.add(o));
-                    let s = vld1q_u8(other.add(o));
-                    veorq_u8(d, mul_block(tlo, thi, s))
-                }
-                OP_MUL_INTO => mul_block(tlo, thi, vld1q_u8(other.add(o))),
-                OP_MUL => mul_block(tlo, thi, vld1q_u8(dst.add(o))),
-                OP_MUL_XOR => {
-                    let d = vld1q_u8(dst.add(o));
-                    let p = vld1q_u8(other.add(o));
-                    veorq_u8(mul_block(tlo, thi, d), p)
-                }
-                _ => {
-                    let d = vld1q_u8(dst.add(o));
-                    let p = vld1q_u8(other.add(o));
-                    mul_block(tlo, thi, veorq_u8(d, p))
-                }
-            };
-            vst1q_u8(dst.add(o), r);
-        }};
+    // SAFETY: per the fn contract, every `dst`/`other` offset below is
+    // `< len`; `vld1q_u8`/`vst1q_u8` are unaligned ops; `tab` is a
+    // 32-byte array so `tab + 16` is in bounds.
+    unsafe {
+        let tlo = vld1q_u8(tab.as_ptr());
+        let thi = vld1q_u8(tab.as_ptr().add(16));
+        let mut i = 0usize;
+        macro_rules! block {
+            ($off:expr) => {{
+                let o = $off;
+                let r = match OP {
+                    OP_AXPY => {
+                        let d = vld1q_u8(dst.add(o));
+                        let s = vld1q_u8(other.add(o));
+                        veorq_u8(d, mul_block(tlo, thi, s))
+                    }
+                    OP_MUL_INTO => mul_block(tlo, thi, vld1q_u8(other.add(o))),
+                    OP_MUL => mul_block(tlo, thi, vld1q_u8(dst.add(o))),
+                    OP_MUL_XOR => {
+                        let d = vld1q_u8(dst.add(o));
+                        let p = vld1q_u8(other.add(o));
+                        veorq_u8(mul_block(tlo, thi, d), p)
+                    }
+                    _ => {
+                        let d = vld1q_u8(dst.add(o));
+                        let p = vld1q_u8(other.add(o));
+                        mul_block(tlo, thi, veorq_u8(d, p))
+                    }
+                };
+                vst1q_u8(dst.add(o), r);
+            }};
+        }
+        while i + 32 <= len {
+            block!(i);
+            block!(i + 16);
+            i += 32;
+        }
+        if i + 16 <= len {
+            block!(i);
+            i += 16;
+        }
+        i
     }
-    while i + 32 <= len {
-        block!(i);
-        block!(i + 16);
-        i += 32;
-    }
-    if i + 16 <= len {
-        block!(i);
-        i += 16;
-    }
-    i
 }
 
 #[inline]
@@ -156,54 +170,60 @@ pub(crate) fn xor_mul8(dst: &mut [u8], c: u8, pad: &[u8]) {
 
 // ---- GF(2⁸) fused multi-accumulator ---------------------------------------
 
+/// NEON fused multi-accumulator kernel, as `fused8_avx2` on x86.
+///
+/// # Safety
+///
+/// Every pointer in `outs` and `srcs` must be valid for `len` bytes
+/// (`outs` for writes), all mutually disjoint; `coeffs` must hold
+/// `outs.len() · srcs.len()` entries; `outs.len() ≤ FUSED_GROUP`.
 #[target_feature(enable = "neon")]
-unsafe fn fused8_neon(
-    outs: &[*mut u8],
-    coeffs: &[u8],
-    srcs: &[*const u8],
-    len: usize,
-) -> usize {
-    let g = outs.len();
-    let nsrc = srcs.len();
-    let nib = vdupq_n_u8(0x0f);
-    let blocks = len / 16 * 16;
-    for (si, &sp) in srcs.iter().enumerate() {
-        // Hoist this source's per-output tables out of the block loop
-        // (2·FUSED_GROUP table registers fit the 32-register file).
-        let mut tlo = [vdupq_n_u8(0); FUSED_GROUP];
-        let mut thi = [vdupq_n_u8(0); FUSED_GROUP];
-        let mut live = [false; FUSED_GROUP];
-        for j in 0..g {
-            let c = coeffs[j * nsrc + si];
-            if c == 0 {
-                continue;
-            }
-            let tab = &NIB8[c as usize];
-            tlo[j] = vld1q_u8(tab.as_ptr());
-            thi[j] = vld1q_u8(tab.as_ptr().add(16));
-            live[j] = true;
-        }
-        if !live.contains(&true) {
-            continue;
-        }
-        let mut i = 0usize;
-        while i + 16 <= len {
-            let s = vld1q_u8(sp.add(i));
-            let lo = vandq_u8(s, nib);
-            let hi = vshrq_n_u8(s, 4);
+unsafe fn fused8_neon(outs: &[*mut u8], coeffs: &[u8], srcs: &[*const u8], len: usize) -> usize {
+    // SAFETY: per the fn contract, each indexed offset is `< len` on a
+    // live disjoint buffer and `NIB8` rows are 32 bytes.
+    unsafe {
+        let g = outs.len();
+        let nsrc = srcs.len();
+        let nib = vdupq_n_u8(0x0f);
+        let blocks = len / 16 * 16;
+        for (si, &sp) in srcs.iter().enumerate() {
+            // Hoist this source's per-output tables out of the block loop
+            // (2·FUSED_GROUP table registers fit the 32-register file).
+            let mut tlo = [vdupq_n_u8(0); FUSED_GROUP];
+            let mut thi = [vdupq_n_u8(0); FUSED_GROUP];
+            let mut live = [false; FUSED_GROUP];
             for j in 0..g {
-                if !live[j] {
+                let c = coeffs[j * nsrc + si];
+                if c == 0 {
                     continue;
                 }
-                let op = outs[j].add(i);
-                let acc = vld1q_u8(op);
-                let prod = veorq_u8(vqtbl1q_u8(tlo[j], lo), vqtbl1q_u8(thi[j], hi));
-                vst1q_u8(op, veorq_u8(acc, prod));
+                let tab = &NIB8[c as usize];
+                tlo[j] = vld1q_u8(tab.as_ptr());
+                thi[j] = vld1q_u8(tab.as_ptr().add(16));
+                live[j] = true;
             }
-            i += 16;
+            if !live.contains(&true) {
+                continue;
+            }
+            let mut i = 0usize;
+            while i + 16 <= len {
+                let s = vld1q_u8(sp.add(i));
+                let lo = vandq_u8(s, nib);
+                let hi = vshrq_n_u8(s, 4);
+                for j in 0..g {
+                    if !live[j] {
+                        continue;
+                    }
+                    let op = outs[j].add(i);
+                    let acc = vld1q_u8(op);
+                    let prod = veorq_u8(vqtbl1q_u8(tlo[j], lo), vqtbl1q_u8(thi[j], hi));
+                    vst1q_u8(op, veorq_u8(acc, prod));
+                }
+                i += 16;
+            }
         }
+        blocks
     }
-    blocks
 }
 
 /// Fused multi-coefficient accumulate (output-major coefficients), as
@@ -237,38 +257,50 @@ pub(crate) fn fused8(outs: &mut [&mut [u8]], coeffs: &[u8], srcs: &[&[u8]]) {
 
 // ---- dot products (vmull_p8) ----------------------------------------------
 
-/// Horizontal XOR of eight 16-bit lanes.
-#[inline(always)]
-unsafe fn xor_across_u16(v: uint16x8_t) -> u16 {
+/// Horizontal XOR of eight 16-bit lanes. Safe: the only memory touched
+/// is a local array.
+#[inline]
+#[target_feature(enable = "neon")]
+fn xor_across_u16(v: uint16x8_t) -> u16 {
     let mut lanes = [0u16; 8];
-    vst1q_u16(lanes.as_mut_ptr(), v);
+    // SAFETY: `lanes` is a live local [u16; 8] — exactly the 16 bytes
+    // `vst1q_u16` writes.
+    unsafe { vst1q_u16(lanes.as_mut_ptr(), v) };
     lanes.iter().fold(0, |a, &b| a ^ b)
 }
 
 /// GF(2⁸) dot core: 8 unreduced carry-less lane products per
 /// `vmull_p8`, XOR-accumulated; returns the unreduced 15-bit
 /// accumulator and bytes consumed.
+///
+/// # Safety
+///
+/// `a` and `b` must each be valid for `len` bytes.
 #[target_feature(enable = "neon")]
 unsafe fn dot8_neon(a: *const u8, b: *const u8, len: usize) -> (u32, usize) {
-    let mut acc = vdupq_n_u16(0);
-    let n = len / 16 * 16;
-    let mut i = 0usize;
-    while i < n {
-        let va = vld1q_u8(a.add(i));
-        let vb = vld1q_u8(b.add(i));
-        let p_lo = vmull_p8(
-            vreinterpret_p8_u8(vget_low_u8(va)),
-            vreinterpret_p8_u8(vget_low_u8(vb)),
-        );
-        let p_hi = vmull_p8(
-            vreinterpret_p8_u8(vget_high_u8(va)),
-            vreinterpret_p8_u8(vget_high_u8(vb)),
-        );
-        acc = veorq_u16(acc, vreinterpretq_u16_p16(p_lo));
-        acc = veorq_u16(acc, vreinterpretq_u16_p16(p_hi));
-        i += 16;
+    // SAFETY: per the fn contract, offsets stay `< len` and the loads
+    // are unaligned ops.
+    unsafe {
+        let mut acc = vdupq_n_u16(0);
+        let n = len / 16 * 16;
+        let mut i = 0usize;
+        while i < n {
+            let va = vld1q_u8(a.add(i));
+            let vb = vld1q_u8(b.add(i));
+            let p_lo = vmull_p8(
+                vreinterpret_p8_u8(vget_low_u8(va)),
+                vreinterpret_p8_u8(vget_low_u8(vb)),
+            );
+            let p_hi = vmull_p8(
+                vreinterpret_p8_u8(vget_high_u8(va)),
+                vreinterpret_p8_u8(vget_high_u8(vb)),
+            );
+            acc = veorq_u16(acc, vreinterpretq_u16_p16(p_lo));
+            acc = veorq_u16(acc, vreinterpretq_u16_p16(p_hi));
+            i += 16;
+        }
+        (xor_across_u16(acc) as u32, n)
     }
-    (xor_across_u16(acc) as u32, n)
 }
 
 /// Dot product `Σ a[i]·b[i]` over GF(2⁸). Always available on NEON.
@@ -289,46 +321,54 @@ pub(crate) fn dot8(a: &[u8], b: &[u8]) -> Option<u8> {
 /// 8-lane `vmull_p8`, accumulated per partial and recombined once at
 /// the end. Returns the unreduced 31-bit accumulator and elements
 /// consumed.
+///
+/// # Safety
+///
+/// `a` and `b` must each be valid for `2 · len_elems` bytes.
 #[target_feature(enable = "neon")]
 unsafe fn dot16_neon(a: *const u8, b: *const u8, len_elems: usize) -> (u64, usize) {
-    let mut acc_ll = vdupq_n_u16(0);
-    let mut acc_mid = vdupq_n_u16(0);
-    let mut acc_hh = vdupq_n_u16(0);
-    let n = len_elems / 16 * 16;
-    let mut i = 0usize;
-    while i < n * 2 {
-        let va = vld2q_u8(a.add(i)); // va.0 = lo bytes, va.1 = hi bytes
-        let vb = vld2q_u8(b.add(i));
-        let (al_l, al_h) = (
-            vreinterpret_p8_u8(vget_low_u8(va.0)),
-            vreinterpret_p8_u8(vget_high_u8(va.0)),
-        );
-        let (ah_l, ah_h) = (
-            vreinterpret_p8_u8(vget_low_u8(va.1)),
-            vreinterpret_p8_u8(vget_high_u8(va.1)),
-        );
-        let (bl_l, bl_h) = (
-            vreinterpret_p8_u8(vget_low_u8(vb.0)),
-            vreinterpret_p8_u8(vget_high_u8(vb.0)),
-        );
-        let (bh_l, bh_h) = (
-            vreinterpret_p8_u8(vget_low_u8(vb.1)),
-            vreinterpret_p8_u8(vget_high_u8(vb.1)),
-        );
-        acc_ll = veorq_u16(acc_ll, vreinterpretq_u16_p16(vmull_p8(al_l, bl_l)));
-        acc_ll = veorq_u16(acc_ll, vreinterpretq_u16_p16(vmull_p8(al_h, bl_h)));
-        acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(al_l, bh_l)));
-        acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(al_h, bh_h)));
-        acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(ah_l, bl_l)));
-        acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(ah_h, bl_h)));
-        acc_hh = veorq_u16(acc_hh, vreinterpretq_u16_p16(vmull_p8(ah_l, bh_l)));
-        acc_hh = veorq_u16(acc_hh, vreinterpretq_u16_p16(vmull_p8(ah_h, bh_h)));
-        i += 32;
+    // SAFETY: per the fn contract, byte offsets stay `< 2 · len_elems`
+    // and the deinterleaving loads are unaligned ops.
+    unsafe {
+        let mut acc_ll = vdupq_n_u16(0);
+        let mut acc_mid = vdupq_n_u16(0);
+        let mut acc_hh = vdupq_n_u16(0);
+        let n = len_elems / 16 * 16;
+        let mut i = 0usize;
+        while i < n * 2 {
+            let va = vld2q_u8(a.add(i)); // va.0 = lo bytes, va.1 = hi bytes
+            let vb = vld2q_u8(b.add(i));
+            let (al_l, al_h) = (
+                vreinterpret_p8_u8(vget_low_u8(va.0)),
+                vreinterpret_p8_u8(vget_high_u8(va.0)),
+            );
+            let (ah_l, ah_h) = (
+                vreinterpret_p8_u8(vget_low_u8(va.1)),
+                vreinterpret_p8_u8(vget_high_u8(va.1)),
+            );
+            let (bl_l, bl_h) = (
+                vreinterpret_p8_u8(vget_low_u8(vb.0)),
+                vreinterpret_p8_u8(vget_high_u8(vb.0)),
+            );
+            let (bh_l, bh_h) = (
+                vreinterpret_p8_u8(vget_low_u8(vb.1)),
+                vreinterpret_p8_u8(vget_high_u8(vb.1)),
+            );
+            acc_ll = veorq_u16(acc_ll, vreinterpretq_u16_p16(vmull_p8(al_l, bl_l)));
+            acc_ll = veorq_u16(acc_ll, vreinterpretq_u16_p16(vmull_p8(al_h, bl_h)));
+            acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(al_l, bh_l)));
+            acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(al_h, bh_h)));
+            acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(ah_l, bl_l)));
+            acc_mid = veorq_u16(acc_mid, vreinterpretq_u16_p16(vmull_p8(ah_h, bl_h)));
+            acc_hh = veorq_u16(acc_hh, vreinterpretq_u16_p16(vmull_p8(ah_l, bh_l)));
+            acc_hh = veorq_u16(acc_hh, vreinterpretq_u16_p16(vmull_p8(ah_h, bh_h)));
+            i += 32;
+        }
+        let ll = xor_across_u16(acc_ll) as u64;
+        let mid = xor_across_u16(acc_mid) as u64;
+        let hh = xor_across_u16(acc_hh) as u64;
+        (ll ^ (mid << 8) ^ (hh << 16), n)
     }
-    let ll = xor_across_u16(acc_ll) as u64;
-    let mid = xor_across_u16(acc_mid) as u64;
-    let hh = xor_across_u16(acc_hh) as u64;
-    (ll ^ (mid << 8) ^ (hh << 16), n)
 }
 
 /// Dot product `Σ a[i]·b[i]` over GF(2¹⁶). Always available on NEON.
@@ -336,9 +376,7 @@ pub(crate) fn dot16(a: &[Gf65536], b: &[Gf65536]) -> Option<Gf65536> {
     debug_assert_eq!(a.len(), b.len());
     // SAFETY: NEON is baseline; `#[repr(transparent)]` slices cover
     // `2 · len` bytes.
-    let (un, n) = unsafe {
-        dot16_neon(a.as_ptr() as *const u8, b.as_ptr() as *const u8, a.len())
-    };
+    let (un, n) = unsafe { dot16_neon(a.as_ptr() as *const u8, b.as_ptr() as *const u8, a.len()) };
     let mut acc = tables::reduce31(un);
     let t = gf65536::tables();
     for (&x, &y) in a[n..].iter().zip(&b[n..]) {
@@ -357,6 +395,11 @@ const OP16_MUL: u8 = 1;
 /// NEON GF(2¹⁶) engine over 16-element (32-byte) blocks; `vld2q_u8`
 /// hands the kernels deinterleaved lo/hi byte planes directly. Returns
 /// elements processed.
+///
+/// # Safety
+///
+/// `dst` and `src` must each be valid for `2 · len_elems` bytes (`dst`
+/// for writes; equal pointers are fine, partial overlap is not).
 #[target_feature(enable = "neon")]
 unsafe fn transform16<const OP: u8>(
     dst: *mut u8,
@@ -364,41 +407,46 @@ unsafe fn transform16<const OP: u8>(
     len_elems: usize,
     tab: &[u8; 128],
 ) -> usize {
-    let tl0 = vld1q_u8(tab.as_ptr());
-    let tl1 = vld1q_u8(tab.as_ptr().add(16));
-    let tl2 = vld1q_u8(tab.as_ptr().add(32));
-    let tl3 = vld1q_u8(tab.as_ptr().add(48));
-    let th0 = vld1q_u8(tab.as_ptr().add(64));
-    let th1 = vld1q_u8(tab.as_ptr().add(80));
-    let th2 = vld1q_u8(tab.as_ptr().add(96));
-    let th3 = vld1q_u8(tab.as_ptr().add(112));
-    let nib = vdupq_n_u8(0x0f);
-    let n = len_elems / 16 * 16;
-    let mut i = 0usize; // byte index
-    while i < n * 2 {
-        let v = vld2q_u8(src.add(i));
-        let n0 = vandq_u8(v.0, nib);
-        let n1 = vshrq_n_u8(v.0, 4);
-        let n2 = vandq_u8(v.1, nib);
-        let n3 = vshrq_n_u8(v.1, 4);
-        let rlo = veorq_u8(
-            veorq_u8(vqtbl1q_u8(tl0, n0), vqtbl1q_u8(tl1, n1)),
-            veorq_u8(vqtbl1q_u8(tl2, n2), vqtbl1q_u8(tl3, n3)),
-        );
-        let rhi = veorq_u8(
-            veorq_u8(vqtbl1q_u8(th0, n0), vqtbl1q_u8(th1, n1)),
-            veorq_u8(vqtbl1q_u8(th2, n2), vqtbl1q_u8(th3, n3)),
-        );
-        let out = if OP == OP16_AXPY {
-            let d = vld2q_u8(dst.add(i));
-            uint8x16x2_t(veorq_u8(d.0, rlo), veorq_u8(d.1, rhi))
-        } else {
-            uint8x16x2_t(rlo, rhi)
-        };
-        vst2q_u8(dst.add(i), out);
-        i += 32;
+    // SAFETY: per the fn contract, byte offsets stay `< 2 · len_elems`;
+    // `tab` covers 128 bytes so `tab + o` is in bounds for every
+    // `o ≤ 112` used below.
+    unsafe {
+        let tl0 = vld1q_u8(tab.as_ptr());
+        let tl1 = vld1q_u8(tab.as_ptr().add(16));
+        let tl2 = vld1q_u8(tab.as_ptr().add(32));
+        let tl3 = vld1q_u8(tab.as_ptr().add(48));
+        let th0 = vld1q_u8(tab.as_ptr().add(64));
+        let th1 = vld1q_u8(tab.as_ptr().add(80));
+        let th2 = vld1q_u8(tab.as_ptr().add(96));
+        let th3 = vld1q_u8(tab.as_ptr().add(112));
+        let nib = vdupq_n_u8(0x0f);
+        let n = len_elems / 16 * 16;
+        let mut i = 0usize; // byte index
+        while i < n * 2 {
+            let v = vld2q_u8(src.add(i));
+            let n0 = vandq_u8(v.0, nib);
+            let n1 = vshrq_n_u8(v.0, 4);
+            let n2 = vandq_u8(v.1, nib);
+            let n3 = vshrq_n_u8(v.1, 4);
+            let rlo = veorq_u8(
+                veorq_u8(vqtbl1q_u8(tl0, n0), vqtbl1q_u8(tl1, n1)),
+                veorq_u8(vqtbl1q_u8(tl2, n2), vqtbl1q_u8(tl3, n3)),
+            );
+            let rhi = veorq_u8(
+                veorq_u8(vqtbl1q_u8(th0, n0), vqtbl1q_u8(th1, n1)),
+                veorq_u8(vqtbl1q_u8(th2, n2), vqtbl1q_u8(th3, n3)),
+            );
+            let out = if OP == OP16_AXPY {
+                let d = vld2q_u8(dst.add(i));
+                uint8x16x2_t(veorq_u8(d.0, rlo), veorq_u8(d.1, rhi))
+            } else {
+                uint8x16x2_t(rlo, rhi)
+            };
+            vst2q_u8(dst.add(i), out);
+            i += 32;
+        }
+        n
     }
-    n
 }
 
 #[inline]

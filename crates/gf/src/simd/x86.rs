@@ -45,17 +45,22 @@ const OP_MUL_XOR: u8 = 3;
 const OP_XOR_MUL: u8 = 4;
 
 /// One 32-lane split-nibble multiply: `m(v) = tlo[v & 0xF] ^ thi[v >> 4]`.
-#[inline(always)]
-unsafe fn mul_block256(tlo: __m256i, thi: __m256i, mask: __m256i, v: __m256i) -> __m256i {
+/// Register-only (no memory access), so it is a *safe* target-feature
+/// fn: the engines that call it already carry the `avx2` feature.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn mul_block256(tlo: __m256i, thi: __m256i, mask: __m256i, v: __m256i) -> __m256i {
     _mm256_xor_si256(
         _mm256_shuffle_epi8(tlo, _mm256_and_si256(v, mask)),
         _mm256_shuffle_epi8(thi, _mm256_and_si256(_mm256_srli_epi16(v, 4), mask)),
     )
 }
 
-/// One 16-lane split-nibble multiply (SSSE3 engine).
-#[inline(always)]
-unsafe fn mul_block128(tlo: __m128i, thi: __m128i, mask: __m128i, v: __m128i) -> __m128i {
+/// One 16-lane split-nibble multiply (SSSE3 engine). Register-only and
+/// safe, as [`mul_block256`].
+#[inline]
+#[target_feature(enable = "ssse3")]
+fn mul_block128(tlo: __m128i, thi: __m128i, mask: __m128i, v: __m128i) -> __m128i {
     _mm_xor_si128(
         _mm_shuffle_epi8(tlo, _mm_and_si128(v, mask)),
         _mm_shuffle_epi8(thi, _mm_and_si128(_mm_srli_epi16(v, 4), mask)),
@@ -65,6 +70,12 @@ unsafe fn mul_block128(tlo: __m128i, thi: __m128i, mask: __m128i, v: __m128i) ->
 /// AVX2 transform engine: applies `OP` over 32-byte blocks (64-byte main
 /// loop), returns the number of bytes processed. `other` must equal
 /// `dst` for the one-operand ops (`OP_MUL`) and may not otherwise alias.
+///
+/// # Safety
+///
+/// `dst` and `other` must each be valid for `len` bytes (`dst` for
+/// writes); they must not partially overlap (equal is fine); the caller
+/// must have verified AVX2 support.
 #[target_feature(enable = "avx2")]
 unsafe fn transform8_avx2<const OP: u8>(
     dst: *mut u8,
@@ -72,55 +83,65 @@ unsafe fn transform8_avx2<const OP: u8>(
     len: usize,
     tab: &[u8; 32],
 ) -> usize {
-    let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
-    let thi =
-        _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i));
-    let mask = _mm256_set1_epi8(0x0f);
-    let mut i = 0usize;
-    macro_rules! block {
-        ($off:expr) => {{
-            let o = $off;
-            let r = match OP {
-                OP_AXPY => {
-                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
-                    let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
-                    _mm256_xor_si256(d, mul_block256(tlo, thi, mask, s))
-                }
-                OP_MUL_INTO => {
-                    let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
-                    mul_block256(tlo, thi, mask, s)
-                }
-                OP_MUL => {
-                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
-                    mul_block256(tlo, thi, mask, d)
-                }
-                OP_MUL_XOR => {
-                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
-                    let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
-                    _mm256_xor_si256(mul_block256(tlo, thi, mask, d), p)
-                }
-                _ => {
-                    let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
-                    let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
-                    mul_block256(tlo, thi, mask, _mm256_xor_si256(d, p))
-                }
-            };
-            _mm256_storeu_si256(dst.add(o) as *mut __m256i, r);
-        }};
+    // SAFETY: per the fn contract, every `dst`/`other` offset below is
+    // `< len` and the unaligned load/store intrinsics tolerate any
+    // alignment; `tab` is a 32-byte array so `tab + 16` is in bounds.
+    unsafe {
+        let tlo = _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
+        let thi =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i));
+        let mask = _mm256_set1_epi8(0x0f);
+        let mut i = 0usize;
+        macro_rules! block {
+            ($off:expr) => {{
+                let o = $off;
+                let r = match OP {
+                    OP_AXPY => {
+                        let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                        let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                        _mm256_xor_si256(d, mul_block256(tlo, thi, mask, s))
+                    }
+                    OP_MUL_INTO => {
+                        let s = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                        mul_block256(tlo, thi, mask, s)
+                    }
+                    OP_MUL => {
+                        let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                        mul_block256(tlo, thi, mask, d)
+                    }
+                    OP_MUL_XOR => {
+                        let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                        let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                        _mm256_xor_si256(mul_block256(tlo, thi, mask, d), p)
+                    }
+                    _ => {
+                        let d = _mm256_loadu_si256(dst.add(o) as *const __m256i);
+                        let p = _mm256_loadu_si256(other.add(o) as *const __m256i);
+                        mul_block256(tlo, thi, mask, _mm256_xor_si256(d, p))
+                    }
+                };
+                _mm256_storeu_si256(dst.add(o) as *mut __m256i, r);
+            }};
+        }
+        while i + 64 <= len {
+            block!(i);
+            block!(i + 32);
+            i += 64;
+        }
+        if i + 32 <= len {
+            block!(i);
+            i += 32;
+        }
+        i
     }
-    while i + 64 <= len {
-        block!(i);
-        block!(i + 32);
-        i += 64;
-    }
-    if i + 32 <= len {
-        block!(i);
-        i += 32;
-    }
-    i
 }
 
 /// SSSE3 transform engine: 16-byte blocks (32-byte main loop).
+///
+/// # Safety
+///
+/// Same contract as [`transform8_avx2`], with SSSE3 as the required
+/// feature.
 #[target_feature(enable = "ssse3")]
 unsafe fn transform8_ssse3<const OP: u8>(
     dst: *mut u8,
@@ -128,51 +149,55 @@ unsafe fn transform8_ssse3<const OP: u8>(
     len: usize,
     tab: &[u8; 32],
 ) -> usize {
-    let tlo = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
-    let thi = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
-    let mask = _mm_set1_epi8(0x0f);
-    let mut i = 0usize;
-    macro_rules! block {
-        ($off:expr) => {{
-            let o = $off;
-            let r = match OP {
-                OP_AXPY => {
-                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
-                    let s = _mm_loadu_si128(other.add(o) as *const __m128i);
-                    _mm_xor_si128(d, mul_block128(tlo, thi, mask, s))
-                }
-                OP_MUL_INTO => {
-                    let s = _mm_loadu_si128(other.add(o) as *const __m128i);
-                    mul_block128(tlo, thi, mask, s)
-                }
-                OP_MUL => {
-                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
-                    mul_block128(tlo, thi, mask, d)
-                }
-                OP_MUL_XOR => {
-                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
-                    let p = _mm_loadu_si128(other.add(o) as *const __m128i);
-                    _mm_xor_si128(mul_block128(tlo, thi, mask, d), p)
-                }
-                _ => {
-                    let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
-                    let p = _mm_loadu_si128(other.add(o) as *const __m128i);
-                    mul_block128(tlo, thi, mask, _mm_xor_si128(d, p))
-                }
-            };
-            _mm_storeu_si128(dst.add(o) as *mut __m128i, r);
-        }};
+    // SAFETY: as in `transform8_avx2` — offsets stay `< len`, loads and
+    // stores are the unaligned variants, `tab` covers 32 bytes.
+    unsafe {
+        let tlo = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
+        let thi = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
+        let mask = _mm_set1_epi8(0x0f);
+        let mut i = 0usize;
+        macro_rules! block {
+            ($off:expr) => {{
+                let o = $off;
+                let r = match OP {
+                    OP_AXPY => {
+                        let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                        let s = _mm_loadu_si128(other.add(o) as *const __m128i);
+                        _mm_xor_si128(d, mul_block128(tlo, thi, mask, s))
+                    }
+                    OP_MUL_INTO => {
+                        let s = _mm_loadu_si128(other.add(o) as *const __m128i);
+                        mul_block128(tlo, thi, mask, s)
+                    }
+                    OP_MUL => {
+                        let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                        mul_block128(tlo, thi, mask, d)
+                    }
+                    OP_MUL_XOR => {
+                        let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                        let p = _mm_loadu_si128(other.add(o) as *const __m128i);
+                        _mm_xor_si128(mul_block128(tlo, thi, mask, d), p)
+                    }
+                    _ => {
+                        let d = _mm_loadu_si128(dst.add(o) as *const __m128i);
+                        let p = _mm_loadu_si128(other.add(o) as *const __m128i);
+                        mul_block128(tlo, thi, mask, _mm_xor_si128(d, p))
+                    }
+                };
+                _mm_storeu_si128(dst.add(o) as *mut __m128i, r);
+            }};
+        }
+        while i + 32 <= len {
+            block!(i);
+            block!(i + 16);
+            i += 32;
+        }
+        if i + 16 <= len {
+            block!(i);
+            i += 16;
+        }
+        i
     }
-    while i + 32 <= len {
-        block!(i);
-        block!(i + 16);
-        i += 32;
-    }
-    if i + 16 <= len {
-        block!(i);
-        i += 16;
-    }
-    i
 }
 
 /// Run a GF(2⁸) transform with the widest available engine; returns the
@@ -252,111 +277,119 @@ pub(crate) const FUSED_GROUP: usize = 4;
 /// `outs[j][k] ^= Σ_i coeffs[j·nsrc + i] · srcs[i][k]`, loading each
 /// source block once per group instead of once per (output, source)
 /// pair. Returns bytes processed.
+///
+/// # Safety
+///
+/// Every pointer in `outs` and `srcs` must be valid for `len` bytes
+/// (`outs` for writes), all mutually disjoint; `coeffs` must hold
+/// `outs.len() · srcs.len()` entries; `outs.len() ≤ FUSED_GROUP`; the
+/// caller must have verified AVX2 support.
 #[target_feature(enable = "avx2")]
-unsafe fn fused8_avx2(
-    outs: &[*mut u8],
-    coeffs: &[u8],
-    srcs: &[*const u8],
-    len: usize,
-) -> usize {
-    let g = outs.len();
-    let nsrc = srcs.len();
-    let mask = _mm256_set1_epi8(0x0f);
-    let blocks = len / 32 * 32;
-    for (si, &sp) in srcs.iter().enumerate() {
-        // Hoist this source's per-output tables out of the block loop:
-        // 2·FUSED_GROUP table registers plus the source stream and one
-        // accumulator stay inside the 16-register file.
-        let mut tlo = [_mm256_setzero_si256(); FUSED_GROUP];
-        let mut thi = [_mm256_setzero_si256(); FUSED_GROUP];
-        let mut live = [false; FUSED_GROUP];
-        for j in 0..g {
-            let c = coeffs[j * nsrc + si];
-            if c == 0 {
-                continue;
-            }
-            let tab = &NIB8[c as usize];
-            tlo[j] =
-                _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
-            thi[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
-                tab.as_ptr().add(16) as *const __m128i
-            ));
-            live[j] = true;
-        }
-        if !live.contains(&true) {
-            continue;
-        }
-        let mut i = 0usize;
-        while i + 32 <= len {
-            let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
-            let lo = _mm256_and_si256(s, mask);
-            let hi = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+unsafe fn fused8_avx2(outs: &[*mut u8], coeffs: &[u8], srcs: &[*const u8], len: usize) -> usize {
+    // SAFETY: per the fn contract, each indexed offset is `< len` on a
+    // live disjoint buffer and `NIB8` rows are 32 bytes.
+    unsafe {
+        let g = outs.len();
+        let nsrc = srcs.len();
+        let mask = _mm256_set1_epi8(0x0f);
+        let blocks = len / 32 * 32;
+        for (si, &sp) in srcs.iter().enumerate() {
+            // Hoist this source's per-output tables out of the block loop:
+            // 2·FUSED_GROUP table registers plus the source stream and one
+            // accumulator stay inside the 16-register file.
+            let mut tlo = [_mm256_setzero_si256(); FUSED_GROUP];
+            let mut thi = [_mm256_setzero_si256(); FUSED_GROUP];
+            let mut live = [false; FUSED_GROUP];
             for j in 0..g {
-                if !live[j] {
+                let c = coeffs[j * nsrc + si];
+                if c == 0 {
                     continue;
                 }
-                let op = outs[j].add(i);
-                let acc = _mm256_loadu_si256(op as *const __m256i);
-                let prod = _mm256_xor_si256(
-                    _mm256_shuffle_epi8(tlo[j], lo),
-                    _mm256_shuffle_epi8(thi[j], hi),
-                );
-                _mm256_storeu_si256(op as *mut __m256i, _mm256_xor_si256(acc, prod));
+                let tab = &NIB8[c as usize];
+                tlo[j] =
+                    _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr() as *const __m128i));
+                thi[j] = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+                    tab.as_ptr().add(16) as *const __m128i
+                ));
+                live[j] = true;
             }
-            i += 32;
+            if !live.contains(&true) {
+                continue;
+            }
+            let mut i = 0usize;
+            while i + 32 <= len {
+                let s = _mm256_loadu_si256(sp.add(i) as *const __m256i);
+                let lo = _mm256_and_si256(s, mask);
+                let hi = _mm256_and_si256(_mm256_srli_epi16(s, 4), mask);
+                for j in 0..g {
+                    if !live[j] {
+                        continue;
+                    }
+                    let op = outs[j].add(i);
+                    let acc = _mm256_loadu_si256(op as *const __m256i);
+                    let prod = _mm256_xor_si256(
+                        _mm256_shuffle_epi8(tlo[j], lo),
+                        _mm256_shuffle_epi8(thi[j], hi),
+                    );
+                    _mm256_storeu_si256(op as *mut __m256i, _mm256_xor_si256(acc, prod));
+                }
+                i += 32;
+            }
         }
+        blocks
     }
-    blocks
 }
 
 /// SSSE3 fused kernel — same dataflow at 16 bytes per block.
+///
+/// # Safety
+///
+/// Same contract as [`fused8_avx2`], with SSSE3 as the required feature.
 #[target_feature(enable = "ssse3")]
-unsafe fn fused8_ssse3(
-    outs: &[*mut u8],
-    coeffs: &[u8],
-    srcs: &[*const u8],
-    len: usize,
-) -> usize {
-    let g = outs.len();
-    let nsrc = srcs.len();
-    let mask = _mm_set1_epi8(0x0f);
-    let blocks = len / 16 * 16;
-    for (si, &sp) in srcs.iter().enumerate() {
-        let mut tlo = [_mm_setzero_si128(); FUSED_GROUP];
-        let mut thi = [_mm_setzero_si128(); FUSED_GROUP];
-        let mut live = [false; FUSED_GROUP];
-        for j in 0..g {
-            let c = coeffs[j * nsrc + si];
-            if c == 0 {
-                continue;
-            }
-            let tab = &NIB8[c as usize];
-            tlo[j] = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
-            thi[j] = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
-            live[j] = true;
-        }
-        if !live.contains(&true) {
-            continue;
-        }
-        let mut i = 0usize;
-        while i + 16 <= len {
-            let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
-            let lo = _mm_and_si128(s, mask);
-            let hi = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+unsafe fn fused8_ssse3(outs: &[*mut u8], coeffs: &[u8], srcs: &[*const u8], len: usize) -> usize {
+    // SAFETY: as in `fused8_avx2`.
+    unsafe {
+        let g = outs.len();
+        let nsrc = srcs.len();
+        let mask = _mm_set1_epi8(0x0f);
+        let blocks = len / 16 * 16;
+        for (si, &sp) in srcs.iter().enumerate() {
+            let mut tlo = [_mm_setzero_si128(); FUSED_GROUP];
+            let mut thi = [_mm_setzero_si128(); FUSED_GROUP];
+            let mut live = [false; FUSED_GROUP];
             for j in 0..g {
-                if !live[j] {
+                let c = coeffs[j * nsrc + si];
+                if c == 0 {
                     continue;
                 }
-                let op = outs[j].add(i);
-                let acc = _mm_loadu_si128(op as *const __m128i);
-                let prod =
-                    _mm_xor_si128(_mm_shuffle_epi8(tlo[j], lo), _mm_shuffle_epi8(thi[j], hi));
-                _mm_storeu_si128(op as *mut __m128i, _mm_xor_si128(acc, prod));
+                let tab = &NIB8[c as usize];
+                tlo[j] = _mm_loadu_si128(tab.as_ptr() as *const __m128i);
+                thi[j] = _mm_loadu_si128(tab.as_ptr().add(16) as *const __m128i);
+                live[j] = true;
             }
-            i += 16;
+            if !live.contains(&true) {
+                continue;
+            }
+            let mut i = 0usize;
+            while i + 16 <= len {
+                let s = _mm_loadu_si128(sp.add(i) as *const __m128i);
+                let lo = _mm_and_si128(s, mask);
+                let hi = _mm_and_si128(_mm_srli_epi16(s, 4), mask);
+                for j in 0..g {
+                    if !live[j] {
+                        continue;
+                    }
+                    let op = outs[j].add(i);
+                    let acc = _mm_loadu_si128(op as *const __m128i);
+                    let prod =
+                        _mm_xor_si128(_mm_shuffle_epi8(tlo[j], lo), _mm_shuffle_epi8(thi[j], hi));
+                    _mm_storeu_si128(op as *mut __m128i, _mm_xor_si128(acc, prod));
+                }
+                i += 16;
+            }
         }
+        blocks
     }
-    blocks
 }
 
 /// Fused multi-coefficient accumulate:
@@ -406,29 +439,38 @@ pub(crate) fn fused8(outs: &mut [&mut [u8]], coeffs: &[u8], srcs: &[&[u8]]) {
 /// within each 4-byte group so that after widening, the products
 /// `a[k]·b[k]` of one 64-bit lane land at distinct 32-bit spacings of
 /// one `PCLMULQDQ` result, XOR-aligned at bit 48 across lanes.
+///
+/// # Safety
+///
+/// `a` and `b` must each be valid for `len` bytes; the caller must have
+/// verified SSSE3 + PCLMULQDQ + SSE4.1 support.
 #[target_feature(enable = "ssse3,pclmulqdq,sse4.1")]
 unsafe fn dot8_clmul(a: *const u8, b: *const u8, len: usize) -> (u32, usize) {
-    let rev = _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
-    let mut acc = _mm_setzero_si128();
-    let n = len / 16 * 16;
-    let mut i = 0usize;
-    while i < n {
-        let va = _mm_loadu_si128(a.add(i) as *const __m128i);
-        let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
-        let a_lo = _mm_cvtepu8_epi16(va);
-        let a_hi = _mm_cvtepu8_epi16(_mm_srli_si128(va, 8));
-        let b_lo = _mm_cvtepu8_epi16(vb);
-        let b_hi = _mm_cvtepu8_epi16(_mm_srli_si128(vb, 8));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
-        i += 16;
+    // SAFETY: per the fn contract, `a + i`/`b + i` stay `< len` and the
+    // loads are unaligned variants.
+    unsafe {
+        let rev = _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+        let mut acc = _mm_setzero_si128();
+        let n = len / 16 * 16;
+        let mut i = 0usize;
+        while i < n {
+            let va = _mm_loadu_si128(a.add(i) as *const __m128i);
+            let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
+            let a_lo = _mm_cvtepu8_epi16(va);
+            let a_hi = _mm_cvtepu8_epi16(_mm_srli_si128(va, 8));
+            let b_lo = _mm_cvtepu8_epi16(vb);
+            let b_hi = _mm_cvtepu8_epi16(_mm_srli_si128(vb, 8));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
+            i += 16;
+        }
+        // Every lane-product of every CLMUL lands its dot terms at bits
+        // 48..62 of the low qword; everything else is discarded cross-terms.
+        let lo = _mm_cvtsi128_si64(acc) as u64;
+        (((lo >> 48) & 0x7FFF) as u32, n)
     }
-    // Every lane-product of every CLMUL lands its dot terms at bits
-    // 48..62 of the low qword; everything else is discarded cross-terms.
-    let lo = _mm_cvtsi128_si64(acc) as u64;
-    (((lo >> 48) & 0x7FFF) as u32, n)
 }
 
 /// Dot product `Σ a[i]·b[i]` over GF(2⁸), or `None` when the host lacks
@@ -460,6 +502,12 @@ const OP16_MUL: u8 = 1;
 /// AVX2 GF(2¹⁶) engine over 32-element (64-byte) blocks; `OP16_AXPY`
 /// computes `acc ^= m(src)`, `OP16_MUL` computes `dst = m(dst)`.
 /// Returns elements processed.
+///
+/// # Safety
+///
+/// `dst` and `src` must each be valid for `2 · len_elems` bytes (`dst`
+/// for writes; equal pointers are fine, partial overlap is not); the
+/// caller must have verified AVX2 support.
 #[target_feature(enable = "avx2")]
 unsafe fn transform16_avx2<const OP: u8>(
     dst: *mut u8,
@@ -467,68 +515,78 @@ unsafe fn transform16_avx2<const OP: u8>(
     len_elems: usize,
     tab: &[u8; 128],
 ) -> usize {
-    let bt = |o: usize| {
-        _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i))
-    };
-    let tl0 = bt(0);
-    let tl1 = bt(16);
-    let tl2 = bt(32);
-    let tl3 = bt(48);
-    let th0 = bt(64);
-    let th1 = bt(80);
-    let th2 = bt(96);
-    let th3 = bt(112);
-    let nib = _mm256_set1_epi8(0x0f);
-    // Deinterleave u16 lanes into [lo bytes ×8, hi bytes ×8] per lane…
-    let sep = _mm256_setr_epi8(
-        0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15, 0, 2, 4, 6, 8, 10, 12, 14, 1, 3,
-        5, 7, 9, 11, 13, 15,
-    );
-    // …and back.
-    let ilv = _mm256_setr_epi8(
-        0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15, 0, 8, 1, 9, 2, 10, 3, 11, 4, 12,
-        5, 13, 6, 14, 7, 15,
-    );
-    let n = len_elems / 32 * 32;
-    let mut i = 0usize; // byte index
-    while i < n * 2 {
-        let va = _mm256_loadu_si256(src.add(i) as *const __m256i);
-        let vb = _mm256_loadu_si256(src.add(i + 32) as *const __m256i);
-        let sa = _mm256_shuffle_epi8(va, sep);
-        let sb = _mm256_shuffle_epi8(vb, sep);
-        let vlo = _mm256_unpacklo_epi64(sa, sb);
-        let vhi = _mm256_unpackhi_epi64(sa, sb);
-        let n0 = _mm256_and_si256(vlo, nib);
-        let n1 = _mm256_and_si256(_mm256_srli_epi16(vlo, 4), nib);
-        let n2 = _mm256_and_si256(vhi, nib);
-        let n3 = _mm256_and_si256(_mm256_srli_epi16(vhi, 4), nib);
-        let rlo = _mm256_xor_si256(
-            _mm256_xor_si256(_mm256_shuffle_epi8(tl0, n0), _mm256_shuffle_epi8(tl1, n1)),
-            _mm256_xor_si256(_mm256_shuffle_epi8(tl2, n2), _mm256_shuffle_epi8(tl3, n3)),
-        );
-        let rhi = _mm256_xor_si256(
-            _mm256_xor_si256(_mm256_shuffle_epi8(th0, n0), _mm256_shuffle_epi8(th1, n1)),
-            _mm256_xor_si256(_mm256_shuffle_epi8(th2, n2), _mm256_shuffle_epi8(th3, n3)),
-        );
-        let pa = _mm256_unpacklo_epi64(rlo, rhi);
-        let pb = _mm256_unpackhi_epi64(rlo, rhi);
-        let ra = _mm256_shuffle_epi8(pa, ilv);
-        let rb = _mm256_shuffle_epi8(pb, ilv);
-        let (ra, rb) = if OP == OP16_AXPY {
-            let da = _mm256_loadu_si256(dst.add(i) as *const __m256i);
-            let db = _mm256_loadu_si256(dst.add(i + 32) as *const __m256i);
-            (_mm256_xor_si256(da, ra), _mm256_xor_si256(db, rb))
-        } else {
-            (ra, rb)
+    // SAFETY: per the fn contract, byte offsets stay `< 2 · len_elems`,
+    // loads/stores are unaligned variants, and `tab` covers 128 bytes
+    // so `tab + o` is in bounds for every `o ≤ 112` used below.
+    unsafe {
+        let bt = |o: usize| {
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i))
         };
-        _mm256_storeu_si256(dst.add(i) as *mut __m256i, ra);
-        _mm256_storeu_si256(dst.add(i + 32) as *mut __m256i, rb);
-        i += 64;
+        let tl0 = bt(0);
+        let tl1 = bt(16);
+        let tl2 = bt(32);
+        let tl3 = bt(48);
+        let th0 = bt(64);
+        let th1 = bt(80);
+        let th2 = bt(96);
+        let th3 = bt(112);
+        let nib = _mm256_set1_epi8(0x0f);
+        // Deinterleave u16 lanes into [lo bytes ×8, hi bytes ×8] per lane…
+        let sep = _mm256_setr_epi8(
+            0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15, 0, 2, 4, 6, 8, 10, 12, 14, 1, 3,
+            5, 7, 9, 11, 13, 15,
+        );
+        // …and back.
+        let ilv = _mm256_setr_epi8(
+            0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15, 0, 8, 1, 9, 2, 10, 3, 11, 4, 12,
+            5, 13, 6, 14, 7, 15,
+        );
+        let n = len_elems / 32 * 32;
+        let mut i = 0usize; // byte index
+        while i < n * 2 {
+            let va = _mm256_loadu_si256(src.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(src.add(i + 32) as *const __m256i);
+            let sa = _mm256_shuffle_epi8(va, sep);
+            let sb = _mm256_shuffle_epi8(vb, sep);
+            let vlo = _mm256_unpacklo_epi64(sa, sb);
+            let vhi = _mm256_unpackhi_epi64(sa, sb);
+            let n0 = _mm256_and_si256(vlo, nib);
+            let n1 = _mm256_and_si256(_mm256_srli_epi16(vlo, 4), nib);
+            let n2 = _mm256_and_si256(vhi, nib);
+            let n3 = _mm256_and_si256(_mm256_srli_epi16(vhi, 4), nib);
+            let rlo = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_shuffle_epi8(tl0, n0), _mm256_shuffle_epi8(tl1, n1)),
+                _mm256_xor_si256(_mm256_shuffle_epi8(tl2, n2), _mm256_shuffle_epi8(tl3, n3)),
+            );
+            let rhi = _mm256_xor_si256(
+                _mm256_xor_si256(_mm256_shuffle_epi8(th0, n0), _mm256_shuffle_epi8(th1, n1)),
+                _mm256_xor_si256(_mm256_shuffle_epi8(th2, n2), _mm256_shuffle_epi8(th3, n3)),
+            );
+            let pa = _mm256_unpacklo_epi64(rlo, rhi);
+            let pb = _mm256_unpackhi_epi64(rlo, rhi);
+            let ra = _mm256_shuffle_epi8(pa, ilv);
+            let rb = _mm256_shuffle_epi8(pb, ilv);
+            let (ra, rb) = if OP == OP16_AXPY {
+                let da = _mm256_loadu_si256(dst.add(i) as *const __m256i);
+                let db = _mm256_loadu_si256(dst.add(i + 32) as *const __m256i);
+                (_mm256_xor_si256(da, ra), _mm256_xor_si256(db, rb))
+            } else {
+                (ra, rb)
+            };
+            _mm256_storeu_si256(dst.add(i) as *mut __m256i, ra);
+            _mm256_storeu_si256(dst.add(i + 32) as *mut __m256i, rb);
+            i += 64;
+        }
+        n
     }
-    n
 }
 
 /// SSSE3 GF(2¹⁶) engine over 16-element (32-byte) blocks.
+///
+/// # Safety
+///
+/// Same contract as [`transform16_avx2`], with SSSE3 as the required
+/// feature.
 #[target_feature(enable = "ssse3")]
 unsafe fn transform16_ssse3<const OP: u8>(
     dst: *mut u8,
@@ -536,59 +594,67 @@ unsafe fn transform16_ssse3<const OP: u8>(
     len_elems: usize,
     tab: &[u8; 128],
 ) -> usize {
-    let lt = |o: usize| _mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i);
-    let tl0 = lt(0);
-    let tl1 = lt(16);
-    let tl2 = lt(32);
-    let tl3 = lt(48);
-    let th0 = lt(64);
-    let th1 = lt(80);
-    let th2 = lt(96);
-    let th3 = lt(112);
-    let nib = _mm_set1_epi8(0x0f);
-    let sep = _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15);
-    let ilv = _mm_setr_epi8(0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15);
-    let n = len_elems / 16 * 16;
-    let mut i = 0usize;
-    while i < n * 2 {
-        let va = _mm_loadu_si128(src.add(i) as *const __m128i);
-        let vb = _mm_loadu_si128(src.add(i + 16) as *const __m128i);
-        let sa = _mm_shuffle_epi8(va, sep);
-        let sb = _mm_shuffle_epi8(vb, sep);
-        let vlo = _mm_unpacklo_epi64(sa, sb);
-        let vhi = _mm_unpackhi_epi64(sa, sb);
-        let n0 = _mm_and_si128(vlo, nib);
-        let n1 = _mm_and_si128(_mm_srli_epi16(vlo, 4), nib);
-        let n2 = _mm_and_si128(vhi, nib);
-        let n3 = _mm_and_si128(_mm_srli_epi16(vhi, 4), nib);
-        let rlo = _mm_xor_si128(
-            _mm_xor_si128(_mm_shuffle_epi8(tl0, n0), _mm_shuffle_epi8(tl1, n1)),
-            _mm_xor_si128(_mm_shuffle_epi8(tl2, n2), _mm_shuffle_epi8(tl3, n3)),
-        );
-        let rhi = _mm_xor_si128(
-            _mm_xor_si128(_mm_shuffle_epi8(th0, n0), _mm_shuffle_epi8(th1, n1)),
-            _mm_xor_si128(_mm_shuffle_epi8(th2, n2), _mm_shuffle_epi8(th3, n3)),
-        );
-        let pa = _mm_unpacklo_epi64(rlo, rhi);
-        let pb = _mm_unpackhi_epi64(rlo, rhi);
-        let ra = _mm_shuffle_epi8(pa, ilv);
-        let rb = _mm_shuffle_epi8(pb, ilv);
-        let (ra, rb) = if OP == OP16_AXPY {
-            let da = _mm_loadu_si128(dst.add(i) as *const __m128i);
-            let db = _mm_loadu_si128(dst.add(i + 16) as *const __m128i);
-            (_mm_xor_si128(da, ra), _mm_xor_si128(db, rb))
-        } else {
-            (ra, rb)
-        };
-        _mm_storeu_si128(dst.add(i) as *mut __m128i, ra);
-        _mm_storeu_si128(dst.add(i + 16) as *mut __m128i, rb);
-        i += 32;
+    // SAFETY: as in `transform16_avx2`.
+    unsafe {
+        let lt = |o: usize| _mm_loadu_si128(tab.as_ptr().add(o) as *const __m128i);
+        let tl0 = lt(0);
+        let tl1 = lt(16);
+        let tl2 = lt(32);
+        let tl3 = lt(48);
+        let th0 = lt(64);
+        let th1 = lt(80);
+        let th2 = lt(96);
+        let th3 = lt(112);
+        let nib = _mm_set1_epi8(0x0f);
+        let sep = _mm_setr_epi8(0, 2, 4, 6, 8, 10, 12, 14, 1, 3, 5, 7, 9, 11, 13, 15);
+        let ilv = _mm_setr_epi8(0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13, 6, 14, 7, 15);
+        let n = len_elems / 16 * 16;
+        let mut i = 0usize;
+        while i < n * 2 {
+            let va = _mm_loadu_si128(src.add(i) as *const __m128i);
+            let vb = _mm_loadu_si128(src.add(i + 16) as *const __m128i);
+            let sa = _mm_shuffle_epi8(va, sep);
+            let sb = _mm_shuffle_epi8(vb, sep);
+            let vlo = _mm_unpacklo_epi64(sa, sb);
+            let vhi = _mm_unpackhi_epi64(sa, sb);
+            let n0 = _mm_and_si128(vlo, nib);
+            let n1 = _mm_and_si128(_mm_srli_epi16(vlo, 4), nib);
+            let n2 = _mm_and_si128(vhi, nib);
+            let n3 = _mm_and_si128(_mm_srli_epi16(vhi, 4), nib);
+            let rlo = _mm_xor_si128(
+                _mm_xor_si128(_mm_shuffle_epi8(tl0, n0), _mm_shuffle_epi8(tl1, n1)),
+                _mm_xor_si128(_mm_shuffle_epi8(tl2, n2), _mm_shuffle_epi8(tl3, n3)),
+            );
+            let rhi = _mm_xor_si128(
+                _mm_xor_si128(_mm_shuffle_epi8(th0, n0), _mm_shuffle_epi8(th1, n1)),
+                _mm_xor_si128(_mm_shuffle_epi8(th2, n2), _mm_shuffle_epi8(th3, n3)),
+            );
+            let pa = _mm_unpacklo_epi64(rlo, rhi);
+            let pb = _mm_unpackhi_epi64(rlo, rhi);
+            let ra = _mm_shuffle_epi8(pa, ilv);
+            let rb = _mm_shuffle_epi8(pb, ilv);
+            let (ra, rb) = if OP == OP16_AXPY {
+                let da = _mm_loadu_si128(dst.add(i) as *const __m128i);
+                let db = _mm_loadu_si128(dst.add(i + 16) as *const __m128i);
+                (_mm_xor_si128(da, ra), _mm_xor_si128(db, rb))
+            } else {
+                (ra, rb)
+            };
+            _mm_storeu_si128(dst.add(i) as *mut __m128i, ra);
+            _mm_storeu_si128(dst.add(i + 16) as *mut __m128i, rb);
+            i += 32;
+        }
+        n
     }
-    n
 }
 
 #[inline]
-fn run_transform16<const OP: u8>(dst: *mut u8, src: *const u8, len_elems: usize, c: Gf65536) -> usize {
+fn run_transform16<const OP: u8>(
+    dst: *mut u8,
+    src: *const u8,
+    len_elems: usize,
+    c: Gf65536,
+) -> usize {
     let tab = tables::tab16(c);
     // SAFETY: dispatch guarantees the target features; pointers cover
     // `2 · len_elems` valid bytes (from `#[repr(transparent)]` slices).
@@ -640,28 +706,37 @@ pub(crate) fn mul16(row: &mut [Gf65536], c: Gf65536) {
 /// operands widen to 32-bit lanes, `b` swaps `u16` pairs per 4-byte
 /// group, products XOR-align at bit 32 of each 128-bit result. Returns
 /// the unreduced 31-bit accumulator and elements consumed.
+///
+/// # Safety
+///
+/// `a` and `b` must each be valid for `2 · len_elems` bytes; the caller
+/// must have verified SSSE3 + PCLMULQDQ + SSE4.1 support.
 #[target_feature(enable = "ssse3,pclmulqdq,sse4.1")]
 unsafe fn dot16_clmul(a: *const u8, b: *const u8, len_elems: usize) -> (u64, usize) {
-    let rev = _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
-    let mut acc = _mm_setzero_si128();
-    let n = len_elems / 8 * 8;
-    let mut i = 0usize;
-    while i < n * 2 {
-        let va = _mm_loadu_si128(a.add(i) as *const __m128i);
-        let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
-        let a_lo = _mm_cvtepu16_epi32(va);
-        let a_hi = _mm_cvtepu16_epi32(_mm_srli_si128(va, 8));
-        let b_lo = _mm_cvtepu16_epi32(vb);
-        let b_hi = _mm_cvtepu16_epi32(_mm_srli_si128(vb, 8));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
-        acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
-        i += 16;
+    // SAFETY: per the fn contract, byte offsets stay `< 2 · len_elems`
+    // and the loads are unaligned variants.
+    unsafe {
+        let rev = _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+        let mut acc = _mm_setzero_si128();
+        let n = len_elems / 8 * 8;
+        let mut i = 0usize;
+        while i < n * 2 {
+            let va = _mm_loadu_si128(a.add(i) as *const __m128i);
+            let vb = _mm_shuffle_epi8(_mm_loadu_si128(b.add(i) as *const __m128i), rev);
+            let a_lo = _mm_cvtepu16_epi32(va);
+            let a_hi = _mm_cvtepu16_epi32(_mm_srli_si128(va, 8));
+            let b_lo = _mm_cvtepu16_epi32(vb);
+            let b_hi = _mm_cvtepu16_epi32(_mm_srli_si128(vb, 8));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x00));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_lo, b_lo, 0x11));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x00));
+            acc = _mm_xor_si128(acc, _mm_clmulepi64_si128(a_hi, b_hi, 0x11));
+            i += 16;
+        }
+        // Dot terms collect at bits 32..62 of the low qword of every CLMUL.
+        let lo = _mm_cvtsi128_si64(acc) as u64;
+        ((lo >> 32) & 0x7FFF_FFFF, n)
     }
-    // Dot terms collect at bits 32..62 of the low qword of every CLMUL.
-    let lo = _mm_cvtsi128_si64(acc) as u64;
-    ((lo >> 32) & 0x7FFF_FFFF, n)
 }
 
 /// Dot product `Σ a[i]·b[i]` over GF(2¹⁶), or `None` when the host
@@ -673,9 +748,7 @@ pub(crate) fn dot16(a: &[Gf65536], b: &[Gf65536]) -> Option<Gf65536> {
     }
     // SAFETY: clmul capability checked; `#[repr(transparent)]` slices
     // cover `2 · len` bytes.
-    let (un, n) = unsafe {
-        dot16_clmul(a.as_ptr() as *const u8, b.as_ptr() as *const u8, a.len())
-    };
+    let (un, n) = unsafe { dot16_clmul(a.as_ptr() as *const u8, b.as_ptr() as *const u8, a.len()) };
     let mut acc = tables::reduce31(un);
     let t = gf65536::tables();
     for (&x, &y) in a[n..].iter().zip(&b[n..]) {

@@ -28,7 +28,6 @@
 //! * [`packets`] — emission of the setup packets the pseudo-sources send.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod addr;
 pub mod build;

@@ -1,0 +1,345 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! The analyzer does not parse Rust — it classifies every byte of a
+//! source file as *code*, *comment* or *literal* and hands the rules a
+//! same-length copy of the file in which comment and string/char-literal
+//! bytes are blanked to spaces (newlines preserved). Token searches,
+//! brace matching and statement scans then run on the blanked text
+//! without ever tripping over `"unsafe"` inside a string or `{` inside a
+//! doc example, while comment text is collected per line for the
+//! `SAFETY:` / `lint:` marker rules.
+//!
+//! Handled: line comments, nested block comments, doc comments (both
+//! are comments), plain/byte strings with escapes, raw strings
+//! `r#"…"#` at any `#` depth (and `br#"…"#`), char literals including
+//! escapes, and lifetimes (`'a`, `'_`) which are *not* char literals.
+
+/// One comment's text (without the `//` / `/*` framing), attached to the
+/// 1-indexed line it starts on. A block comment spanning several lines
+/// contributes one entry per line so "comment run" walks stay line-based.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed source line the fragment sits on.
+    pub line: usize,
+    /// The fragment's text, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: blanked code plus the comment table.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Same byte length as the input; every comment/literal byte is a
+    /// space (newlines kept) so offsets and line numbers line up.
+    pub code: String,
+    /// All comment fragments, in file order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (index 0 = line 1).
+    pub line_starts: Vec<usize>,
+}
+
+impl Stripped {
+    /// Map a byte offset into a 1-indexed line number.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// The blanked code content of a 1-indexed line.
+    pub fn code_line(&self, line: usize) -> &str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .copied()
+            .unwrap_or(self.code.len());
+        self.code[start..end].trim_end_matches('\n')
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Classify `src` into code and comments. Operates on bytes; multi-byte
+/// UTF-8 only ever appears inside comments and literals in this
+/// workspace, and is passed through untouched either way.
+pub fn strip(src: &str) -> Stripped {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut code = vec![b' '; n];
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut line_starts = vec![0usize];
+    let mut line = 1usize;
+
+    // Collect a comment fragment per line.
+    let mut push_comment = |start_line: usize, text: &str| {
+        for (k, piece) in text.split('\n').enumerate() {
+            comments.push(Comment {
+                line: start_line + k,
+                text: piece.trim().trim_start_matches(['/', '!', '*']).trim().to_string(),
+            });
+        }
+    };
+
+    let mut i = 0usize;
+    let mut prev_ident = false; // was the previous *code* byte an identifier byte?
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            code[i] = b'\n';
+            line += 1;
+            line_starts.push(i + 1);
+            i += 1;
+            prev_ident = false;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            push_comment(line, &src[start + 2..i]);
+            prev_ident = false;
+            continue;
+        }
+        // Block comment (nests).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        code[i] = b'\n';
+                        line += 1;
+                        line_starts.push(i + 1);
+                    }
+                    i += 1;
+                }
+            }
+            let end_text = if i >= 2 { i - 2 } else { i };
+            push_comment(start_line, &src[start + 2..end_text.max(start + 2)]);
+            prev_ident = false;
+            continue;
+        }
+        // Raw string r"…" / r#"…"# / br#"…"# — only when `r`/`b` is not
+        // the tail of a longer identifier.
+        if (c == b'r' || c == b'b') && !prev_ident {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < n && b[j + 1] == b'r' {
+                j += 1;
+            }
+            if b[j] == b'r' && j + 1 < n && (b[j + 1] == b'"' || b[j + 1] == b'#') {
+                let mut k = j + 1;
+                let mut hashes = 0usize;
+                while k < n && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == b'"' {
+                    // Scan to closing quote + hashes.
+                    k += 1;
+                    'raw: while k < n {
+                        if b[k] == b'\n' {
+                            code[k] = b'\n';
+                            line += 1;
+                            line_starts.push(k + 1);
+                            k += 1;
+                            continue;
+                        }
+                        if b[k] == b'"' {
+                            let mut h = 0usize;
+                            while h < hashes && k + 1 + h < n && b[k + 1 + h] == b'#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                k += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    prev_ident = false;
+                    continue;
+                }
+            }
+        }
+        // Plain / byte string.
+        if c == b'"' || (c == b'b' && !prev_ident && i + 1 < n && b[i + 1] == b'"') {
+            let mut k = if c == b'b' { i + 2 } else { i + 1 };
+            while k < n {
+                match b[k] {
+                    b'\\' => k += 2,
+                    b'"' => {
+                        k += 1;
+                        break;
+                    }
+                    b'\n' => {
+                        code[k] = b'\n';
+                        line += 1;
+                        line_starts.push(k + 1);
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            i = k;
+            prev_ident = false;
+            continue;
+        }
+        // Char literal vs lifetime. Also b'…' byte literals.
+        if c == b'\'' || (c == b'b' && !prev_ident && i + 1 < n && b[i + 1] == b'\'') {
+            let q = if c == b'b' { i + 1 } else { i };
+            let is_char = if q + 1 >= n {
+                false
+            } else if b[q + 1] == b'\\' {
+                true
+            } else if q + 2 < n && b[q + 2] == b'\'' {
+                // 'x' — but a lifetime can also be followed by a quote in
+                // rare `<'a>'` shapes; single ident char + quote is a char
+                // literal in practice.
+                true
+            } else if !is_ident(b[q + 1]) && b[q + 1] != b'\'' {
+                // e.g. '(' … non-identifier start must be a char literal.
+                true
+            } else {
+                false
+            };
+            if is_char {
+                let mut k = q + 1;
+                if k < n && b[k] == b'\\' {
+                    k += 2;
+                    // \u{…}
+                    if k <= n && k >= 1 && b[k - 1] == b'{' {
+                        while k < n && b[k] != b'}' {
+                            k += 1;
+                        }
+                        k += 1;
+                    }
+                } else {
+                    // Possibly multi-byte UTF-8 char.
+                    k += 1;
+                    while k < n && (b[k] & 0xC0) == 0x80 {
+                        k += 1;
+                    }
+                }
+                while k < n && b[k] != b'\'' {
+                    k += 1;
+                }
+                i = (k + 1).min(n);
+                prev_ident = false;
+                continue;
+            } else {
+                // Lifetime: keep the quote out of the code copy (it is
+                // not a token any rule searches for), copy the ident.
+                i += 1;
+                prev_ident = false;
+                continue;
+            }
+        }
+        code[i] = c;
+        prev_ident = is_ident(c);
+        i += 1;
+    }
+
+    Stripped {
+        // The blanked copy is pure ASCII by construction.
+        code: String::from_utf8(code).unwrap_or_default(),
+        comments,
+        line_starts,
+    }
+}
+
+/// Find every occurrence of `needle` in `code` that is bounded by
+/// non-identifier bytes on the sides the flags ask for. Returns byte
+/// offsets.
+pub fn find_tokens(code: &str, needle: &str, left_bound: bool, right_bound: bool) -> Vec<usize> {
+    let cb = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(needle) {
+        let at = from + pos;
+        let ok_left = !left_bound || at == 0 || !is_ident(cb[at - 1]);
+        let after = at + needle.len();
+        let ok_right = !right_bound || after >= cb.len() || !is_ident(cb[after]);
+        if ok_left && ok_right {
+            out.push(at);
+        }
+        from = at + needle.len().max(1);
+    }
+    out
+}
+
+/// Offset of the matching `}` for the first `{` at or after `from`, or
+/// `None` if the file ends first. Returns `(open, close)` offsets.
+pub fn match_braces(code: &str, from: usize) -> Option<(usize, usize)> {
+    let cb = code.as_bytes();
+    let open = cb[from..].iter().position(|&c| c == b'{')? + from;
+    let mut depth = 0isize;
+    for (k, &c) in cb[open..].iter().enumerate() {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, open + k));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The identifier ending at byte offset `end` (exclusive), if any.
+pub fn ident_ending_at(code: &str, end: usize) -> Option<&str> {
+    let cb = code.as_bytes();
+    let mut s = end;
+    while s > 0 && is_ident(cb[s - 1]) {
+        s -= 1;
+    }
+    if s == end || cb[s].is_ascii_digit() {
+        None
+    } else {
+        Some(&code[s..end])
+    }
+}
+
+/// The identifier starting at byte offset `start`, if any.
+pub fn ident_starting_at(code: &str, start: usize) -> Option<&str> {
+    let cb = code.as_bytes();
+    if start >= cb.len() || !is_ident(cb[start]) || cb[start].is_ascii_digit() {
+        return None;
+    }
+    let mut e = start;
+    while e < cb.len() && is_ident(cb[e]) {
+        e += 1;
+    }
+    Some(&code[start..e])
+}
+
+/// First non-whitespace byte offset at or after `from`.
+pub fn skip_ws(code: &str, from: usize) -> usize {
+    let cb = code.as_bytes();
+    let mut i = from;
+    while i < cb.len() && cb[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    i
+}

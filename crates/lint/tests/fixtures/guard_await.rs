@@ -1,0 +1,35 @@
+//! Fixture: lock guards vs `.await` points.
+
+pub async fn bad_held(m: &Mutex<u32>, tx: &Chan) {
+    let guard = m.lock();
+    tx.send(*guard).await;
+}
+
+pub async fn bad_conditional(m: &Mutex<Slots>, tx: &Chan) {
+    if let Some(v) = m.lock().get(0) {
+        tx.send(v).await;
+    }
+}
+
+pub async fn good_scoped(m: &Mutex<u32>, tx: &Chan) {
+    let value = {
+        let g = m.lock();
+        *g
+    };
+    tx.send(value).await;
+}
+
+pub async fn good_dropped(m: &Mutex<u32>, tx: &Chan) {
+    let g = m.lock();
+    let v = *g;
+    drop(g);
+    tx.send(v).await;
+}
+
+pub async fn good_conditional(m: &Mutex<Slots>, tx: &Chan) {
+    let mut v = 0;
+    if let Some(x) = m.lock().get(0) {
+        v = x;
+    }
+    tx.send(v).await;
+}

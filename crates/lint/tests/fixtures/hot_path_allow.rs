@@ -1,0 +1,13 @@
+//! Fixture: allowlist semantics — justified suppresses, bare does not.
+
+// lint: hot-path
+pub fn drain(slots: &[u32]) -> Vec<u32> {
+    // lint: allow(hot-path) — once per flush, measured negligible.
+    let mut out = slots.to_vec();
+    // lint: allow(hot-path)
+    let tail = slots.to_vec();
+    out.extend(tail);
+    out
+}
+
+// lint: allow(made-up) — unknown rules are findings, not suppressions.

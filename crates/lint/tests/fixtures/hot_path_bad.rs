@@ -1,0 +1,24 @@
+//! Fixture: a marked hot-path region with one of each violation class.
+
+pub struct Shard {
+    scratch: Vec<u8>,
+}
+
+impl Shard {
+    // lint: hot-path
+    pub fn handle(&mut self, input: Option<u32>) -> u32 {
+        let grown: Vec<u8> = Vec::new();
+        let label = format!("flow");
+        let copied = self.scratch.clone();
+        let value = input.unwrap();
+        assert!(value > 0);
+        debug_assert!(value > 0); // explicitly fine: compiled out in release
+        let _ = (grown, label, copied);
+        value
+    }
+
+    pub fn cold(&mut self) -> Vec<u8> {
+        // Outside any marked region: allocation is fine here.
+        self.scratch.clone()
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe without SAFETY comments — both sites must fire.
+
+pub unsafe fn no_contract(p: *const u8) -> u8 {
+    unsafe { *p }
+}

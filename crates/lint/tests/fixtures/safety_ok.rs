@@ -1,0 +1,10 @@
+//! Fixture: fully annotated unsafe — zero findings, two ledger sites.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn contract(p: *const u8) -> u8 {
+    // SAFETY: the fn contract guarantees `p` is readable.
+    unsafe { *p }
+}

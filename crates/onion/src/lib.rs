@@ -21,7 +21,6 @@
 //! and the figure harnesses compare like with like.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod circuit;
 pub mod erasure;

@@ -17,7 +17,6 @@
 //! `slicing-onion`; nothing protocol-level lives here.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod cc;
 pub mod daemon;

@@ -388,22 +388,26 @@ impl UdpSender {
     /// Lock the pacer once: grant what the budget allows, queue the
     /// rest (bounded), arm the refill wheel. Returns the batch to send
     /// now plus the count dropped at a full queue.
+    // lint: hot-path
     fn state_take(
         &self,
         to: OverlayAddr,
         now_us: u64,
         mut datagrams: Vec<Vec<u8>>,
     ) -> (Vec<Vec<u8>>, usize) {
-        let mut s = self.pacer.state.lock();
-        s.ccs
+        let mut guard = self.pacer.state.lock();
+        // Split the guard's borrow so the neighbour's controller stays
+        // bound across the disjoint `queues`/`queued`/`wheel` updates.
+        let s = &mut *guard;
+        let cc = s
+            .ccs
             .entry(to)
             .or_insert_with(|| NeighborCc::new(self.shared.cc));
         let backlogged = s.queues.get(&to).is_some_and(|q| !q.is_empty());
         let granted = if backlogged {
             0
         } else {
-            let want = datagrams.len();
-            s.ccs.get_mut(&to).expect("inserted above").take(now_us, want)
+            cc.take(now_us, datagrams.len())
         };
         let mut rest: Vec<Vec<u8>> = datagrams.split_off(granted);
         let mut overflow = 0;
@@ -424,9 +428,9 @@ impl UdpSender {
                 q.extend(rest);
             }
             s.queued += added;
-            let due = s.ccs.get(&to).expect("inserted above").next_token_due(now_us);
+            let due = cc.next_token_due(now_us);
             s.wheel.schedule(due, to);
-            drop(s);
+            drop(guard);
             let _ = self.pacer.wake.try_send(());
         }
         (datagrams, overflow)
@@ -448,13 +452,18 @@ impl UdpSender {
 /// The pacer drain task: parks until a send finds an empty token
 /// bucket, then ticks the wheel until every queue drains. Holds only a
 /// `Weak` on the pacer so dropped ports tear the task down.
+// lint: hot-path
 async fn pacer_task(
     pacer: Weak<Pacer>,
     mut wake: mpsc::Receiver<()>,
     sock: Arc<UdpSocket>,
     shared: Arc<NetShared>,
 ) {
+    // Reusable tick-loop buffers: neither allocates once warm.
+    // lint: allow(hot-path) — one-time task-startup construction, reused for every tick below.
     let mut fired: Vec<(Tick, OverlayAddr)> = Vec::new();
+    // lint: allow(hot-path) — one-time task-startup construction, reused for every tick below.
+    let mut batches: Vec<(OverlayAddr, Vec<Vec<u8>>)> = Vec::new();
     'park: loop {
         if wake.recv().await.is_none() {
             return; // every sender handle is gone
@@ -463,7 +472,7 @@ async fn pacer_task(
             tokio::time::sleep(Duration::from_millis(PACER_GRANULARITY_MS)).await;
             let Some(pacer) = pacer.upgrade() else { return };
             let now_us = shared.now_us();
-            let mut batches: Vec<(OverlayAddr, Vec<Vec<u8>>)> = Vec::new();
+            batches.clear();
             let mut drained = {
                 let mut s = pacer.state.lock();
                 fired.clear();
@@ -481,7 +490,10 @@ async fn pacer_task(
                             .get_mut(&addr)
                             .map_or(queue_len, |cc| cc.take(now_us, queue_len))
                     };
-                    let q = s.queues.get_mut(&addr).expect("checked non-empty");
+                    let Some(q) = s.queues.get_mut(&addr) else {
+                        continue; // raced away; nothing to drain
+                    };
+                    // lint: allow(hot-path) — the batch must own its datagrams: it outlives the lock, crossing the send `.await`.
                     let batch: Vec<Vec<u8>> = q.drain(..granted).collect();
                     s.queued -= batch.len();
                     if !batch.is_empty() {

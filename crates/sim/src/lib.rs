@@ -15,7 +15,6 @@
 //!   by the tokio overlay's emulated network.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod asmap;

@@ -23,7 +23,6 @@
 //! code into it, freeze).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod crc;
 
