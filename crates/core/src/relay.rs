@@ -66,7 +66,7 @@ const WHEEL_GRANULARITY_MS: u64 = 50;
 const WHEEL_BUCKETS: usize = 256;
 
 /// Tunable relay behaviour.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RelayConfig {
     /// Flush a setup gather after this long even if parents are missing.
     pub setup_flush_ms: u64,
@@ -159,6 +159,28 @@ impl RelayStats {
             parents_lost: self.parents_lost - earlier.parents_lost,
             flows_repaired: self.flows_repaired - earlier.flows_repaired,
         }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// This is the single authoritative enumeration of the relay
+    /// counters: metrics exposition (the `slicing-node` daemon's
+    /// `/metrics` endpoint) iterates it instead of hand-listing fields,
+    /// so a counter added here is exported automatically and the text
+    /// exposition can never drift from the atomics.
+    pub fn counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("packets_in", self.packets_in),
+            ("packets_out", self.packets_out),
+            ("flows_established", self.flows_established),
+            ("setup_failures", self.setup_failures),
+            ("messages_received", self.messages_received),
+            ("drops", self.drops),
+            ("flows_evicted", self.flows_evicted),
+            ("garbage", self.garbage),
+            ("parents_lost", self.parents_lost),
+            ("flows_repaired", self.flows_repaired),
+        ]
     }
 
     /// Field-wise sum.
@@ -276,6 +298,15 @@ pub struct RelayOutput {
     /// a lost final ack would wedge the source's retransmit loop
     /// forever, since retransmitted chunks never re-deliver.
     pub replayed: Vec<(FlowId, u32)>,
+    /// Flows whose neighbour lists a source-issued repair re-setup just
+    /// spliced (flow id + receiver flag). A colocated
+    /// [`crate::session::DestSession`] must refresh its routing from
+    /// the relay's new flow info ([`DestSession::set_info`]) — its ack
+    /// slices otherwise keep fanning to the dead parent, and with
+    /// `d′ = d` the source can never decode another ack.
+    ///
+    /// [`DestSession::set_info`]: crate::session::DestSession::set_info
+    pub rekeyed: Vec<(FlowId, bool)>,
 }
 
 impl RelayOutput {
@@ -286,6 +317,7 @@ impl RelayOutput {
         self.received.extend(other.received);
         self.established.extend(other.established);
         self.replayed.extend(other.replayed);
+        self.rekeyed.extend(other.rekeyed);
     }
 }
 
@@ -1115,7 +1147,10 @@ impl RelayShard {
                 Deadline::LivenessCheck(flow),
             );
         }
-        RelayOutput::default()
+        RelayOutput {
+            rekeyed: vec![(flow, active.info.receiver)],
+            ..RelayOutput::default()
+        }
     }
 
     // ---- control plane ---------------------------------------------------
@@ -1730,6 +1765,33 @@ fn hash_bytes(bytes: &[u8]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// `counters()` must enumerate every field exactly once: the
+    /// exhaustive destructuring below fails to compile when a field is
+    /// added without extending the array, and the value checks catch a
+    /// name wired to the wrong field.
+    #[test]
+    fn relay_counters_enumerate_every_field() {
+        let stats = RelayStats {
+            packets_in: 1,
+            packets_out: 2,
+            flows_established: 3,
+            setup_failures: 4,
+            messages_received: 5,
+            drops: 6,
+            flows_evicted: 7,
+            garbage: 8,
+            parents_lost: 9,
+            flows_repaired: 10,
+        };
+        let names: Vec<&str> = stats.counters().iter().map(|(n, _)| *n).collect();
+        let values: Vec<u64> = stats.counters().iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, (1..=10).collect::<Vec<u64>>());
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "counter names must be unique");
+    }
 
     #[test]
     fn unknown_data_flow_dropped() {

@@ -112,7 +112,7 @@ impl std::error::Error for SessionError {}
 // ---- configuration --------------------------------------------------------
 
 /// Tunables for one session endpoint (either side).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SessionConfig {
     /// Maximum unacknowledged chunks in flight (clamped to 64, the ack
     /// bitmap width).
@@ -712,6 +712,21 @@ impl DestSession {
         self.flow
     }
 
+    /// Splice repaired routing into the live session: a source-issued
+    /// repair re-setup gave the flow new neighbour lists (the owning
+    /// relay authenticated them against the flow's secret key), and the
+    /// session's reverse traffic must follow — ack slices addressed to
+    /// a replaced parent blackhole, and with `d′ = d` a single stale
+    /// parent leaves the source unable to decode any ack ever again.
+    ///
+    /// Delivery state (replay guard, watermark, gathers, reassembly) is
+    /// untouched; an ack is marked pending so the next poll re-announces
+    /// the delivery state over the repaired routes immediately.
+    pub fn set_info(&mut self, info: NodeInfo) {
+        self.info = info;
+        self.pending_ack = true;
+    }
+
     /// Last packet or delivery activity (drivers use this for idle GC).
     pub fn last_activity(&self) -> Tick {
         self.last_activity
@@ -1163,6 +1178,28 @@ impl SessionStats {
             replies: self.replies - earlier.replies,
             drops: self.drops - earlier.drops,
         }
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The single authoritative enumeration of the session counters:
+    /// metrics exposition iterates it instead of hand-listing fields,
+    /// so the exported text can never drift from the atomics (see
+    /// [`crate::RelayStats::counters`]).
+    pub fn counters(&self) -> [(&'static str, u64); 11] {
+        [
+            ("opened", self.opened),
+            ("closed", self.closed),
+            ("rejected", self.rejected),
+            ("msgs_sent", self.msgs_sent),
+            ("chunks_sent", self.chunks_sent),
+            ("retransmits", self.retransmits),
+            ("msgs_acked", self.msgs_acked),
+            ("chunks_delivered", self.chunks_delivered),
+            ("msgs_delivered", self.msgs_delivered),
+            ("replies", self.replies),
+            ("drops", self.drops),
+        ]
     }
 
     pub(crate) fn add(&mut self, other: &SessionStats) {
@@ -1819,6 +1856,31 @@ impl SessionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// See `RelayStats::counters` test: one entry per field, distinct
+    /// names, values wired to the right fields.
+    #[test]
+    fn session_counters_enumerate_every_field() {
+        let stats = SessionStats {
+            opened: 1,
+            closed: 2,
+            rejected: 3,
+            msgs_sent: 4,
+            chunks_sent: 5,
+            retransmits: 6,
+            msgs_acked: 7,
+            chunks_delivered: 8,
+            msgs_delivered: 9,
+            replies: 10,
+            drops: 11,
+        };
+        let values: Vec<u64> = stats.counters().iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, (1..=11).collect::<Vec<u64>>());
+        let mut names: Vec<&str> = stats.counters().iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11, "counter names must be unique");
+    }
 
     #[test]
     fn frames_round_trip() {

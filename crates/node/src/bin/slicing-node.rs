@@ -1,0 +1,30 @@
+//! The deployable node daemon: `slicing-node <config.toml>`.
+//!
+//! Exits 2 on a config error (with the parser's typed message on
+//! stderr), 1 on a runtime bind failure, 0 on a clean shutdown
+//! (stdin EOF or `POST /shutdown` on the metrics port).
+
+use slicing_node::config::NodeConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: slicing-node <config.toml>");
+        std::process::exit(2);
+    };
+    let cfg = match NodeConfig::load(std::path::Path::new(&path)) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("slicing-node: {path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("build tokio runtime");
+    if let Err(err) = runtime.block_on(slicing_node::runtime::run(cfg)) {
+        eprintln!("slicing-node: {err}");
+        std::process::exit(1);
+    }
+}

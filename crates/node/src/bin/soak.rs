@@ -1,0 +1,562 @@
+//! Churn soak: a multi-process overlay on localhost, driven to many
+//! thousands of sessions while relay processes are SIGKILLed and
+//! restarted on a [`slicing_sim::churn::ChurnModel`] schedule.
+//!
+//! The driver hosts the session plane in-process (source endpoints
+//! over `d′` pseudo-source UDP ports); relays and destinations are
+//! `slicing-node` child processes managed by
+//! [`slicing_node::orchestrator::Fleet`]. Every session streams one
+//! message to a stable destination process and waits for the
+//! end-to-end ack; stragglers get speculative graph repairs.
+//!
+//! Asserted fleet-wide invariants (exit 1 on violation):
+//!
+//! - zero wedged streams — every session acks within its deadline;
+//! - delivered == acked everywhere — the destinations' scraped
+//!   `slicing_dest_delivered_msgs_total` sums exactly to the driver's
+//!   acked count (no atomics-vs-exposition drift, no lost or
+//!   double-counted deliveries across kills);
+//! - bounded RSS — no process grows past a fixed ceiling (flow GC and
+//!   bounded queues actually bound memory over the run).
+//!
+//! The latency/throughput trajectory lands in `BENCH_soak.json`
+//! (override with `SOAK_OUT`). `SOAK_QUICK=1` runs the CI-sized soak
+//! (2 000 sessions); the default is the full 100 000-session run.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use slicing_core::{RelayConfig, SessionConfig};
+use slicing_core::{SessionId, SessionManager, SourceConfig, SourceSession};
+use slicing_graph::{DestPlacement, GraphParams, OverlayAddr};
+use slicing_node::config::{NodeConfig, Roles, TransportKind};
+use slicing_node::orchestrator::{free_tcp_port, free_udp_port, Fleet};
+use slicing_node::runtime::data_addr;
+use slicing_overlay::daemon::{spawn_node, NodeSpec, SessionEvent};
+use slicing_overlay::{UdpFaults, UdpNet};
+use slicing_sim::churn::ChurnModel;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tokio::sync::mpsc;
+
+const SEED: u64 = 0x50A4;
+/// Concurrent in-flight sessions.
+const CONCURRENCY: usize = 32;
+/// Sessions per recorded batch.
+const BATCH: usize = 250;
+/// A session older than this gets speculative repair nudges.
+const NUDGE_AFTER: Duration = Duration::from_secs(3);
+/// A session older than this is wedged (counted, session abandoned).
+const SESSION_DEADLINE: Duration = Duration::from_secs(120);
+/// Per-process RSS ceiling (bytes).
+const RSS_CEILING: u64 = 400 * 1024 * 1024;
+/// Restart a killed process this many launched sessions later.
+const RESTART_GRACE_SESSIONS: usize = 100;
+
+/// One child process of the soak fleet.
+struct Proc {
+    fleet_idx: usize,
+    data_port: u16,
+    /// Stable processes host the destinations and are never killed.
+    stable: bool,
+    up: bool,
+    kills: usize,
+}
+
+struct Batch {
+    acked: usize,
+    p50_ms: f64,
+    p95_ms: f64,
+    throughput_sps: f64,
+    fleet_rss_bytes: u64,
+}
+
+struct SoakReport {
+    acked: usize,
+    wedged: usize,
+    repairs: usize,
+    elapsed_s: f64,
+    latencies_ms: Vec<f64>,
+    batches: Vec<Batch>,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn relay_tuning() -> RelayConfig {
+    RelayConfig {
+        setup_flush_ms: 200,
+        data_flush_ms: 100,
+        // Aggressive GC: the RSS bound depends on closed flows leaving.
+        flow_ttl_ms: 10_000,
+        max_pending_data: 64,
+        max_flows: 16_384,
+        keepalive_ms: 250,
+        liveness_timeout_ms: 1_000,
+    }
+}
+
+fn session_tuning() -> SessionConfig {
+    SessionConfig {
+        retransmit_ms: 800,
+        ack_interval_ms: 150,
+        ..SessionConfig::default()
+    }
+}
+
+fn main() {
+    let quick = std::env::var("SOAK_QUICK").is_ok_and(|v| v == "1");
+    let total_sessions: usize = std::env::var("SOAK_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 2_000 } else { 100_000 });
+    let out_path = std::env::var("SOAK_OUT").unwrap_or_else(|_| "BENCH_soak.json".to_string());
+
+    // Fleet layout: 2 stable relay+dest processes, 8 churnable
+    // relay-only processes. Graphs are L=2, d=2, d′=3 (6 relays per
+    // session), so even two concurrently-down churnables leave enough
+    // candidates to establish.
+    let dir = std::env::temp_dir().join(format!("slicing-soak-{}", std::process::id()));
+    let bin = Fleet::sibling_binary().expect("locate slicing-node binary");
+    let mut fleet = Fleet::new(dir.clone(), bin).expect("create fleet dir");
+    let mut procs: Vec<Proc> = Vec::new();
+    for i in 0..10 {
+        let stable = i < 2;
+        let data_port = free_udp_port();
+        let cfg = NodeConfig {
+            listen: data_port,
+            metrics_listen: free_tcp_port(),
+            roles: Roles {
+                relay: true,
+                dest: stable,
+                session: false,
+            },
+            relay_shards: 2,
+            seed: SEED + i as u64,
+            transport: TransportKind::Udp,
+            relay: relay_tuning(),
+            session: session_tuning(),
+            ..NodeConfig::default()
+        };
+        let name = if stable {
+            format!("stable-{i}")
+        } else {
+            format!("churn-{i}")
+        };
+        let fleet_idx = fleet.add(&name, cfg).expect("write node config");
+        fleet.spawn(fleet_idx).expect("spawn node");
+        procs.push(Proc {
+            fleet_idx,
+            data_port,
+            stable,
+            up: true,
+            kills: 0,
+        });
+    }
+    for proc in &procs {
+        assert!(
+            fleet.wait_healthy(proc.fleet_idx, Duration::from_secs(10)),
+            "node {} never became healthy (log: {})",
+            proc.fleet_idx,
+            fleet.log_path(proc.fleet_idx).display()
+        );
+    }
+
+    // Kill schedule: §8.2 lifetimes mapped onto the session timeline,
+    // padded to the CI floor of two mid-run kills.
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let churn = ChurnModel::with_failure_probability(0.6, 30.0);
+    let churnable: Vec<usize> = (0..procs.len()).filter(|&i| !procs[i].stable).collect();
+    let mut kills: Vec<(usize, usize)> = churn
+        .kill_schedule(churnable.len(), &mut rng)
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, frac)| {
+            frac.map(|f| {
+                let due = ((f * total_sessions as f64) as usize).clamp(1, total_sessions - 1);
+                (due, churnable[i])
+            })
+        })
+        .collect();
+    if kills.len() < 2 {
+        kills.push((total_sessions * 3 / 10, churnable[0]));
+        kills.push((total_sessions * 6 / 10, churnable[1]));
+    }
+    kills.sort_unstable();
+    eprintln!(
+        "soak: {total_sessions} sessions, {} processes, {} scheduled kills{}",
+        procs.len(),
+        kills.len(),
+        if quick { " (quick mode)" } else { "" }
+    );
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .enable_all()
+        .build()
+        .expect("build tokio runtime");
+    let report = runtime.block_on(run_soak(&mut fleet, &mut procs, kills, total_sessions));
+
+    // Post-run: the fleet must be fully restartable and scrapeable.
+    let mut delivered_total = 0.0;
+    let mut max_rss: u64 = 0;
+    let mut rss_violation = None;
+    let mut fleet_garbage = 0.0;
+    for proc in procs.iter() {
+        let metrics = fleet.scrape(proc.fleet_idx).expect("scrape node after soak");
+        delivered_total += metrics
+            .get("slicing_dest_delivered_msgs_total")
+            .copied()
+            .unwrap_or(0.0);
+        fleet_garbage += metrics.get("slicing_relay_garbage").copied().unwrap_or(0.0);
+        let rss = metrics
+            .get("slicing_process_rss_bytes")
+            .copied()
+            .unwrap_or(0.0) as u64;
+        max_rss = max_rss.max(rss);
+        if rss > RSS_CEILING {
+            rss_violation = Some((proc.fleet_idx, rss));
+        }
+    }
+
+    // The benchmark artifact.
+    let kills_done: usize = procs.iter().map(|p| p.kills).sum();
+    let mut all_ms: Vec<f64> = report.latencies_ms.clone();
+    all_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    std::fs::write(
+        &out_path,
+        json_report(
+            quick,
+            total_sessions,
+            procs.len(),
+            kills_done,
+            &report,
+            &all_ms,
+            max_rss,
+            delivered_total,
+            fleet_garbage,
+        ),
+    )
+    .expect("write BENCH_soak.json");
+    eprintln!("soak: wrote {out_path}");
+
+    // Clean fleet teardown (also exercises the stdin-EOF shutdown).
+    let mut clean = 0;
+    for idx in 0..fleet.len() {
+        if fleet.shutdown(idx, Duration::from_secs(5)) {
+            clean += 1;
+        }
+    }
+    eprintln!("soak: {clean}/{} clean shutdowns", procs.len());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Invariants.
+    let mut failed = false;
+    if report.wedged > 0 {
+        eprintln!(
+            "FAIL: {} wedged sessions (of {total_sessions})",
+            report.wedged
+        );
+        failed = true;
+    }
+    if report.acked != total_sessions {
+        eprintln!("FAIL: acked {} != sessions {total_sessions}", report.acked);
+        failed = true;
+    }
+    if delivered_total as usize != report.acked {
+        eprintln!(
+            "FAIL: fleet delivered {} != driver acked {} (metrics drift)",
+            delivered_total, report.acked
+        );
+        failed = true;
+    }
+    if let Some((idx, rss)) = rss_violation {
+        eprintln!("FAIL: node {idx} RSS {rss} bytes exceeds ceiling {RSS_CEILING}");
+        failed = true;
+    }
+    if kills_done < 2 {
+        eprintln!("FAIL: only {kills_done} kills executed (need >= 2)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!(
+        "soak OK: {} sessions acked, {} kills+restarts, p50 {:.0} ms, p95 {:.0} ms, max RSS {} MiB",
+        report.acked,
+        kills_done,
+        percentile(&all_ms, 0.50),
+        percentile(&all_ms, 0.95),
+        max_rss / (1024 * 1024),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn json_report(
+    quick: bool,
+    sessions: usize,
+    processes: usize,
+    kills: usize,
+    report: &SoakReport,
+    all_ms: &[f64],
+    max_rss: u64,
+    delivered: f64,
+    garbage: f64,
+) -> String {
+    let batches: Vec<String> = report
+        .batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            format!(
+                "    {{\"batch\": {i}, \"acked\": {}, \"p50_ms\": {:.1}, \"p95_ms\": {:.1}, \
+                 \"throughput_sps\": {:.1}, \"fleet_rss_bytes\": {}}}",
+                b.acked, b.p50_ms, b.p95_ms, b.throughput_sps, b.fleet_rss_bytes
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"benchmark\": \"churn_soak\",\n  \"mode\": \"{mode}\",\n  \"transport\": \"udp\",\n  \
+         \"sessions\": {sessions},\n  \"processes\": {processes},\n  \"kills\": {kills},\n  \
+         \"restarts\": {kills},\n  \"wedged\": {wedged},\n  \"acked\": {acked},\n  \
+         \"repairs\": {repairs},\n  \"elapsed_s\": {elapsed:.1},\n  \
+         \"p50_ms\": {p50:.1},\n  \"p95_ms\": {p95:.1},\n  \
+         \"throughput_sps\": {tput:.1},\n  \"max_process_rss_bytes\": {max_rss},\n  \
+         \"fleet_delivered_msgs\": {delivered},\n  \"fleet_relay_garbage\": {garbage},\n  \
+         \"batches\": [\n{batches}\n  ]\n}}\n",
+        mode = if quick { "quick" } else { "full" },
+        wedged = report.wedged,
+        acked = report.acked,
+        repairs = report.repairs,
+        elapsed = report.elapsed_s,
+        p50 = percentile(all_ms, 0.50),
+        p95 = percentile(all_ms, 0.95),
+        tput = report.acked as f64 / report.elapsed_s.max(0.001),
+        batches = batches.join(",\n"),
+    )
+}
+
+/// The async soak body: launch sessions against the fleet, execute the
+/// kill/restart schedule, collect acks.
+async fn run_soak(
+    fleet: &mut Fleet,
+    procs: &mut [Proc],
+    kills: Vec<(usize, usize)>,
+    total_sessions: usize,
+) -> SoakReport {
+    let params = GraphParams::new(2, 2)
+        .with_paths(3)
+        .with_dest_placement(DestPlacement::LastStage);
+    let session_cfg = session_tuning();
+    let source_cfg = SourceConfig {
+        keepalive_ms: relay_tuning().keepalive_ms,
+        ..SourceConfig::default()
+    };
+
+    // The driver's session plane: d′ pseudo-source ports on a clean
+    // (fault-free) UDP net.
+    let net = UdpNet::new(UdpFaults::default(), SEED ^ 0xD21);
+    let mut pseudo_ports = Vec::new();
+    for _ in 0..params.paths {
+        let port = free_udp_port();
+        pseudo_ports.push(net.attach_at(port).await.expect("attach pseudo port"));
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let (session_events_tx, mut session_events_rx) = mpsc::unbounded_channel();
+    let driver = spawn_node(NodeSpec {
+        relay: None,
+        sessions: Some(SessionManager::new(2, CONCURRENCY * 4, session_cfg)),
+        ports: pseudo_ports,
+        dest_sessions: None,
+        events: events_tx,
+        session_events: Some(session_events_tx),
+        epoch: tokio::time::Instant::now(),
+    });
+    tokio::spawn(async move { while events_rx.recv().await.is_some() {} });
+    let sessions = driver.sessions.clone().expect("driver hosts sessions");
+
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xFACE);
+    let mut kills = kills.into_iter().peekable();
+    let mut restarts: Vec<(usize, usize)> = Vec::new(); // (due session, proc)
+    let mut inflight: HashMap<SessionId, Instant> = HashMap::new();
+    let mut launched = 0usize;
+    let mut report = SoakReport {
+        acked: 0,
+        wedged: 0,
+        repairs: 0,
+        elapsed_s: 0.0,
+        latencies_ms: Vec::new(),
+        batches: Vec::new(),
+    };
+    let start = Instant::now();
+    let mut batch_start = Instant::now();
+    let mut batch_ms: Vec<f64> = Vec::new();
+    let mut tick = tokio::time::interval(Duration::from_millis(500));
+
+    while report.acked + report.wedged < total_sessions {
+        // Execute due kills (schedule positions are measured in
+        // launched sessions); a kill is deferred while two processes
+        // are already down so establishment keeps enough candidates.
+        while let Some(&(due, proc_idx)) = kills.peek() {
+            if due > launched {
+                break;
+            }
+            kills.next();
+            let down = procs.iter().filter(|p| !p.up).count();
+            if down >= 2 {
+                restarts.push((launched + RESTART_GRACE_SESSIONS, proc_idx));
+                continue;
+            }
+            let proc = &mut procs[proc_idx];
+            if proc.up {
+                fleet.kill(proc.fleet_idx);
+                proc.up = false;
+                proc.kills += 1;
+                eprintln!("soak: killed node {} at session {launched}", proc.fleet_idx);
+                restarts.push((launched + RESTART_GRACE_SESSIONS, proc_idx));
+            }
+        }
+        let due_restarts: Vec<usize> = restarts
+            .iter()
+            .filter(|&&(due, _)| due <= launched)
+            .map(|&(_, p)| p)
+            .collect();
+        restarts.retain(|&(due, _)| due > launched);
+        for proc_idx in due_restarts {
+            let proc = &mut procs[proc_idx];
+            if !proc.up {
+                fleet.spawn(proc.fleet_idx).expect("respawn node");
+                if fleet.wait_healthy(proc.fleet_idx, Duration::from_secs(10)) {
+                    proc.up = true;
+                    eprintln!(
+                        "soak: restarted node {} at session {launched}",
+                        proc.fleet_idx
+                    );
+                }
+            }
+        }
+
+        // Top the in-flight window up.
+        while inflight.len() < CONCURRENCY && launched < total_sessions {
+            let dest_proc = launched % 2; // round-robin over the stable pair
+            let dest = data_addr(procs[dest_proc].data_port);
+            let candidates: Vec<OverlayAddr> = procs
+                .iter()
+                .enumerate()
+                .filter(|(i, p)| p.up && *i != dest_proc)
+                .map(|(_, p)| data_addr(p.data_port))
+                .collect();
+            let Ok((mut source, setup)) = SourceSession::establish(
+                params,
+                &pseudo_addrs,
+                &candidates,
+                dest,
+                SEED ^ (launched as u64).wrapping_mul(0x9E37_79B9),
+            ) else {
+                // Not enough live candidates right now; let the event
+                // loop below make progress and retry.
+                break;
+            };
+            source.set_config(source_cfg);
+            let mut payload = vec![0u8; 2_000];
+            rng.fill_bytes(&mut payload);
+            let id = sessions.open_source(source, setup).await;
+            sessions.send(id, payload).await;
+            inflight.insert(id, Instant::now());
+            launched += 1;
+        }
+
+        tokio::select! {
+            ev = session_events_rx.recv() => match ev {
+                Some(SessionEvent::Acked { session, .. }) => {
+                    if let Some(started) = inflight.remove(&session) {
+                        let ms = started.elapsed().as_secs_f64() * 1_000.0;
+                        report.latencies_ms.push(ms);
+                        batch_ms.push(ms);
+                        report.acked += 1;
+                        sessions.close(session).await;
+                        if report.acked.is_multiple_of(BATCH) {
+                            let elapsed = batch_start.elapsed().as_secs_f64();
+                            batch_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                            let fleet_rss = procs
+                                .iter()
+                                .filter(|p| p.up)
+                                .filter_map(|p| fleet.scrape(p.fleet_idx).ok())
+                                .filter_map(|m| {
+                                    m.get("slicing_process_rss_bytes").map(|v| *v as u64)
+                                })
+                                .sum();
+                            report.batches.push(Batch {
+                                acked: batch_ms.len(),
+                                p50_ms: percentile(&batch_ms, 0.50),
+                                p95_ms: percentile(&batch_ms, 0.95),
+                                throughput_sps: batch_ms.len() as f64 / elapsed.max(0.001),
+                                fleet_rss_bytes: fleet_rss,
+                            });
+                            eprintln!(
+                                "soak: {}/{} acked, batch p50 {:.0} ms p95 {:.0} ms, fleet RSS {} MiB",
+                                report.acked,
+                                total_sessions,
+                                percentile(&batch_ms, 0.50),
+                                percentile(&batch_ms, 0.95),
+                                fleet_rss / (1024 * 1024),
+                            );
+                            batch_ms.clear();
+                            batch_start = Instant::now();
+                        }
+                    }
+                }
+                Some(SessionEvent::Repaired { .. }) => report.repairs += 1,
+                Some(SessionEvent::Rejected { session, error, .. }) => {
+                    eprintln!("soak: session {session:?} rejected: {error}");
+                }
+                Some(_) => {}
+                None => break,
+            },
+            _ = tick.tick() => {
+                // Nudge stragglers: speculative repair around any
+                // relays reported dead, drawn from the live fleet.
+                let pool: Vec<OverlayAddr> = procs
+                    .iter()
+                    .filter(|p| p.up)
+                    .map(|p| data_addr(p.data_port))
+                    .collect();
+                let now = Instant::now();
+                let mut wedged = Vec::new();
+                for (&id, &started) in &inflight {
+                    if now.duration_since(started) > SESSION_DEADLINE {
+                        wedged.push(id);
+                    } else if now.duration_since(started) > NUDGE_AFTER {
+                        sessions.repair(id, pool.clone()).await;
+                    }
+                }
+                for id in wedged {
+                    inflight.remove(&id);
+                    report.wedged += 1;
+                    sessions.close(id).await;
+                    eprintln!("soak: session {id:?} wedged (no ack in {SESSION_DEADLINE:?})");
+                }
+            }
+        }
+    }
+    report.elapsed_s = start.elapsed().as_secs_f64();
+    // Bring any still-down process back before the post-run scrape:
+    // the fleet must end fully restarted and scrapeable.
+    for proc in procs.iter_mut() {
+        if !proc.up {
+            fleet.spawn(proc.fleet_idx).expect("respawn node");
+            assert!(
+                fleet.wait_healthy(proc.fleet_idx, Duration::from_secs(10)),
+                "node {} unhealthy after final restart",
+                proc.fleet_idx
+            );
+            proc.up = true;
+        }
+    }
+    driver.abort();
+    report
+}

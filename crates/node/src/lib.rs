@@ -1,0 +1,31 @@
+//! Deployable overlay node: a `slicing-node` daemon binary wrapping the
+//! combined relay/session runtime ([`slicing_overlay::spawn_node`])
+//! behind a config file, plus the orchestration pieces that turn a pile
+//! of such processes into a fleet.
+//!
+//! The crate splits four ways:
+//!
+//! - [`config`] — the TOML-subset config schema (`NodeConfig`) with a
+//!   hand-rolled parser and typed errors (the build environment is
+//!   offline, so no serde/toml dependency).
+//! - [`metrics`] — a plaintext/Prometheus exposition endpoint served
+//!   over the vendored tokio TCP listener, iterating the engines'
+//!   `counters()` enumerations so the exported text can never drift
+//!   from the atomics.
+//! - [`runtime`] — glue from a parsed [`config::NodeConfig`] to a
+//!   running node: transport attach, `spawn_node`, metrics server,
+//!   stdin-EOF/`POST /shutdown` triggered clean exit.
+//! - [`orchestrator`] — a driver-side process harness
+//!   ([`orchestrator::Fleet`]) that writes configs, spawns/kills/
+//!   restarts `slicing-node` children and scrapes their metrics; the
+//!   `soak` binary builds the churn soak on top of it.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod metrics;
+pub mod orchestrator;
+pub mod runtime;
+
+pub use config::{ConfigError, NodeConfig};
+pub use orchestrator::Fleet;

@@ -1,0 +1,128 @@
+//! From a parsed [`NodeConfig`] to a running node.
+//!
+//! `run` attaches the configured transport, spawns the combined
+//! relay/session daemon ([`spawn_node`]), brings the metrics endpoint
+//! up, and then parks until a shutdown trigger:
+//!
+//! - `POST /shutdown` on the metrics port, or
+//! - EOF on stdin — the orchestrator holds every child's stdin pipe
+//!   open, so dropping it (or the orchestrator dying) shuts the fleet
+//!   down without signal plumbing.
+//!
+//! Either trigger drains the daemon's ingress tasks cleanly
+//! ([`slicing_overlay::daemon::NodeHandle::shutdown`]).
+
+use crate::config::{NodeConfig, TransportKind};
+use crate::metrics::{self, RegistryBuilder};
+use slicing_core::{SessionManager, ShardedRelay};
+use slicing_graph::OverlayAddr;
+use slicing_overlay::daemon::{spawn_node, DestSessionSpec, NodeSpec};
+use slicing_overlay::{TcpNet, UdpNet};
+use tokio::sync::mpsc;
+use tokio::time::Instant;
+
+/// Bring the node up and park until shutdown. Returns the error when
+/// a socket cannot be bound; otherwise returns after a clean exit.
+pub async fn run(cfg: NodeConfig) -> std::io::Result<()> {
+    // Transport: one data port at the configured address.
+    let mut udp_net = None;
+    let port = match cfg.transport {
+        TransportKind::Udp => {
+            let net = UdpNet::new(cfg.faults.to_faults(), cfg.seed);
+            let port = net.attach_at(cfg.listen).await?;
+            udp_net = Some(net);
+            port
+        }
+        TransportKind::Tcp => TcpNet::attach_at(cfg.listen).await?,
+    };
+    let addr = port.addr;
+
+    // Registry views are captured before the engines move into the
+    // daemon (shared stats survive the move).
+    let mut registry = RegistryBuilder::default().cc(port.tx.clone());
+    if let Some(net) = &udp_net {
+        registry = registry.udp(net.clone());
+    }
+
+    let relay = cfg.roles.relay.then(|| {
+        ShardedRelay::with_config(addr, cfg.seed, cfg.relay, cfg.relay_shards)
+    });
+    if let Some(relay) = &relay {
+        registry = registry.relay(relay.shared_stats());
+    }
+    let sessions = cfg
+        .roles
+        .session
+        .then(|| SessionManager::new(cfg.session_shards, cfg.max_sessions, cfg.session));
+
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let (deliveries_tx, mut deliveries_rx) = mpsc::unbounded_channel();
+    let (session_events_tx, mut session_events_rx) = mpsc::unbounded_channel();
+    let dest_sessions = cfg.roles.dest.then(|| DestSessionSpec {
+        config: cfg.session,
+        seed: cfg.seed,
+        deliveries: deliveries_tx.clone(),
+    });
+
+    let node = spawn_node(NodeSpec {
+        relay,
+        sessions,
+        ports: vec![port],
+        dest_sessions,
+        events: events_tx,
+        session_events: Some(session_events_tx),
+        epoch: Instant::now(),
+    });
+    if let Some(handle) = &node.sessions {
+        registry = registry.session(handle.clone());
+    }
+    let registry = registry.build();
+
+    // Drain the event streams: deliveries feed the dest counters, the
+    // rest would otherwise grow their unbounded queues forever.
+    let delivery_registry = registry.clone();
+    tokio::spawn(async move {
+        while let Some(delivery) = deliveries_rx.recv().await {
+            delivery_registry.record_delivery(delivery.payload.len());
+        }
+    });
+    tokio::spawn(async move { while events_rx.recv().await.is_some() {} });
+    tokio::spawn(async move { while session_events_rx.recv().await.is_some() {} });
+
+    // Metrics endpoint + the shutdown channel it feeds.
+    let (shutdown_tx, mut shutdown_rx) = mpsc::channel::<()>(1);
+    let listener =
+        tokio::net::TcpListener::bind(format!("127.0.0.1:{}", cfg.metrics_listen)).await?;
+    let metrics_task = tokio::spawn(metrics::serve(
+        listener,
+        registry.clone(),
+        shutdown_tx.clone(),
+    ));
+
+    // Stdin watcher: a plain OS thread (reading stdin must not block a
+    // runtime worker) that trips the shutdown channel at EOF.
+    let stdin_shutdown = shutdown_tx.clone();
+    std::thread::spawn(move || {
+        use std::io::Read;
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        let _ = stdin_shutdown.try_send(());
+    });
+
+    println!(
+        "slicing-node: up data=127.0.0.1:{} metrics=127.0.0.1:{} roles={:?}",
+        cfg.listen, cfg.metrics_listen, cfg.roles
+    );
+
+    let _ = shutdown_rx.recv().await;
+    metrics_task.abort();
+    node.shutdown().await;
+    println!("slicing-node: clean shutdown");
+    Ok(())
+}
+
+/// The overlay address a node's data port occupies (loopback).
+pub fn data_addr(port: u16) -> OverlayAddr {
+    OverlayAddr::from_ipv4([127, 0, 0, 1], port)
+}

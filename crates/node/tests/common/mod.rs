@@ -1,0 +1,97 @@
+//! Shared fixture for the process-level suites: spawn a fleet of
+//! `slicing-node` relay children, poll their scraped metrics with the
+//! overlay's bounded-retry helper (no blind sleeps), and sum counters
+//! across the fleet.
+
+#![allow(dead_code)]
+
+use slicing_core::{RelayConfig, SessionConfig};
+use slicing_node::config::{NodeConfig, Roles, TransportKind};
+use slicing_node::orchestrator::{free_tcp_port, free_udp_port, Fleet};
+#[allow(unused_imports)]
+pub use slicing_overlay::testutil::{
+    wait_until, wait_until_blocking, wait_until_for, DEFAULT_INTERVAL, DEFAULT_TRIES,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The daemon binary under test (built by cargo for this crate).
+pub fn node_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_slicing-node"))
+}
+
+/// Relay tuning for process tests: fast flushes and aggressive
+/// liveness so a SIGKILL is detected within a second.
+pub fn process_relay_config() -> RelayConfig {
+    RelayConfig {
+        setup_flush_ms: 200,
+        data_flush_ms: 100,
+        keepalive_ms: 200,
+        liveness_timeout_ms: 800,
+        ..RelayConfig::default()
+    }
+}
+
+/// Session tuning matched to [`process_relay_config`]: retransmits
+/// clear the relays' gather quarantine (`2 × data_flush_ms`).
+pub fn process_session_config() -> SessionConfig {
+    SessionConfig {
+        retransmit_ms: 600,
+        ack_interval_ms: 120,
+        ..SessionConfig::default()
+    }
+}
+
+/// Spawn `count` relay-only `slicing-node` processes on free ports and
+/// wait for every metrics endpoint to come up. Returns the fleet plus
+/// each node's data port (fleet index == vector index).
+pub fn spawn_relay_fleet(
+    count: usize,
+    transport: TransportKind,
+    relay: RelayConfig,
+    session: SessionConfig,
+) -> (Fleet, Vec<u16>) {
+    let dir = std::env::temp_dir().join(format!(
+        "slicing-fleet-{}-{:p}",
+        std::process::id(),
+        &count as *const _
+    ));
+    let mut fleet = Fleet::new(dir, node_bin()).expect("create fleet dir");
+    let mut data_ports = Vec::with_capacity(count);
+    for i in 0..count {
+        let data_port = free_udp_port();
+        let cfg = NodeConfig {
+            listen: data_port,
+            metrics_listen: free_tcp_port(),
+            roles: Roles {
+                relay: true,
+                dest: false,
+                session: false,
+            },
+            seed: 0xF1EE7 + i as u64,
+            transport,
+            relay,
+            session,
+            ..NodeConfig::default()
+        };
+        let idx = fleet.add(&format!("relay-{i}"), cfg).expect("write config");
+        fleet.spawn(idx).expect("spawn relay process");
+        data_ports.push(data_port);
+    }
+    for idx in 0..count {
+        assert!(
+            fleet.wait_healthy(idx, Duration::from_secs(10)),
+            "relay process {idx} never became healthy (log: {})",
+            fleet.log_path(idx).display()
+        );
+    }
+    (fleet, data_ports)
+}
+
+/// Sum one scraped series across every given fleet node.
+pub fn fleet_counter_sum(fleet: &Fleet, indices: impl Iterator<Item = usize>, series: &str) -> f64 {
+    indices
+        .filter_map(|idx| fleet.scrape(idx).ok())
+        .filter_map(|m| m.get(series).copied())
+        .sum()
+}

@@ -1,0 +1,172 @@
+//! Metrics correctness: drive a known workload through a small
+//! process fleet, then scrape every node and check that the exported
+//! counters *exactly* equal the driver-side ground truth — no
+//! atomics-vs-exposition drift, no lost or double-counted deliveries.
+
+mod common;
+
+use common::{process_relay_config, process_session_config, spawn_relay_fleet};
+use slicing_core::{SessionManager, SourceConfig, SourceSession};
+use slicing_graph::{DestPlacement, GraphParams, OverlayAddr};
+use slicing_node::config::{NodeConfig, Roles, TransportKind};
+use slicing_node::orchestrator::{free_tcp_port, free_udp_port};
+use slicing_node::runtime::data_addr;
+use slicing_overlay::daemon::{spawn_node, NodeSpec, SessionEvent};
+use slicing_overlay::{UdpFaults, UdpNet};
+use std::time::Duration;
+use tokio::sync::mpsc;
+
+const SEED: u64 = 0x3E7A;
+const SESSIONS: usize = 20;
+const PAYLOAD: usize = 4_096;
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn scraped_counters_match_driver_totals_exactly() {
+    let relay_config = process_relay_config();
+    let session_config = process_session_config();
+    // L=1, d=d′=2: two relays and the destination per session — small
+    // enough that every counter is exactly predictable.
+    let params = GraphParams::new(1, 2).with_dest_placement(DestPlacement::LastStage);
+
+    // Three relay-only processes plus one relay+dest process.
+    let (mut fleet, data_ports) = spawn_relay_fleet(
+        3,
+        TransportKind::Udp,
+        relay_config,
+        session_config,
+    );
+    let dest_data_port = free_udp_port();
+    let dest_idx = {
+        let cfg = NodeConfig {
+            listen: dest_data_port,
+            metrics_listen: free_tcp_port(),
+            roles: Roles {
+                relay: true,
+                dest: true,
+                session: false,
+            },
+            seed: SEED,
+            transport: TransportKind::Udp,
+            relay: relay_config,
+            session: session_config,
+            ..NodeConfig::default()
+        };
+        let idx = fleet.add("dest", cfg).expect("write dest config");
+        fleet.spawn(idx).expect("spawn dest process");
+        idx
+    };
+    assert!(
+        fleet.wait_healthy(dest_idx, Duration::from_secs(10)),
+        "dest process never became healthy"
+    );
+    let dest = data_addr(dest_data_port);
+    let candidates: Vec<OverlayAddr> = data_ports.iter().map(|&p| data_addr(p)).collect();
+
+    // Driver session plane over d′ pseudo-source UDP ports.
+    let net = UdpNet::new(UdpFaults::default(), SEED);
+    let mut pseudo_ports = Vec::new();
+    for _ in 0..params.paths {
+        pseudo_ports.push(
+            net.attach_at(free_udp_port())
+                .await
+                .expect("attach pseudo port"),
+        );
+    }
+    let pseudo_addrs: Vec<OverlayAddr> = pseudo_ports.iter().map(|p| p.addr).collect();
+    let (events_tx, mut events_rx) = mpsc::unbounded_channel();
+    let (session_events_tx, mut session_events_rx) = mpsc::unbounded_channel();
+    let driver = spawn_node(NodeSpec {
+        relay: None,
+        sessions: Some(SessionManager::new(2, 64, session_config)),
+        ports: pseudo_ports,
+        dest_sessions: None,
+        events: events_tx,
+        session_events: Some(session_events_tx),
+        epoch: tokio::time::Instant::now(),
+    });
+    tokio::spawn(async move { while events_rx.recv().await.is_some() {} });
+    let sessions = driver.sessions.clone().expect("session plane");
+    let source_cfg = SourceConfig {
+        keepalive_ms: relay_config.keepalive_ms,
+        ..SourceConfig::default()
+    };
+
+    // The known workload: SESSIONS sessions, one PAYLOAD-byte message
+    // each, driven to full acknowledgement.
+    let mut acked = 0usize;
+    for i in 0..SESSIONS {
+        let (mut source, setup) = SourceSession::establish(
+            params,
+            &pseudo_addrs,
+            &candidates,
+            dest,
+            SEED ^ (i as u64 + 1),
+        )
+        .expect("establish");
+        source.set_config(source_cfg);
+        let id = sessions.open_source(source, setup).await;
+        sessions.send(id, vec![0xA5; PAYLOAD]).await;
+        let deadline = tokio::time::sleep(Duration::from_secs(30));
+        tokio::pin!(deadline);
+        loop {
+            tokio::select! {
+                sev = session_events_rx.recv() => match sev.expect("session events") {
+                    SessionEvent::Acked { session, .. } if session == id => {
+                        acked += 1;
+                        break;
+                    }
+                    SessionEvent::Rejected { error, .. } => panic!("rejected: {error}"),
+                    _ => continue,
+                },
+                _ = &mut deadline => panic!("session {i} never acked"),
+            }
+        }
+        sessions.close(id).await;
+    }
+    assert_eq!(acked, SESSIONS);
+
+    // Driver-side atomics agree with the driver-side events.
+    let stats = common::wait_until(
+        || sessions.stats(),
+        |s| s.msgs_acked as usize >= SESSIONS,
+    )
+    .await;
+    assert_eq!(stats.msgs_acked as usize, acked, "stats: {stats:?}");
+    assert_eq!(stats.msgs_sent as usize, SESSIONS, "stats: {stats:?}");
+    // (`stats.drops` is intentionally unconstrained: closing a session
+    // makes the duplicate ack slices still in flight for it count as
+    // driver-side drops — expected protocol behaviour, not drift.)
+
+    // Scrape the whole fleet: the exported counters must *exactly* sum
+    // to the driver-side ground truth.
+    let all = || (0..fleet.len());
+    let delivered = common::fleet_counter_sum(&fleet, all(), "slicing_dest_delivered_msgs_total");
+    assert_eq!(
+        delivered as usize, acked,
+        "fleet delivered_msgs must equal driver acked"
+    );
+    let delivered_bytes =
+        common::fleet_counter_sum(&fleet, all(), "slicing_dest_delivered_bytes_total");
+    assert_eq!(
+        delivered_bytes as usize,
+        acked * PAYLOAD,
+        "fleet delivered_bytes must equal driver payload bytes"
+    );
+    let garbage = common::fleet_counter_sum(&fleet, all(), "slicing_relay_garbage");
+    assert_eq!(garbage, 0.0, "no packet may die unclaimed in this workload");
+    // Each session establishes exactly `relay_count()` flows across
+    // the fleet: the destination occupies one of the `L × d′` graph
+    // slots under `LastStage` placement, so relays host
+    // `relay_count() − 1` forwarding flows and the destination hosts
+    // one receiver flow.
+    let established =
+        common::fleet_counter_sum(&fleet, all(), "slicing_relay_flows_established");
+    assert_eq!(
+        established as usize,
+        SESSIONS * params.relay_count(),
+        "fleet flows_established must equal the workload's exact flow count"
+    );
+
+    driver.abort();
+    fleet.kill_all();
+}

@@ -88,6 +88,35 @@ pub enum CcState {
     Congested,
 }
 
+/// A point-in-time copy of one neighbour's congestion-control state,
+/// for export through a node's metrics endpoint (the controller itself
+/// lives behind the transport's pacer lock).
+#[derive(Clone, Copy, Debug)]
+pub struct CcSnapshot {
+    /// Current verdict of the state machine.
+    pub state: CcState,
+    /// Allowed send rate, datagrams per second.
+    pub rate_dps: f64,
+    /// Spendable tokens (datagrams).
+    pub tokens: f64,
+    /// Smoothed one-way delay, µs (0 until the first sample).
+    pub owd_ewma_us: f64,
+    /// Observed propagation-delay baseline, µs (0 until the first
+    /// sample).
+    pub base_owd_us: f64,
+}
+
+impl CcState {
+    /// Stable lowercase label (metrics exposition).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CcState::Normal => "normal",
+            CcState::Rising => "rising",
+            CcState::Congested => "congested",
+        }
+    }
+}
+
 /// Per-neighbour delay-gradient congestion state plus token budget.
 #[derive(Clone, Debug)]
 pub struct NeighborCc {
@@ -210,6 +239,21 @@ impl NeighborCc {
     /// Spendable tokens right now (not refilled first).
     pub fn tokens(&self) -> f64 {
         self.tokens
+    }
+
+    /// Copy the observable state out (metrics export).
+    pub fn snapshot(&self) -> CcSnapshot {
+        CcSnapshot {
+            state: self.state,
+            rate_dps: self.rate,
+            tokens: self.tokens,
+            owd_ewma_us: self.owd_ewma.unwrap_or(0.0),
+            base_owd_us: if self.base_owd.is_finite() {
+                self.base_owd
+            } else {
+                0.0
+            },
+        }
     }
 
     /// The [`Tick`] deadline by which at least one token will have

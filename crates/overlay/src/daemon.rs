@@ -443,6 +443,16 @@ fn drive_dest_role(
             }
         }
     }
+    // Repair re-setups splice new neighbour lists into the relay's
+    // flow; the colocated session's reverse routing must follow or its
+    // acks keep fanning to the replaced parent.
+    for &(flow, receiver) in &outputs.rekeyed {
+        if receiver {
+            if let (Some(dest), Some(info)) = (dests.get_mut(&flow), shard.flow_info(flow)) {
+                dest.set_info(info.clone());
+            }
+        }
+    }
     for r in &outputs.received {
         if let Some(dest) = dests.get_mut(&r.flow) {
             let dout = dest.handle_delivery(now, r.seq, r.plaintext.clone());
@@ -569,6 +579,17 @@ pub enum SessionEvent {
         /// Milliseconds since the daemon epoch.
         at_ms: u64,
     },
+    /// A source session repaired its forwarding graph around
+    /// reported-dead relays (targeted re-setup transmitted; buffered
+    /// messages re-encoded against the repaired graph).
+    Repaired {
+        /// The repaired source session.
+        session: SessionId,
+        /// Relays that had been reported dead and were routed around.
+        failed: usize,
+        /// Milliseconds since the daemon epoch.
+        at_ms: u64,
+    },
     /// A command against a session failed (backpressure, quota, unknown
     /// id) — the session plane's typed error surface.
     Rejected {
@@ -595,6 +616,10 @@ enum SessionCommand {
     Send {
         id: SessionId,
         payload: Vec<u8>,
+    },
+    Repair {
+        id: SessionId,
+        pool: Vec<OverlayAddr>,
     },
     Close {
         id: SessionId,
@@ -658,6 +683,23 @@ impl SessionHandle {
         let shard = self.router.route_id(id);
         let _ = self.cmds[shard]
             .send(SessionCommand::Send { id, payload })
+            .await;
+    }
+
+    /// Ask a source session to repair its forwarding graph around any
+    /// relays reported dead, drawing replacements from `pool`.
+    ///
+    /// A no-op when the session has no reported failures, so drivers
+    /// may call it speculatively (e.g. for every session not yet acked
+    /// after a grace period). Outcomes surface as events: a performed
+    /// repair emits [`SessionEvent::Repaired`]; an unknown id emits
+    /// [`SessionEvent::Rejected`]; a repair the pool cannot satisfy
+    /// emits nothing and the failure state is kept for a retry with a
+    /// fresher pool.
+    pub async fn repair(&self, id: SessionId, pool: Vec<OverlayAddr>) {
+        let shard = self.router.route_id(id);
+        let _ = self.cmds[shard]
+            .send(SessionCommand::Repair { id, pool })
             .await;
     }
 
@@ -1013,6 +1055,27 @@ fn apply_session_command(
             Ok((_, sends)) => out.sends.extend(sends),
             Err(e) => reject(id, e),
         },
+        SessionCommand::Repair { id, pool } => match shard.source_mut(id) {
+            Some(source) => {
+                if source.needs_repair() {
+                    let failed = source.failed_nodes().len();
+                    // A pool that cannot satisfy the rebuild keeps the
+                    // failure state; the driver retries with a fresher
+                    // pool (e.g. after more restarts were observed).
+                    if let Ok(sends) = source.repair(&pool) {
+                        out.sends.extend(sends);
+                        if let Some(ev) = events {
+                            let _ = ev.send(SessionEvent::Repaired {
+                                session: id,
+                                failed,
+                                at_ms: epoch.elapsed().as_millis() as u64,
+                            });
+                        }
+                    }
+                }
+            }
+            None => reject(id, SessionError::UnknownSession),
+        },
         SessionCommand::Close { id } => {
             shard.close(id);
         }
@@ -1158,21 +1221,12 @@ mod tests {
     use slicing_sim::wan::NetProfile;
 
     /// Wait (bounded) until `cond` observes the shared stats; returns
-    /// the last snapshot. No blind sleeps: the loop polls the counter
-    /// the daemon publishes.
+    /// the last snapshot (see [`crate::testutil`]).
     async fn wait_stats(
         stats: &Arc<RelayStatsAtomic>,
         cond: impl Fn(&slicing_core::RelayStats) -> bool,
     ) -> slicing_core::RelayStats {
-        let mut last = stats.snapshot();
-        for _ in 0..400 {
-            if cond(&last) {
-                break;
-            }
-            tokio::time::sleep(Duration::from_millis(5)).await;
-            last = stats.snapshot();
-        }
-        last
+        crate::testutil::wait_until(|| stats.snapshot(), cond).await
     }
 
     #[tokio::test]

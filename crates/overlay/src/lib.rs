@@ -23,6 +23,7 @@ pub mod daemon;
 pub mod emu;
 pub mod experiment;
 pub mod tcp;
+pub mod testutil;
 pub mod udp;
 
 pub use daemon::{
@@ -111,5 +112,16 @@ impl PortSender {
     /// The sending node's address.
     pub fn addr(&self) -> OverlayAddr {
         self.addr
+    }
+
+    /// Per-neighbour congestion-controller snapshots for this port
+    /// (metrics export). Empty on transports without a congestion
+    /// signal (emulated, TCP) and on UDP links that have not yet seen
+    /// delay feedback.
+    pub fn cc_snapshots(&self) -> Vec<(OverlayAddr, cc::CcSnapshot)> {
+        match &self.inner {
+            PortSenderInner::Udp(u) => u.cc_snapshots(),
+            _ => Vec::new(),
+        }
     }
 }

@@ -33,7 +33,17 @@ impl TcpNet {
     ///
     /// The accept loop runs until the returned `NodePort` is dropped.
     pub async fn attach() -> std::io::Result<NodePort> {
-        let listener = TcpListener::bind("127.0.0.1:0").await?;
+        TcpNet::attach_at(0).await
+    }
+
+    /// Bind a listener on a *fixed* loopback port (`0` = ephemeral).
+    ///
+    /// Daemon processes with config-declared listen addresses use this:
+    /// peers must be able to compute the node's overlay address before
+    /// the process exists, and a restarted process must rebind the same
+    /// address (see [`crate::udp::UdpNet::attach_at`]).
+    pub async fn attach_at(port: u16) -> std::io::Result<NodePort> {
+        let listener = TcpListener::bind(format!("127.0.0.1:{port}")).await?;
         let port = listener.local_addr()?.port();
         let addr = OverlayAddr::from_ipv4([127, 0, 0, 1], port);
         let (tx, rx) = mpsc::channel::<(OverlayAddr, Bytes)>(1024);
@@ -318,14 +328,11 @@ mod tests {
         // the listener the port is rebindable. Bounded retry, no blind
         // sleep.
         let target = std::net::SocketAddr::from((ip, port));
-        let mut rebound = false;
-        for _ in 0..100 {
-            if std::net::TcpListener::bind(target).is_ok() {
-                rebound = true;
-                break;
-            }
-            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
-        }
+        let rebound = crate::testutil::wait_until(
+            || std::net::TcpListener::bind(target).is_ok(),
+            |ok| *ok,
+        )
+        .await;
         assert!(rebound, "listener port must be released after drop");
     }
 }

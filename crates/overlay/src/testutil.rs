@@ -1,0 +1,66 @@
+//! Bounded-retry polling for tests and harnesses.
+//!
+//! Daemons publish progress through shared atomics (stats cells,
+//! transport counters) rather than synchronous return values, so tests
+//! must wait for a counter to move. The discipline is: **no blind
+//! sleeps** — poll the observable on a short interval with a hard
+//! bound, and return the last observation either way so the caller's
+//! assertion failure shows what was actually seen.
+//!
+//! This module is the single copy of that loop. The daemon, transport
+//! and process-level suites (including `slicing-node`'s orchestrated
+//! tests, which poll scraped metrics the same way) all call
+//! [`wait_until`] instead of hand-rolling it.
+
+use std::time::Duration;
+
+/// Default number of polls: with [`DEFAULT_INTERVAL`] this bounds a
+/// wait at two seconds of simulated patience.
+pub const DEFAULT_TRIES: usize = 400;
+
+/// Default pause between polls.
+pub const DEFAULT_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Poll `probe` until `ok` accepts its observation or the bound runs
+/// out; returns the last observation either way (so callers assert on
+/// it and failures print what was seen, not a bare timeout).
+pub async fn wait_until_for<T>(
+    mut probe: impl FnMut() -> T,
+    ok: impl Fn(&T) -> bool,
+    tries: usize,
+    interval: Duration,
+) -> T {
+    let mut last = probe();
+    for _ in 0..tries {
+        if ok(&last) {
+            return last;
+        }
+        tokio::time::sleep(interval).await;
+        last = probe();
+    }
+    last
+}
+
+/// [`wait_until_for`] at the default cadence (400 × 5 ms).
+pub async fn wait_until<T>(probe: impl FnMut() -> T, ok: impl Fn(&T) -> bool) -> T {
+    wait_until_for(probe, ok, DEFAULT_TRIES, DEFAULT_INTERVAL).await
+}
+
+/// Blocking variant for drivers that sit outside an async runtime (the
+/// orchestrator scraping child processes over `std::net`).
+pub fn wait_until_blocking<T>(
+    mut probe: impl FnMut() -> T,
+    ok: impl Fn(&T) -> bool,
+    tries: usize,
+    interval: Duration,
+) -> T {
+    let mut last = probe();
+    for _ in 0..tries {
+        if ok(&last) {
+            return last;
+        }
+        std::thread::sleep(interval);
+        last = probe();
+    }
+    last
+}

@@ -55,7 +55,7 @@ use slicing_graph::OverlayAddr;
 use tokio::net::UdpSocket;
 use tokio::sync::mpsc;
 
-use crate::cc::{CcConfig, NeighborCc};
+use crate::cc::{CcConfig, CcSnapshot, NeighborCc};
 use crate::{NodePort, PortSender, PortSenderInner};
 
 /// Transport-frame discriminator: a data datagram (timestamp + packet).
@@ -141,6 +141,30 @@ pub struct UdpStatsSnapshot {
     pub injected_reorders: u64,
 }
 
+impl UdpStatsSnapshot {
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    ///
+    /// The single authoritative enumeration of the transport counters:
+    /// metrics exposition iterates it instead of hand-listing fields,
+    /// so the exported text can never drift from the atomics (see
+    /// [`slicing_core::RelayStats::counters`]).
+    pub fn counters(&self) -> [(&'static str, u64); 11] {
+        [
+            ("datagrams_sent", self.datagrams_sent),
+            ("send_calls", self.send_calls),
+            ("datagrams_received", self.datagrams_received),
+            ("recv_calls", self.recv_calls),
+            ("feedback_sent", self.feedback_sent),
+            ("feedback_received", self.feedback_received),
+            ("paced", self.paced),
+            ("queue_drops", self.queue_drops),
+            ("injected_drops", self.injected_drops),
+            ("injected_dups", self.injected_dups),
+            ("injected_reorders", self.injected_reorders),
+        ]
+    }
+}
+
 impl UdpStats {
     fn snapshot(&self) -> UdpStatsSnapshot {
         UdpStatsSnapshot {
@@ -219,7 +243,17 @@ impl UdpNet {
     /// overlay address encodes `127.0.0.1:port`. The receive task runs
     /// until the returned `NodePort` is dropped.
     pub async fn attach(&self) -> std::io::Result<NodePort> {
-        let sock = Arc::new(UdpSocket::bind("127.0.0.1:0").await?);
+        self.attach_at(0).await
+    }
+
+    /// Bind a node socket on a *fixed* loopback port (`0` = ephemeral).
+    ///
+    /// Daemon processes with config-declared listen addresses use this:
+    /// their overlay address (`127.0.0.1:port`) must be knowable by
+    /// peers before the process starts, and must be rebindable by a
+    /// restarted process after a crash.
+    pub async fn attach_at(&self, port: u16) -> std::io::Result<NodePort> {
+        let sock = Arc::new(UdpSocket::bind(format!("127.0.0.1:{port}")).await?);
         let port = sock.local_addr()?.port();
         let addr = OverlayAddr::from_ipv4([127, 0, 0, 1], port);
         let (tx, rx) = mpsc::channel::<(OverlayAddr, Bytes)>(1024);
@@ -330,11 +364,22 @@ impl Pacer {
             ms => Some(ms),
         }
     }
+
+    /// Copy every neighbour controller's observable state out (one lock
+    /// acquisition; called at metrics-scrape cadence, not per packet).
+    fn cc_snapshots(&self) -> Vec<(OverlayAddr, CcSnapshot)> {
+        let s = self.state.lock();
+        s.ccs.iter().map(|(&a, cc)| (a, cc.snapshot())).collect()
+    }
 }
 
 impl UdpSender {
     pub(crate) fn pace_hint_ms(&self) -> Option<u64> {
         self.pacer.pace_hint_ms()
+    }
+
+    pub(crate) fn cc_snapshots(&self) -> Vec<(OverlayAddr, CcSnapshot)> {
+        self.pacer.cc_snapshots()
     }
 
     /// Send one frame (fire-and-forget datagram semantics).
@@ -734,13 +779,8 @@ mod tests {
         let (_, got) = a.rx.recv().await.unwrap();
         assert_eq!(got, &b"pong"[..]);
         // Feedback frames eventually reach a's controller.
-        for _ in 0..200 {
-            if net.stats().feedback_received > 0 {
-                break;
-            }
-            tokio::time::sleep(Duration::from_millis(5)).await;
-        }
-        let stats = net.stats();
+        let stats =
+            crate::testutil::wait_until(|| net.stats(), |s| s.feedback_received > 0).await;
         assert!(stats.feedback_sent > 0, "receiver must echo delay samples");
         assert!(stats.feedback_received > 0, "sender must consume echoes");
     }
@@ -862,14 +902,11 @@ mod tests {
         let (ip, port) = node.addr.to_ipv4();
         drop(node);
         let target = std::net::SocketAddr::from((ip, port));
-        let mut rebound = false;
-        for _ in 0..100 {
-            if std::net::UdpSocket::bind(target).is_ok() {
-                rebound = true;
-                break;
-            }
-            tokio::time::sleep(Duration::from_millis(5)).await;
-        }
+        let rebound = crate::testutil::wait_until(
+            || std::net::UdpSocket::bind(target).is_ok(),
+            |ok| *ok,
+        )
+        .await;
         assert!(rebound, "socket must be released after drop");
     }
 }

@@ -3,27 +3,13 @@
 //! repair, and (b) with `d′ = d` the source-side repair completes the
 //! transfer — over both the emulated and the TCP transport.
 
-use std::time::Duration;
+mod common;
 
-use slicing_core::{DataMode, DestPlacement, GraphParams};
+use common::kill_stage2;
+use slicing_core::DataMode;
 use slicing_overlay::experiment::Transport;
 use slicing_overlay::{run_churn_session, ChurnSessionConfig};
 use slicing_sim::wan::NetProfile;
-
-/// Kill the relay at (stage 2, index 0) 40% into the session.
-fn kill_stage2(transport: Transport, dp: usize, mode: DataMode, repair: bool) -> ChurnSessionConfig {
-    ChurnSessionConfig {
-        params: GraphParams::new(5, 2)
-            .with_paths(dp)
-            .with_data_mode(mode)
-            .with_dest_placement(DestPlacement::LastStage),
-        transport,
-        kills: vec![(0.4, 2, 0)],
-        repair,
-        timeout: Duration::from_secs(30),
-        ..ChurnSessionConfig::default()
-    }
-}
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn redundant_session_survives_kill_emulated() {

@@ -1,0 +1,74 @@
+//! Fixtures shared by the overlay's end-to-end suites.
+//!
+//! Each integration test binary compiles this module separately, so a
+//! given binary may use only a slice of it — hence the `dead_code`
+//! allowance. The bounded-retry polling discipline itself lives in
+//! `slicing_overlay::testutil` (the library's single copy, shared with
+//! the `slicing-node` process-level suites); this module re-exports it
+//! so test code has one import path for fixtures and polling alike.
+
+#![allow(dead_code)]
+
+use std::time::Duration;
+
+use slicing_core::{DataMode, DestPlacement, GraphParams};
+use slicing_overlay::experiment::Transport;
+use slicing_overlay::{
+    ChurnSessionConfig, SessionTransferConfig, SessionTransferReport, UdpFaults,
+};
+
+#[allow(unused_imports)]
+pub use slicing_overlay::testutil::{wait_until, wait_until_for};
+
+/// A 96 KB stream over UDP with `d′ = 3` path redundancy (the same
+/// extra-path headroom the session proptests run under loss).
+pub fn udp_cfg(faults: UdpFaults) -> SessionTransferConfig {
+    SessionTransferConfig {
+        params: GraphParams::new(3, 2)
+            .with_paths(3)
+            .with_dest_placement(DestPlacement::LastStage),
+        transport: Transport::Udp(faults),
+        payload_len: 96_000,
+        messages: 1,
+        relay_shards: 2,
+        session_shards: 2,
+        timeout: Duration::from_secs(120),
+        ..SessionTransferConfig::default()
+    }
+}
+
+/// Assert a [`udp_cfg`] run delivered its single message byte-identically
+/// with the source window drained and live transport feedback.
+pub fn assert_delivered(report: &SessionTransferReport) {
+    assert!(report.established, "report: {report:?}");
+    assert_eq!(report.messages_delivered, 1, "report: {report:?}");
+    assert!(report.bytes_match, "byte-identical delivery: {report:?}");
+    assert!(
+        report.source_drained,
+        "acks must drain the window: {report:?}"
+    );
+    assert_eq!(report.payload_bytes, 96_000);
+    let udp = report.udp.expect("UDP run must carry transport stats");
+    assert!(udp.datagrams_sent > 0, "stats: {udp:?}");
+    assert!(udp.feedback_received > 0, "cc must see echoes: {udp:?}");
+}
+
+/// Kill the relay at (stage 2, index 0) 40% into the session.
+pub fn kill_stage2(
+    transport: Transport,
+    dp: usize,
+    mode: DataMode,
+    repair: bool,
+) -> ChurnSessionConfig {
+    ChurnSessionConfig {
+        params: GraphParams::new(5, 2)
+            .with_paths(dp)
+            .with_data_mode(mode)
+            .with_dest_placement(DestPlacement::LastStage),
+        transport,
+        kills: vec![(0.4, 2, 0)],
+        repair,
+        timeout: Duration::from_secs(30),
+        ..ChurnSessionConfig::default()
+    }
+}

@@ -8,45 +8,15 @@
 //! random loss × reorder × duplication profiles, mirroring the session
 //! layer's sans-IO proptests at the transport level.
 
+mod common;
+
 use std::time::Duration;
 
+use common::{assert_delivered, udp_cfg};
 use proptest::prelude::*;
-use slicing_core::{DestPlacement, GraphParams};
+use slicing_core::GraphParams;
 use slicing_overlay::experiment::Transport;
-use slicing_overlay::{
-    run_multi_flow, run_session_transfer, SessionTransferConfig, SessionTransferReport, UdpFaults,
-};
-
-/// A 96 KB stream over UDP with `d′ = 3` path redundancy (the same
-/// extra-path headroom the session proptests run under loss).
-fn udp_cfg(faults: UdpFaults) -> SessionTransferConfig {
-    SessionTransferConfig {
-        params: GraphParams::new(3, 2)
-            .with_paths(3)
-            .with_dest_placement(DestPlacement::LastStage),
-        transport: Transport::Udp(faults),
-        payload_len: 96_000,
-        messages: 1,
-        relay_shards: 2,
-        session_shards: 2,
-        timeout: Duration::from_secs(120),
-        ..SessionTransferConfig::default()
-    }
-}
-
-fn assert_delivered(report: &SessionTransferReport) {
-    assert!(report.established, "report: {report:?}");
-    assert_eq!(report.messages_delivered, 1, "report: {report:?}");
-    assert!(report.bytes_match, "byte-identical delivery: {report:?}");
-    assert!(
-        report.source_drained,
-        "acks must drain the window: {report:?}"
-    );
-    assert_eq!(report.payload_bytes, 96_000);
-    let udp = report.udp.expect("UDP run must carry transport stats");
-    assert!(udp.datagrams_sent > 0, "stats: {udp:?}");
-    assert!(udp.feedback_received > 0, "cc must see echoes: {udp:?}");
-}
+use slicing_overlay::{run_multi_flow, run_session_transfer, SessionTransferConfig, UdpFaults};
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn stream_96kb_over_udp() {

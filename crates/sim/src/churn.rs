@@ -88,6 +88,24 @@ impl ChurnModel {
         }
     }
 
+    /// Sample a process-kill schedule for an orchestrated fleet: for
+    /// each of `nodes` churnable processes, `Some(fraction)` places a
+    /// kill at that fraction of the run (the node's sampled lifetime
+    /// mapped onto the session horizon), `None` leaves it up. The soak
+    /// harness maps fractions onto its batch timeline and restarts each
+    /// killed process after a fixed grace, so the live population shape
+    /// follows §8.2's perceived-lifetime model rather than ad-hoc kill
+    /// points.
+    pub fn kill_schedule<R: Rng + ?Sized>(&self, nodes: usize, rng: &mut R) -> Vec<Option<f64>> {
+        (0..nodes)
+            .map(|_| {
+                self.sample_node(rng)
+                    .sample_failure(self.session_minutes, rng)
+                    .map(|t| t / self.session_minutes)
+            })
+            .collect()
+    }
+
     /// Per-session failure probability of a prone node.
     pub fn session_failure_probability(&self) -> f64 {
         NodeLifetime::Exponential {
@@ -146,6 +164,20 @@ mod tests {
         };
         let p = n.failure_probability(30.0);
         assert!(p > 0.8 && p < 0.9, "p={p}");
+    }
+
+    #[test]
+    fn kill_schedule_fractions_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = ChurnModel::with_failure_probability(0.5, 30.0);
+        let schedule = m.kill_schedule(64, &mut rng);
+        assert_eq!(schedule.len(), 64);
+        let kills = schedule.iter().flatten().count();
+        assert!(kills > 10, "p=0.5 over 64 nodes must kill some: {kills}");
+        assert!(kills < 64, "and spare some: {kills}");
+        for f in schedule.into_iter().flatten() {
+            assert!((0.0..1.0).contains(&f), "fraction {f}");
+        }
     }
 
     #[test]
