@@ -50,7 +50,7 @@ use crate::replay::ReplayGuard;
 use crate::shard::FlowRouter;
 
 use slicing_codec::{coder, recombine, InfoSlice};
-use slicing_crypto::aead;
+use slicing_crypto::SealingKey;
 use slicing_graph::info::NodeInfo;
 use slicing_graph::packets::SendInstr;
 use slicing_graph::OverlayAddr;
@@ -376,6 +376,11 @@ struct ResetupGather {
 #[derive(Clone, Debug)]
 struct ActiveFlow {
     info: NodeInfo,
+    /// Cached sealing state for the flow's secret key (subkeys + HMAC
+    /// midstates derived once at establishment). A repair re-setup
+    /// never changes the key — the authenticity check requires it to
+    /// match — so the sealer survives splices untouched.
+    sealer: SealingKey,
     last_activity: Tick,
     /// Forward data gathers by seq.
     data: HashMap<u32, DataGather>,
@@ -501,6 +506,9 @@ pub struct RelayShard {
     /// Reusable buffer for the outgoing-slot indexes that need a fresh
     /// combination during a flush (the flush path never allocates it).
     scratch_regen: Vec<usize>,
+    /// Reusable seal output buffer for reverse-path sends (the sealed
+    /// message is built here, then coded into the outgoing slots).
+    scratch_seal: Vec<u8>,
 }
 
 impl RelayShard {
@@ -532,6 +540,7 @@ impl RelayShard {
             wheel: TimerWheel::new(WHEEL_GRANULARITY_MS, WHEEL_BUCKETS),
             expired: Vec::new(),
             scratch_regen: Vec::new(),
+            scratch_seal: Vec::new(),
         }
     }
 
@@ -735,7 +744,7 @@ impl RelayShard {
             // key: forwarding relays learn nothing, the source (which
             // issued every per-node key) recovers and authenticates it.
             let dead_addr = active.info.parents[idx].0;
-            let sealed = aead::seal(&active.info.secret_key, &dead_addr.to_bytes(), rng);
+            let sealed = active.sealer.seal(&dead_addr.to_bytes(), rng);
             for (pidx, &(parent_addr, parent_rev)) in active.info.parents.iter().enumerate() {
                 if active.dead_parents & (1 << pidx) != 0 {
                     continue;
@@ -951,10 +960,12 @@ impl RelayShard {
                 self.router.register_reverse(info.reverse_flow_id, self.index);
                 let parent_count = info.parents.len();
                 let has_children = !info.children.is_empty();
+                let sealer = SealingKey::new(&info.secret_key);
                 self.flows.insert(
                     flow,
                     FlowState::Active(Box::new(ActiveFlow {
                         info: *info,
+                        sealer,
                         last_activity: now,
                         data: HashMap::new(),
                         reverse: HashMap::new(),
@@ -1438,6 +1449,7 @@ impl RelayShard {
         };
         let ActiveFlow {
             info,
+            sealer,
             data,
             reverse,
             delivered,
@@ -1473,7 +1485,7 @@ impl RelayShard {
                 // lint: allow(hot-path) — destination delivery: d slice views built once per *delivered message*, not per packet.
                 .collect();
             if let Ok(sealed) = coder::decode(&bare, d) {
-                if let Ok(plaintext) = aead::open(&info.secret_key, &sealed) {
+                if let Ok(plaintext) = sealer.open_owned(sealed) {
                     gather.delivered = true;
                     delivered.insert(seq);
                     stats.messages_received += 1;
@@ -1602,6 +1614,7 @@ impl RelayShard {
             stats,
             rng,
             addr,
+            scratch_seal,
             ..
         } = self;
         let Some(FlowState::Active(active)) = flows.get_mut(&flow) else {
@@ -1614,8 +1627,11 @@ impl RelayShard {
         let info = &active.info;
         let d = info.d as usize;
         let dp = info.d_prime as usize;
-        let sealed = aead::seal(&info.secret_key, plaintext, rng);
-        let coded = coder::encode(&sealed, d, dp, rng);
+        // Cached subkeys + midstates, sealed into the shard's scratch
+        // buffer — the steady-state reverse send allocates nothing for
+        // the sealed message.
+        active.sealer.seal_into(plaintext, scratch_seal, rng);
+        let coded = coder::encode(scratch_seal, d, dp, rng);
         let slot_len = d + coded.block_len + 4;
         let mut sends = Vec::with_capacity(info.parents.len());
         for (k, &(parent_addr, parent_rev_flow)) in info.parents.iter().enumerate() {

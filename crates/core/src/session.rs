@@ -38,7 +38,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use slicing_codec::{coder, InfoSlice};
-use slicing_crypto::aead;
+use slicing_crypto::SealingKey;
 use slicing_graph::packets::SendInstr;
 use slicing_graph::{NodeInfo, OverlayAddr};
 use slicing_wire::{crc, FlowId, Packet, PacketBuilder, PacketHeader, PacketKind};
@@ -659,6 +659,11 @@ pub struct DestSession {
     addr: OverlayAddr,
     flow: FlowId,
     info: NodeInfo,
+    /// Cached sealing state for the flow's secret key (subkeys + HMAC
+    /// midstates derived once; rebuilt by [`DestSession::set_info`]).
+    sealer: SealingKey,
+    /// Reusable seal output buffer for reverse frames.
+    seal_buf: Vec<u8>,
     config: SessionConfig,
     rng: StdRng,
     /// Chunk seqs delivered (constant space; survives gather reaping).
@@ -686,10 +691,13 @@ impl DestSession {
     /// Create the destination endpoint for `flow` at `addr`, from the
     /// flow's decoded info.
     pub fn new(addr: OverlayAddr, flow: FlowId, info: NodeInfo, config: SessionConfig, seed: u64) -> Self {
+        let sealer = SealingKey::new(&info.secret_key);
         DestSession {
             addr,
             flow,
             info,
+            sealer,
+            seal_buf: Vec::new(),
             config,
             rng: StdRng::seed_from_u64(seed ^ flow.0),
             delivered: ReplayGuard::default(),
@@ -723,6 +731,7 @@ impl DestSession {
     /// untouched; an ack is marked pending so the next poll re-announces
     /// the delivery state over the repaired routes immediately.
     pub fn set_info(&mut self, info: NodeInfo) {
+        self.sealer = SealingKey::new(&info.secret_key);
         self.info = info;
         self.pending_ack = true;
     }
@@ -807,7 +816,7 @@ impl DestSession {
             // or the reaper arrive.
             return out;
         };
-        let Ok(plaintext) = aead::open(&self.info.secret_key, &sealed) else {
+        let Ok(plaintext) = self.sealer.open_owned(sealed) else {
             // Forged or corrupted beyond the CRC: drop the gather.
             self.gathers.remove(&seq);
             out.dropped += 1;
@@ -1029,8 +1038,10 @@ impl DestSession {
         let info = &self.info;
         let d = info.d as usize;
         let dp = info.d_prime as usize;
-        let sealed = aead::seal(&info.secret_key, frame, &mut self.rng);
-        let coded = coder::encode(&sealed, d, dp, &mut self.rng);
+        // Cached subkeys + midstates, sealed into the reusable buffer.
+        self.sealer
+            .seal_into(frame, &mut self.seal_buf, &mut self.rng);
+        let coded = coder::encode(&self.seal_buf, d, dp, &mut self.rng);
         let slot_len = d + coded.block_len + 4;
         let mut sends = Vec::with_capacity(info.parents.len());
         for (k, &(parent_addr, parent_rev_flow)) in info.parents.iter().enumerate() {

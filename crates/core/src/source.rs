@@ -34,7 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use slicing_codec::{coder, recombine, InfoSlice};
-use slicing_crypto::aead;
+use slicing_crypto::SealingKey;
 use slicing_graph::packets::SendInstr;
 use slicing_graph::{build, BuiltGraph, GraphError, GraphParams, NodeInfo, OverlayAddr};
 use slicing_wire::{control, crc, Packet, PacketBuilder, PacketHeader, PacketKind};
@@ -191,6 +191,17 @@ pub struct SourceSession {
     /// The streaming window (per-message machinery; see
     /// [`SourceSession::send`]).
     pub(crate) stream: StreamState,
+    /// Cached sealing state for the destination key — subkeys and HMAC
+    /// midstates derived once per session (rebuilt when a repair swaps
+    /// the graph), not once per message.
+    dest_sealer: SealingKey,
+    /// Sealers for every per-node key the source issued, used to
+    /// authenticate `FLOW_FAILED` reports. Built lazily on the first
+    /// report (most sessions never see one) and cleared on repair.
+    issued_sealers: Vec<SealingKey>,
+    /// Reusable seal output buffer: steady-state sends write
+    /// `nonce ‖ ciphertext ‖ tag` here without allocating.
+    seal_buf: Vec<u8>,
     rng: StdRng,
 }
 
@@ -209,6 +220,7 @@ impl SourceSession {
         let mut rng = StdRng::seed_from_u64(seed);
         let graph = build::build(params, pseudo_sources, candidates, dest, &mut rng)?;
         let setup = graph.setup_packets(&mut rng);
+        let dest_sealer = SealingKey::new(&graph.dest_key);
         Ok((
             SourceSession {
                 graph,
@@ -220,6 +232,9 @@ impl SourceSession {
                 last_keepalive: None,
                 setup_packets_sent: setup.len() as u64,
                 stream: StreamState::default(),
+                dest_sealer,
+                issued_sealers: Vec::new(),
+                seal_buf: Vec::new(),
                 rng,
             },
             setup,
@@ -307,8 +322,11 @@ impl SourceSession {
     pub(crate) fn encode_message(&mut self, seq: u32, plaintext: &[u8]) -> Vec<SendInstr> {
         let params = self.graph.params;
         let (d, dp) = (params.split, params.paths);
-        let sealed = aead::seal(&self.graph.dest_key, plaintext, &mut self.rng);
-        let coded = coder::encode(&sealed, d, dp, &mut self.rng);
+        // Cached subkeys + midstates, sealed into the reusable buffer —
+        // the steady-state seal allocates nothing.
+        self.dest_sealer
+            .seal_into(plaintext, &mut self.seal_buf, &mut self.rng);
+        let coded = coder::encode(&self.seal_buf, d, dp, &mut self.rng);
         let slot_len = d + coded.block_len + 4;
         let recode = matches!(params.data_mode, slicing_graph::DataMode::Recode);
         let mut sends = Vec::with_capacity(dp * dp);
@@ -404,7 +422,7 @@ impl SourceSession {
         entry.1.extend(slices);
         if entry.1.len() >= d {
             if let Ok(sealed) = coder::decode(&entry.1, d) {
-                if let Ok(plaintext) = aead::open(&self.graph.dest_key, &sealed) {
+                if let Ok(plaintext) = self.dest_sealer.open_owned(sealed) {
                     self.reverse.finish(seq);
                     return self.stream_consume(seq, plaintext);
                 }
@@ -424,24 +442,35 @@ impl SourceSession {
         };
         // The reporter sealed the address under its own secret key; the
         // source issued every key in the graph, so trying each is cheap
-        // (L·d′ AEAD opens) and authenticates the report.
-        for stage_infos in self.graph.infos.iter().skip(1) {
-            for info in stage_infos {
-                if let Ok(bytes) = aead::open(&info.secret_key, sealed) {
-                    let Ok(addr_bytes) = <[u8; 8]>::try_from(bytes.as_slice()) else {
-                        return;
-                    };
-                    let dead = OverlayAddr::from_bytes(addr_bytes);
-                    // Stragglers naming already-replaced nodes (reports
-                    // still washing up the reverse path) are ignored:
-                    // only a relay in the *current* graph can fail.
-                    if self.graph.relay_addrs().any(|a| a == dead)
-                        && dead != self.graph.dest_addr()
-                    {
-                        self.failed.insert(dead);
-                    }
+        // (L·d′ AEAD opens) and authenticates the report. The per-key
+        // sealers (subkey derivations + HMAC midstates) are cached
+        // across reports — a churn burst delivers many, and re-deriving
+        // L·d′ subkey sets per report would dwarf the opens themselves.
+        if self.issued_sealers.is_empty() {
+            self.issued_sealers = self
+                .graph
+                .infos
+                .iter()
+                .skip(1)
+                .flat_map(|stage| stage.iter())
+                .map(|info| SealingKey::new(&info.secret_key))
+                .collect();
+        }
+        for sealer in &self.issued_sealers {
+            if let Ok(bytes) = sealer.open(sealed) {
+                let Ok(addr_bytes) = <[u8; 8]>::try_from(bytes.as_slice()) else {
                     return;
+                };
+                let dead = OverlayAddr::from_bytes(addr_bytes);
+                // Stragglers naming already-replaced nodes (reports
+                // still washing up the reverse path) are ignored:
+                // only a relay in the *current* graph can fail.
+                if self.graph.relay_addrs().any(|a| a == dead)
+                    && dead != self.graph.dest_addr()
+                {
+                    self.failed.insert(dead);
                 }
+                return;
             }
         }
     }
@@ -567,6 +596,11 @@ impl SourceSession {
         }
         self.setup_packets_sent += sends.len() as u64;
         self.graph = graph;
+        // The repair re-keyed part of the graph: rebuild the cached
+        // destination sealer and drop the issued-key sealers (rebuilt
+        // lazily from the new key set on the next report).
+        self.dest_sealer = SealingKey::new(&self.graph.dest_key);
+        self.issued_sealers.clear();
         // Replay the recent message window over the repaired routes.
         let log: Vec<(u32, Vec<u8>)> = self.sent_log.iter().cloned().collect();
         for (seq, plaintext) in log {

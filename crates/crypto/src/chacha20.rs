@@ -1,4 +1,19 @@
-//! ChaCha20 stream cipher (RFC 8439).
+//! ChaCha20 stream cipher (RFC 8439) with runtime-dispatched multi-block
+//! keystream generation.
+//!
+//! A [`ChaCha20`] instance carries a [`Backend`] chosen at construction
+//! (the process-wide [`crate::simd::backend`] by default). Whole 64-byte
+//! blocks are XOR'd by the SIMD engines in one dispatched call (four
+//! blocks per pass on AVX2); sub-block tails fall back to the scalar
+//! [`block`] function and are buffered for the next `apply`.
+//!
+//! The 32-bit block counter is tracked internally as a `u64`:
+//! exhausting the counter space (more than 256 GiB of keystream under
+//! one nonce, which would silently reuse keystream in the RFC
+//! formulation) is a typed [`KeystreamExhausted`] error from
+//! [`ChaCha20::try_apply`], checked *before* any bytes are touched.
+
+use crate::simd::{self, Backend};
 
 /// "expand 32-byte k" constants.
 const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
@@ -15,7 +30,8 @@ fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
     s[b] = (s[b] ^ s[c]).rotate_left(7);
 }
 
-/// Compute one 64-byte keystream block for (key, nonce, counter).
+/// Compute one 64-byte keystream block for (key, nonce, counter) — the
+/// scalar reference the SIMD engines are tested against.
 pub fn block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
@@ -57,6 +73,24 @@ pub fn block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
     out
 }
 
+/// The 32-bit block counter ran out: more keystream was requested than
+/// one (key, nonce) pair can produce (2³² blocks = 256 GiB). Continuing
+/// would wrap the counter and reuse keystream, so the cipher refuses
+/// instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeystreamExhausted;
+
+impl std::fmt::Display for KeystreamExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ChaCha20 block counter exhausted (keystream would repeat)")
+    }
+}
+
+impl std::error::Error for KeystreamExhausted {}
+
+/// Number of keystream blocks one (key, nonce) pair may produce.
+const MAX_BLOCKS: u64 = 1 << 32;
+
 /// A ChaCha20 keystream positioned at an arbitrary block counter.
 ///
 /// `apply` XORs the keystream into a buffer; applying twice with the same
@@ -64,39 +98,107 @@ pub fn block(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> [u8; 64] {
 pub struct ChaCha20 {
     key: [u8; 32],
     nonce: [u8; 12],
-    counter: u32,
+    /// Next block index to generate. Kept as `u64` so counter
+    /// exhaustion is a detectable state rather than a silent 32-bit
+    /// wrap; always ≤ [`MAX_BLOCKS`].
+    counter: u64,
     buf: [u8; 64],
     /// Bytes of `buf` already consumed.
     used: usize,
+    backend: Backend,
 }
 
 impl ChaCha20 {
     /// Create a cipher starting at block `counter` (RFC examples use 1 for
-    /// payload encryption; 0 is fine for our protocol use).
+    /// payload encryption; 0 is fine for our protocol use), on the
+    /// process-wide detected backend.
     pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        Self::new_on(simd::backend(), key, nonce, counter)
+    }
+
+    /// As [`ChaCha20::new`], pinned to a specific [`Backend`] (tests
+    /// sweep every available engine against the scalar reference).
+    pub fn new_on(backend: Backend, key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
         ChaCha20 {
             key: *key,
             nonce: *nonce,
-            counter,
+            counter: counter as u64,
             buf: [0; 64],
             used: 64,
+            backend,
         }
     }
 
-    /// XOR the keystream into `data` in place.
-    pub fn apply(&mut self, data: &mut [u8]) {
-        for byte in data.iter_mut() {
-            if self.used == 64 {
-                self.buf = block(&self.key, &self.nonce, self.counter);
-                self.counter = self.counter.wrapping_add(1);
-                self.used = 0;
+    /// Keystream bytes still available before the 32-bit counter runs out.
+    fn remaining(&self) -> u64 {
+        (64 - self.used) as u64 + (MAX_BLOCKS - self.counter) * 64
+    }
+
+    /// XOR the keystream into `data` in place, or refuse — leaving
+    /// `data` untouched — if that would exhaust the 32-bit block
+    /// counter and repeat keystream.
+    pub fn try_apply(&mut self, data: &mut [u8]) -> Result<(), KeystreamExhausted> {
+        if data.len() as u64 > self.remaining() {
+            return Err(KeystreamExhausted);
+        }
+        let mut off = 0usize;
+        // Drain the buffered partial block first.
+        if self.used < 64 {
+            let take = data.len().min(64 - self.used);
+            for (b, k) in data[..take].iter_mut().zip(&self.buf[self.used..self.used + take]) {
+                *b ^= k;
             }
-            *byte ^= self.buf[self.used];
-            self.used += 1;
+            self.used += take;
+            off = take;
+        }
+        // Bulk whole blocks: one dispatched SIMD call, scalar otherwise.
+        if self.backend == Backend::Simd && data.len() - off >= 64 {
+            let n = simd::kernels::chacha_xor(
+                &self.key,
+                &self.nonce,
+                self.counter as u32,
+                &mut data[off..],
+            );
+            self.counter += n as u64;
+            off += n * 64;
+        }
+        while data.len() - off >= 64 {
+            let ks = block(&self.key, &self.nonce, self.counter as u32);
+            for (b, k) in data[off..off + 64].iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+            self.counter += 1;
+            off += 64;
+        }
+        // Sub-block tail: generate and buffer one more block.
+        if off < data.len() {
+            self.buf = block(&self.key, &self.nonce, self.counter as u32);
+            self.counter += 1;
+            let take = data.len() - off;
+            for (b, k) in data[off..].iter_mut().zip(self.buf.iter()) {
+                *b ^= k;
+            }
+            self.used = take;
+        }
+        Ok(())
+    }
+
+    /// XOR the keystream into `data` in place.
+    ///
+    /// # Panics
+    /// Panics if the 32-bit block counter would be exhausted (more than
+    /// 256 GiB of keystream under one nonce); use
+    /// [`ChaCha20::try_apply`] to handle that case as an error.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        if self.try_apply(data).is_err() {
+            panic!("ChaCha20 keystream exhausted: counter would wrap and repeat");
         }
     }
 
     /// Convenience: encrypt/decrypt a buffer with a one-shot cipher.
+    ///
+    /// # Panics
+    /// As [`ChaCha20::apply`], on 32-bit counter exhaustion.
     pub fn xor(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
         ChaCha20::new(key, nonce, counter).apply(data);
     }
@@ -128,9 +230,10 @@ mod tests {
         );
     }
 
-    /// RFC 8439 §2.4.2 encryption test (first 32 bytes of ciphertext).
+    /// RFC 8439 §2.4.2 encryption test, swept across every available
+    /// backend (full 114-byte ciphertext split in two for readability).
     #[test]
-    fn rfc8439_encryption_prefix() {
+    fn rfc8439_encryption_all_backends() {
         let mut key = [0u8; 32];
         for (i, k) in key.iter_mut().enumerate() {
             *k = i as u8;
@@ -138,13 +241,20 @@ mod tests {
         let nonce = [
             0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
         ];
-        let mut data = *b"Ladies and Gentlemen of the class of '99: If I could offer you \
+        let plaintext = *b"Ladies and Gentlemen of the class of '99: If I could offer you \
 only one tip for the future, sunscreen would be it.";
-        ChaCha20::xor(&key, &nonce, 1, &mut data);
-        assert_eq!(
-            hex(&data[..32]),
-            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
-        );
+        for backend in crate::simd::available_backends() {
+            let mut data = plaintext;
+            ChaCha20::new_on(backend, &key, &nonce, 1).apply(&mut data);
+            assert_eq!(
+                hex(&data),
+                "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+                 f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+                 07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+                 5af90bbf74a35be6b40b8eedf2785e42874d",
+                "{backend} backend"
+            );
+        }
     }
 
     #[test]
@@ -160,17 +270,21 @@ only one tip for the future, sunscreen would be it.";
     }
 
     #[test]
-    fn incremental_equals_oneshot() {
+    fn incremental_equals_oneshot_all_backends() {
         let key = [9u8; 32];
         let nonce = [1u8; 12];
         let mut oneshot = vec![0u8; 500];
-        ChaCha20::xor(&key, &nonce, 0, &mut oneshot);
-        let mut incremental = vec![0u8; 500];
-        let mut c = ChaCha20::new(&key, &nonce, 0);
-        for chunk in incremental.chunks_mut(13) {
-            c.apply(chunk);
+        ChaCha20::new_on(Backend::Scalar, &key, &nonce, 0).apply(&mut oneshot);
+        for backend in crate::simd::available_backends() {
+            for chunk_size in [1usize, 13, 64, 65, 130] {
+                let mut incremental = vec![0u8; 500];
+                let mut c = ChaCha20::new_on(backend, &key, &nonce, 0);
+                for chunk in incremental.chunks_mut(chunk_size) {
+                    c.apply(chunk);
+                }
+                assert_eq!(oneshot, incremental, "{backend} backend, chunks of {chunk_size}");
+            }
         }
-        assert_eq!(oneshot, incremental);
     }
 
     #[test]
@@ -181,5 +295,66 @@ only one tip for the future, sunscreen would be it.";
         ChaCha20::xor(&key, &[0u8; 12], 0, &mut a);
         ChaCha20::xor(&key, &[1u8; 12], 0, &mut b);
         assert_ne!(a, b);
+    }
+
+    /// The final counter value must be usable and the one past it must
+    /// be a typed error, with the data left untouched on refusal.
+    #[test]
+    fn counter_exhaustion_at_boundary() {
+        let key = [2u8; 32];
+        let nonce = [4u8; 12];
+        for backend in crate::simd::available_backends() {
+            // Exactly one block remains at counter u32::MAX.
+            let mut c = ChaCha20::new_on(backend, &key, &nonce, u32::MAX);
+            let mut data = [0u8; 64];
+            assert_eq!(c.try_apply(&mut data), Ok(()), "{backend} backend");
+            let expected = block(&key, &nonce, u32::MAX);
+            assert_eq!(data, expected, "{backend} backend");
+            // The next byte would wrap: typed error, data untouched.
+            let mut one = [0xAAu8; 1];
+            assert_eq!(c.try_apply(&mut one), Err(KeystreamExhausted), "{backend} backend");
+            assert_eq!(one, [0xAA], "{backend} backend");
+        }
+    }
+
+    /// Refusal happens before any bytes are modified, even when part of
+    /// the request would have fit.
+    #[test]
+    fn oversized_request_touches_nothing() {
+        let key = [2u8; 32];
+        let nonce = [4u8; 12];
+        let mut c = ChaCha20::new(&key, &nonce, u32::MAX);
+        let mut data = [0x55u8; 128]; // two blocks wanted, one available
+        assert_eq!(c.try_apply(&mut data), Err(KeystreamExhausted));
+        assert!(data.iter().all(|&b| b == 0x55));
+        // The stream is still usable for what actually fits.
+        let mut fits = [0u8; 64];
+        assert_eq!(c.try_apply(&mut fits), Ok(()));
+    }
+
+    /// Partial consumption across the boundary: buffered bytes of the
+    /// final block remain available after the counter itself is spent.
+    #[test]
+    fn buffered_tail_of_final_block() {
+        let key = [8u8; 32];
+        let nonce = [6u8; 12];
+        let mut c = ChaCha20::new(&key, &nonce, u32::MAX);
+        let mut a = [0u8; 40];
+        assert_eq!(c.try_apply(&mut a), Ok(()));
+        let mut b = [0u8; 24];
+        assert_eq!(c.try_apply(&mut b), Ok(()));
+        let mut overflow = [0u8; 1];
+        assert_eq!(c.try_apply(&mut overflow), Err(KeystreamExhausted));
+        let expected = block(&key, &nonce, u32::MAX);
+        assert_eq!(&a[..], &expected[..40]);
+        assert_eq!(&b[..], &expected[40..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "keystream exhausted")]
+    fn apply_panics_on_exhaustion() {
+        let mut c = ChaCha20::new(&[0u8; 32], &[0u8; 12], u32::MAX);
+        let mut data = [0u8; 65];
+        c.apply(&mut data);
     }
 }

@@ -1,6 +1,6 @@
 //! HKDF with SHA-256 (RFC 5869).
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::{hmac_sha256, HmacKey};
 
 /// HKDF-Extract: derive a pseudorandom key from input keying material.
 pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
@@ -10,22 +10,26 @@ pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
 /// HKDF-Expand: fill `okm` with output keying material derived from `prk`
 /// and the context `info`.
 ///
+/// The PRK's HMAC midstates are computed once and reused for every
+/// output block, and no intermediate buffers are allocated.
+///
 /// # Panics
 /// Panics if `okm.len() > 255 * 32` (the RFC limit).
 pub fn expand(prk: &[u8; 32], info: &[u8], okm: &mut [u8]) {
     assert!(okm.len() <= 255 * 32, "HKDF output too long");
-    let mut t: Vec<u8> = Vec::new();
+    let key = HmacKey::new(prk);
+    let mut t = [0u8; 32];
     let mut written = 0;
     let mut counter = 1u8;
     while written < okm.len() {
-        let mut input = Vec::with_capacity(t.len() + info.len() + 1);
-        input.extend_from_slice(&t);
-        input.extend_from_slice(info);
-        input.push(counter);
-        let block = hmac_sha256(prk, &input);
+        let block = if counter == 1 {
+            key.mac_parts(&[info, &[counter]])
+        } else {
+            key.mac_parts(&[&t, info, &[counter]])
+        };
         let take = (okm.len() - written).min(32);
         okm[written..written + take].copy_from_slice(&block[..take]);
-        t = block.to_vec();
+        t = block;
         written += take;
         counter += 1;
     }

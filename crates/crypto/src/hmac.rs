@@ -1,31 +1,92 @@
-//! HMAC-SHA-256 (RFC 2104).
+//! HMAC-SHA-256 (RFC 2104), with precomputed-midstate keys.
+//!
+//! [`hmac_sha256`] is the stateless two-pass reference. [`HmacKey`]
+//! precomputes the SHA-256 compression states after absorbing the
+//! ipad/opad blocks once per key, so every subsequent [`HmacKey::mac`]
+//! skips two compressions — the per-message win that, together with the
+//! AEAD's cached subkeys, removes ~6 compressions per sealed message.
 
-use crate::sha256::Sha256;
+use crate::sha256::{self, Sha256};
+use crate::simd::{self, Backend};
 
 const BLOCK: usize = 64;
 
-/// Compute `HMAC-SHA256(key, data)`.
+/// An HMAC-SHA256 key with the ipad/opad block compressions already
+/// applied. Construction costs two compressions; each [`HmacKey::mac`]
+/// afterwards resumes from the stored midstates instead of re-absorbing
+/// the padded key.
+#[derive(Clone)]
+pub struct HmacKey {
+    /// Compression state after `IV ← ipad-block` (64 bytes absorbed).
+    inner: [u32; 8],
+    /// Compression state after `IV ← opad-block` (64 bytes absorbed).
+    outer: [u32; 8],
+    backend: Backend,
+}
+
+impl HmacKey {
+    /// Prepare a key on the process-wide detected backend.
+    pub fn new(key: &[u8]) -> Self {
+        Self::new_on(simd::backend(), key)
+    }
+
+    /// Prepare a key pinned to a specific [`Backend`].
+    pub fn new_on(backend: Backend, key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            k[..32].copy_from_slice(&Sha256::digest_on(backend, key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; BLOCK];
+        let mut opad = [0x5cu8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = sha256::IV;
+        sha256::compress_blocks(backend, &mut inner, &ipad);
+        let mut outer = sha256::IV;
+        sha256::compress_blocks(backend, &mut outer, &opad);
+        HmacKey {
+            inner,
+            outer,
+            backend,
+        }
+    }
+
+    /// Compute `HMAC-SHA256(key, data)` by resuming from the cached
+    /// midstates.
+    pub fn mac(&self, data: &[u8]) -> [u8; 32] {
+        self.mac_parts(&[data])
+    }
+
+    /// As [`HmacKey::mac`] over the concatenation of `parts`, without
+    /// materializing it (the HKDF expand loop authenticates
+    /// `T(n-1) ‖ info ‖ counter` allocation-free with this).
+    pub fn mac_parts(&self, parts: &[&[u8]]) -> [u8; 32] {
+        let mut h = Sha256::from_midstate(self.backend, self.inner, BLOCK as u64);
+        for part in parts {
+            h.update(part);
+        }
+        let inner_digest = h.finalize();
+        let mut o = Sha256::from_midstate(self.backend, self.outer, BLOCK as u64);
+        o.update(&inner_digest);
+        o.finalize()
+    }
+}
+
+impl std::fmt::Debug for HmacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Midstates are key-equivalent material; never print them.
+        write!(f, "HmacKey(..)")
+    }
+}
+
+/// Compute `HMAC-SHA256(key, data)` (one-shot; prefer [`HmacKey`] when
+/// the same key authenticates many messages).
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
-    let mut k = [0u8; BLOCK];
-    if key.len() > BLOCK {
-        k[..32].copy_from_slice(&Sha256::digest(key));
-    } else {
-        k[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0x36u8; BLOCK];
-    let mut opad = [0x5cu8; BLOCK];
-    for i in 0..BLOCK {
-        ipad[i] ^= k[i];
-        opad[i] ^= k[i];
-    }
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(data);
-    let inner_digest = inner.finalize();
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    HmacKey::new(key).mac(data)
 }
 
 /// Constant-time comparison of two MACs.
@@ -45,15 +106,19 @@ mod tests {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
     }
 
-    // RFC 4231 test cases.
+    // RFC 4231 test cases, swept across every available backend via the
+    // midstate path (hmac_sha256 delegates to HmacKey).
     #[test]
     fn rfc4231_case_1() {
         let key = [0x0bu8; 20];
-        let mac = hmac_sha256(&key, b"Hi There");
-        assert_eq!(
-            hex(&mac),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
-        );
+        for backend in crate::simd::available_backends() {
+            let mac = HmacKey::new_on(backend, &key).mac(b"Hi There");
+            assert_eq!(
+                hex(&mac),
+                "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7",
+                "{backend} backend"
+            );
+        }
     }
 
     #[test]
@@ -80,11 +145,27 @@ mod tests {
     fn long_key_is_hashed_first() {
         // RFC 4231 case 6: 131-byte key.
         let key = [0xaau8; 131];
-        let mac = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
-        assert_eq!(
-            hex(&mac),
-            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
-        );
+        for backend in crate::simd::available_backends() {
+            let mac = HmacKey::new_on(backend, &key)
+                .mac(b"Test Using Larger Than Block-Size Key - Hash Key First");
+            assert_eq!(
+                hex(&mac),
+                "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54",
+                "{backend} backend"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_key_reusable_across_messages() {
+        let key = HmacKey::new(b"reused-key");
+        let a1 = key.mac(b"first message");
+        let b1 = key.mac(b"second message");
+        let a2 = hmac_sha256(b"reused-key", b"first message");
+        let b2 = hmac_sha256(b"reused-key", b"second message");
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert_ne!(a1, b1);
     }
 
     #[test]

@@ -22,7 +22,12 @@
 //! (asymmetric setup vs symmetric data path), which these implementations
 //! preserve.
 
-#![forbid(unsafe_code)]
+// Unsafe is denied crate-wide; only the `simd` arch kernels opt out
+// (module-scoped `#[allow(unsafe_code)]`), confining `std::arch`
+// intrinsics behind safe wrappers exactly as `slicing-gf` does. Every
+// unsafe block carries a SAFETY contract audited by `slicing-lint`
+// (see UNSAFE_LEDGER.md).
+#![deny(unsafe_code)]
 
 pub mod aead;
 pub mod bignum;
@@ -33,13 +38,16 @@ pub mod prime;
 pub mod rng;
 pub mod rsa;
 pub mod sha256;
+pub mod simd;
 
-pub use aead::{open, seal, SealError};
+pub use aead::{open, seal, SealError, SealingKey};
 pub use bignum::BigUint;
-pub use chacha20::ChaCha20;
+pub use chacha20::{ChaCha20, KeystreamExhausted};
+pub use hmac::HmacKey;
 pub use rng::ChaChaRng;
 pub use rsa::{RsaKeyPair, RsaPublicKey};
 pub use sha256::Sha256;
+pub use simd::Backend;
 
 /// A 256-bit symmetric key, as distributed to each node in its
 /// per-node information `I_x` ("Secret Key", §4.3.1).

@@ -1,6 +1,16 @@
-//! SHA-256 (FIPS 180-4), incremental API.
+//! SHA-256 (FIPS 180-4), incremental API with runtime-dispatched
+//! compression.
+//!
+//! Every hasher carries a [`Backend`] chosen at construction (the
+//! process-wide [`crate::simd::backend`] by default, or pinned with
+//! [`Sha256::new_on`] for tests that sweep engines). Whole-block spans
+//! are compressed in one dispatched call so the SIMD engines see
+//! multi-block inputs; only sub-block remainders are buffered.
 
-const K: [u32; 64] = [
+use crate::simd::{self, Backend};
+
+/// FIPS 180-4 §4.2.2 round constants, shared with the SIMD engines.
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -11,9 +21,83 @@ const K: [u32; 64] = [
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
 ];
 
-const IV: [u32; 8] = [
+/// FIPS 180-4 §5.3.3 initial hash value, shared with the HMAC midstate
+/// builder and the SIMD engine tests.
+pub(crate) const IV: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// The 64 scalar rounds over an already-expanded message schedule.
+/// Shared between [`compress_scalar`] and the vectorized-schedule SIMD
+/// engine (which expands `w` with SIMD, then runs these rounds).
+pub(crate) fn rounds(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Scalar reference compression of one 64-byte block — the oracle the
+/// SIMD engines are tested against.
+pub(crate) fn compress_scalar(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for i in 0..16 {
+        w[i] = u32::from_be_bytes([
+            block[i * 4],
+            block[i * 4 + 1],
+            block[i * 4 + 2],
+            block[i * 4 + 3],
+        ]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    rounds(state, &w);
+}
+
+/// Compress a whole-block span (`blocks.len() % 64 == 0`) into `state`
+/// on the given backend. The single dispatched call per span is what
+/// lets the SIMD engines amortize their state packing over many blocks.
+pub(crate) fn compress_blocks(backend: Backend, state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    if backend == Backend::Simd && simd::kernels::sha256_compress(state, blocks) {
+        return;
+    }
+    for block in blocks.chunks_exact(64) {
+        // chunks_exact(64) always yields 64-byte slices.
+        compress_scalar(state, block.try_into().expect("64-byte chunk"));
+    }
+}
 
 /// Incremental SHA-256 hasher.
 #[derive(Clone)]
@@ -24,6 +108,7 @@ pub struct Sha256 {
     buf_len: usize,
     /// Total message length in bytes.
     total: u64,
+    backend: Backend,
 }
 
 impl Default for Sha256 {
@@ -33,13 +118,35 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// New empty hasher.
+    /// New empty hasher on the process-wide detected backend.
     pub fn new() -> Self {
+        Self::new_on(simd::backend())
+    }
+
+    /// New empty hasher pinned to a specific [`Backend`] (tests sweep
+    /// every available engine against the scalar reference with this).
+    pub fn new_on(backend: Backend) -> Self {
         Sha256 {
             state: IV,
             buf: [0; 64],
             buf_len: 0,
             total: 0,
+            backend,
+        }
+    }
+
+    /// Resume from a captured compression state: `state` after `total`
+    /// bytes (a multiple of 64) have been absorbed. This is the HMAC
+    /// midstate fast path — the ipad/opad blocks are compressed once
+    /// per key instead of once per message.
+    pub(crate) fn from_midstate(backend: Backend, state: [u32; 8], total: u64) -> Self {
+        debug_assert_eq!(total % 64, 0);
+        Sha256 {
+            state,
+            buf: [0; 64],
+            buf_len: 0,
+            total,
+            backend,
         }
     }
 
@@ -53,16 +160,14 @@ impl Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                compress_blocks(self.backend, &mut self.state, &block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            data = rest;
+        let span = data.len() / 64 * 64;
+        if span > 0 {
+            compress_blocks(self.backend, &mut self.state, &data[..span]);
+            data = &data[span..];
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -81,7 +186,7 @@ impl Sha256 {
         // Manually append length (update would double-count `total`).
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
-        self.compress(&block);
+        compress_blocks(self.backend, &mut self.state, &block);
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
             out[i * 4..(i + 1) * 4].copy_from_slice(&w.to_be_bytes());
@@ -89,60 +194,24 @@ impl Sha256 {
         out
     }
 
-    /// One-shot convenience.
-    pub fn digest(data: &[u8]) -> [u8; 32] {
-        let mut h = Sha256::new();
-        h.update(data);
-        h.finalize()
+    /// Expose the compression state (whole-block inputs only) so tests
+    /// can validate midstate resumption.
+    #[cfg(test)]
+    pub(crate) fn midstate(&self) -> [u32; 8] {
+        debug_assert_eq!(self.buf_len, 0);
+        self.state
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for i in 0..16 {
-            w[i] = u32::from_be_bytes([
-                block[i * 4],
-                block[i * 4 + 1],
-                block[i * 4 + 2],
-                block[i * 4 + 3],
-            ]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+    /// One-shot convenience on the detected backend.
+    pub fn digest(data: &[u8]) -> [u8; 32] {
+        Self::digest_on(simd::backend(), data)
+    }
+
+    /// One-shot convenience pinned to a specific [`Backend`].
+    pub fn digest_on(backend: Backend, data: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new_on(backend);
+        h.update(data);
+        h.finalize()
     }
 }
 
@@ -154,52 +223,60 @@ mod tests {
         bytes.iter().map(|b| format!("{b:02x}")).collect()
     }
 
+    /// FIPS 180-4 / NIST vectors, swept across every available backend.
     #[test]
-    fn empty_string() {
-        assert_eq!(
-            hex(&Sha256::digest(b"")),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
-        );
+    fn fips_vectors_all_backends() {
+        let cases: &[(&[u8], &str)] = &[
+            (
+                b"",
+                "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+            ),
+            (
+                b"abc",
+                "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+            ),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+            ),
+        ];
+        for backend in crate::simd::available_backends() {
+            for (input, want) in cases {
+                assert_eq!(
+                    hex(&Sha256::digest_on(backend, input)),
+                    *want,
+                    "{backend} backend, input len {}",
+                    input.len()
+                );
+            }
+        }
     }
 
     #[test]
-    fn abc() {
-        assert_eq!(
-            hex(&Sha256::digest(b"abc")),
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
-        );
-    }
-
-    #[test]
-    fn two_block_message() {
-        assert_eq!(
-            hex(&Sha256::digest(
-                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
-            )),
-            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
-        );
-    }
-
-    #[test]
-    fn million_a() {
+    fn million_a_all_backends() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(
-            hex(&Sha256::digest(&data)),
-            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
-        );
+        for backend in crate::simd::available_backends() {
+            assert_eq!(
+                hex(&Sha256::digest_on(backend, &data)),
+                "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+                "{backend} backend"
+            );
+        }
     }
 
     #[test]
     fn incremental_matches_oneshot() {
         let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
-        let oneshot = Sha256::digest(&data);
-        // Feed in awkward chunk sizes crossing block boundaries.
-        for chunk in [1usize, 7, 63, 64, 65, 200] {
-            let mut h = Sha256::new();
-            for c in data.chunks(chunk) {
-                h.update(c);
+        for backend in crate::simd::available_backends() {
+            let oneshot = Sha256::digest_on(backend, &data);
+            // Feed in awkward chunk sizes crossing block boundaries.
+            for chunk in [1usize, 7, 63, 64, 65, 200] {
+                let mut h = Sha256::new_on(backend);
+                for c in data.chunks(chunk) {
+                    h.update(c);
+                }
+                assert_eq!(h.finalize(), oneshot, "{backend} backend, chunk size {chunk}");
             }
-            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
         }
     }
 
@@ -212,6 +289,34 @@ mod tests {
             let mut h = Sha256::new();
             h.update(&data);
             assert_eq!(h.finalize(), d1);
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_random_lengths() {
+        let backends = crate::simd::available_backends();
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 129, 400, 1500, 4096] {
+            let data: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(17)).collect();
+            let reference = Sha256::digest_on(Backend::Scalar, &data);
+            for &b in &backends {
+                assert_eq!(Sha256::digest_on(b, &data), reference, "{b} backend, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn midstate_resume_matches_flat_hash() {
+        for backend in crate::simd::available_backends() {
+            let prefix = [0x5Cu8; 64];
+            let tail = b"the rest of the message";
+            let mut flat = Sha256::new_on(backend);
+            flat.update(&prefix);
+            flat.update(tail);
+            let mut pre = Sha256::new_on(backend);
+            pre.update(&prefix);
+            let mut resumed = Sha256::from_midstate(backend, pre.midstate(), 64);
+            resumed.update(tail);
+            assert_eq!(resumed.finalize(), flat.finalize(), "{backend} backend");
         }
     }
 }

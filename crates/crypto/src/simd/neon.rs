@@ -1,0 +1,252 @@
+//! aarch64 kernels: NEON multi-block ChaCha20 and SHA-256 via the
+//! ARMv8 crypto extensions.
+//!
+//! NEON is baseline on aarch64 so, as in [`slicing_gf`]'s NEON module,
+//! there is no width split — ChaCha20 always runs, two blocks per pass
+//! (two independent register sets the out-of-order core overlaps). The
+//! SHA-256 engine needs the optional `sha2` extension
+//! (`vsha256hq_u32`/`vsha256su0q_u32` and friends); when the host lacks
+//! it, [`sha256_compress`] declines and the caller's scalar rounds take
+//! over while ChaCha20 stays vectorized.
+//!
+//! Like the GF NEON engines, this module is written-but-uncovered on
+//! the x86_64 CI host: the byte-identity proptests and RFC-vector
+//! backend sweeps exercise it on any aarch64 checkout.
+//!
+//! NEON conveniences over the x86 module: rotate-by-16 is a free
+//! `vrev32q_u16`, and the remaining rotates are single
+//! shift-left + shift-right-insert (`vsriq_n_u32`) pairs instead of
+//! shift/shift/or.
+
+use std::arch::aarch64::*;
+
+use crate::sha256::K;
+
+/// "expand 32-byte k", identical to [`crate::chacha20`]'s sigma row.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// Rotate each 32-bit lane left by `N`. Register-only, so a *safe*
+/// target-feature fn: callers already carry the `neon` feature.
+#[inline]
+#[target_feature(enable = "neon")]
+fn rotl<const N: i32, const INV: i32>(x: uint32x4_t) -> uint32x4_t {
+    vsriq_n_u32::<INV>(vshlq_n_u32::<N>(x), x)
+}
+
+/// One NEON ChaCha quarter-round over four single-block row registers.
+/// Register-only and safe, as [`rotl`].
+#[inline]
+#[target_feature(enable = "neon")]
+fn qround(
+    a: uint32x4_t,
+    b: uint32x4_t,
+    c: uint32x4_t,
+    d: uint32x4_t,
+) -> (uint32x4_t, uint32x4_t, uint32x4_t, uint32x4_t) {
+    let a = vaddq_u32(a, b);
+    let d = vreinterpretq_u32_u16(vrev32q_u16(vreinterpretq_u16_u32(veorq_u32(d, a))));
+    let c = vaddq_u32(c, d);
+    let b = rotl::<12, 20>(veorq_u32(b, c));
+    let a = vaddq_u32(a, b);
+    let d = rotl::<8, 24>(veorq_u32(d, a));
+    let c = vaddq_u32(c, d);
+    let b = rotl::<7, 25>(veorq_u32(b, c));
+    (a, b, c, d)
+}
+
+/// Twenty ChaCha rounds on one block's rows (no feed-forward).
+/// Register-only and safe, as [`rotl`].
+#[inline]
+#[target_feature(enable = "neon")]
+fn rounds1x(
+    mut a: uint32x4_t,
+    mut b: uint32x4_t,
+    mut c: uint32x4_t,
+    mut d: uint32x4_t,
+) -> (uint32x4_t, uint32x4_t, uint32x4_t, uint32x4_t) {
+    for _ in 0..10 {
+        // Column round, then lane-rotate rows 1–3 so diagonals become
+        // columns, diagonal round, rotate back.
+        (a, b, c, d) = qround(a, b, c, d);
+        b = vextq_u32(b, b, 1);
+        c = vextq_u32(c, c, 2);
+        d = vextq_u32(d, d, 3);
+        (a, b, c, d) = qround(a, b, c, d);
+        b = vextq_u32(b, b, 3);
+        c = vextq_u32(c, c, 2);
+        d = vextq_u32(d, d, 1);
+    }
+    (a, b, c, d)
+}
+
+/// NEON keystream-XOR engine: processes exactly `full` 64-byte blocks
+/// starting at block `counter`, two blocks per main-loop pass.
+///
+/// # Safety
+///
+/// `data` must be valid for `full * 64` bytes of read+write; the caller
+/// must guarantee `counter + full ≤ 2³²` (no 32-bit counter wrap).
+/// NEON is baseline on aarch64, so there is no feature precondition.
+#[target_feature(enable = "neon")]
+unsafe fn chacha_neon(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    mut counter: u32,
+    data: *mut u8,
+    full: usize,
+) {
+    // SAFETY: per the fn contract every `data` offset below is
+    // `< full * 64`; `vld1q`/`vst1q` are unaligned ops; `key`/`nonce`
+    // reads stay inside their arrays.
+    unsafe {
+        let row_a = vld1q_u32(SIGMA.as_ptr());
+        let row_b = vreinterpretq_u32_u8(vld1q_u8(key.as_ptr()));
+        let row_c = vreinterpretq_u32_u8(vld1q_u8(key.as_ptr().add(16)));
+        let n = |i: usize| {
+            u32::from_le_bytes([nonce[i * 4], nonce[i * 4 + 1], nonce[i * 4 + 2], nonce[i * 4 + 3]])
+        };
+        let (n0, n1, n2) = (n(0), n(1), n(2));
+        let row_d = |ctr: u32| {
+            let words = [ctr, n0, n1, n2];
+            vld1q_u32(words.as_ptr())
+        };
+        let store =
+            |p: *mut u8, a: uint32x4_t, b: uint32x4_t, c: uint32x4_t, d: uint32x4_t| {
+                let xs = |off: usize, v: uint32x4_t| {
+                    let cur = vld1q_u8(p.add(off));
+                    vst1q_u8(p.add(off), veorq_u8(cur, vreinterpretq_u8_u32(v)));
+                };
+                xs(0, a);
+                xs(16, b);
+                xs(32, c);
+                xs(48, d);
+            };
+        let mut done = 0usize;
+        while done + 2 <= full {
+            let d0 = row_d(counter);
+            let d1 = row_d(counter.wrapping_add(1));
+            let (a0, b0, c0, dd0) = rounds1x(row_a, row_b, row_c, d0);
+            let (a1, b1, c1, dd1) = rounds1x(row_a, row_b, row_c, d1);
+            let p = data.add(done * 64);
+            store(
+                p,
+                vaddq_u32(a0, row_a),
+                vaddq_u32(b0, row_b),
+                vaddq_u32(c0, row_c),
+                vaddq_u32(dd0, d0),
+            );
+            store(
+                p.add(64),
+                vaddq_u32(a1, row_a),
+                vaddq_u32(b1, row_b),
+                vaddq_u32(c1, row_c),
+                vaddq_u32(dd1, d1),
+            );
+            counter = counter.wrapping_add(2);
+            done += 2;
+        }
+        if done < full {
+            let d0 = row_d(counter);
+            let (a0, b0, c0, dd0) = rounds1x(row_a, row_b, row_c, d0);
+            store(
+                data.add(done * 64),
+                vaddq_u32(a0, row_a),
+                vaddq_u32(b0, row_b),
+                vaddq_u32(c0, row_c),
+                vaddq_u32(dd0, d0),
+            );
+        }
+    }
+}
+
+/// XOR ChaCha20 keystream into the full 64-byte blocks of `data`;
+/// returns the number of **blocks** processed (the caller's scalar path
+/// finishes the tail). The caller must already have ruled out 32-bit
+/// counter wrap, as [`crate::chacha20::ChaCha20`] does.
+pub(crate) fn chacha_xor(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    counter: u32,
+    data: &mut [u8],
+) -> usize {
+    let full = data.len() / 64;
+    if full == 0 {
+        return 0;
+    }
+    // SAFETY: NEON is baseline on aarch64; `data` covers `full * 64`
+    // bytes; the wrap precondition is the caller's documented contract.
+    unsafe {
+        chacha_neon(key, nonce, counter, data.as_mut_ptr(), full);
+    }
+    full
+}
+
+/// SHA-256 compression over whole 64-byte blocks with the ARMv8 crypto
+/// extensions: four rounds per `vsha256hq`/`vsha256h2q` pair, schedule
+/// expanded in-register with `vsha256su0q`/`vsha256su1q`.
+///
+/// # Safety
+///
+/// `blocks.len()` must be a multiple of 64; the caller must have
+/// verified the `sha2` feature.
+#[target_feature(enable = "neon", enable = "sha2")]
+unsafe fn sha256_compress_cryptoext(state: &mut [u32; 8], blocks: &[u8]) {
+    // SAFETY: per the fn contract, block loads stay inside `blocks` and
+    // `state` is 8 words, so both 4-word halves are valid.
+    unsafe {
+        let mut state0 = vld1q_u32(state.as_ptr()); // abcd
+        let mut state1 = vld1q_u32(state.as_ptr().add(4)); // efgh
+        let mut off = 0usize;
+        while off < blocks.len() {
+            let p = blocks.as_ptr().add(off);
+            let save0 = state0;
+            let save1 = state1;
+            // Big-endian words → native lanes.
+            let mut m = [
+                vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p))),
+                vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(16)))),
+                vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(32)))),
+                vreinterpretq_u32_u8(vrev32q_u8(vld1q_u8(p.add(48)))),
+            ];
+            for i in 0..16 {
+                let wk = vaddq_u32(m[i % 4], vld1q_u32(K.as_ptr().add(i * 4)));
+                if i < 12 {
+                    // This group's register is free after `wk`; refill it
+                    // with schedule group i+4.
+                    m[i % 4] = vsha256su1q_u32(
+                        vsha256su0q_u32(m[i % 4], m[(i + 1) % 4]),
+                        m[(i + 2) % 4],
+                        m[(i + 3) % 4],
+                    );
+                }
+                let old0 = state0;
+                state0 = vsha256hq_u32(state0, state1, wk);
+                state1 = vsha256h2q_u32(state1, old0, wk);
+            }
+            state0 = vaddq_u32(state0, save0);
+            state1 = vaddq_u32(state1, save1);
+            off += 64;
+        }
+        vst1q_u32(state.as_mut_ptr(), state0);
+        vst1q_u32(state.as_mut_ptr().add(4), state1);
+    }
+}
+
+/// Compress whole 64-byte blocks into `state` when the `sha2` crypto
+/// extension is present; returns `false` (input untouched) otherwise so
+/// the caller falls back to the scalar rounds.
+pub(crate) fn sha256_compress(state: &mut [u32; 8], blocks: &[u8]) -> bool {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    if !crate::simd::caps().sha_rounds {
+        return false;
+    }
+    if blocks.is_empty() {
+        return true;
+    }
+    // SAFETY: `sha_rounds` is only set when the `sha2` feature was
+    // detected; `blocks` is whole 64-byte blocks.
+    unsafe {
+        sha256_compress_cryptoext(state, blocks);
+    }
+    true
+}

@@ -1,0 +1,628 @@
+//! x86_64 kernels: multi-block ChaCha20 (AVX2 8×, SSSE3 1×) and
+//! SHA-256 compression (SHA-NI rounds, else an SSSE3-vectorized message
+//! schedule).
+//!
+//! Every public entry here is a **safe** wrapper around
+//! `#[target_feature]` inner loops; the wrappers pick the widest engine
+//! [`crate::simd::caps`] detected at startup and leave sub-block tails
+//! to the caller's scalar path, so callers never see alignment or
+//! length restrictions. The `unsafe` is confined to `std::arch`
+//! intrinsics on the little-endian x86_64 memory model they assume.
+//!
+//! ## ChaCha20 dataflow
+//!
+//! The kernels keep the 4×4 ChaCha state as four row registers and run
+//! the diagonal rounds by lane-rotating rows 1–3 (`pshufd`) before and
+//! after a column quarter-round — the classic "horizontal" layout. In
+//! the AVX2 engine each 256-bit register holds the same row of **two**
+//! consecutive blocks (one per 128-bit lane, counters differing by
+//! one), and the main loop interleaves four such units per iteration,
+//! so eight blocks (512 bytes) of keystream are produced per pass.
+//! Rotations by 16 and 8 are byte shuffles (`pshufb`); 12 and 7 are
+//! shift+or pairs.
+//!
+//! ## SHA-256 dataflow
+//!
+//! With SHA-NI, two rounds per `sha256rnds2` and on-the-fly message
+//! expansion via `sha256msg1`/`sha256msg2` in the standard rolling
+//! four-register schedule; the `[a..h]` state is packed to the
+//! `ABEF`/`CDGH` register layout the instructions expect once per call,
+//! not per block. Without SHA-NI, the 48 message-schedule words are
+//! expanded four at a time with SSE shifts (the two-phase `σ₁`
+//! dependency trick) and the 64 rounds themselves run scalar — the
+//! schedule is about half the scalar work, so this still wins on
+//! SSSE3-only hosts.
+
+use std::arch::x86_64::*;
+
+use crate::sha256::K;
+
+// ---- ChaCha20 -------------------------------------------------------------
+
+/// "expand 32-byte k", identical to [`crate::chacha20`]'s sigma row.
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// One AVX2 quarter-round over four row registers (two blocks per
+/// register). Register-only, so a *safe* target-feature fn: the engines
+/// calling it already carry the `avx2` feature.
+#[inline]
+#[target_feature(enable = "avx2")]
+fn qround256(
+    a: __m256i,
+    b: __m256i,
+    c: __m256i,
+    d: __m256i,
+    rot16: __m256i,
+    rot8: __m256i,
+) -> (__m256i, __m256i, __m256i, __m256i) {
+    let a = _mm256_add_epi32(a, b);
+    let d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot16);
+    let c = _mm256_add_epi32(c, d);
+    let b = _mm256_xor_si256(b, c);
+    let b = _mm256_or_si256(_mm256_slli_epi32(b, 12), _mm256_srli_epi32(b, 20));
+    let a = _mm256_add_epi32(a, b);
+    let d = _mm256_shuffle_epi8(_mm256_xor_si256(d, a), rot8);
+    let c = _mm256_add_epi32(c, d);
+    let b = _mm256_xor_si256(b, c);
+    let b = _mm256_or_si256(_mm256_slli_epi32(b, 7), _mm256_srli_epi32(b, 25));
+    (a, b, c, d)
+}
+
+/// Twenty ChaCha rounds on one two-block unit (rows in, rows out,
+/// without the feed-forward addition). Register-only and safe, as
+/// [`qround256`].
+#[inline]
+#[target_feature(enable = "avx2")]
+fn rounds2x256(
+    mut a: __m256i,
+    mut b: __m256i,
+    mut c: __m256i,
+    mut d: __m256i,
+    rot16: __m256i,
+    rot8: __m256i,
+) -> (__m256i, __m256i, __m256i, __m256i) {
+    for _ in 0..10 {
+        // Column round …
+        (a, b, c, d) = qround256(a, b, c, d, rot16, rot8);
+        // … then lane-rotate rows so the diagonals become columns.
+        b = _mm256_shuffle_epi32(b, 0x39);
+        c = _mm256_shuffle_epi32(c, 0x4E);
+        d = _mm256_shuffle_epi32(d, 0x93);
+        (a, b, c, d) = qround256(a, b, c, d, rot16, rot8);
+        b = _mm256_shuffle_epi32(b, 0x93);
+        c = _mm256_shuffle_epi32(c, 0x4E);
+        d = _mm256_shuffle_epi32(d, 0x39);
+    }
+    (a, b, c, d)
+}
+
+/// AVX2 keystream-XOR engine: processes exactly `full` 64-byte blocks
+/// starting at block `counter`, eight blocks per main-loop pass.
+///
+/// # Safety
+///
+/// `data` must be valid for `full * 64` bytes of read+write; the caller
+/// must have verified AVX2 support and that `counter + full ≤ 2³²`
+/// (no 32-bit block-counter wrap).
+#[target_feature(enable = "avx2")]
+unsafe fn chacha_avx2(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    mut counter: u32,
+    data: *mut u8,
+    full: usize,
+) {
+    // SAFETY: per the fn contract every `data` offset below is
+    // `< full * 64` and all loads/stores are the unaligned variants;
+    // `key`/`nonce` reads stay in their arrays.
+    unsafe {
+        let rot16 = _mm256_setr_epi8(
+            2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13, 2, 3, 0, 1, 6, 7, 4, 5, 10, 11,
+            8, 9, 14, 15, 12, 13,
+        );
+        let rot8 = _mm256_setr_epi8(
+            3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14, 3, 0, 1, 2, 7, 4, 5, 6, 11, 8,
+            9, 10, 15, 12, 13, 14,
+        );
+        let row_a = _mm256_broadcastsi128_si256(_mm_setr_epi32(
+            SIGMA[0] as i32,
+            SIGMA[1] as i32,
+            SIGMA[2] as i32,
+            SIGMA[3] as i32,
+        ));
+        let row_b =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(key.as_ptr() as *const __m128i));
+        let row_c =
+            _mm256_broadcastsi128_si256(_mm_loadu_si128(key.as_ptr().add(16) as *const __m128i));
+        let n = |i: usize| {
+            u32::from_le_bytes([nonce[i * 4], nonce[i * 4 + 1], nonce[i * 4 + 2], nonce[i * 4 + 3]])
+                as i32
+        };
+        let (n0, n1, n2) = (n(0), n(1), n(2));
+        // Lane 1 of a unit's row d carries counter + 1.
+        let lane_inc = _mm256_setr_epi32(0, 0, 0, 0, 1, 0, 0, 0);
+        let row_d = |ctr: u32| {
+            _mm256_add_epi32(
+                _mm256_broadcastsi128_si256(_mm_setr_epi32(ctr as i32, n0, n1, n2)),
+                lane_inc,
+            )
+        };
+        // Feed-forward + de-interleave + XOR-store of one two-block unit.
+        let store_unit = |p: *mut u8, a: __m256i, b: __m256i, c: __m256i, d: __m256i| {
+            let xs = |off: usize, v: __m256i| {
+                let cur = _mm256_loadu_si256(p.add(off) as *const __m256i);
+                _mm256_storeu_si256(p.add(off) as *mut __m256i, _mm256_xor_si256(cur, v));
+            };
+            // Low lanes form block 0, high lanes block 1.
+            xs(0, _mm256_permute2x128_si256(a, b, 0x20));
+            xs(32, _mm256_permute2x128_si256(c, d, 0x20));
+            xs(64, _mm256_permute2x128_si256(a, b, 0x31));
+            xs(96, _mm256_permute2x128_si256(c, d, 0x31));
+        };
+        let mut done = 0usize;
+        // Eight blocks per pass: four independent two-block units keep
+        // enough quarter-rounds in flight to hide the rotate/shuffle
+        // latency chain (the units share no registers until the store).
+        while done + 8 <= full {
+            let d0 = row_d(counter);
+            let d1 = row_d(counter.wrapping_add(2));
+            let d2 = row_d(counter.wrapping_add(4));
+            let d3 = row_d(counter.wrapping_add(6));
+            let mut u = [
+                (row_a, row_b, row_c, d0),
+                (row_a, row_b, row_c, d1),
+                (row_a, row_b, row_c, d2),
+                (row_a, row_b, row_c, d3),
+            ];
+            for _ in 0..10 {
+                for s in &mut u {
+                    *s = qround256(s.0, s.1, s.2, s.3, rot16, rot8);
+                }
+                for s in &mut u {
+                    s.1 = _mm256_shuffle_epi32(s.1, 0x39);
+                    s.2 = _mm256_shuffle_epi32(s.2, 0x4E);
+                    s.3 = _mm256_shuffle_epi32(s.3, 0x93);
+                }
+                for s in &mut u {
+                    *s = qround256(s.0, s.1, s.2, s.3, rot16, rot8);
+                }
+                for s in &mut u {
+                    s.1 = _mm256_shuffle_epi32(s.1, 0x93);
+                    s.2 = _mm256_shuffle_epi32(s.2, 0x4E);
+                    s.3 = _mm256_shuffle_epi32(s.3, 0x39);
+                }
+            }
+            let p = data.add(done * 64);
+            for (k, (xa, xb, xc, xd)) in u.into_iter().enumerate() {
+                store_unit(
+                    p.add(k * 128),
+                    _mm256_add_epi32(xa, row_a),
+                    _mm256_add_epi32(xb, row_b),
+                    _mm256_add_epi32(xc, row_c),
+                    _mm256_add_epi32(xd, row_d(counter.wrapping_add(2 * k as u32))),
+                );
+            }
+            counter = counter.wrapping_add(8);
+            done += 8;
+        }
+        if done + 4 <= full {
+            let d0 = row_d(counter);
+            let d1 = row_d(counter.wrapping_add(2));
+            let (xa0, xb0, xc0, xd0) = rounds2x256(row_a, row_b, row_c, d0, rot16, rot8);
+            let (xa1, xb1, xc1, xd1) = rounds2x256(row_a, row_b, row_c, d1, rot16, rot8);
+            let p = data.add(done * 64);
+            store_unit(
+                p,
+                _mm256_add_epi32(xa0, row_a),
+                _mm256_add_epi32(xb0, row_b),
+                _mm256_add_epi32(xc0, row_c),
+                _mm256_add_epi32(xd0, d0),
+            );
+            store_unit(
+                p.add(128),
+                _mm256_add_epi32(xa1, row_a),
+                _mm256_add_epi32(xb1, row_b),
+                _mm256_add_epi32(xc1, row_c),
+                _mm256_add_epi32(xd1, d1),
+            );
+            counter = counter.wrapping_add(4);
+            done += 4;
+        }
+        if done + 2 <= full {
+            let d0 = row_d(counter);
+            let (xa, xb, xc, xd) = rounds2x256(row_a, row_b, row_c, d0, rot16, rot8);
+            store_unit(
+                data.add(done * 64),
+                _mm256_add_epi32(xa, row_a),
+                _mm256_add_epi32(xb, row_b),
+                _mm256_add_epi32(xc, row_c),
+                _mm256_add_epi32(xd, d0),
+            );
+            counter = counter.wrapping_add(2);
+            done += 2;
+        }
+        if done < full {
+            // SAFETY: AVX2 implies SSSE3 (checked at dispatch anyway);
+            // one block of `data` remains valid for read+write.
+            chacha_ssse3(key, nonce, counter, data.add(done * 64), full - done);
+        }
+    }
+}
+
+/// One SSSE3 quarter-round over four single-block row registers.
+/// Register-only and safe, as [`qround256`].
+#[inline]
+#[target_feature(enable = "ssse3")]
+fn qround128(
+    a: __m128i,
+    b: __m128i,
+    c: __m128i,
+    d: __m128i,
+    rot16: __m128i,
+    rot8: __m128i,
+) -> (__m128i, __m128i, __m128i, __m128i) {
+    let a = _mm_add_epi32(a, b);
+    let d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot16);
+    let c = _mm_add_epi32(c, d);
+    let b = _mm_xor_si128(b, c);
+    let b = _mm_or_si128(_mm_slli_epi32(b, 12), _mm_srli_epi32(b, 20));
+    let a = _mm_add_epi32(a, b);
+    let d = _mm_shuffle_epi8(_mm_xor_si128(d, a), rot8);
+    let c = _mm_add_epi32(c, d);
+    let b = _mm_xor_si128(b, c);
+    let b = _mm_or_si128(_mm_slli_epi32(b, 7), _mm_srli_epi32(b, 25));
+    (a, b, c, d)
+}
+
+/// SSSE3 keystream-XOR engine: one 64-byte block per pass.
+///
+/// # Safety
+///
+/// Same contract as [`chacha_avx2`], with SSSE3 as the required
+/// feature.
+#[target_feature(enable = "ssse3")]
+unsafe fn chacha_ssse3(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    counter: u32,
+    data: *mut u8,
+    full: usize,
+) {
+    // SAFETY: as in `chacha_avx2` — offsets stay `< full * 64`, all
+    // loads/stores are unaligned variants.
+    unsafe {
+        let rot16 = _mm_setr_epi8(2, 3, 0, 1, 6, 7, 4, 5, 10, 11, 8, 9, 14, 15, 12, 13);
+        let rot8 = _mm_setr_epi8(3, 0, 1, 2, 7, 4, 5, 6, 11, 8, 9, 10, 15, 12, 13, 14);
+        let row_a = _mm_setr_epi32(
+            SIGMA[0] as i32,
+            SIGMA[1] as i32,
+            SIGMA[2] as i32,
+            SIGMA[3] as i32,
+        );
+        let row_b = _mm_loadu_si128(key.as_ptr() as *const __m128i);
+        let row_c = _mm_loadu_si128(key.as_ptr().add(16) as *const __m128i);
+        let n = |i: usize| {
+            u32::from_le_bytes([nonce[i * 4], nonce[i * 4 + 1], nonce[i * 4 + 2], nonce[i * 4 + 3]])
+                as i32
+        };
+        let mut row_d = _mm_setr_epi32(counter as i32, n(0), n(1), n(2));
+        let one = _mm_setr_epi32(1, 0, 0, 0);
+        for blk in 0..full {
+            let (mut a, mut b, mut c, mut d) = (row_a, row_b, row_c, row_d);
+            for _ in 0..10 {
+                (a, b, c, d) = qround128(a, b, c, d, rot16, rot8);
+                b = _mm_shuffle_epi32(b, 0x39);
+                c = _mm_shuffle_epi32(c, 0x4E);
+                d = _mm_shuffle_epi32(d, 0x93);
+                (a, b, c, d) = qround128(a, b, c, d, rot16, rot8);
+                b = _mm_shuffle_epi32(b, 0x93);
+                c = _mm_shuffle_epi32(c, 0x4E);
+                d = _mm_shuffle_epi32(d, 0x39);
+            }
+            let rows = [
+                _mm_add_epi32(a, row_a),
+                _mm_add_epi32(b, row_b),
+                _mm_add_epi32(c, row_c),
+                _mm_add_epi32(d, row_d),
+            ];
+            let p = data.add(blk * 64);
+            for (i, r) in rows.into_iter().enumerate() {
+                let cur = _mm_loadu_si128(p.add(i * 16) as *const __m128i);
+                _mm_storeu_si128(p.add(i * 16) as *mut __m128i, _mm_xor_si128(cur, r));
+            }
+            row_d = _mm_add_epi32(row_d, one);
+        }
+    }
+}
+
+/// XOR ChaCha20 keystream into the full 64-byte blocks of `data` with
+/// the widest available engine; returns the number of **blocks**
+/// processed (the caller's scalar path finishes the tail).
+///
+/// The caller must already have ruled out 32-bit counter wrap
+/// (`counter + data.len()/64 ≤ 2³²`) — [`crate::chacha20::ChaCha20`]
+/// enforces this before dispatching here.
+pub(crate) fn chacha_xor(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    counter: u32,
+    data: &mut [u8],
+) -> usize {
+    let full = data.len() / 64;
+    if full == 0 {
+        return 0;
+    }
+    // SAFETY: dispatch guarantees SSSE3 (and AVX2 when `wide_chacha`);
+    // `data` covers `full * 64` bytes; the wrap precondition is the
+    // caller's documented contract.
+    unsafe {
+        if crate::simd::caps().wide_chacha {
+            chacha_avx2(key, nonce, counter, data.as_mut_ptr(), full);
+        } else {
+            chacha_ssse3(key, nonce, counter, data.as_mut_ptr(), full);
+        }
+    }
+    full
+}
+
+// ---- SHA-256 --------------------------------------------------------------
+
+/// SHA-NI compression over whole 64-byte blocks. The `[a..h]` state is
+/// re-packed to `ABEF`/`CDGH` once at entry and unpacked once at exit;
+/// each block runs 16 × `sha256rnds2` pairs with the rolling
+/// `msg1`/`msg2` schedule.
+///
+/// # Safety
+///
+/// `blocks.len()` must be a multiple of 64; the caller must have
+/// verified SHA-NI + SSE4.1 + SSSE3 support.
+#[target_feature(enable = "sha,sse4.1,ssse3")]
+unsafe fn sha256_compress_shani(state: &mut [u32; 8], blocks: &[u8]) {
+    // SAFETY: per the fn contract, all `p` offsets stay inside one
+    // 64-byte block of `blocks`; `state` is 8 words so both halves are
+    // valid unaligned load/store targets; `K` holds 64 round constants.
+    unsafe {
+        // Big-endian words → little-endian lanes.
+        let bswap = _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+        let mut tmp = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        let mut state1 = _mm_loadu_si128(state.as_ptr().add(4) as *const __m128i);
+        tmp = _mm_shuffle_epi32(tmp, 0xB1); // [b a d c]
+        state1 = _mm_shuffle_epi32(state1, 0x1B); // [h g f e]
+        let mut state0 = _mm_alignr_epi8(tmp, state1, 8); // ABEF
+        state1 = _mm_blend_epi16(state1, tmp, 0xF0); // CDGH
+        let mut off = 0usize;
+        while off < blocks.len() {
+            let p = blocks.as_ptr().add(off);
+            let abef_save = state0;
+            let cdgh_save = state1;
+            let mut m = [
+                _mm_shuffle_epi8(_mm_loadu_si128(p as *const __m128i), bswap),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(16) as *const __m128i), bswap),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(32) as *const __m128i), bswap),
+                _mm_shuffle_epi8(_mm_loadu_si128(p.add(48) as *const __m128i), bswap),
+            ];
+            for i in 0..16 {
+                let mut msg =
+                    _mm_add_epi32(m[i % 4], _mm_loadu_si128(K.as_ptr().add(i * 4) as *const __m128i));
+                state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+                if (3..=14).contains(&i) {
+                    // W[t] += W[t-7] (the alignr slice), then σ₁ feedback.
+                    let t = _mm_alignr_epi8(m[i % 4], m[(i + 3) % 4], 4);
+                    m[(i + 1) % 4] =
+                        _mm_sha256msg2_epu32(_mm_add_epi32(m[(i + 1) % 4], t), m[i % 4]);
+                }
+                msg = _mm_shuffle_epi32(msg, 0x0E);
+                state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+                if (1..=12).contains(&i) {
+                    // σ₀ feed for the schedule group three ahead.
+                    m[(i + 3) % 4] = _mm_sha256msg1_epu32(m[(i + 3) % 4], m[i % 4]);
+                }
+            }
+            state0 = _mm_add_epi32(state0, abef_save);
+            state1 = _mm_add_epi32(state1, cdgh_save);
+            off += 64;
+        }
+        tmp = _mm_shuffle_epi32(state0, 0x1B); // FEBA
+        state1 = _mm_shuffle_epi32(state1, 0xB1); // DCHG
+        state0 = _mm_blend_epi16(tmp, state1, 0xF0); // [a b c d]
+        state1 = _mm_alignr_epi8(state1, tmp, 8); // [e f g h]
+        _mm_storeu_si128(state.as_mut_ptr() as *mut __m128i, state0);
+        _mm_storeu_si128(state.as_mut_ptr().add(4) as *mut __m128i, state1);
+    }
+}
+
+/// Vectorized `σ₀(x) = x⋙7 ⊕ x⋙18 ⊕ x≫3` across four lanes.
+/// Register-only and safe, as [`qround256`].
+#[inline]
+#[target_feature(enable = "ssse3")]
+fn ssig0(x: __m128i) -> __m128i {
+    let r7 = _mm_or_si128(_mm_srli_epi32(x, 7), _mm_slli_epi32(x, 25));
+    let r18 = _mm_or_si128(_mm_srli_epi32(x, 18), _mm_slli_epi32(x, 14));
+    _mm_xor_si128(_mm_xor_si128(r7, r18), _mm_srli_epi32(x, 3))
+}
+
+/// Vectorized `σ₁(x) = x⋙17 ⊕ x⋙19 ⊕ x≫10` across four lanes.
+/// Register-only and safe, as [`qround256`].
+#[inline]
+#[target_feature(enable = "ssse3")]
+fn ssig1(x: __m128i) -> __m128i {
+    let r17 = _mm_or_si128(_mm_srli_epi32(x, 17), _mm_slli_epi32(x, 15));
+    let r19 = _mm_or_si128(_mm_srli_epi32(x, 19), _mm_slli_epi32(x, 13));
+    _mm_xor_si128(_mm_xor_si128(r17, r19), _mm_srli_epi32(x, 10))
+}
+
+/// SSSE3 fallback compression: the 48 schedule words are expanded four
+/// at a time with vector shifts (σ₁ of the two in-flight words is
+/// resolved in a second phase), then the 64 rounds run scalar via
+/// [`crate::sha256::rounds`].
+///
+/// # Safety
+///
+/// `blocks.len()` must be a multiple of 64; the caller must have
+/// verified SSSE3 support.
+#[target_feature(enable = "ssse3")]
+unsafe fn sha256_compress_sched(state: &mut [u32; 8], blocks: &[u8]) {
+    // SAFETY: per the fn contract, block loads stay inside `blocks`;
+    // every `w` load/store below touches lanes `i-16 .. i+4` with
+    // `16 ≤ i ≤ 60`, all inside the 64-word array.
+    unsafe {
+        let bswap = _mm_setr_epi8(3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+        let lo2 = _mm_setr_epi32(-1, -1, 0, 0);
+        let hi2 = _mm_setr_epi32(0, 0, -1, -1);
+        let mut off = 0usize;
+        while off < blocks.len() {
+            let p = blocks.as_ptr().add(off);
+            let mut w = [0u32; 64];
+            for j in 0..4 {
+                let v = _mm_shuffle_epi8(_mm_loadu_si128(p.add(j * 16) as *const __m128i), bswap);
+                _mm_storeu_si128(w.as_mut_ptr().add(j * 4) as *mut __m128i, v);
+            }
+            let mut i = 16usize;
+            while i < 64 {
+                let m0 = _mm_loadu_si128(w.as_ptr().add(i - 16) as *const __m128i);
+                let m1 = _mm_loadu_si128(w.as_ptr().add(i - 12) as *const __m128i);
+                let m2 = _mm_loadu_si128(w.as_ptr().add(i - 8) as *const __m128i);
+                let m3 = _mm_loadu_si128(w.as_ptr().add(i - 4) as *const __m128i);
+                let w15 = _mm_alignr_epi8(m1, m0, 4); // W[i-15..i-11]
+                let w7 = _mm_alignr_epi8(m3, m2, 4); // W[i-7..i-3]
+                let t = _mm_add_epi32(_mm_add_epi32(m0, ssig0(w15)), w7);
+                // Phase 1: σ₁ of the two already-known words W[i-2], W[i-1].
+                let s1a = _mm_and_si128(ssig1(_mm_shuffle_epi32(m3, 0x0E)), lo2);
+                let t01 = _mm_add_epi32(t, s1a); // lanes 0,1 final
+                // Phase 2: σ₁ of the words just produced, into lanes 2,3.
+                let s1b = _mm_and_si128(ssig1(_mm_shuffle_epi32(t01, 0x40)), hi2);
+                let r = _mm_add_epi32(t01, s1b);
+                _mm_storeu_si128(w.as_mut_ptr().add(i) as *mut __m128i, r);
+                i += 4;
+            }
+            crate::sha256::rounds(state, &w);
+            off += 64;
+        }
+    }
+}
+
+/// Compress whole 64-byte blocks into `state` with the best available
+/// engine. Always handles the input on x86_64 (the `Simd` backend
+/// implies at least SSSE3); the `bool` mirrors the cross-arch kernel
+/// signature.
+pub(crate) fn sha256_compress(state: &mut [u32; 8], blocks: &[u8]) -> bool {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    if blocks.is_empty() {
+        return true;
+    }
+    // SAFETY: dispatch guarantees SSSE3; `sha_rounds` is only set when
+    // SHA-NI + SSE4.1 were detected.
+    unsafe {
+        if crate::simd::caps().sha_rounds {
+            sha256_compress_shani(state, blocks);
+        } else {
+            sha256_compress_sched(state, blocks);
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chacha20;
+    use crate::sha256;
+
+    fn scalar_keystream_xor(key: &[u8; 32], nonce: &[u8; 12], counter: u32, data: &mut [u8]) {
+        for (blk, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = chacha20::block(key, nonce, counter + blk as u32);
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn test_data(len: usize, seed: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn chacha_engines_match_scalar() {
+        let key: [u8; 32] = std::array::from_fn(|i| i as u8);
+        let nonce: [u8; 12] = std::array::from_fn(|i| 0xA0 + i as u8);
+        // Lengths exercising the 4×, 2×, and 1× paths plus counters far
+        // from zero.
+        for &(blocks, counter) in
+            &[(1usize, 0u32), (2, 1), (3, 7), (4, 0), (5, 100), (9, 0xFFFF), (16, 3)]
+        {
+            let len = blocks * 64;
+            let reference = {
+                let mut d = test_data(len, 5);
+                scalar_keystream_xor(&key, &nonce, counter, &mut d);
+                d
+            };
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                let mut d = test_data(len, 5);
+                // SAFETY: ssse3 verified above; `d` covers `blocks * 64` bytes.
+                unsafe { chacha_ssse3(&key, &nonce, counter, d.as_mut_ptr(), blocks) };
+                assert_eq!(d, reference, "ssse3 {blocks} blocks @ ctr {counter}");
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                let mut d = test_data(len, 5);
+                // SAFETY: avx2 verified above; `d` covers `blocks * 64` bytes.
+                unsafe { chacha_avx2(&key, &nonce, counter, d.as_mut_ptr(), blocks) };
+                assert_eq!(d, reference, "avx2 {blocks} blocks @ ctr {counter}");
+            }
+        }
+    }
+
+    #[test]
+    fn sha_engines_match_scalar() {
+        for nblocks in [1usize, 2, 3, 5, 8] {
+            let data = test_data(nblocks * 64, 9);
+            let mut reference = sha256::IV;
+            for block in data.chunks_exact(64) {
+                sha256::compress_scalar(&mut reference, block.try_into().unwrap());
+            }
+            if std::arch::is_x86_feature_detected!("ssse3") {
+                let mut st = sha256::IV;
+                // SAFETY: ssse3 verified above; `data` is whole blocks.
+                unsafe { sha256_compress_sched(&mut st, &data) };
+                assert_eq!(st, reference, "sched {nblocks} blocks");
+            }
+            if std::arch::is_x86_feature_detected!("sha")
+                && std::arch::is_x86_feature_detected!("sse4.1")
+                && std::arch::is_x86_feature_detected!("ssse3")
+            {
+                let mut st = sha256::IV;
+                // SAFETY: sha+sse4.1+ssse3 verified above.
+                unsafe { sha256_compress_shani(&mut st, &data) };
+                assert_eq!(st, reference, "sha-ni {nblocks} blocks");
+            }
+        }
+    }
+
+    #[test]
+    fn sha_engines_from_nontrivial_midstate() {
+        // Engines must also agree when resuming from a non-IV state
+        // (the HMAC midstate path).
+        let seed = test_data(64, 3);
+        let mut mid = sha256::IV;
+        sha256::compress_scalar(&mut mid, seed.as_slice().try_into().unwrap());
+        let data = test_data(128, 11);
+        let mut reference = mid;
+        for block in data.chunks_exact(64) {
+            sha256::compress_scalar(&mut reference, block.try_into().unwrap());
+        }
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            let mut st = mid;
+            // SAFETY: ssse3 verified above.
+            unsafe { sha256_compress_sched(&mut st, &data) };
+            assert_eq!(st, reference);
+        }
+        if std::arch::is_x86_feature_detected!("sha")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+            && std::arch::is_x86_feature_detected!("ssse3")
+        {
+            let mut st = mid;
+            // SAFETY: sha+sse4.1+ssse3 verified above.
+            unsafe { sha256_compress_shani(&mut st, &data) };
+            assert_eq!(st, reference);
+        }
+    }
+}
